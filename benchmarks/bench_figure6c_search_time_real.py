@@ -1,0 +1,31 @@
+"""Figure 6c / Experiment 6 — search time vs answer size on the real-style corpus.
+
+The paper's observation: on the Smaller Real corpus the D3L/TUS gap narrows
+because the corpus holds proportionally more numeric attributes (which TUS
+ignores entirely while D3L still processes them).
+"""
+
+from conftest import REAL_KS, run_once
+
+from repro.evaluation.experiments import experiment_search_time
+
+
+def test_figure6c_search_time_real(benchmark, record_rows, real_suite):
+    rows = run_once(
+        benchmark,
+        experiment_search_time,
+        real_suite,
+        ks=REAL_KS,
+        num_targets=8,
+        seed=9,
+    )
+    record_rows(
+        "figure6c_search_time_real",
+        rows,
+        "Figure 6c: per-query search time vs k (Smaller Real style corpus)",
+    )
+
+    for row in rows:
+        assert row["d3l_seconds"] > 0
+        assert row["tus_seconds"] > 0
+        assert row["aurum_seconds"] > 0

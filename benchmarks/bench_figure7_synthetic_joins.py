@@ -1,0 +1,42 @@
+"""Figures 7a/7b / Experiments 8-9 — impact of join paths on Synthetic.
+
+Target coverage and attribute precision with and without augmenting the top-k
+answer with SA-join-path tables, for D3L(+J), Aurum(+J) and TUS.  The shapes
+to reproduce: the +J variants cover at least as much of the target as their
+join-unaware counterparts, and D3L+J keeps attribute precision at or above
+plain D3L.
+"""
+
+import numpy as np
+
+from conftest import NUM_TARGETS, run_once
+
+from repro.evaluation.experiments import experiment_join_impact
+
+KS = [5, 10, 20, 40]
+
+
+def test_figure7_synthetic_join_impact(benchmark, record_rows, synthetic_suite):
+    rows = run_once(
+        benchmark,
+        experiment_join_impact,
+        synthetic_suite,
+        ks=KS,
+        num_targets=NUM_TARGETS,
+        seed=10,
+    )
+    record_rows(
+        "figure7_synthetic_joins",
+        rows,
+        "Figure 7: target coverage (a) and attribute precision (b) on Synthetic",
+    )
+
+    def mean_metric(system, metric):
+        return float(np.mean([row[metric] for row in rows if row["system"] == system]))
+
+    assert mean_metric("d3l+j", "coverage") >= mean_metric("d3l", "coverage") - 1e-9
+    assert mean_metric("aurum+j", "coverage") >= mean_metric("aurum", "coverage") - 1e-9
+    # Join paths must not degrade D3L's attribute precision (paper: Fig 7b).
+    assert mean_metric("d3l+j", "attribute_precision") >= mean_metric("d3l", "attribute_precision") - 0.05
+    # D3L covers the target at least as well as TUS.
+    assert mean_metric("d3l", "coverage") >= mean_metric("tus", "coverage") - 0.05

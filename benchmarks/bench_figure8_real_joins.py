@@ -1,0 +1,39 @@
+"""Figures 8a/8b / Experiments 10-11 — impact of join paths on the real-style corpus.
+
+Same measurements as Figure 7, on the dirty corpus.  Shapes to reproduce:
+join-aware variants improve coverage, D3L's attribute precision stays above
+the value-equality baselines, and D3L+J never drops below plain D3L.
+"""
+
+import numpy as np
+
+from conftest import NUM_TARGETS, run_once
+
+from repro.evaluation.experiments import experiment_join_impact
+
+KS = [5, 10, 20, 40]
+
+
+def test_figure8_real_join_impact(benchmark, record_rows, real_suite):
+    rows = run_once(
+        benchmark,
+        experiment_join_impact,
+        real_suite,
+        ks=KS,
+        num_targets=NUM_TARGETS,
+        seed=11,
+    )
+    record_rows(
+        "figure8_real_joins",
+        rows,
+        "Figure 8: target coverage (a) and attribute precision (b) on Smaller Real style corpus",
+    )
+
+    def mean_metric(system, metric):
+        return float(np.mean([row[metric] for row in rows if row["system"] == system]))
+
+    assert mean_metric("d3l+j", "coverage") >= mean_metric("d3l", "coverage") - 1e-9
+    assert mean_metric("aurum+j", "coverage") >= mean_metric("aurum", "coverage") - 1e-9
+    assert mean_metric("d3l+j", "attribute_precision") >= mean_metric("d3l", "attribute_precision") - 0.05
+    # D3L aligns target attributes more precisely than TUS on dirty data.
+    assert mean_metric("d3l", "attribute_precision") >= mean_metric("tus", "attribute_precision") - 0.05

@@ -1,0 +1,28 @@
+"""Table I — example attribute distances for the Figure 1 running example.
+
+Regenerates the per-evidence distances between the target T and source S2 of
+the paper's introductory example (Table I of the paper).  Absolute values are
+computed from the actual set representations rather than the paper's
+hypothetical illustration, but the qualitative pattern must match: identical
+attribute names give D_N = 0, all three aligned pairs are textual so D_D = 1,
+and value/embedding evidence is present (distances below 1).
+"""
+
+from conftest import run_once
+
+from repro.evaluation.experiments import experiment_example_distances
+
+
+def test_table1_example_distances(benchmark, record_rows):
+    rows = run_once(benchmark, experiment_example_distances)
+    record_rows("table1_example_distances", rows, "Table I: distances between T and S2")
+
+    by_pair = {row["pair"]: row for row in rows}
+    city = by_pair.get("(T.City, S2.City)")
+    postcode = by_pair.get("(T.Postcode, S2.Postcode)")
+    assert city is not None and postcode is not None
+    assert city["DN"] == 0.0
+    assert postcode["DN"] == 0.0
+    assert city["DD"] == 1.0
+    assert city["DV"] < 1.0
+    assert city["DE"] < 1.0

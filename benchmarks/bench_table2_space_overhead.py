@@ -1,0 +1,28 @@
+"""Table II / Experiment 7 — space overhead of the indexes.
+
+Reports the size of each system's discovery structures relative to the lake
+size, for both corpora.  The shape to reproduce: D3L occupies more space than
+TUS and Aurum because it materialises four LSH indexes plus finer-grained
+attribute profiles.
+"""
+
+from conftest import run_once
+
+from repro.evaluation.experiments import experiment_space_overhead
+
+
+def test_table2_space_overhead(benchmark, record_rows, synthetic_suite, real_suite):
+    rows = run_once(
+        benchmark,
+        experiment_space_overhead,
+        {"synthetic": synthetic_suite, "smaller_real": real_suite},
+    )
+    record_rows("table2_space_overhead", rows, "Table II: index space relative to lake size")
+
+    for row in rows:
+        assert row["d3l_overhead"] > 0
+        assert row["tus_overhead"] > 0
+        assert row["aurum_overhead"] > 0
+        # D3L builds more indexes than either baseline.
+        assert row["d3l_overhead"] >= row["tus_overhead"]
+        assert row["d3l_overhead"] >= row["aurum_overhead"]

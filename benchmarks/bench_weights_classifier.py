@@ -1,0 +1,43 @@
+"""Section III-D — the relatedness classifier behind the Equation 3 weights.
+
+The paper trains a logistic-regression relatedness classifier on the TUS
+(Synthetic) benchmark ground truth, tests it on a manually built real-world
+benchmark, reports ~89% accuracy, and uses the coefficients as evidence-type
+weights.  This benchmark reproduces that protocol with the generated corpora.
+"""
+
+from conftest import run_once
+
+from repro.evaluation.experiments import experiment_weight_training
+
+
+def test_weight_training_accuracy(benchmark, record_rows, synthetic_corpus, real_corpus, bench_config):
+    result = run_once(
+        benchmark,
+        experiment_weight_training,
+        synthetic_corpus,
+        real_corpus,
+        config=bench_config,
+        num_targets=12,
+        k=30,
+        seed=12,
+    )
+    rows = [
+        {
+            "training_pairs": result["training_pairs"],
+            "test_pairs": result["test_pairs"],
+            "accuracy": result["accuracy"],
+            **{f"w_{key}": value for key, value in result["weights"].items()},
+        }
+    ]
+    record_rows(
+        "weights_classifier",
+        rows,
+        "Section III-D: relatedness classifier accuracy and learned weights",
+    )
+
+    assert result["training_pairs"] > 100
+    assert result["test_pairs"] > 50
+    # The paper reports ~89%; the generated corpora should land well above chance.
+    assert result["accuracy"] >= 0.7
+    assert all(value > 0 for value in result["weights"].values())

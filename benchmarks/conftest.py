@@ -1,0 +1,158 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark file regenerates one table or figure of the paper.  The
+corpora and indexed engine suites are session-scoped: they are built once and
+reused by every benchmark, mirroring how the paper indexes each repository
+once and runs all queries against it.
+
+Every benchmark records the series it produces under
+``benchmarks/results/<name>.txt`` so the numbers can be inspected (and are
+quoted in EXPERIMENTS.md) independently of pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import pytest
+
+from repro.core.config import D3LConfig
+from repro.datagen.real_benchmark import RealBenchmarkConfig, generate_real_benchmark
+from repro.datagen.synthetic_benchmark import (
+    SyntheticBenchmarkConfig,
+    generate_synthetic_benchmark,
+)
+from repro.evaluation.experiments import build_engine_suite
+from repro.evaluation.plots import ascii_line_chart
+from repro.evaluation.reporting import render_rows
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Answer sizes swept on the Synthetic corpus (the paper sweeps 5..350 on a
+#: 5,000-table lake; scaled to the generated corpus size).
+SYNTHETIC_KS = [5, 10, 20, 40, 60, 80]
+#: Answer sizes swept on the real-world-style corpus (paper: 10..110).
+REAL_KS = [5, 10, 20, 30, 40, 50]
+#: Number of query targets averaged per data point (paper: 100).
+NUM_TARGETS = 12
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> D3LConfig:
+    """The configuration used by every system in the benchmarks.
+
+    Matches the paper's setup (LSH threshold 0.7, MinHash size 256) with a
+    corpus-scaled candidate pool.
+    """
+    return D3LConfig(num_hashes=256, lsh_threshold=0.7, embedding_dimension=48)
+
+
+@pytest.fixture(scope="session")
+def synthetic_corpus():
+    """The Synthetic corpus: tables derived from base tables by projection/selection."""
+    return generate_synthetic_benchmark(
+        SyntheticBenchmarkConfig(
+            num_base_tables=16,
+            tables_per_base=8,
+            base_rows=150,
+            min_rows=30,
+            max_rows=120,
+            seed=101,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def real_corpus():
+    """The Smaller-Real-style corpus: dirty, inconsistently represented tables."""
+    return generate_real_benchmark(
+        RealBenchmarkConfig(
+            num_families=16,
+            tables_per_family=8,
+            min_rows=30,
+            max_rows=100,
+            dirtiness=0.35,
+            name="smaller_real",
+            seed=202,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def synthetic_suite(synthetic_corpus, bench_config):
+    """D3L, TUS and Aurum indexed over the Synthetic corpus."""
+    return build_engine_suite(
+        synthetic_corpus,
+        systems=("d3l", "tus", "aurum"),
+        config=bench_config,
+        train_weights=True,
+        weight_training_targets=12,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def real_suite(real_corpus, bench_config):
+    """D3L, TUS and Aurum indexed over the real-world-style corpus."""
+    return build_engine_suite(
+        real_corpus,
+        systems=("d3l", "tus", "aurum"),
+        config=bench_config,
+        train_weights=True,
+        weight_training_targets=12,
+        seed=7,
+    )
+
+
+def _figure_charts(rows: Sequence[Mapping[str, object]]) -> str:
+    """ASCII charts for metric-vs-k series, when the rows have that shape."""
+    rows = list(rows)
+    if not rows or "k" not in rows[0]:
+        return ""
+    group_column = next(
+        (column for column in ("system", "evidence", "variant") if column in rows[0]), None
+    )
+    if group_column is None:
+        return ""
+    charts = []
+    for metric in ("precision", "recall", "coverage", "attribute_precision"):
+        if metric in rows[0]:
+            charts.append(
+                ascii_line_chart(
+                    rows, x="k", y=metric, group_by=group_column, title=f"{metric} vs k"
+                )
+            )
+    return "\n\n".join(charts)
+
+
+@pytest.fixture(scope="session")
+def record_rows():
+    """Persist (and echo) the series a benchmark produced.
+
+    Metric-vs-k series additionally get ASCII charts appended to the result
+    file, so the regenerated "figures" can be eyeballed without plotting
+    libraries.
+    """
+
+    def _record(name: str, rows: Sequence[Mapping[str, object]], title: str) -> str:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        rendered = render_rows(list(rows), title=title)
+        charts = _figure_charts(rows)
+        contents = rendered + ("\n\n" + charts if charts else "") + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(contents, encoding="utf-8")
+        print(f"\n{rendered}")
+        return rendered
+
+    return _record
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiment runners are full parameter sweeps, so re-running them for
+    statistical timing would multiply the benchmark wall-clock for no
+    benefit; a single round is how the paper's wall-clock numbers are
+    produced as well.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

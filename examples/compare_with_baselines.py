@@ -1,0 +1,64 @@
+"""Compare D3L with the TUS and Aurum baselines on one corpus.
+
+A compact version of the paper's Experiments 2-3: index the same lake with
+all three systems, query a set of random targets, and report precision and
+recall at several answer sizes plus per-system indexing time and index size.
+
+Run with::
+
+    python examples/compare_with_baselines.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import D3LConfig
+from repro.datagen.real_benchmark import RealBenchmarkConfig, generate_real_benchmark
+from repro.evaluation.experiments import build_engine_suite, experiment_effectiveness
+from repro.evaluation.reporting import format_series_table, render_rows
+
+
+def main() -> None:
+    corpus = generate_real_benchmark(
+        RealBenchmarkConfig(
+            num_families=10,
+            tables_per_family=6,
+            min_rows=25,
+            max_rows=80,
+            dirtiness=0.35,
+            seed=55,
+        )
+    )
+    print(f"Corpus: {len(corpus.lake)} tables, average answer size {corpus.average_answer_size():.1f}\n")
+
+    start = time.perf_counter()
+    suite = build_engine_suite(
+        corpus,
+        systems=("d3l", "tus", "aurum"),
+        config=D3LConfig(num_hashes=128, embedding_dimension=48),
+        train_weights=True,
+        weight_training_targets=10,
+    )
+    print(f"Indexed all three systems in {time.perf_counter() - start:.1f}s")
+
+    sizes = [
+        {
+            "system": "d3l",
+            "index_bytes": suite.d3l.indexes.estimated_bytes(),
+        },
+        {"system": "tus", "index_bytes": suite.tus.estimated_bytes()},
+        {"system": "aurum", "index_bytes": suite.aurum.estimated_bytes()},
+    ]
+    print()
+    print(render_rows(sizes, title="Index sizes"))
+
+    rows = experiment_effectiveness(suite, ks=[5, 10, 20, 30], num_targets=10, seed=1)
+    print()
+    print(format_series_table(rows, group_by="system", x="k", y="precision", title="Precision at k"))
+    print()
+    print(format_series_table(rows, group_by="system", x="k", y="recall", title="Recall at k"))
+
+
+if __name__ == "__main__":
+    main()

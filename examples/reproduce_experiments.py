@@ -1,0 +1,40 @@
+"""Reproduce the paper's full evaluation at a chosen scale, without pytest.
+
+The benchmark suite (``pytest benchmarks/ --benchmark-only``) is the
+canonical reproduction entry point; this example drives the same experiment
+runners directly and writes a consolidated report, which is convenient for
+quick smoke-scale runs or for embedding the sweep in a notebook.
+
+Run with::
+
+    python examples/reproduce_experiments.py --scale smoke
+    python examples/reproduce_experiments.py --scale small --output ./my_results
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.evaluation.runner import SCALES, run_all_experiments
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--output", default="./experiment_results")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"Running every experiment at scale '{args.scale}' ...")
+    report = run_all_experiments(scale=args.scale, seed=args.seed)
+    print(report.render())
+
+    written = report.save(Path(args.output))
+    print("\nReports written:")
+    for path in written:
+        print(f"  {path}")
+
+
+if __name__ == "__main__":
+    main()

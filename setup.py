@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Metadata lives in pyproject.toml; this file exists so that editable installs
+work in offline environments whose setuptools lacks PEP 660 wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — a reproduction of "Dataset Discovery in Data Lakes" (D3L, ICDE 2020).
+
+The package implements the D3L discovery engine (five-evidence LSH-based
+relatedness with join-path extension), the TUS and Aurum baselines, the
+benchmark corpus generators, and the evaluation harness that regenerates
+every table and figure of the paper.
+
+Quickstart::
+
+    from repro import D3L, DataLake
+
+    lake = DataLake("my-lake", tables)
+    engine = D3L()
+    engine.index_lake(lake)
+    answer = engine.query(target_table, k=10)
+    for entry in answer.top():
+        print(entry.table_name, entry.distance)
+"""
+
+from repro.core.config import D3LConfig
+from repro.core.discovery import D3L, JoinAugmentedResult, QueryResult, TableResult
+from repro.core.evidence import EvidenceType
+from repro.core.indexes import D3LIndexes
+from repro.core.persistence import load_engine, save_engine
+from repro.core.weights import EvidenceWeights, train_evidence_weights
+from repro.lake.datalake import AttributeRef, DataLake
+from repro.tables.column import Column
+from repro.tables.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeRef",
+    "Column",
+    "D3L",
+    "D3LConfig",
+    "D3LIndexes",
+    "DataLake",
+    "EvidenceType",
+    "EvidenceWeights",
+    "JoinAugmentedResult",
+    "QueryResult",
+    "Table",
+    "TableResult",
+    "load_engine",
+    "save_engine",
+    "train_evidence_weights",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Baseline systems the paper compares against.
+
+* :mod:`repro.baselines.tus` — Table Union Search (Nargesian et al., PVLDB
+  2018): instance-value-only unionability with set, semantic
+  (knowledge-base) and natural-language (embedding) evidence, max-score
+  ensemble.
+* :mod:`repro.baselines.aurum` — Aurum (Castro Fernandez et al., ICDE 2018):
+  two-step profiling + enterprise-knowledge-graph construction, queried by
+  graph traversal with certainty ranking; PK/FK candidate edges provide the
+  ``Aurum+J`` variant.
+* :mod:`repro.baselines.knowledge_base` — the synthetic ontology standing in
+  for YAGO in the TUS baseline.
+
+Both baselines expose the same ``index_lake`` / ``query`` surface as the D3L
+engine and return :class:`~repro.baselines.base.RankedAnswer` objects that
+duck-type the D3L query result, so the evaluation harness treats all three
+systems uniformly.
+"""
+
+from repro.baselines.aurum import Aurum
+from repro.baselines.base import Alignment, RankedAnswer, RankedTable
+from repro.baselines.knowledge_base import KnowledgeBase
+from repro.baselines.tus import TableUnionSearch
+
+__all__ = [
+    "Alignment",
+    "Aurum",
+    "KnowledgeBase",
+    "RankedAnswer",
+    "RankedTable",
+    "TableUnionSearch",
+]

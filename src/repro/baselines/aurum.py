@@ -1,0 +1,276 @@
+"""Aurum baseline — Castro Fernandez et al., ICDE 2018.
+
+Aurum builds and queries an *enterprise knowledge graph* (EKG) over a data
+lake in two steps:
+
+1. **profiling** — every column receives a lightweight profile (cardinality,
+   distinct ratio) plus MinHash signatures of its value tokens and of its
+   attribute-name tokens;
+2. **graph construction** — nodes are columns; edges connect columns whose
+   content similarity or name (TF-IDF style) similarity clears a threshold,
+   and PK/FK *candidate* edges connect near-unique columns to columns whose
+   values they contain.
+
+Discovery is a graph problem: a query column is matched to graph nodes via
+the LSH indexes (queried once, when the query's neighbourhood is built) and
+related tables are read off the neighbourhood.  Results are ranked with the
+paper's *certainty* strategy: when a pair is related by more than one
+evidence type, the maximum similarity score is used.  ``Aurum+J`` follows
+PK/FK candidate edges from the top-k tables, which is how the D3L paper
+evaluates Aurum's join-path coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.baselines.base import Alignment, RankedAnswer, RankedTable
+from repro.core.config import D3LConfig
+from repro.lake.datalake import AttributeRef, DataLake
+from repro.lsh.lsh_forest import LSHForest
+from repro.lsh.minhash import MinHash, MinHashFactory
+from repro.tables.column import Column
+from repro.tables.table import Table
+from repro.text.qgrams import normalise_name
+from repro.text.token_stats import value_token_set
+
+#: Distinct-value ratio above which a column is considered a key candidate.
+_KEY_DISTINCT_RATIO = 0.9
+
+
+@dataclass
+class _AurumProfile:
+    """Column profile stored in the EKG."""
+
+    ref: AttributeRef
+    is_numeric: bool
+    token_count: int
+    distinct_ratio: float
+    content_signature: Optional[MinHash]
+    name_signature: Optional[MinHash]
+
+
+class Aurum:
+    """The Aurum data-discovery baseline."""
+
+    def __init__(self, config: Optional[D3LConfig] = None) -> None:
+        self.config = config or D3LConfig()
+        cfg = self.config
+        self._minhash_factory = MinHashFactory(num_perm=cfg.num_hashes, seed=cfg.seed + 200)
+        self._content_forest = LSHForest(cfg.num_hashes, cfg.num_trees, seed=cfg.seed + 201)
+        self._name_forest = LSHForest(cfg.num_hashes, cfg.num_trees, seed=cfg.seed + 202)
+        self._profiles: Dict[AttributeRef, _AurumProfile] = {}
+        self._graph = nx.Graph()
+        self._graph_built = False
+
+    # ------------------------------------------------------------------ #
+    # step 1: profiling
+    # ------------------------------------------------------------------ #
+    def _profile_column(self, table_name: str, column: Column) -> _AurumProfile:
+        ref = AttributeRef(table_name, column.name)
+        name_tokens = set(normalise_name(column.name).split())
+        name_signature = self._minhash_factory.from_tokens(name_tokens) if name_tokens else None
+        if column.is_numeric:
+            content_signature = None
+            token_count = 0
+        else:
+            tokens = value_token_set(column.non_missing)
+            token_count = len(tokens)
+            content_signature = (
+                self._minhash_factory.from_tokens(tokens) if tokens else None
+            )
+        return _AurumProfile(
+            ref=ref,
+            is_numeric=column.is_numeric,
+            token_count=token_count,
+            distinct_ratio=column.distinct_ratio,
+            content_signature=content_signature,
+            name_signature=name_signature,
+        )
+
+    def index_table(self, table: Table) -> None:
+        """Profile every column of ``table`` and stage it for the EKG."""
+        for column in table.columns:
+            profile = self._profile_column(table.name, column)
+            self._profiles[profile.ref] = profile
+            if profile.content_signature is not None:
+                self._content_forest.insert(profile.ref, profile.content_signature.hashvalues)
+            if profile.name_signature is not None:
+                self._name_forest.insert(profile.ref, profile.name_signature.hashvalues)
+        self._graph_built = False
+
+    def index_lake(self, lake: DataLake) -> None:
+        """Profile every table of ``lake`` and build the knowledge graph."""
+        for table in lake:
+            self.index_table(table)
+        self.build_graph()
+
+    # ------------------------------------------------------------------ #
+    # step 2: graph construction
+    # ------------------------------------------------------------------ #
+    def build_graph(self) -> None:
+        """Construct the EKG: content, schema and PK/FK candidate edges."""
+        if self._graph_built:
+            return
+        graph = nx.Graph()
+        graph.add_nodes_from(self._profiles)
+        pool = max(self.config.min_candidates, 20)
+        pkfk_threshold = self.config.lsh_threshold
+        # Content edges use a more permissive threshold than PK/FK candidates:
+        # Aurum's EKG links columns with substantial (not near-identical)
+        # content overlap and reserves the strict test for join candidates.
+        content_threshold = 0.75 * self.config.lsh_threshold
+
+        for ref, profile in self._profiles.items():
+            if profile.content_signature is None:
+                continue
+            candidates = self._content_forest.query(profile.content_signature.hashvalues, pool)
+            for other_ref in candidates:
+                if other_ref == ref or other_ref.table == ref.table:
+                    continue
+                other = self._profiles.get(other_ref)
+                if other is None or other.content_signature is None:
+                    continue
+                similarity = profile.content_signature.jaccard(other.content_signature)
+                if similarity < content_threshold:
+                    continue
+                self._add_edge(graph, ref, other_ref, "content", similarity)
+                # PK/FK candidate: near-identical content where one side is
+                # (nearly) a key of its table.
+                if similarity >= pkfk_threshold and (
+                    profile.distinct_ratio >= _KEY_DISTINCT_RATIO
+                    or other.distinct_ratio >= _KEY_DISTINCT_RATIO
+                ):
+                    self._add_edge(graph, ref, other_ref, "pkfk", similarity)
+
+        self._graph = graph
+        self._graph_built = True
+
+    @staticmethod
+    def _add_edge(
+        graph: nx.Graph, first: AttributeRef, second: AttributeRef, kind: str, score: float
+    ) -> None:
+        data = graph.get_edge_data(first, second)
+        if data is None:
+            graph.add_edge(first, second, relations={kind: score})
+            return
+        relations = data["relations"]
+        relations[kind] = max(relations.get(kind, 0.0), score)
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The enterprise knowledge graph (nodes: attribute references)."""
+        self.build_graph()
+        return self._graph
+
+    def estimated_bytes(self) -> int:
+        """Approximate footprint of indexes, profiles and graph (Table II)."""
+        self.build_graph()
+        index_bytes = self._content_forest.estimated_bytes() + self._name_forest.estimated_bytes()
+        profile_bytes = len(self._profiles) * 64
+        graph_bytes = self._graph.number_of_edges() * 48 + self._graph.number_of_nodes() * 16
+        return int(index_bytes + profile_bytes + graph_bytes)
+
+    # ------------------------------------------------------------------ #
+    # discovery
+    # ------------------------------------------------------------------ #
+    def query(self, target: Table, k: int, exclude_self: bool = True) -> RankedAnswer:
+        """Rank lake tables related to ``target`` with certainty ranking.
+
+        Each target column is matched against the content and name indexes
+        once; for every candidate the certainty score is the maximum
+        similarity across the evidence types relating the pair.  A table's
+        score is the maximum certainty over its aligned columns.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.build_graph()
+        exclude_table = target.name if exclude_self else None
+        pool = self.config.candidate_pool_size(k)
+
+        table_scores: Dict[str, float] = {}
+        table_alignments: Dict[str, Dict[str, Alignment]] = {}
+
+        for column in target.columns:
+            profile = self._profile_column(target.name, column)
+            candidate_scores: Dict[AttributeRef, float] = {}
+
+            if profile.content_signature is not None:
+                for ref in self._content_forest.query(profile.content_signature.hashvalues, pool):
+                    other = self._profiles.get(ref)
+                    if other is None or other.content_signature is None:
+                        continue
+                    similarity = profile.content_signature.jaccard(other.content_signature)
+                    candidate_scores[ref] = max(candidate_scores.get(ref, 0.0), similarity)
+
+            if profile.name_signature is not None:
+                for ref in self._name_forest.query(profile.name_signature.hashvalues, pool):
+                    other = self._profiles.get(ref)
+                    if other is None or other.name_signature is None:
+                        continue
+                    similarity = profile.name_signature.jaccard(other.name_signature)
+                    candidate_scores[ref] = max(candidate_scores.get(ref, 0.0), similarity)
+
+            for ref, score in candidate_scores.items():
+                if exclude_table is not None and ref.table == exclude_table:
+                    continue
+                if score <= 0.0:
+                    continue
+                alignment = Alignment(target_attribute=column.name, source=ref, score=score)
+                alignments = table_alignments.setdefault(ref.table, {})
+                existing = alignments.get(column.name)
+                if existing is None or existing.score < score:
+                    alignments[column.name] = alignment
+                table_scores[ref.table] = max(table_scores.get(ref.table, 0.0), score)
+
+        results = [
+            RankedTable(
+                table_name=table_name,
+                score=score,
+                alignments=list(table_alignments.get(table_name, {}).values()),
+            )
+            for table_name, score in table_scores.items()
+        ]
+        results.sort(key=lambda result: (-result.score, result.table_name))
+        return RankedAnswer(target_name=target.name, requested_k=k, results=results)
+
+    def joinable_tables(self, table_name: str, max_hops: int = 2) -> Set[str]:
+        """Tables reachable from ``table_name`` through PK/FK candidate edges."""
+        self.build_graph()
+        start_nodes = [ref for ref in self._profiles if ref.table == table_name]
+        reached: Set[str] = set()
+        frontier = set(start_nodes)
+        visited: Set[AttributeRef] = set(frontier)
+        for _ in range(max_hops):
+            next_frontier: Set[AttributeRef] = set()
+            for node in frontier:
+                if node not in self._graph:
+                    continue
+                for neighbour in self._graph.neighbors(node):
+                    relations = self._graph.get_edge_data(node, neighbour)["relations"]
+                    if "pkfk" not in relations:
+                        continue
+                    if neighbour in visited:
+                        continue
+                    visited.add(neighbour)
+                    next_frontier.add(neighbour)
+                    if neighbour.table != table_name:
+                        reached.add(neighbour.table)
+            frontier = next_frontier
+        return reached
+
+    def query_with_joins(
+        self, target: Table, k: int, exclude_self: bool = True, max_hops: int = 2
+    ) -> Tuple[RankedAnswer, Set[str]]:
+        """Aurum+J: the ranked answer plus tables joinable with the top-k."""
+        answer = self.query(target, k, exclude_self=exclude_self)
+        joined: Set[str] = set()
+        top_k = set(answer.table_names(k))
+        for table_name in top_k:
+            for reached in self.joinable_tables(table_name, max_hops=max_hops):
+                if reached not in top_k and reached != target.name:
+                    joined.add(reached)
+        return answer, joined

@@ -1,0 +1,72 @@
+"""Shared result types for the baseline systems.
+
+The baselines rank tables by similarity scores rather than distances; the
+types here mirror the method surface of the D3L
+:class:`~repro.core.discovery.QueryResult` (``top``, ``table_names``,
+``candidate_tables``, ``result_for``, and per-result ``matches``) so that the
+evaluation metrics can consume answers from any system without caring which
+produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.lake.datalake import AttributeRef
+
+
+@dataclass
+class Alignment:
+    """An alignment between a target attribute and a lake attribute."""
+
+    target_attribute: str
+    source: AttributeRef
+    score: float
+
+
+@dataclass
+class RankedTable:
+    """One ranked table with its attribute alignments."""
+
+    table_name: str
+    score: float
+    alignments: List[Alignment] = field(default_factory=list)
+
+    @property
+    def matches(self) -> List[Alignment]:
+        """Alias matching the D3L result surface (``result.matches``)."""
+        return self.alignments
+
+    def covered_target_attributes(self) -> Set[str]:
+        """Target attributes aligned by this table."""
+        return {alignment.target_attribute for alignment in self.alignments}
+
+
+@dataclass
+class RankedAnswer:
+    """A full ranked answer (descending score order)."""
+
+    target_name: str
+    requested_k: int
+    results: List[RankedTable]
+
+    def top(self, k: Optional[int] = None) -> List[RankedTable]:
+        """The ``k`` best tables (default: the requested k)."""
+        k = self.requested_k if k is None else k
+        return self.results[:k]
+
+    def table_names(self, k: Optional[int] = None) -> List[str]:
+        """Names of the top-k tables."""
+        return [result.table_name for result in self.top(k)]
+
+    def candidate_tables(self) -> Set[str]:
+        """Every table that received a score."""
+        return {result.table_name for result in self.results}
+
+    def result_for(self, table_name: str) -> Optional[RankedTable]:
+        """The entry of a specific table, when present."""
+        for result in self.results:
+            if result.table_name == table_name:
+                return result
+        return None

@@ -1,0 +1,81 @@
+"""Configuration of the D3L reproduction.
+
+Defaults follow the paper's experimental setup: q-grams with q = 4,
+MinHash/LSH-Forest signatures of size 256, an LSH similarity threshold of
+0.7, and fastText-style word embeddings (here the offline substitute model
+with a configurable dimension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class D3LConfig:
+    """All tunable parameters of the discovery engine.
+
+    Attributes
+    ----------
+    qgram_size:
+        q of the attribute-name q-grams (paper: 4).
+    num_hashes:
+        Length of MinHash and random-projection signatures (paper: 256).
+    lsh_threshold:
+        Target similarity threshold of the LSH configuration (paper: 0.7).
+    num_trees:
+        Number of prefix trees in each LSH Forest.
+    embedding_dimension:
+        Dimensionality of the word-embedding model substitute.
+    candidate_multiplier / min_candidates:
+        Per-attribute lookups retrieve ``max(min_candidates,
+        candidate_multiplier * k)`` candidates from each index before
+        re-ranking, so the candidate pool grows with the requested answer
+        size the way an LSH Forest's descent does.
+    overlap_threshold:
+        τ of section IV: minimum value-overlap coefficient for SA-joinability.
+    max_join_path_length:
+        Maximum number of hops Algorithm 3 will follow from a top-k table.
+    max_join_paths:
+        Upper bound on the number of join paths enumerated per query (dense
+        join graphs otherwise have combinatorially many acyclic paths).
+    seed:
+        Master seed; all hash families and random projections derive from it.
+    """
+
+    qgram_size: int = 4
+    num_hashes: int = 256
+    lsh_threshold: float = 0.7
+    num_trees: int = 8
+    embedding_dimension: int = 64
+    candidate_multiplier: int = 5
+    min_candidates: int = 50
+    overlap_threshold: float = 0.7
+    max_join_path_length: int = 3
+    max_join_paths: int = 20000
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.qgram_size <= 0:
+            raise ValueError("qgram_size must be positive")
+        if self.num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        if not 0.0 < self.lsh_threshold < 1.0:
+            raise ValueError("lsh_threshold must be in (0, 1)")
+        if self.num_trees <= 0 or self.num_trees > self.num_hashes:
+            raise ValueError("num_trees must be in [1, num_hashes]")
+        if self.embedding_dimension <= 0:
+            raise ValueError("embedding_dimension must be positive")
+        if self.candidate_multiplier <= 0 or self.min_candidates <= 0:
+            raise ValueError("candidate pool parameters must be positive")
+        if not 0.0 < self.overlap_threshold <= 1.0:
+            raise ValueError("overlap_threshold must be in (0, 1]")
+        if self.max_join_path_length <= 0:
+            raise ValueError("max_join_path_length must be positive")
+        if self.max_join_paths <= 0:
+            raise ValueError("max_join_paths must be positive")
+
+    def candidate_pool_size(self, k: int) -> int:
+        """Number of candidates to retrieve per attribute for an answer size k."""
+        return max(self.min_candidates, self.candidate_multiplier * max(k, 1))

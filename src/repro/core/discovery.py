@@ -1,0 +1,463 @@
+"""The D3L discovery engine: top-k related-dataset search (sections III and IV).
+
+Querying proceeds exactly as the paper describes:
+
+1. the target table is profiled with the same feature extraction as the lake
+   (Algorithm 1), but nothing is inserted into the indexes;
+2. every target attribute is looked up in each of the four LSH indexes,
+   returning related lake attributes paired with estimated distances;
+3. numeric target attributes additionally receive KS-based D distances for
+   candidates passing the Algorithm 2 guard;
+4. results are grouped by source table, each (target, source) pair is
+   aggregated into a 5-dimensional distance vector (Equation 1 with the
+   Equation 2 CCDF weights), and the vector is reduced to a scalar with the
+   Equation 3 weighted l2-norm;
+5. the k smallest distances are the answer; optionally, the answer is
+   extended with tables reachable through SA-join paths (Algorithm 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.aggregation import combined_distance, evidence_vector
+from repro.core.config import D3LConfig
+from repro.core.evidence import EvidenceType
+from repro.core.indexes import D3LIndexes
+from repro.core.joins import JoinPath, SAJoinGraph, find_join_paths, tables_reached
+from repro.core.profiles import AttributeMatch, AttributeProfile, TableProfile
+from repro.core.weights import EvidenceWeights
+from repro.lake.datalake import AttributeRef, DataLake
+from repro.ml.subject_attribute import SubjectAttributeClassifier
+from repro.stats.distributions import ccdf_weight
+from repro.stats.ks import ks_statistic
+from repro.tables.table import Table
+from repro.text.embeddings import WordEmbeddingModel
+
+
+@dataclass
+class TableResult:
+    """One ranked source table with its relatedness evidence."""
+
+    table_name: str
+    distance: float
+    evidence_distances: Dict[EvidenceType, float]
+    matches: List[AttributeMatch]
+
+    def covered_target_attributes(self) -> Set[str]:
+        """Target attributes aligned with at least one attribute of this table."""
+        return {match.target_attribute for match in self.matches}
+
+    def aligned_sources(self) -> List[AttributeRef]:
+        """Lake attributes participating in the alignment."""
+        return [match.source for match in self.matches]
+
+
+@dataclass
+class QueryResult:
+    """The full ranked answer for one target table.
+
+    ``results`` contains every candidate table found by any index, ranked by
+    ascending combined distance; ``top(k)`` slices the ranking.  Keeping the
+    full ranking around is what makes coverage/precision sweeps over k cheap
+    and lets the join-path machinery test the ``I*.lookup(T)`` condition.
+    """
+
+    target_name: str
+    target_arity: int
+    requested_k: int
+    results: List[TableResult]
+
+    def top(self, k: Optional[int] = None) -> List[TableResult]:
+        """The ``k`` most related tables (default: the requested k)."""
+        k = self.requested_k if k is None else k
+        return self.results[:k]
+
+    def table_names(self, k: Optional[int] = None) -> List[str]:
+        """Names of the top-k tables."""
+        return [result.table_name for result in self.top(k)]
+
+    def candidate_tables(self) -> Set[str]:
+        """Every table related to the target by at least one index."""
+        return {result.table_name for result in self.results}
+
+    def result_for(self, table_name: str) -> Optional[TableResult]:
+        """The result entry of a specific table, when present."""
+        for result in self.results:
+            if result.table_name == table_name:
+                return result
+        return None
+
+
+@dataclass
+class AttributeSearchResult:
+    """One ranked lake attribute returned by :meth:`D3L.related_attributes`."""
+
+    ref: AttributeRef
+    distances: Dict[EvidenceType, float]
+    distance: float
+
+
+@dataclass
+class JoinAugmentedResult:
+    """A query result extended with SA-join paths (``D3L+J``)."""
+
+    base: QueryResult
+    join_paths: List[JoinPath]
+    joined_tables: Set[str]
+
+    def tables_for(self, start: str) -> Set[str]:
+        """Tables reachable through join paths starting at ``start``."""
+        reached: Set[str] = set()
+        for path in self.join_paths:
+            if path.start == start:
+                reached.update(path.reached)
+        return reached
+
+
+class D3L:
+    """The D3L dataset-discovery engine.
+
+    Typical usage::
+
+        engine = D3L()
+        engine.index_lake(lake)
+        result = engine.query(target_table, k=10)
+        for entry in result.top():
+            print(entry.table_name, entry.distance)
+    """
+
+    def __init__(
+        self,
+        config: Optional[D3LConfig] = None,
+        embedding_model: Optional[WordEmbeddingModel] = None,
+        weights: Optional[EvidenceWeights] = None,
+        subject_classifier: Optional[SubjectAttributeClassifier] = None,
+    ) -> None:
+        self.config = config or D3LConfig()
+        self.weights = weights or EvidenceWeights()
+        self.indexes = D3LIndexes(
+            config=self.config,
+            embedding_model=embedding_model,
+            subject_classifier=subject_classifier,
+        )
+        self._join_graph: Optional[SAJoinGraph] = None
+
+    # ------------------------------------------------------------------ #
+    # indexing
+    # ------------------------------------------------------------------ #
+    def index_lake(self, lake: DataLake) -> None:
+        """Profile and index every table of ``lake`` (Algorithm 1)."""
+        self.indexes.add_lake(lake)
+        self._join_graph = None
+
+    def index_table(self, table: Table) -> None:
+        """Profile and index a single table."""
+        self.indexes.add_table(table)
+        self._join_graph = None
+
+    def remove_table(self, table_name: str) -> bool:
+        """Remove a table from the indexes (incremental lake maintenance)."""
+        removed = self.indexes.remove_table(table_name)
+        if removed:
+            self._join_graph = None
+        return removed
+
+    @property
+    def join_graph(self) -> SAJoinGraph:
+        """The SA-join graph, built lazily and cached until the lake changes."""
+        if self._join_graph is None:
+            self._join_graph = SAJoinGraph.build(self.indexes, self.config)
+        return self._join_graph
+
+    def set_weights(self, weights: EvidenceWeights) -> None:
+        """Replace the Equation 3 evidence weights."""
+        self.weights = weights
+
+    # ------------------------------------------------------------------ #
+    # querying
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        target: Table,
+        k: int,
+        evidence_types: Optional[Sequence[EvidenceType]] = None,
+        exclude_self: bool = True,
+        weights: Optional[EvidenceWeights] = None,
+    ) -> QueryResult:
+        """Return the ranked answer for ``target``.
+
+        ``evidence_types`` restricts both candidate generation and ranking to
+        a subset of the evidence (Experiment 1 queries with a single type);
+        by default all five are used.  ``exclude_self`` removes the target's
+        own lake entry from the answer, which is how the evaluation queries
+        targets drawn from the lake.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        active = tuple(evidence_types) if evidence_types else EvidenceType.all()
+        active_indexed = [evidence for evidence in active if evidence.is_indexed]
+        use_distribution = EvidenceType.DISTRIBUTION in active
+        ranking_weights = weights or (
+            self.weights
+            if evidence_types is None
+            else EvidenceWeights(
+                {evidence: (1.0 if evidence in active else 0.0) for evidence in EvidenceType.all()}
+            )
+        )
+
+        exclude_table = target.name if exclude_self else None
+        target_profile = self.indexes.profile_table(target)
+        pool = self.config.candidate_pool_size(k)
+
+        matches = self._collect_matches(
+            target_profile, active_indexed, use_distribution, pool, exclude_table
+        )
+
+        results: List[TableResult] = []
+        for table_name, table_matches in matches.items():
+            vector = evidence_vector(table_matches)
+            distance = combined_distance(vector, ranking_weights)
+            results.append(
+                TableResult(
+                    table_name=table_name,
+                    distance=distance,
+                    evidence_distances=vector,
+                    matches=table_matches,
+                )
+            )
+        results.sort(key=lambda result: (result.distance, result.table_name))
+        return QueryResult(
+            target_name=target.name,
+            target_arity=target.arity,
+            requested_k=k,
+            results=results,
+        )
+
+    def query_with_joins(
+        self,
+        target: Table,
+        k: int,
+        evidence_types: Optional[Sequence[EvidenceType]] = None,
+        exclude_self: bool = True,
+    ) -> JoinAugmentedResult:
+        """D3L+J: the ranked answer extended with SA-join paths (section IV)."""
+        base = self.query(target, k, evidence_types=evidence_types, exclude_self=exclude_self)
+        top_k_tables = base.table_names(k)
+        related = base.candidate_tables()
+        paths = find_join_paths(
+            self.join_graph,
+            top_k_tables,
+            related_tables=related,
+            max_length=self.config.max_join_path_length,
+            max_paths=self.config.max_join_paths,
+        )
+        return JoinAugmentedResult(
+            base=base,
+            join_paths=paths,
+            joined_tables=tables_reached(paths),
+        )
+
+    def related_attributes(
+        self,
+        target: Table,
+        attribute_name: str,
+        k: int = 10,
+        exclude_self: bool = True,
+        weights: Optional[EvidenceWeights] = None,
+    ) -> List[AttributeSearchResult]:
+        """Attribute-level discovery: the lake attributes most related to one
+        target attribute.
+
+        This exposes the building block underneath table relatedness — useful
+        when the caller wants join or union candidates for a single column
+        rather than whole-table rankings.  Distances follow the same
+        definitions as :meth:`query`; the combined score is the Equation 3
+        norm restricted to a single attribute pair.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if not target.has_column(attribute_name):
+            raise KeyError(f"target {target.name!r} has no attribute {attribute_name!r}")
+        ranking_weights = weights or self.weights
+        exclude_table = target.name if exclude_self else None
+
+        profile = AttributeProfile.build(
+            target.name,
+            target.column(attribute_name),
+            self.indexes.embedding_model,
+            self.config,
+        )
+        query_signatures = self.indexes.signatures_for(profile)
+        pool = self.config.candidate_pool_size(k)
+
+        candidates: Set[AttributeRef] = set()
+        for evidence in EvidenceType.indexed():
+            for ref, _ in self.indexes.lookup(
+                evidence,
+                profile,
+                k=pool,
+                exclude_table=exclude_table,
+                query_signatures=query_signatures,
+            ):
+                candidates.add(ref)
+
+        results: List[AttributeSearchResult] = []
+        for ref in candidates:
+            distances = {
+                evidence: self.indexes.attribute_distance(
+                    evidence, profile, ref, query_signatures
+                )
+                for evidence in EvidenceType.all()
+            }
+            results.append(
+                AttributeSearchResult(
+                    ref=ref,
+                    distances=distances,
+                    distance=combined_distance(distances, ranking_weights),
+                )
+            )
+        results.sort(key=lambda result: (result.distance, result.ref))
+        return results[:k]
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _collect_matches(
+        self,
+        target_profile: TableProfile,
+        active_indexed: Sequence[EvidenceType],
+        use_distribution: bool,
+        pool: int,
+        exclude_table: Optional[str],
+    ) -> Dict[str, List[AttributeMatch]]:
+        """Per-source-table attribute matches with distances and Eq. 2 weights."""
+        indexes = self.indexes
+
+        # Tables whose attributes are retrieved by the target's subject
+        # attribute through any index: the I* guard of Algorithm 2.
+        subject_related_tables = self._subject_related_tables(
+            target_profile, pool, exclude_table
+        )
+
+        per_table: Dict[str, Dict[str, AttributeMatch]] = {}
+        for attribute_name, attribute_profile in target_profile.attributes.items():
+            query_signatures = indexes.signatures_for(attribute_profile)
+
+            lookups: Dict[EvidenceType, Dict[AttributeRef, float]] = {}
+            candidate_refs: Set[AttributeRef] = set()
+            for evidence in active_indexed:
+                pairs = indexes.lookup(
+                    evidence,
+                    attribute_profile,
+                    k=pool,
+                    exclude_table=exclude_table,
+                    query_signatures=query_signatures,
+                )
+                lookups[evidence] = dict(pairs)
+                candidate_refs.update(lookups[evidence])
+
+            if not candidate_refs:
+                continue
+
+            # Full distance vectors for every candidate of this attribute.
+            distances_by_ref: Dict[AttributeRef, Dict[EvidenceType, float]] = {}
+            for ref in candidate_refs:
+                distances: Dict[EvidenceType, float] = {}
+                for evidence in EvidenceType.indexed():
+                    if evidence in lookups and ref in lookups[evidence]:
+                        distances[evidence] = lookups[evidence][ref]
+                    else:
+                        distances[evidence] = indexes.attribute_distance(
+                            evidence, attribute_profile, ref, query_signatures
+                        )
+                distances[EvidenceType.DISTRIBUTION] = (
+                    self._distribution_distance(
+                        attribute_profile,
+                        ref,
+                        lookups,
+                        subject_related_tables,
+                    )
+                    if use_distribution
+                    else 1.0
+                )
+                distances_by_ref[ref] = distances
+
+            # Equation 2 populations: all observed distances of each type for
+            # this target attribute.
+            populations: Dict[EvidenceType, List[float]] = {
+                evidence: [
+                    distances[evidence]
+                    for distances in distances_by_ref.values()
+                    if distances[evidence] < 1.0
+                ]
+                for evidence in EvidenceType.all()
+            }
+
+            # Group candidates by source table, keeping the best alignment.
+            for ref, distances in distances_by_ref.items():
+                match = AttributeMatch(
+                    target_attribute=attribute_name,
+                    source=ref,
+                    distances=distances,
+                    weights={
+                        evidence: ccdf_weight(distances[evidence], populations[evidence])
+                        if distances[evidence] < 1.0
+                        else 0.0
+                        for evidence in EvidenceType.all()
+                    },
+                )
+                table_matches = per_table.setdefault(ref.table, {})
+                existing = table_matches.get(attribute_name)
+                if existing is None or match.mean_distance() < existing.mean_distance():
+                    table_matches[attribute_name] = match
+
+        return {
+            table_name: list(matches.values()) for table_name, matches in per_table.items()
+        }
+
+    def _subject_related_tables(
+        self,
+        target_profile: TableProfile,
+        pool: int,
+        exclude_table: Optional[str],
+    ) -> Set[str]:
+        subject = target_profile.subject_profile()
+        if subject is None:
+            return set()
+        related: Set[str] = set()
+        cutoff = self.indexes.threshold_distance()
+        for evidence in EvidenceType.indexed():
+            for ref, _ in self.indexes.lookup(
+                evidence,
+                subject,
+                k=pool,
+                exclude_table=exclude_table,
+                max_distance=cutoff,
+            ):
+                related.add(ref.table)
+        return related
+
+    def _distribution_distance(
+        self,
+        attribute_profile: AttributeProfile,
+        ref: AttributeRef,
+        lookups: Mapping[EvidenceType, Mapping[AttributeRef, float]],
+        subject_related_tables: Set[str],
+    ) -> float:
+        """Algorithm 2, using the lookups already performed for this attribute."""
+        if not attribute_profile.is_numeric:
+            return 1.0
+        other = self.indexes.profiles.get(ref)
+        if other is None or not other.is_numeric:
+            return 1.0
+        cutoff = self.indexes.threshold_distance()
+        guard = (
+            ref.table in subject_related_tables
+            or lookups.get(EvidenceType.NAME, {}).get(ref, 1.0) <= cutoff
+            or lookups.get(EvidenceType.FORMAT, {}).get(ref, 1.0) <= cutoff
+        )
+        if not guard:
+            return 1.0
+        return ks_statistic(attribute_profile.numeric_values, other.numeric_values)

@@ -1,0 +1,42 @@
+"""The five relatedness evidence types of section III-A."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+
+class EvidenceType(str, Enum):
+    """One of the five kinds of relatedness evidence used by D3L.
+
+    * ``NAME`` (N) — Jaccard distance between attribute-name q-gram sets;
+    * ``VALUE`` (V) — Jaccard distance between informative-token sets;
+    * ``FORMAT`` (F) — Jaccard distance between format-string sets;
+    * ``EMBEDDING`` (E) — cosine distance between attribute embedding vectors;
+    * ``DISTRIBUTION`` (D) — Kolmogorov–Smirnov statistic between numeric
+      extents.
+    """
+
+    NAME = "N"
+    VALUE = "V"
+    FORMAT = "F"
+    EMBEDDING = "E"
+    DISTRIBUTION = "D"
+
+    @classmethod
+    def indexed(cls) -> Tuple["EvidenceType", ...]:
+        """The four evidence types backed by an LSH index (all but D)."""
+        return (cls.NAME, cls.VALUE, cls.FORMAT, cls.EMBEDDING)
+
+    @classmethod
+    def all(cls) -> Tuple["EvidenceType", ...]:
+        """All five evidence types in the order the paper lists them."""
+        return (cls.NAME, cls.VALUE, cls.FORMAT, cls.EMBEDDING, cls.DISTRIBUTION)
+
+    @property
+    def is_indexed(self) -> bool:
+        """True for the LSH-indexed evidence types."""
+        return self is not EvidenceType.DISTRIBUTION
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,279 @@
+"""The four LSH indexes of D3L and their construction (Algorithm 1).
+
+``D3LIndexes`` profiles every attribute of every lake table and inserts its
+set representations / embedding vector into the corresponding LSH Forest:
+
+* ``IN`` — MinHash of the attribute-name q-gram set;
+* ``IV`` — MinHash of the informative-token set (textual attributes only);
+* ``IF`` — MinHash of the format-string set;
+* ``IE`` — random projection of the aggregated embedding vector (textual
+  attributes only).
+
+Numeric attributes are indexed only in ``IN`` and ``IF``; their extents are
+kept in the attribute profiles for the KS-based D evidence (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import D3LConfig
+from repro.core.evidence import EvidenceType
+from repro.core.profiles import AttributeProfile, TableProfile
+from repro.lake.datalake import AttributeRef, DataLake
+from repro.lsh.lsh_forest import LSHForest
+from repro.lsh.minhash import MinHash, MinHashFactory
+from repro.lsh.random_projection import RandomProjection, RandomProjectionFactory
+from repro.ml.subject_attribute import SubjectAttributeClassifier, heuristic_subject_attribute
+from repro.stats.ks import ks_statistic
+from repro.tables.table import Table
+from repro.text.embeddings import HashingSubwordEmbedding, WordEmbeddingModel
+
+#: Signature type union used internally.
+Signature = object
+
+
+class D3LIndexes:
+    """Attribute profiles plus the four LSH indexes over a data lake."""
+
+    def __init__(
+        self,
+        config: Optional[D3LConfig] = None,
+        embedding_model: Optional[WordEmbeddingModel] = None,
+        subject_classifier: Optional[SubjectAttributeClassifier] = None,
+    ) -> None:
+        self.config = config or D3LConfig()
+        self.embedding_model = embedding_model or HashingSubwordEmbedding(
+            dimension=self.config.embedding_dimension, seed=self.config.seed
+        )
+        self.subject_classifier = subject_classifier
+
+        cfg = self.config
+        self._minhash_factory = MinHashFactory(num_perm=cfg.num_hashes, seed=cfg.seed)
+        self._projection_factory = RandomProjectionFactory(
+            num_bits=cfg.num_hashes, seed=cfg.seed + 1
+        )
+        self._forests: Dict[EvidenceType, LSHForest] = {
+            evidence: LSHForest(
+                num_hashes=cfg.num_hashes, num_trees=cfg.num_trees, seed=cfg.seed + 2 + i
+            )
+            for i, evidence in enumerate(EvidenceType.indexed())
+        }
+        self._signatures: Dict[EvidenceType, Dict[AttributeRef, Signature]] = {
+            evidence: {} for evidence in EvidenceType.indexed()
+        }
+        self.profiles: Dict[AttributeRef, AttributeProfile] = {}
+        self.table_profiles: Dict[str, TableProfile] = {}
+
+    # ------------------------------------------------------------------ #
+    # profiling
+    # ------------------------------------------------------------------ #
+    def profile_table(self, table: Table) -> TableProfile:
+        """Profile every attribute of ``table`` (without inserting anything)."""
+        attributes = {
+            column.name: AttributeProfile.build(
+                table.name, column, self.embedding_model, self.config
+            )
+            for column in table.columns
+        }
+        if self.subject_classifier is not None:
+            subject = self.subject_classifier.identify(table)
+        else:
+            subject = heuristic_subject_attribute(table)
+        return TableProfile(
+            table_name=table.name,
+            attributes=attributes,
+            subject_attribute=subject,
+            arity=table.arity,
+            cardinality=table.cardinality,
+        )
+
+    def signatures_for(self, profile: AttributeProfile) -> Dict[EvidenceType, Optional[Signature]]:
+        """Compute the per-evidence signatures of a (possibly external) profile.
+
+        Evidence types without usable features (empty set representation,
+        zero embedding) map to None so callers skip the corresponding index.
+        """
+        signatures: Dict[EvidenceType, Optional[Signature]] = {}
+        for evidence in (EvidenceType.NAME, EvidenceType.VALUE, EvidenceType.FORMAT):
+            tokens = profile.set_representation(evidence)
+            signatures[evidence] = self._minhash_factory.from_tokens(tokens) if tokens else None
+        if profile.has_embedding():
+            signatures[EvidenceType.EMBEDDING] = self._projection_factory.from_vector(
+                profile.embedding
+            )
+        else:
+            signatures[EvidenceType.EMBEDDING] = None
+        return signatures
+
+    # ------------------------------------------------------------------ #
+    # index construction (Algorithm 1)
+    # ------------------------------------------------------------------ #
+    def add_table(self, table: Table) -> TableProfile:
+        """Profile ``table`` and insert its attributes into the four indexes."""
+        table_profile = self.profile_table(table)
+        self.table_profiles[table.name] = table_profile
+        for profile in table_profile.attributes.values():
+            self.profiles[profile.ref] = profile
+            signatures = self.signatures_for(profile)
+            for evidence in EvidenceType.indexed():
+                signature = signatures[evidence]
+                if signature is None:
+                    continue
+                self._signatures[evidence][profile.ref] = signature
+                self._forests[evidence].insert(profile.ref, _raw(signature))
+        return table_profile
+
+    def add_lake(self, lake: DataLake) -> None:
+        """Index every table of ``lake``."""
+        for table in lake:
+            self.add_table(table)
+
+    def remove_table(self, table_name: str) -> bool:
+        """Remove a table's attributes from every index (incremental maintenance).
+
+        Data lakes change over time (the paper cites Goods' rapidly changing
+        datasets as a motivating setting); removal plus re-insertion keeps
+        the indexes consistent without rebuilding them from scratch.
+        Returns True when the table was indexed, False otherwise.
+        """
+        table_profile = self.table_profiles.pop(table_name, None)
+        if table_profile is None:
+            return False
+        for profile in table_profile.attributes.values():
+            self.profiles.pop(profile.ref, None)
+            for evidence in EvidenceType.indexed():
+                if self._signatures[evidence].pop(profile.ref, None) is not None:
+                    self._forests[evidence].remove(profile.ref)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def table_names(self) -> List[str]:
+        """Names of all indexed tables."""
+        return list(self.table_profiles)
+
+    @property
+    def attribute_count(self) -> int:
+        """Number of profiled attributes."""
+        return len(self.profiles)
+
+    def forest(self, evidence: EvidenceType) -> LSHForest:
+        """The LSH Forest backing an indexed evidence type."""
+        return self._forests[evidence]
+
+    def signature(self, evidence: EvidenceType, ref: AttributeRef) -> Optional[Signature]:
+        """Stored signature of an indexed attribute (None when not indexed)."""
+        return self._signatures[evidence].get(ref)
+
+    def subject_attribute(self, table_name: str) -> Optional[str]:
+        """Subject attribute of an indexed table."""
+        table_profile = self.table_profiles.get(table_name)
+        return table_profile.subject_attribute if table_profile else None
+
+    # ------------------------------------------------------------------ #
+    # lookups and distances
+    # ------------------------------------------------------------------ #
+    def lookup(
+        self,
+        evidence: EvidenceType,
+        profile: AttributeProfile,
+        k: int,
+        exclude_table: Optional[str] = None,
+        query_signatures: Optional[Dict[EvidenceType, Optional[Signature]]] = None,
+        max_distance: Optional[float] = None,
+    ) -> List[Tuple[AttributeRef, float]]:
+        """Retrieve up to ``k`` related attributes with their estimated distances.
+
+        Results are sorted by ascending distance.  Attributes of
+        ``exclude_table`` (normally the target itself, when it is a lake
+        member) are filtered out.  ``max_distance`` restricts the result to
+        candidates at least as similar as the LSH threshold demands — the
+        strict reading of ``a' ∈ I.lookup(a)`` used by the Algorithm 2 guards
+        and the join-graph construction.
+        """
+        if not evidence.is_indexed:
+            raise ValueError("distribution evidence has no LSH index to look up")
+        signatures = query_signatures or self.signatures_for(profile)
+        signature = signatures[evidence]
+        if signature is None:
+            return []
+        candidates = self._forests[evidence].query(_raw(signature), k)
+        results: List[Tuple[AttributeRef, float]] = []
+        for ref in candidates:
+            if exclude_table is not None and ref.table == exclude_table:
+                continue
+            stored = self._signatures[evidence].get(ref)
+            if stored is None:
+                continue
+            distance = _signature_distance(signature, stored)
+            if max_distance is not None and distance > max_distance:
+                continue
+            results.append((ref, distance))
+        results.sort(key=lambda pair: (pair[1], pair[0]))
+        return results[:k]
+
+    def threshold_distance(self) -> float:
+        """The distance corresponding to the configured LSH similarity threshold."""
+        return 1.0 - self.config.lsh_threshold
+
+    def attribute_distance(
+        self,
+        evidence: EvidenceType,
+        profile: AttributeProfile,
+        ref: AttributeRef,
+        query_signatures: Optional[Dict[EvidenceType, Optional[Signature]]] = None,
+    ) -> float:
+        """Estimated distance of one evidence type between a profile and an
+        indexed attribute (1.0 when either side lacks that evidence)."""
+        if evidence is EvidenceType.DISTRIBUTION:
+            other = self.profiles.get(ref)
+            if other is None or not profile.is_numeric or not other.is_numeric:
+                return 1.0
+            return ks_statistic(profile.numeric_values, other.numeric_values)
+        signatures = query_signatures or self.signatures_for(profile)
+        signature = signatures[evidence]
+        stored = self._signatures[evidence].get(ref)
+        if signature is None or stored is None:
+            return 1.0
+        return _signature_distance(signature, stored)
+
+    # ------------------------------------------------------------------ #
+    # space accounting (Table II)
+    # ------------------------------------------------------------------ #
+    def index_bytes(self) -> Dict[str, int]:
+        """Approximate per-index memory footprint."""
+        sizes = {
+            f"I{evidence.value}": self._forests[evidence].estimated_bytes()
+            for evidence in EvidenceType.indexed()
+        }
+        sizes["profiles"] = sum(profile.estimated_bytes() for profile in self.profiles.values())
+        return sizes
+
+    def estimated_bytes(self) -> int:
+        """Total approximate footprint of indexes plus profiles."""
+        return sum(self.index_bytes().values())
+
+
+def _raw(signature: Signature) -> np.ndarray:
+    """The underlying array of a MinHash or RandomProjection signature."""
+    if isinstance(signature, MinHash):
+        return signature.hashvalues
+    if isinstance(signature, RandomProjection):
+        return signature.bits
+    raise TypeError(f"unsupported signature type: {type(signature)!r}")
+
+
+def _signature_distance(first: Signature, second: Signature) -> float:
+    """Estimated distance between two signatures of the same kind."""
+    if isinstance(first, MinHash) and isinstance(second, MinHash):
+        if first.is_empty() or second.is_empty():
+            return 1.0
+        return first.jaccard_distance(second)
+    if isinstance(first, RandomProjection) and isinstance(second, RandomProjection):
+        return first.cosine_distance(second)
+    raise TypeError("cannot compare signatures of different kinds")

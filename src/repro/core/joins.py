@@ -1,0 +1,264 @@
+"""Join-path discovery (section IV): SA-joinability and Algorithm 3.
+
+Two datasets are *SA-joinable* when there is value-index evidence that the
+token sets of a pair of their attributes overlap and at least one attribute
+of the pair is its table's subject attribute.  The SA-join graph connects
+SA-joinable tables; Algorithm 3 walks it depth-first from every top-k table,
+collecting acyclic paths whose intermediate tables are outside the top-k but
+still related to the target by at least one index.  Tables reached this way
+can contribute values to target attributes the top-k left uncovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.config import D3LConfig
+from repro.core.evidence import EvidenceType
+from repro.core.indexes import D3LIndexes
+from repro.lake.datalake import AttributeRef
+from repro.lsh.lsh_ensemble import LSHEnsemble
+from repro.lsh.minhash import MinHashFactory
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An SA-join opportunity between two attributes of different tables."""
+
+    left: AttributeRef
+    right: AttributeRef
+    overlap: float
+
+    def tables(self) -> Tuple[str, str]:
+        """The two table names connected by this edge."""
+        return self.left.table, self.right.table
+
+
+@dataclass
+class JoinPath:
+    """A path of SA-joinable tables starting from a top-k table."""
+
+    tables: List[str]
+    edges: List[JoinEdge]
+
+    @property
+    def start(self) -> str:
+        """The top-k table the path starts from."""
+        return self.tables[0]
+
+    @property
+    def reached(self) -> List[str]:
+        """Tables reached beyond the starting table."""
+        return self.tables[1:]
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+
+def estimated_overlap(jaccard: float, size_a: int, size_b: int) -> float:
+    """Overlap coefficient estimated from a Jaccard estimate and set sizes.
+
+    Uses the inclusion–exclusion identity from section IV:
+    ``ov = J * (|A| + |B|) / ((1 + J) * min(|A|, |B|))``, clipped to [0, 1].
+    """
+    smaller = min(size_a, size_b)
+    if smaller <= 0 or jaccard <= 0.0:
+        return 0.0
+    value = jaccard * (size_a + size_b) / ((1.0 + jaccard) * smaller)
+    return min(1.0, value)
+
+
+class SAJoinGraph:
+    """The SA-join graph G_S = (S, I) over an indexed data lake."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (nodes: table names)."""
+        return self._graph
+
+    @property
+    def table_names(self) -> List[str]:
+        """All nodes of the graph."""
+        return list(self._graph.nodes)
+
+    def neighbours(self, table_name: str) -> List[str]:
+        """Tables SA-joinable with ``table_name`` (empty when unknown)."""
+        if table_name not in self._graph:
+            return []
+        return sorted(self._graph.neighbors(table_name))
+
+    def edge(self, first: str, second: str) -> Optional[JoinEdge]:
+        """The join edge between two tables, when one exists."""
+        data = self._graph.get_edge_data(first, second)
+        if not data:
+            return None
+        return data["join"]
+
+    def edge_count(self) -> int:
+        """Number of SA-join edges in the graph."""
+        return self._graph.number_of_edges()
+
+    def connected_component(self, table_name: str) -> Set[str]:
+        """Tables reachable from ``table_name`` through SA-join edges."""
+        if table_name not in self._graph:
+            return set()
+        return set(nx.node_connected_component(self._graph, table_name))
+
+    @classmethod
+    def build(cls, indexes: D3LIndexes, config: Optional[D3LConfig] = None) -> "SAJoinGraph":
+        """Build the SA-join graph from an indexed lake.
+
+        For every table's subject attribute the value index is queried as a
+        blocking step; each candidate pair is then verified against the
+        postulated inclusion dependency by computing the overlap coefficient
+        of the two attributes' distinct-value samples, and pairs clearing the
+        configured threshold become edges.  Because the probe attribute is
+        always a subject attribute, the SA-joinability condition (at least
+        one side is a subject attribute) holds by construction.
+        """
+        config = config or indexes.config
+        graph = nx.Graph()
+        graph.add_nodes_from(indexes.table_names)
+
+        pool = max(config.min_candidates, 2 * len(indexes.table_names))
+        for table_name, table_profile in indexes.table_profiles.items():
+            subject = table_profile.subject_profile()
+            if subject is None or not subject.tokens:
+                continue
+            candidates = indexes.lookup(
+                EvidenceType.VALUE, subject, k=pool, exclude_table=table_name
+            )
+            for ref, _distance in candidates:
+                other_profile = indexes.profiles.get(ref)
+                if other_profile is None or not other_profile.tokens:
+                    continue
+                overlap = subject.value_overlap(other_profile)
+                if overlap < config.overlap_threshold:
+                    continue
+                existing = graph.get_edge_data(table_name, ref.table)
+                edge = JoinEdge(left=subject.ref, right=ref, overlap=overlap)
+                if existing is None or existing["join"].overlap < overlap:
+                    graph.add_edge(table_name, ref.table, join=edge)
+        return cls(graph)
+
+    @classmethod
+    def build_with_ensemble(
+        cls, indexes: D3LIndexes, config: Optional[D3LConfig] = None
+    ) -> "SAJoinGraph":
+        """Alternative construction using LSH Ensemble containment blocking.
+
+        The paper notes LSH Ensemble (Zhu et al. 2016) as an improvement
+        compatible with its value index: MinHash-based Jaccard blocking
+        under-retrieves containment pairs whose set sizes are skewed, which
+        is exactly the shape of inclusion dependencies.  This variant indexes
+        every textual attribute's token set in an LSH Ensemble, probes it
+        with each table's subject attribute at the configured containment
+        threshold, and then applies the same value-sample verification as
+        :meth:`build`.
+        """
+        config = config or indexes.config
+        graph = nx.Graph()
+        graph.add_nodes_from(indexes.table_names)
+
+        factory = MinHashFactory(num_perm=config.num_hashes, seed=config.seed + 50)
+        ensemble = LSHEnsemble(
+            threshold=config.overlap_threshold,
+            num_hashes=config.num_hashes,
+            seed=config.seed + 51,
+        )
+        signatures: Dict[AttributeRef, Tuple[object, int]] = {}
+        for ref, profile in indexes.profiles.items():
+            if not profile.tokens:
+                continue
+            signature = factory.from_tokens(profile.tokens)
+            signatures[ref] = (signature, len(profile.tokens))
+            ensemble.insert(ref, signature, len(profile.tokens))
+        ensemble.index()
+
+        for table_name, table_profile in indexes.table_profiles.items():
+            subject = table_profile.subject_profile()
+            if subject is None or not subject.tokens:
+                continue
+            probe = factory.from_tokens(subject.tokens)
+            candidates = ensemble.query(probe, len(subject.tokens))
+            for ref in candidates:
+                if ref.table == table_name:
+                    continue
+                other_profile = indexes.profiles.get(ref)
+                if other_profile is None:
+                    continue
+                overlap = subject.value_overlap(other_profile)
+                if overlap < config.overlap_threshold:
+                    continue
+                existing = graph.get_edge_data(table_name, ref.table)
+                edge = JoinEdge(left=subject.ref, right=ref, overlap=overlap)
+                if existing is None or existing["join"].overlap < overlap:
+                    graph.add_edge(table_name, ref.table, join=edge)
+        return cls(graph)
+
+
+def find_join_paths(
+    graph: SAJoinGraph,
+    top_k_tables: Sequence[str],
+    related_tables: Iterable[str],
+    max_length: int = 3,
+    max_paths: Optional[int] = None,
+) -> List[JoinPath]:
+    """Algorithm 3: SA-join paths from every top-k table into the rest of the lake.
+
+    ``related_tables`` is the set of tables for which at least one index
+    provides evidence of relatedness to the target (the ``I*.lookup(T)``
+    condition); only such tables may appear on a path.  Paths are acyclic, do
+    not revisit top-k tables, and are truncated at ``max_length`` hops.
+
+    ``max_paths`` bounds the enumeration: dense join graphs have
+    combinatorially many acyclic paths, and the coverage computation only
+    needs the reachable tables, so the walk stops once the cap is reached.
+    """
+    top_k_set = set(top_k_tables)
+    related = set(related_tables)
+    paths: List[JoinPath] = []
+
+    def _walk(current: str, path_tables: List[str], path_edges: List[JoinEdge]) -> bool:
+        if len(path_tables) - 1 >= max_length:
+            return True
+        for neighbour in graph.neighbours(current):
+            if max_paths is not None and len(paths) >= max_paths:
+                return False
+            if neighbour in top_k_set or neighbour in path_tables:
+                continue
+            if neighbour not in related:
+                continue
+            edge = graph.edge(current, neighbour)
+            if edge is None:
+                continue
+            new_tables = path_tables + [neighbour]
+            new_edges = path_edges + [edge]
+            paths.append(JoinPath(tables=list(new_tables), edges=list(new_edges)))
+            if not _walk(neighbour, new_tables, new_edges):
+                return False
+        return True
+
+    for start in top_k_tables:
+        if not _walk(start, [start], []):
+            break
+    return paths
+
+
+def tables_reached(paths: Sequence[JoinPath]) -> Set[str]:
+    """All tables reached by at least one join path (excluding starts)."""
+    reached: Set[str] = set()
+    for path in paths:
+        reached.update(path.reached)
+    return reached
+
+
+def paths_from(paths: Sequence[JoinPath], start: str) -> List[JoinPath]:
+    """The join paths starting from a given top-k table."""
+    return [path for path in paths if path.start == start]

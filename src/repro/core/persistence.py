@@ -1,0 +1,95 @@
+"""Saving and loading indexed engines.
+
+Index construction is the expensive part of dataset discovery (Figure 6a of
+the paper); a deployment indexes the lake once and answers many queries.
+These helpers persist a fully indexed :class:`~repro.core.discovery.D3L`
+engine (or just its :class:`~repro.core.indexes.D3LIndexes`) to disk and load
+it back, so the indexing cost is paid once per lake snapshot.
+
+Pickle is used deliberately: the persisted objects are plain data (numpy
+arrays, dictionaries of set representations, LSH tables) produced by this
+library itself.  Files should be treated like any other binary cache — do
+not load engines from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Union
+
+from repro.core.discovery import D3L
+from repro.core.indexes import D3LIndexes
+
+PathLike = Union[str, Path]
+
+#: Current on-disk format version; bumped when the persisted layout changes.
+FORMAT_VERSION = 1
+
+
+class PersistenceError(RuntimeError):
+    """Raised when a persisted engine cannot be loaded."""
+
+
+def _write(payload: dict, path: PathLike) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def _read(path: PathLike, expected_kind: str) -> dict:
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no persisted engine at {path}")
+    with path.open("rb") as handle:
+        try:
+            payload = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError) as error:
+            raise PersistenceError(f"cannot unpickle {path}: {error}") from error
+    if not isinstance(payload, dict) or payload.get("kind") != expected_kind:
+        raise PersistenceError(f"{path} does not contain a persisted {expected_kind}")
+    if payload.get("version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"{path} uses format version {payload.get('version')}, expected {FORMAT_VERSION}"
+        )
+    return payload
+
+
+def save_engine(engine: D3L, path: PathLike) -> Path:
+    """Persist a fully indexed engine (indexes, weights, configuration)."""
+    payload = {
+        "kind": "d3l_engine",
+        "version": FORMAT_VERSION,
+        "engine": engine,
+    }
+    return _write(payload, path)
+
+
+def load_engine(path: PathLike) -> D3L:
+    """Load an engine previously saved with :func:`save_engine`."""
+    payload = _read(path, "d3l_engine")
+    engine = payload["engine"]
+    if not isinstance(engine, D3L):
+        raise PersistenceError(f"{path} does not contain a D3L engine")
+    return engine
+
+
+def save_indexes(indexes: D3LIndexes, path: PathLike) -> Path:
+    """Persist a set of indexes without the surrounding engine."""
+    payload = {
+        "kind": "d3l_indexes",
+        "version": FORMAT_VERSION,
+        "indexes": indexes,
+    }
+    return _write(payload, path)
+
+
+def load_indexes(path: PathLike) -> D3LIndexes:
+    """Load indexes previously saved with :func:`save_indexes`."""
+    payload = _read(path, "d3l_indexes")
+    indexes = payload["indexes"]
+    if not isinstance(indexes, D3LIndexes):
+        raise PersistenceError(f"{path} does not contain D3L indexes")
+    return indexes

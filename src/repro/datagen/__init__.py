@@ -1,0 +1,55 @@
+"""Benchmark corpus generation.
+
+The paper evaluates on three corpora that are not redistributable offline
+(the TUS Synthetic benchmark built from Canadian open data, a Smaller Real
+corpus of UK open-government tables, and a Larger Real corpus of NHS tables).
+This package generates faithful stand-ins:
+
+* :mod:`repro.datagen.vocab` — an open-government vocabulary of semantic
+  domains (practices, streets, cities, postcodes, payments, ...);
+* :mod:`repro.datagen.base_tables` — wide base tables in the style of the 32
+  TUS benchmark seeds;
+* :mod:`repro.datagen.synthetic_benchmark` — lake tables derived from the
+  base tables by random projections and selections, with ground truth
+  recorded during derivation (the *Synthetic* corpus);
+* :mod:`repro.datagen.real_benchmark` — families of "dirty" tables with
+  inconsistent representations of the same domains (the *Smaller Real* /
+  *Larger Real* corpora);
+* :mod:`repro.datagen.ground_truth` — the relatedness ground truth structure
+  shared by both generators;
+* :mod:`repro.datagen.corpus` — the :class:`~repro.datagen.corpus.Benchmark`
+  bundle (lake + ground truth + labelled subject attributes) and helpers for
+  picking query targets, building embedding-training corpora, and building
+  the synthetic knowledge base used by the TUS baseline.
+"""
+
+from repro.datagen.base_tables import BaseTableSpec, build_base_tables, default_base_specs
+from repro.datagen.corpus import Benchmark, build_embedding_corpus, build_knowledge_base
+from repro.datagen.ground_truth import GroundTruth
+from repro.datagen.noise import dirty_value, abbreviate, perturb_case
+from repro.datagen.real_benchmark import RealBenchmarkConfig, generate_real_benchmark
+from repro.datagen.synthetic_benchmark import (
+    SyntheticBenchmarkConfig,
+    generate_synthetic_benchmark,
+)
+from repro.datagen.vocab import SemanticDomain, Vocabulary, default_vocabulary
+
+__all__ = [
+    "BaseTableSpec",
+    "Benchmark",
+    "GroundTruth",
+    "RealBenchmarkConfig",
+    "SemanticDomain",
+    "SyntheticBenchmarkConfig",
+    "Vocabulary",
+    "abbreviate",
+    "build_base_tables",
+    "build_embedding_corpus",
+    "build_knowledge_base",
+    "default_base_specs",
+    "default_vocabulary",
+    "dirty_value",
+    "generate_real_benchmark",
+    "generate_synthetic_benchmark",
+    "perturb_case",
+]

@@ -1,0 +1,168 @@
+"""Base tables in the style of the TUS Synthetic benchmark seeds.
+
+The TUS benchmark derives ~5,000 lake tables from 32 wide base tables of
+Canadian open-government data by random projections and selections.  This
+module defines 32 base table *specifications* over the default vocabulary
+(open-government topics: health, education, business, transport, public
+service, environment) and materialises them into wide, many-row tables from
+which :mod:`repro.datagen.synthetic_benchmark` derives a lake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.vocab import Vocabulary, default_vocabulary
+from repro.tables.table import Table
+
+
+@dataclass
+class BaseTableSpec:
+    """Specification of one base table.
+
+    ``domains`` lists the semantic domains of the base table's columns in
+    order; the first domain is the subject attribute (the entity the table is
+    about).  Column names are chosen from each domain's aliases when the
+    table is materialised.
+    """
+
+    name: str
+    topic: str
+    domains: List[str]
+
+    @property
+    def subject_domain(self) -> str:
+        """The domain of the subject attribute."""
+        return self.domains[0]
+
+
+@dataclass
+class BaseTable:
+    """A materialised base table with its generation metadata."""
+
+    table: Table
+    spec: BaseTableSpec
+    column_domains: Dict[str, str]
+    subject_attribute: str
+
+
+# Topic blocks used to assemble the 32 base specifications.  Each entry is
+# (subject domain, supporting domains).
+_TOPIC_BLOCKS: List[Tuple[str, str, List[str]]] = [
+    ("gp_practices", "health", ["practice_name", "street_address", "city", "postcode", "region", "phone", "opening_hours", "patient_count", "rating"]),
+    ("gp_funding", "health", ["practice_name", "city", "postcode", "payment_amount", "year", "health_service", "patient_count"]),
+    ("health_services", "health", ["practice_name", "health_service", "city", "region", "opening_hours", "phone", "email", "rating"]),
+    ("hospital_activity", "health", ["practice_name", "health_service", "region", "year", "patient_count", "percentage", "payment_amount"]),
+    ("dental_practices", "health", ["practice_name", "street_address", "city", "postcode", "phone", "opening_hours", "rating", "patient_count"]),
+    ("vaccination_sites", "health", ["practice_name", "street_address", "city", "postcode", "health_service", "weekday", "opening_hours", "latitude", "longitude"]),
+    ("schools_directory", "education", ["school_name", "street_address", "city", "postcode", "region", "phone", "person_name", "pupil_count", "rating"]),
+    ("school_performance", "education", ["school_name", "city", "region", "year", "school_subject", "percentage", "pupil_count", "rating"]),
+    ("school_funding", "education", ["school_name", "city", "postcode", "year", "payment_amount", "pupil_count", "percentage"]),
+    ("college_courses", "education", ["school_name", "school_subject", "city", "region", "year", "pupil_count", "price"]),
+    ("school_inspections", "education", ["school_name", "city", "postcode", "date", "person_name", "rating", "percentage"]),
+    ("business_register", "business", ["business_name", "street_address", "city", "postcode", "region", "business_sector", "employee_count", "year"]),
+    ("business_rates", "business", ["business_name", "city", "postcode", "business_sector", "payment_amount", "year", "reference_code"]),
+    ("licensed_premises", "business", ["business_name", "street_address", "city", "postcode", "business_sector", "date", "opening_hours", "reference_code"]),
+    ("company_contracts", "business", ["business_name", "department", "date", "payment_amount", "reference_code", "city", "year"]),
+    ("food_hygiene", "business", ["business_name", "street_address", "city", "postcode", "business_sector", "date", "rating"]),
+    ("employer_survey", "business", ["business_name", "business_sector", "region", "employee_count", "percentage", "year"]),
+    ("bus_stops", "transport", ["station_name", "street_address", "city", "postcode", "transport_mode", "latitude", "longitude", "reference_code"]),
+    ("rail_stations", "transport", ["station_name", "city", "region", "postcode", "transport_mode", "latitude", "longitude", "opening_hours"]),
+    ("transport_usage", "transport", ["station_name", "transport_mode", "city", "region", "year", "percentage", "patient_count"]),
+    ("cycle_routes", "transport", ["station_name", "city", "region", "transport_mode", "distance_km", "year", "reference_code"]),
+    ("park_and_ride", "transport", ["station_name", "street_address", "city", "postcode", "opening_hours", "price", "latitude", "longitude"]),
+    ("road_schemes", "transport", ["station_name", "region", "city", "date", "payment_amount", "distance_km", "reference_code"]),
+    ("council_staff", "public_service", ["person_name", "job_title", "department", "city", "payment_amount", "year", "email"]),
+    ("service_requests", "public_service", ["council_service", "city", "postcode", "date", "department", "reference_code", "percentage"]),
+    ("council_spending", "public_service", ["department", "business_name", "date", "payment_amount", "reference_code", "year"]),
+    ("council_assets", "public_service", ["business_name", "street_address", "city", "postcode", "department", "payment_amount", "latitude", "longitude"]),
+    ("grants_awarded", "public_service", ["business_name", "department", "date", "payment_amount", "year", "city", "reference_code"]),
+    ("waste_collection", "environment", ["council_service", "city", "postcode", "weekday", "department", "percentage", "year"]),
+    ("air_quality", "environment", ["station_name", "city", "region", "date", "percentage", "latitude", "longitude"]),
+    ("recycling_rates", "environment", ["council_service", "city", "region", "year", "percentage", "payment_amount"]),
+    ("parks_directory", "environment", ["station_name", "street_address", "city", "postcode", "region", "opening_hours", "rating", "latitude", "longitude"]),
+]
+
+
+def default_base_specs() -> List[BaseTableSpec]:
+    """The 32 default base table specifications."""
+    return [
+        BaseTableSpec(name=name, topic=topic, domains=list(domains))
+        for name, topic, domains in _TOPIC_BLOCKS
+    ]
+
+
+def spread_specs_by_topic(specs: Sequence[BaseTableSpec], count: int) -> List[BaseTableSpec]:
+    """Pick ``count`` specifications spread round-robin across topics.
+
+    The specification list is grouped by topic; taking a simple prefix of it
+    would produce a corpus about a single topic (all health, say), which is
+    neither realistic nor a useful discovery benchmark.  Round-robin
+    selection keeps small corpora topically diverse while larger corpora
+    naturally include several table families about the same entity type.
+    """
+    by_topic: Dict[str, List[BaseTableSpec]] = {}
+    for spec in specs:
+        by_topic.setdefault(spec.topic, []).append(spec)
+    ordered: List[BaseTableSpec] = []
+    queues = list(by_topic.values())
+    index = 0
+    while len(ordered) < min(count, len(list(specs))):
+        queue = queues[index % len(queues)]
+        if queue:
+            ordered.append(queue.pop(0))
+        index += 1
+        if all(not queue for queue in queues):
+            break
+    return ordered
+
+
+def build_base_table(
+    spec: BaseTableSpec,
+    vocabulary: Vocabulary,
+    rows: int,
+    rng: np.random.Generator,
+) -> BaseTable:
+    """Materialise one base table with ``rows`` rows.
+
+    Column names are domain aliases chosen once per column; a numbered suffix
+    disambiguates repeated domains within the same table.
+    """
+    used_names: Dict[str, int] = {}
+    column_names: List[str] = []
+    column_domains: Dict[str, str] = {}
+    data: Dict[str, List[Optional[str]]] = {}
+    for domain_name in spec.domains:
+        domain = vocabulary.domain(domain_name)
+        alias = domain.aliases[int(rng.integers(0, len(domain.aliases)))]
+        if alias in used_names:
+            used_names[alias] += 1
+            alias = f"{alias} {used_names[alias]}"
+        else:
+            used_names[alias] = 1
+        column_names.append(alias)
+        column_domains[alias] = domain_name
+        data[alias] = domain.sample(rng, rows)
+    table = Table.from_dict(spec.name, data)
+    return BaseTable(
+        table=table,
+        spec=spec,
+        column_domains=column_domains,
+        subject_attribute=column_names[0],
+    )
+
+
+def build_base_tables(
+    specs: Optional[Sequence[BaseTableSpec]] = None,
+    vocabulary: Optional[Vocabulary] = None,
+    rows: int = 200,
+    seed: int = 0,
+) -> List[BaseTable]:
+    """Materialise every base table specification."""
+    specs = list(specs) if specs is not None else default_base_specs()
+    vocabulary = vocabulary or default_vocabulary()
+    rng = np.random.default_rng(seed)
+    return [build_base_table(spec, vocabulary, rows, rng) for spec in specs]

@@ -1,0 +1,147 @@
+"""The benchmark bundle: a lake, its ground truth, and shared resources.
+
+A :class:`Benchmark` is what the evaluation harness and the benchmark scripts
+consume: the generated :class:`~repro.lake.datalake.DataLake`, its
+:class:`~repro.datagen.ground_truth.GroundTruth`, the vocabulary it was built
+from, and helpers for choosing query targets, building word-embedding
+training corpora, and building the synthetic knowledge base used by the TUS
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.ground_truth import GroundTruth
+from repro.datagen.vocab import Vocabulary, default_vocabulary
+from repro.lake.datalake import DataLake
+from repro.tables.table import Table
+from repro.text.tokenizer import tokenize
+
+
+@dataclass
+class Benchmark:
+    """A generated corpus with everything the experiments need."""
+
+    name: str
+    lake: DataLake
+    ground_truth: GroundTruth
+    vocabulary: Vocabulary = field(default_factory=default_vocabulary)
+
+    # ------------------------------------------------------------------ #
+    # query targets
+    # ------------------------------------------------------------------ #
+    def pick_targets(
+        self,
+        count: int,
+        seed: int = 0,
+        min_related: int = 1,
+    ) -> List[Table]:
+        """Randomly pick query targets from the lake.
+
+        Mirrors the paper's protocol of averaging over randomly selected
+        targets drawn from the repository; only tables with at least
+        ``min_related`` related tables in the ground truth qualify, so every
+        target has a non-trivial answer.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        candidates = [
+            table
+            for table in self.lake.tables
+            if self.ground_truth.answer_size(table.name) >= min_related
+        ]
+        if not candidates:
+            return []
+        rng = np.random.default_rng(seed)
+        if count >= len(candidates):
+            return candidates
+        chosen = rng.choice(len(candidates), size=count, replace=False)
+        return [candidates[i] for i in sorted(chosen)]
+
+    def average_answer_size(self) -> float:
+        """Mean ground-truth answer size across the lake (reported per corpus)."""
+        return self.ground_truth.average_answer_size()
+
+    # ------------------------------------------------------------------ #
+    # labelled data for the learned components
+    # ------------------------------------------------------------------ #
+    def labelled_subject_tables(self) -> List[Tuple[Table, str]]:
+        """(table, subject attribute) pairs for the subject-attribute classifier."""
+        labelled = []
+        for table_name, subject in self.ground_truth.labelled_subject_attributes():
+            if table_name in self.lake and subject in self.lake.table(table_name):
+                labelled.append((self.lake.table(table_name), subject))
+        return labelled
+
+    def describe(self) -> dict:
+        """Corpus statistics (Figure 2 style) plus the average answer size."""
+        stats = self.lake.describe()
+        stats["average_answer_size"] = self.average_answer_size()
+        return stats
+
+
+def build_embedding_corpus(
+    vocabulary: Optional[Vocabulary] = None,
+    sentences_per_domain: int = 60,
+    values_per_sentence: int = 4,
+    seed: int = 3,
+) -> List[List[str]]:
+    """Sentences for training the co-occurrence embedding model.
+
+    Each sentence mixes tokens from values of domains that share an ontology
+    class, together with the domains' attribute-name aliases, so that
+    semantically related tokens (``street`` / ``road`` / ``avenue``,
+    ``practice`` / ``surgery`` / ``clinic``) co-occur — the distributional
+    property the paper gets from a pre-trained fastText model.
+    """
+    vocabulary = vocabulary or default_vocabulary()
+    rng = np.random.default_rng(seed)
+    by_class: dict = {}
+    for domain in vocabulary.domains:
+        by_class.setdefault(domain.ontology_class, []).append(domain)
+
+    sentences: List[List[str]] = []
+    for ontology_class, domains in by_class.items():
+        textual = [domain for domain in domains if not domain.numeric]
+        if not textual:
+            continue
+        for _ in range(sentences_per_domain):
+            sentence: List[str] = [ontology_class]
+            for _ in range(values_per_sentence):
+                domain = textual[int(rng.integers(0, len(textual)))]
+                alias = domain.aliases[int(rng.integers(0, len(domain.aliases)))]
+                sentence.extend(tokenize(alias))
+                sentence.extend(tokenize(domain.generate(rng)))
+            sentences.append(sentence)
+    return sentences
+
+
+def build_knowledge_base(
+    vocabulary: Optional[Vocabulary] = None,
+    samples_per_domain: int = 400,
+    seed: int = 5,
+):
+    """Build the synthetic knowledge base used by the TUS baseline.
+
+    Samples values from every textual domain and registers their tokens under
+    the domain's ontology class (and the domain name itself as a finer
+    class), mimicking how the TUS authors map value tokens to YAGO classes.
+    Imported lazily to keep :mod:`repro.datagen` free of a hard dependency on
+    the baselines package.
+    """
+    from repro.baselines.knowledge_base import KnowledgeBase
+
+    vocabulary = vocabulary or default_vocabulary()
+    rng = np.random.default_rng(seed)
+    knowledge_base = KnowledgeBase()
+    for domain in vocabulary.textual_domains():
+        for _ in range(samples_per_domain):
+            value = domain.generate(rng)
+            knowledge_base.add_entity(
+                value, classes=(domain.ontology_class, domain.name)
+            )
+    return knowledge_base

@@ -1,0 +1,173 @@
+"""Relatedness ground truth for generated corpora.
+
+Both benchmark generators record, while deriving tables, which tables (and
+which attribute pairs) are related in the sense of Definition 1: an attribute
+pair is related when both attributes contain values drawn from the same
+semantic domain, and two tables are related when the generator derived them
+from the same source (same base table for the Synthetic corpus, same topic
+family for the real-style corpora) so that at least one attribute of one is
+related to an attribute of the other.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.lake.datalake import AttributeRef
+
+
+@dataclass
+class GroundTruth:
+    """Table- and attribute-level relatedness ground truth.
+
+    ``related_tables[t]`` is the set of tables related to table ``t`` (the
+    relation is kept symmetric).  ``attribute_domains[ref]`` maps every
+    attribute to its semantic domain name, which is what attribute-level
+    relatedness is defined over.  ``subject_attributes[t]`` records the
+    annotated subject attribute of each table (used to train and evaluate the
+    subject-attribute classifier).
+    """
+
+    related_tables: Dict[str, Set[str]] = field(default_factory=dict)
+    attribute_domains: Dict[AttributeRef, str] = field(default_factory=dict)
+    subject_attributes: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_table(
+        self,
+        table_name: str,
+        attribute_domains: Mapping[str, str],
+        subject_attribute: Optional[str] = None,
+    ) -> None:
+        """Register a table with its per-attribute domains."""
+        self.related_tables.setdefault(table_name, set())
+        for column_name, domain in attribute_domains.items():
+            self.attribute_domains[AttributeRef(table_name, column_name)] = domain
+        if subject_attribute is not None:
+            self.subject_attributes[table_name] = subject_attribute
+
+    def mark_related(self, first: str, second: str) -> None:
+        """Record that two tables are related (symmetric, irreflexive)."""
+        if first == second:
+            return
+        self.related_tables.setdefault(first, set()).add(second)
+        self.related_tables.setdefault(second, set()).add(first)
+
+    def mark_group_related(self, table_names: Sequence[str]) -> None:
+        """Mark every pair in ``table_names`` as mutually related."""
+        names = list(table_names)
+        for i, first in enumerate(names):
+            for second in names[i + 1 :]:
+                self.mark_related(first, second)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def table_names(self) -> List[str]:
+        """All tables known to the ground truth."""
+        return list(self.related_tables)
+
+    def is_related(self, first: str, second: str) -> bool:
+        """True when the two tables are related (never true for identity)."""
+        return second in self.related_tables.get(first, set())
+
+    def related_to(self, table_name: str) -> Set[str]:
+        """The set of tables related to ``table_name``."""
+        return set(self.related_tables.get(table_name, set()))
+
+    def answer_size(self, table_name: str) -> int:
+        """Number of tables related to ``table_name``."""
+        return len(self.related_tables.get(table_name, set()))
+
+    def average_answer_size(self) -> float:
+        """Mean answer size across all tables (the paper reports this per corpus)."""
+        if not self.related_tables:
+            return 0.0
+        return sum(len(related) for related in self.related_tables.values()) / len(
+            self.related_tables
+        )
+
+    def domain_of(self, ref: AttributeRef) -> Optional[str]:
+        """The semantic domain of an attribute, when known."""
+        return self.attribute_domains.get(ref)
+
+    def are_attributes_related(self, first: AttributeRef, second: AttributeRef) -> bool:
+        """Definition 1: attributes related iff drawn from the same domain."""
+        first_domain = self.attribute_domains.get(first)
+        second_domain = self.attribute_domains.get(second)
+        if first_domain is None or second_domain is None:
+            return False
+        return first_domain == second_domain
+
+    def related_target_attributes(
+        self, target_table: str, source: AttributeRef
+    ) -> Set[str]:
+        """Target attributes of ``target_table`` related to a lake attribute."""
+        source_domain = self.attribute_domains.get(source)
+        if source_domain is None:
+            return set()
+        return {
+            ref.column
+            for ref, domain in self.attribute_domains.items()
+            if ref.table == target_table and domain == source_domain
+        }
+
+    def table_attributes(self, table_name: str) -> List[AttributeRef]:
+        """All attributes of a table known to the ground truth."""
+        return [ref for ref in self.attribute_domains if ref.table == table_name]
+
+    def subject_attribute_of(self, table_name: str) -> Optional[str]:
+        """The annotated subject attribute of a table, when recorded."""
+        return self.subject_attributes.get(table_name)
+
+    def labelled_subject_attributes(self) -> List[Tuple[str, str]]:
+        """(table name, subject attribute) pairs for classifier training."""
+        return list(self.subject_attributes.items())
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable representation of the ground truth."""
+        return {
+            "related_tables": {
+                table: sorted(related) for table, related in self.related_tables.items()
+            },
+            "attribute_domains": {
+                str(ref): domain for ref, domain in self.attribute_domains.items()
+            },
+            "subject_attributes": dict(self.subject_attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "GroundTruth":
+        """Rebuild a ground truth from :meth:`to_dict` output."""
+        truth = cls()
+        for table, related in dict(data.get("related_tables", {})).items():
+            truth.related_tables[table] = set(related)
+        for ref_text, domain in dict(data.get("attribute_domains", {})).items():
+            truth.attribute_domains[AttributeRef.parse(ref_text)] = str(domain)
+        truth.subject_attributes = {
+            table: str(subject)
+            for table, subject in dict(data.get("subject_attributes", {})).items()
+        }
+        return truth
+
+    def to_json(self, path: Union[str, Path]) -> Path:
+        """Write the ground truth to ``path`` as JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True), encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "GroundTruth":
+        """Load a ground truth previously written with :meth:`to_json`."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(data)

@@ -1,0 +1,524 @@
+"""An open-government vocabulary of semantic domains.
+
+A :class:`SemanticDomain` is the generator-side notion of the paper's
+"domain": attributes whose values are drawn from the same semantic domain are
+attribute-level related (Definition 1).  Each domain knows how to produce
+values, which attribute names it typically appears under, which ontology
+class it belongs to (used by the TUS baseline's knowledge-base substitute),
+and whether it is numeric.
+
+The default vocabulary covers the domains that dominate UK open-government
+data: organisations (GP practices, schools, businesses), locations (streets,
+cities, postcodes, regions), people, dates/times, and a range of numeric
+measures (payments, counts, ratings, percentages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+# --------------------------------------------------------------------------- #
+# raw lexicons
+# --------------------------------------------------------------------------- #
+
+FIRST_NAMES = [
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda",
+    "William", "Elizabeth", "David", "Barbara", "Richard", "Susan", "Joseph",
+    "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Aisha", "Omar", "Priya",
+    "Wei", "Fatima", "Carlos", "Yuki", "Ahmed", "Sofia", "Ivan",
+]
+
+LAST_NAMES = [
+    "Smith", "Jones", "Taylor", "Brown", "Williams", "Wilson", "Johnson", "Davies",
+    "Robinson", "Wright", "Thompson", "Evans", "Walker", "White", "Roberts",
+    "Green", "Hall", "Wood", "Jackson", "Clarke", "Patel", "Khan", "Lewis",
+    "James", "Phillips", "Mason", "Mitchell", "Rose", "Hussain", "Ali",
+]
+
+CITIES = [
+    "Manchester", "Salford", "Bolton", "Bury", "Oldham", "Rochdale", "Stockport",
+    "Tameside", "Trafford", "Wigan", "London", "Birmingham", "Leeds", "Sheffield",
+    "Liverpool", "Bristol", "Newcastle", "Nottingham", "Leicester", "Coventry",
+    "Belfast", "Cardiff", "Edinburgh", "Glasgow", "Aberdeen", "Dundee", "York",
+    "Preston", "Blackburn", "Blackpool", "Derby", "Plymouth", "Southampton",
+    "Portsmouth", "Norwich", "Exeter", "Durham", "Lancaster", "Chester", "Bath",
+]
+
+REGIONS = [
+    "North West", "North East", "Yorkshire and the Humber", "East Midlands",
+    "West Midlands", "East of England", "London", "South East", "South West",
+    "Wales", "Scotland", "Northern Ireland",
+]
+
+STREET_NAMES = [
+    "High", "Church", "Station", "Victoria", "Park", "Mill", "London", "Main",
+    "King", "Queen", "Market", "Chapel", "School", "Bridge", "Oxford", "Portland",
+    "Botanic", "Rupert", "Deansgate", "Albert", "George", "Cross", "Spring",
+    "Water", "North", "South", "West", "East", "Garden", "Grove",
+]
+
+STREET_TYPES = ["Street", "Road", "Avenue", "Lane", "Drive", "Close", "Way", "Place", "Court", "Terrace"]
+
+ORGANISATION_SUFFIXES = [
+    "Medical Centre", "Medical Practice", "Health Centre", "Surgery", "Clinic",
+    "Primary Care Centre", "Family Practice", "GP Practice",
+]
+
+BUSINESS_SUFFIXES = ["Ltd", "PLC", "Group", "Holdings", "Services", "Solutions", "Partners", "Consulting"]
+
+BUSINESS_SECTORS = [
+    "Retail", "Construction", "Manufacturing", "Hospitality", "Finance",
+    "Logistics", "Agriculture", "Education", "Healthcare", "Technology",
+    "Energy", "Transport", "Creative Arts", "Legal Services",
+]
+
+SCHOOL_TYPES = [
+    "Primary School", "High School", "Academy", "Grammar School", "College",
+    "Infant School", "Junior School", "Community School",
+]
+
+SCHOOL_SUBJECTS = [
+    "Mathematics", "English", "Science", "History", "Geography", "Art", "Music",
+    "Physical Education", "Computing", "Languages", "Design Technology",
+]
+
+TRANSPORT_MODES = ["Bus", "Tram", "Train", "Metro", "Coach", "Ferry", "Cycle Hire"]
+
+STATION_SUFFIXES = ["Station", "Interchange", "Stop", "Terminal", "Park and Ride"]
+
+HEALTH_SERVICES = [
+    "General Practice", "Dentistry", "Physiotherapy", "Mental Health",
+    "Vaccination", "Screening", "Maternity", "Pharmacy", "Optometry",
+    "Community Nursing", "Podiatry", "Dietetics",
+]
+
+JOB_TITLES = [
+    "Manager", "Director", "Administrator", "Analyst", "Officer", "Assistant",
+    "Coordinator", "Practitioner", "Consultant", "Technician", "Inspector",
+    "Adviser", "Nurse", "Clerk",
+]
+
+DEPARTMENTS = [
+    "Finance", "Human Resources", "Planning", "Public Health", "Environment",
+    "Housing", "Transport", "Education", "Social Care", "Licensing",
+    "Waste Services", "Parks and Leisure",
+]
+
+COUNCIL_SERVICES = [
+    "Waste Collection", "Street Cleaning", "Housing Benefit", "Council Tax",
+    "Planning Applications", "Library Services", "Road Maintenance",
+    "Parking Permits", "Business Rates", "Pest Control",
+]
+
+WEEKDAYS = ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"]
+
+MONTHS = [
+    "January", "February", "March", "April", "May", "June", "July", "August",
+    "September", "October", "November", "December",
+]
+
+POSTCODE_AREAS = [
+    "M", "BL", "OL", "SK", "WN", "BT", "LS", "S", "L", "B", "NE", "NG", "LE",
+    "CV", "BS", "CF", "EH", "G", "AB", "YO", "PR", "BB", "FY", "DE", "PL", "SO",
+    "PO", "NR", "EX", "DH", "LA", "CH", "BA", "W1", "SW1", "E1",
+]
+
+
+# --------------------------------------------------------------------------- #
+# semantic domains
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class SemanticDomain:
+    """A value domain with generators and naming metadata.
+
+    Attributes
+    ----------
+    name:
+        Unique domain identifier (e.g. ``"city"``); equality of this name is
+        what "drawn from the same domain" means for the generated ground
+        truth.
+    aliases:
+        Attribute names under which the domain appears in tables.
+    ontology_class:
+        The class of the synthetic knowledge base the domain's values map to
+        (used by the TUS baseline); several domains may share a class.
+    generate:
+        ``generate(rng) -> str`` producing a clean value.
+    numeric:
+        Whether the domain is numeric.
+    """
+
+    name: str
+    aliases: List[str]
+    ontology_class: str
+    generate: Callable[[np.random.Generator], str]
+    numeric: bool = False
+
+    def sample(self, rng: np.random.Generator, count: int) -> List[str]:
+        """Generate ``count`` values."""
+        return [self.generate(rng) for _ in range(count)]
+
+
+def _choice(rng: np.random.Generator, options: Sequence[str]) -> str:
+    return str(options[int(rng.integers(0, len(options)))])
+
+
+def _person_name(rng: np.random.Generator) -> str:
+    return f"{_choice(rng, FIRST_NAMES)} {_choice(rng, LAST_NAMES)}"
+
+
+def _practice_name(rng: np.random.Generator) -> str:
+    style = int(rng.integers(0, 3))
+    if style == 0:
+        return f"Dr {_choice(rng, FIRST_NAMES)[0]} {_choice(rng, LAST_NAMES)}"
+    if style == 1:
+        return f"{_choice(rng, STREET_NAMES)} {_choice(rng, ORGANISATION_SUFFIXES)}"
+    return f"{_choice(rng, CITIES)} {_choice(rng, ORGANISATION_SUFFIXES)}"
+
+
+def _business_name(rng: np.random.Generator) -> str:
+    return f"{_choice(rng, LAST_NAMES)} {_choice(rng, BUSINESS_SECTORS)} {_choice(rng, BUSINESS_SUFFIXES)}"
+
+
+def _school_name(rng: np.random.Generator) -> str:
+    return f"{_choice(rng, CITIES)} {_choice(rng, SCHOOL_TYPES)}"
+
+
+def _station_name(rng: np.random.Generator) -> str:
+    return f"{_choice(rng, CITIES)} {_choice(rng, STATION_SUFFIXES)}"
+
+
+def _street_address(rng: np.random.Generator) -> str:
+    number = int(rng.integers(1, 250))
+    return f"{number} {_choice(rng, STREET_NAMES)} {_choice(rng, STREET_TYPES)}"
+
+
+def _postcode(rng: np.random.Generator) -> str:
+    area = _choice(rng, POSTCODE_AREAS)
+    district = int(rng.integers(1, 30))
+    sector = int(rng.integers(0, 10))
+    letters = "ABDEFGHJLNPQRSTUWXYZ"
+    unit = "".join(letters[int(rng.integers(0, len(letters)))] for _ in range(2))
+    return f"{area}{district} {sector}{unit}"
+
+
+def _date(rng: np.random.Generator) -> str:
+    year = int(rng.integers(2010, 2024))
+    month = int(rng.integers(1, 13))
+    day = int(rng.integers(1, 29))
+    return f"{day:02d}/{month:02d}/{year}"
+
+
+def _opening_hours(rng: np.random.Generator) -> str:
+    start = int(rng.integers(6, 10))
+    end = int(rng.integers(16, 22))
+    return f"{start:02d}:00-{end:02d}:00"
+
+
+def _phone(rng: np.random.Generator) -> str:
+    return f"0{int(rng.integers(100, 200))} {int(rng.integers(100, 999))} {int(rng.integers(1000, 9999))}"
+
+
+def _email(rng: np.random.Generator) -> str:
+    name = _choice(rng, LAST_NAMES).lower()
+    org = _choice(rng, ["nhs.uk", "gov.uk", "council.gov.uk", "outlook.com", "mail.org"])
+    return f"{name}{int(rng.integers(1, 99))}@{org}"
+
+
+def _reference_code(rng: np.random.Generator) -> str:
+    letters = "ABCDEFGHJKLMNPQRSTUVWXYZ"
+    prefix = "".join(letters[int(rng.integers(0, len(letters)))] for _ in range(3))
+    return f"{prefix}-{int(rng.integers(10000, 99999))}"
+
+
+def _numeric(low: float, high: float, decimals: int = 0) -> Callable[[np.random.Generator], str]:
+    def generator(rng: np.random.Generator) -> str:
+        value = float(rng.uniform(low, high))
+        if decimals == 0:
+            return str(int(round(value)))
+        return f"{value:.{decimals}f}"
+
+    return generator
+
+
+def _lognormal(mean: float, sigma: float, decimals: int = 2) -> Callable[[np.random.Generator], str]:
+    def generator(rng: np.random.Generator) -> str:
+        value = float(rng.lognormal(mean, sigma))
+        return f"{value:.{decimals}f}"
+
+    return generator
+
+
+class Vocabulary:
+    """A catalogue of semantic domains keyed by name."""
+
+    def __init__(self, domains: Sequence[SemanticDomain]) -> None:
+        self._domains: Dict[str, SemanticDomain] = {}
+        for domain in domains:
+            if domain.name in self._domains:
+                raise ValueError(f"duplicate domain name {domain.name!r}")
+            self._domains[domain.name] = domain
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    def domain(self, name: str) -> SemanticDomain:
+        """The domain called ``name`` (KeyError when absent)."""
+        try:
+            return self._domains[name]
+        except KeyError:
+            raise KeyError(f"vocabulary has no domain {name!r}") from None
+
+    @property
+    def domains(self) -> List[SemanticDomain]:
+        """All domains, in insertion order."""
+        return list(self._domains.values())
+
+    @property
+    def names(self) -> List[str]:
+        """All domain names."""
+        return list(self._domains)
+
+    def textual_domains(self) -> List[SemanticDomain]:
+        """Domains with textual values."""
+        return [domain for domain in self._domains.values() if not domain.numeric]
+
+    def numeric_domains(self) -> List[SemanticDomain]:
+        """Domains with numeric values."""
+        return [domain for domain in self._domains.values() if domain.numeric]
+
+    def alias_for(self, name: str, rng: np.random.Generator) -> str:
+        """A random attribute-name alias of the domain."""
+        domain = self.domain(name)
+        return _choice(rng, domain.aliases)
+
+
+def default_vocabulary() -> Vocabulary:
+    """The default open-government vocabulary (30+ semantic domains)."""
+    domains = [
+        SemanticDomain(
+            "practice_name",
+            ["Practice Name", "Practice", "GP", "GP Practice", "Surgery Name"],
+            "organisation",
+            _practice_name,
+        ),
+        SemanticDomain(
+            "business_name",
+            ["Business Name", "Company", "Trading Name", "Organisation"],
+            "organisation",
+            _business_name,
+        ),
+        SemanticDomain(
+            "school_name",
+            ["School Name", "School", "Establishment Name", "Institution"],
+            "organisation",
+            _school_name,
+        ),
+        SemanticDomain(
+            "station_name",
+            ["Station", "Stop Name", "Interchange", "Location Name"],
+            "place",
+            _station_name,
+        ),
+        SemanticDomain(
+            "person_name",
+            ["Name", "Contact Name", "Owner", "Head Teacher", "Responsible Officer"],
+            "person",
+            _person_name,
+        ),
+        SemanticDomain(
+            "street_address",
+            ["Address", "Street", "Address Line 1", "Location Address"],
+            "place",
+            _street_address,
+        ),
+        SemanticDomain(
+            "city",
+            ["City", "Town", "Location", "Locality", "Area"],
+            "place",
+            lambda rng: _choice(rng, CITIES),
+        ),
+        SemanticDomain(
+            "region",
+            ["Region", "Area Name", "Government Region", "NHS Region"],
+            "place",
+            lambda rng: _choice(rng, REGIONS),
+        ),
+        SemanticDomain(
+            "postcode",
+            ["Postcode", "Post Code", "PostCode", "Postal Code"],
+            "place",
+            _postcode,
+        ),
+        SemanticDomain(
+            "date",
+            ["Date", "Start Date", "Inspection Date", "Registration Date", "Published"],
+            "time",
+            _date,
+        ),
+        SemanticDomain(
+            "opening_hours",
+            ["Opening hours", "Hours", "Opening Times", "Operating Hours"],
+            "time",
+            _opening_hours,
+        ),
+        SemanticDomain(
+            "weekday",
+            ["Day", "Weekday", "Collection Day"],
+            "time",
+            lambda rng: _choice(rng, WEEKDAYS),
+        ),
+        SemanticDomain(
+            "month",
+            ["Month", "Reporting Month", "Period"],
+            "time",
+            lambda rng: _choice(rng, MONTHS),
+        ),
+        SemanticDomain(
+            "phone",
+            ["Phone", "Telephone", "Contact Number"],
+            "contact",
+            _phone,
+        ),
+        SemanticDomain(
+            "email",
+            ["Email", "Contact Email", "E-mail"],
+            "contact",
+            _email,
+        ),
+        SemanticDomain(
+            "reference_code",
+            ["Reference", "Code", "Record ID", "Case Reference", "URN"],
+            "identifier",
+            _reference_code,
+        ),
+        SemanticDomain(
+            "health_service",
+            ["Service", "Service Type", "Provision", "Care Category"],
+            "service",
+            lambda rng: _choice(rng, HEALTH_SERVICES),
+        ),
+        SemanticDomain(
+            "business_sector",
+            ["Sector", "Industry", "Business Type", "Category"],
+            "category",
+            lambda rng: _choice(rng, BUSINESS_SECTORS),
+        ),
+        SemanticDomain(
+            "school_subject",
+            ["Subject", "Course", "Curriculum Area"],
+            "category",
+            lambda rng: _choice(rng, SCHOOL_SUBJECTS),
+        ),
+        SemanticDomain(
+            "transport_mode",
+            ["Mode", "Transport Mode", "Vehicle Type"],
+            "category",
+            lambda rng: _choice(rng, TRANSPORT_MODES),
+        ),
+        SemanticDomain(
+            "job_title",
+            ["Job Title", "Role", "Position", "Post"],
+            "category",
+            lambda rng: _choice(rng, JOB_TITLES),
+        ),
+        SemanticDomain(
+            "department",
+            ["Department", "Directorate", "Service Area", "Team"],
+            "category",
+            lambda rng: _choice(rng, DEPARTMENTS),
+        ),
+        SemanticDomain(
+            "council_service",
+            ["Council Service", "Service Name", "Request Type"],
+            "service",
+            lambda rng: _choice(rng, COUNCIL_SERVICES),
+        ),
+        # --- numeric domains ------------------------------------------------
+        SemanticDomain(
+            "patient_count",
+            ["Patients", "Registered Patients", "List Size", "Patient Count"],
+            "measure",
+            _numeric(500, 15000),
+            numeric=True,
+        ),
+        SemanticDomain(
+            "payment_amount",
+            ["Payment", "Amount", "Funding", "Total Payment", "Spend"],
+            "measure",
+            _lognormal(9.5, 1.0),
+            numeric=True,
+        ),
+        SemanticDomain(
+            "employee_count",
+            ["Employees", "Staff Count", "Headcount", "FTE"],
+            "measure",
+            _numeric(1, 2500),
+            numeric=True,
+        ),
+        SemanticDomain(
+            "pupil_count",
+            ["Pupils", "Number on Roll", "Enrolment", "Student Count"],
+            "measure",
+            _numeric(50, 2200),
+            numeric=True,
+        ),
+        SemanticDomain(
+            "rating",
+            ["Rating", "Score", "Overall Rating", "Inspection Score"],
+            "measure",
+            _numeric(1, 5),
+            numeric=True,
+        ),
+        SemanticDomain(
+            "percentage",
+            ["Percentage", "Rate", "Proportion", "Attainment"],
+            "measure",
+            _numeric(0, 100, decimals=1),
+            numeric=True,
+        ),
+        SemanticDomain(
+            "year",
+            ["Year", "Financial Year", "Reporting Year"],
+            "time",
+            _numeric(2005, 2024),
+            numeric=True,
+        ),
+        SemanticDomain(
+            "latitude",
+            ["Latitude", "Lat"],
+            "place",
+            _numeric(50.0, 58.7, decimals=5),
+            numeric=True,
+        ),
+        SemanticDomain(
+            "longitude",
+            ["Longitude", "Long", "Lng"],
+            "place",
+            _numeric(-6.4, 1.8, decimals=5),
+            numeric=True,
+        ),
+        SemanticDomain(
+            "distance_km",
+            ["Distance", "Distance km", "Route Length"],
+            "measure",
+            _numeric(0.2, 120, decimals=1),
+            numeric=True,
+        ),
+        SemanticDomain(
+            "price",
+            ["Price", "Fare", "Cost", "Charge"],
+            "measure",
+            _lognormal(1.5, 0.8),
+            numeric=True,
+        ),
+    ]
+    return Vocabulary(domains)

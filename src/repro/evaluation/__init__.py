@@ -1,0 +1,72 @@
+"""Evaluation harness: metrics, experiment runners, and reporting.
+
+The modules here regenerate the paper's evaluation section:
+
+* :mod:`repro.evaluation.metrics` — precision/recall at k (Experiments 1–3)
+  and attribute precision (Experiments 9 and 11);
+* :mod:`repro.evaluation.coverage` — target coverage with and without join
+  paths, Equations 4 and 5 (Experiments 8 and 10);
+* :mod:`repro.evaluation.experiments` — one runner per table/figure, shared
+  engine construction and D3L weight training;
+* :mod:`repro.evaluation.reporting` — plain-text rendering of result series
+  in the shape the paper reports them.
+"""
+
+from repro.evaluation.coverage import (
+    table_coverage,
+    target_coverage_at_k,
+    target_coverage_with_joins,
+)
+from repro.evaluation.metrics import (
+    attribute_precision_at_k,
+    attribute_precision_with_joins,
+    average_over_targets,
+    precision_recall_at_k,
+)
+from repro.evaluation.experiments import (
+    EngineSuite,
+    build_engine_suite,
+    experiment_effectiveness,
+    experiment_example_distances,
+    experiment_indexing_time,
+    experiment_individual_evidence,
+    experiment_join_impact,
+    experiment_repository_stats,
+    experiment_search_time,
+    experiment_space_overhead,
+    experiment_subject_attribute_accuracy,
+    experiment_weight_training,
+    train_d3l_weights,
+)
+from repro.evaluation.plots import ascii_line_chart, chart_metric_by_system
+from repro.evaluation.reporting import format_series_table, render_rows
+from repro.evaluation.runner import ExperimentReport, run_all_experiments
+
+__all__ = [
+    "EngineSuite",
+    "ExperimentReport",
+    "ascii_line_chart",
+    "attribute_precision_at_k",
+    "chart_metric_by_system",
+    "run_all_experiments",
+    "attribute_precision_with_joins",
+    "average_over_targets",
+    "build_engine_suite",
+    "experiment_effectiveness",
+    "experiment_example_distances",
+    "experiment_indexing_time",
+    "experiment_individual_evidence",
+    "experiment_join_impact",
+    "experiment_repository_stats",
+    "experiment_search_time",
+    "experiment_space_overhead",
+    "experiment_subject_attribute_accuracy",
+    "experiment_weight_training",
+    "format_series_table",
+    "precision_recall_at_k",
+    "render_rows",
+    "table_coverage",
+    "target_coverage_at_k",
+    "target_coverage_with_joins",
+    "train_d3l_weights",
+]

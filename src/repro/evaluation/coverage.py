@@ -1,0 +1,55 @@
+"""Target coverage, with and without join paths (Equations 4 and 5).
+
+Coverage measures how much of the target a discovered table (or a table plus
+the join paths starting from it) can populate: the fraction of target
+attributes aligned with at least one attribute of the table(s).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Set
+
+from repro.tables.table import Table
+
+
+def table_coverage(result, target: Table) -> float:
+    """Equation 4: fraction of target attributes covered by one ranked table."""
+    if target.arity == 0:
+        return 0.0
+    covered = {match.target_attribute for match in result.matches}
+    covered &= set(target.column_names)
+    return len(covered) / target.arity
+
+
+def target_coverage_at_k(answer, target: Table, k: int) -> float:
+    """Average Equation 4 coverage over the top-k tables (Experiments 8/10)."""
+    top = answer.top(k)
+    if not top:
+        return 0.0
+    return sum(table_coverage(result, target) for result in top) / len(top)
+
+
+def target_coverage_with_joins(
+    answer,
+    joined_tables_per_start: Mapping[str, Set[str]],
+    target: Table,
+    k: int,
+) -> float:
+    """Equation 5 averaged over the top-k: coverage of each top-k table after
+    union-ing the target attributes covered by its join-path tables."""
+    top = answer.top(k)
+    if not top or target.arity == 0:
+        return 0.0
+    results_by_name = {result.table_name: result for result in answer.results}
+    target_attributes = set(target.column_names)
+    total = 0.0
+    for result in top:
+        covered = {match.target_attribute for match in result.matches}
+        for joined_name in joined_tables_per_start.get(result.table_name, set()):
+            joined_result = results_by_name.get(joined_name)
+            if joined_result is None:
+                continue
+            covered.update(match.target_attribute for match in joined_result.matches)
+        covered &= target_attributes
+        total += len(covered) / target.arity
+    return total / len(top)

@@ -1,0 +1,155 @@
+"""Effectiveness metrics: precision/recall at k and attribute precision.
+
+Definitions follow section V-A of the paper:
+
+* a *true positive* is a table in the top-k that the ground truth marks as
+  related to the target (at least one related attribute suffices);
+* a *false positive* is a table in the top-k not related in the ground truth;
+* a *false negative* is a related table missing from the top-k;
+* *attribute precision* counts an alignment between a source attribute and a
+  target attribute as correct when the ground truth relates the two
+  attributes (same semantic domain), and averages the per-table precision
+  over the top-k.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.datagen.ground_truth import GroundTruth
+from repro.lake.datalake import AttributeRef
+from repro.tables.table import Table
+
+
+def precision_recall_at_k(
+    answer,
+    ground_truth: GroundTruth,
+    target_name: str,
+    k: int,
+) -> Tuple[float, float]:
+    """Precision and recall of the top-k tables of ``answer``.
+
+    ``answer`` is any object exposing ``table_names(k)`` (D3L's
+    ``QueryResult`` or the baselines' ``RankedAnswer``).
+    """
+    returned = list(answer.table_names(k))
+    relevant = ground_truth.related_to(target_name)
+    true_positives = sum(1 for name in returned if name in relevant)
+    false_positives = len(returned) - true_positives
+    false_negatives = len(relevant - set(returned))
+    precision = true_positives / (true_positives + false_positives) if returned else 0.0
+    recall = (
+        true_positives / (true_positives + false_negatives)
+        if (true_positives + false_negatives) > 0
+        else 0.0
+    )
+    return precision, recall
+
+
+def _alignment_is_correct(
+    ground_truth: GroundTruth, target_name: str, target_attribute: str, source: AttributeRef
+) -> bool:
+    return ground_truth.are_attributes_related(
+        AttributeRef(target_name, target_attribute), source
+    )
+
+
+def table_attribute_precision(
+    result,
+    ground_truth: GroundTruth,
+    target_name: str,
+) -> Optional[float]:
+    """Attribute precision of a single ranked table (None when unaligned).
+
+    ``result`` exposes ``matches`` whose elements have ``target_attribute``
+    and ``source`` fields (both D3L matches and baseline alignments do).
+    """
+    matches = list(result.matches)
+    if not matches:
+        return None
+    correct = sum(
+        1
+        for match in matches
+        if _alignment_is_correct(ground_truth, target_name, match.target_attribute, match.source)
+    )
+    return correct / len(matches)
+
+
+def attribute_precision_at_k(
+    answer,
+    ground_truth: GroundTruth,
+    target_name: str,
+    k: int,
+) -> float:
+    """Average attribute precision over the top-k tables (Experiments 9/11)."""
+    precisions = []
+    for result in answer.top(k):
+        precision = table_attribute_precision(result, ground_truth, target_name)
+        if precision is not None:
+            precisions.append(precision)
+    if not precisions:
+        return 0.0
+    return sum(precisions) / len(precisions)
+
+
+def attribute_precision_with_joins(
+    answer,
+    joined_tables_per_start: Mapping[str, Set[str]],
+    ground_truth: GroundTruth,
+    target_name: str,
+    k: int,
+) -> float:
+    """Attribute precision when join-path tables augment each top-k table.
+
+    Following the paper: for each top-k table Si, the alignments of Si and of
+    every table on a join path from Si are grouped by target attribute; a
+    group is a true positive when at least one of its alignments is correct
+    per the ground truth, and a false positive otherwise.
+    """
+    results_by_name = {result.table_name: result for result in answer.results}
+    precisions = []
+    for result in answer.top(k):
+        group_tables = [result.table_name] + sorted(
+            joined_tables_per_start.get(result.table_name, set())
+        )
+        per_target: Dict[str, List[bool]] = {}
+        for table_name in group_tables:
+            entry = results_by_name.get(table_name)
+            if entry is None:
+                continue
+            for match in entry.matches:
+                per_target.setdefault(match.target_attribute, []).append(
+                    _alignment_is_correct(
+                        ground_truth, target_name, match.target_attribute, match.source
+                    )
+                )
+        if not per_target:
+            continue
+        true_positives = sum(1 for flags in per_target.values() if any(flags))
+        precisions.append(true_positives / len(per_target))
+    if not precisions:
+        return 0.0
+    return sum(precisions) / len(precisions)
+
+
+def average_over_targets(
+    metric: Callable[[Table], Tuple[float, ...]],
+    targets: Sequence[Table],
+) -> Tuple[float, ...]:
+    """Average a per-target metric tuple over a list of targets.
+
+    The paper reports every point as the average over 100 randomly selected
+    targets; this helper implements that averaging for metric functions that
+    return tuples (e.g. ``(precision, recall)``).
+    """
+    if not targets:
+        return ()
+    accumulator: Optional[List[float]] = None
+    for target in targets:
+        values = metric(target)
+        if accumulator is None:
+            accumulator = [0.0] * len(values)
+        for index, value in enumerate(values):
+            accumulator[index] += value
+    assert accumulator is not None
+    return tuple(value / len(targets) for value in accumulator)

@@ -1,0 +1,94 @@
+"""ASCII rendering of result series (the figures, without matplotlib).
+
+The paper's evaluation figures are line charts of a metric against the answer
+size k, one series per system or evidence type.  Plotting libraries are not
+available offline, so this module renders the same charts as ASCII: good
+enough to eyeball the shapes (who is on top, where curves cross) directly in
+a terminal or in the benchmark result files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: Characters used to draw the different series, in assignment order.
+SERIES_MARKERS = "*o+x#@%&"
+
+
+def ascii_line_chart(
+    rows: Sequence[Mapping[str, object]],
+    x: str,
+    y: str,
+    group_by: str,
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Render long-form rows as an ASCII chart of ``y`` against ``x``.
+
+    ``rows`` are dictionaries (the experiment runners' output); one series is
+    drawn per distinct ``group_by`` value.  The y-axis is scaled to the data
+    range (with a floor at 0 for metric-style values) and each series gets a
+    marker character shown in the legend.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart dimensions are too small to draw anything useful")
+    if not rows:
+        return f"{title or 'chart'}: (no data)"
+
+    series: Dict[object, List[tuple]] = {}
+    for row in rows:
+        if x not in row or y not in row or group_by not in row:
+            raise KeyError(f"rows must contain {x!r}, {y!r} and {group_by!r}")
+        series.setdefault(row[group_by], []).append((float(row[x]), float(row[y])))
+    for points in series.values():
+        points.sort(key=lambda point: point[0])
+
+    xs = [point[0] for points in series.values() for point in points]
+    ys = [point[1] for points in series.values() for point in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(0.0, min(ys)), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def to_column(value: float) -> int:
+        return int(round((value - x_low) / (x_high - x_low) * (width - 1)))
+
+    def to_row(value: float) -> int:
+        return (height - 1) - int(round((value - y_low) / (y_high - y_low) * (height - 1)))
+
+    legend = []
+    for index, (label, points) in enumerate(series.items()):
+        marker = SERIES_MARKERS[index % len(SERIES_MARKERS)]
+        legend.append(f"{marker} = {label}")
+        for x_value, y_value in points:
+            row_index = to_row(y_value)
+            column_index = to_column(x_value)
+            cell = grid[row_index][column_index]
+            grid[row_index][column_index] = "+" if cell not in (" ", marker) else marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y} (top={y_high:.3f}, bottom={y_low:.3f})")
+    for row_cells in grid:
+        lines.append("|" + "".join(row_cells))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x}: {x_low:g} .. {x_high:g}")
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def chart_metric_by_system(
+    rows: Sequence[Mapping[str, object]],
+    metric: str,
+    title: Optional[str] = None,
+    group_by: str = "system",
+    x: str = "k",
+) -> str:
+    """Convenience wrapper for the common metric-vs-k, one-series-per-system chart."""
+    return ascii_line_chart(rows, x=x, y=metric, group_by=group_by, title=title)

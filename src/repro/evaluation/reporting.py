@@ -1,0 +1,69 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark scripts print the same rows/series the paper's tables and
+figures report; these helpers keep that printing consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def render_rows(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:
+    """Render a list of homogeneous dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title or 'results'}: (no rows)"
+    columns = list(rows[0].keys())
+    rendered_rows = []
+    for row in rows:
+        rendered_rows.append(
+            [_format_value(row.get(column)) for column in columns]
+        )
+    widths = [
+        max(len(column), *(len(rendered[i]) for rendered in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(value.ljust(width) for value, width in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    rows: Sequence[Mapping[str, object]],
+    group_by: str,
+    x: str,
+    y: str,
+    title: Optional[str] = None,
+) -> str:
+    """Pivot long-form rows into one line per group (the paper's curve format).
+
+    Example: ``format_series_table(rows, group_by="system", x="k",
+    y="precision")`` prints one precision-vs-k series per system.
+    """
+    if not rows:
+        return f"{title or 'series'}: (no rows)"
+    xs = sorted({row[x] for row in rows}, key=lambda value: (isinstance(value, str), value))
+    groups: Dict[object, Dict[object, object]] = {}
+    for row in rows:
+        groups.setdefault(row[group_by], {})[row[x]] = row[y]
+    pivoted = []
+    for group, series in groups.items():
+        entry: Dict[str, object] = {group_by: group}
+        for x_value in xs:
+            entry[f"{x}={x_value}"] = series.get(x_value)
+        pivoted.append(entry)
+    return render_rows(pivoted, title=title)
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,5 @@
+"""Data lake abstraction: a registry of tables with no further metadata."""
+
+from repro.lake.datalake import AttributeRef, DataLake
+
+__all__ = ["AttributeRef", "DataLake"]

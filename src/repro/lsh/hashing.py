@@ -1,0 +1,107 @@
+"""Hash primitives shared by the LSH machinery.
+
+Two ingredients are needed:
+
+* a stable 64-bit hash of arbitrary tokens (``hash_token``) that does not
+  depend on ``PYTHONHASHSEED`` so that signatures are reproducible across
+  processes, and
+* a family of universal hash functions (``HashFamily``) of the form
+  ``h_i(x) = (a_i * x + b_i) mod p`` used to simulate the random permutations
+  MinHash requires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Mersenne prime used by the universal hash family (same as datasketch).
+MERSENNE_PRIME = np.uint64((1 << 61) - 1)
+#: Maximum hash value produced for tokens.
+MAX_HASH = np.uint64((1 << 32) - 1)
+
+
+def hash_token(token: str, seed: int = 0) -> int:
+    """Stable 32-bit hash of ``token``.
+
+    Uses blake2b keyed by ``seed`` so different indexes can use independent
+    token hashes while remaining deterministic across runs.
+    """
+    digest = hashlib.blake2b(
+        token.encode("utf-8", errors="replace"),
+        digest_size=8,
+        key=seed.to_bytes(8, "little", signed=False),
+    ).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+def hash_tokens(tokens: Iterable[str], seed: int = 0) -> np.ndarray:
+    """Vector of stable hashes for ``tokens`` (deduplicated, order-free)."""
+    unique = set(tokens)
+    if not unique:
+        return np.empty(0, dtype=np.uint64)
+    return np.fromiter(
+        (hash_token(token, seed=seed) for token in unique),
+        dtype=np.uint64,
+        count=len(unique),
+    )
+
+
+class HashFamily:
+    """A family of ``size`` universal hash functions over 32-bit inputs.
+
+    All MinHash signatures that should be comparable must be generated from
+    the same family (same ``size`` and ``seed``), which is how
+    :class:`~repro.lsh.minhash.MinHashFactory` uses it.
+    """
+
+    def __init__(self, size: int, seed: int = 1) -> None:
+        if size <= 0:
+            raise ValueError("hash family size must be positive")
+        self.size = size
+        self.seed = seed
+        generator = np.random.default_rng(seed)
+        # Coefficients a must be non-zero for the family to be universal.
+        self._a = generator.integers(1, int(MERSENNE_PRIME), size=size, dtype=np.uint64)
+        self._b = generator.integers(0, int(MERSENNE_PRIME), size=size, dtype=np.uint64)
+
+    def permute(self, hashed_values: np.ndarray) -> np.ndarray:
+        """Apply every function in the family to each value in ``hashed_values``.
+
+        Returns an array of shape ``(len(hashed_values), size)``.
+        """
+        if hashed_values.size == 0:
+            return np.empty((0, self.size), dtype=np.uint64)
+        values = hashed_values.astype(np.uint64).reshape(-1, 1)
+        permuted = (values * self._a + self._b) % MERSENNE_PRIME
+        return np.bitwise_and(permuted, MAX_HASH)
+
+    def minhash_values(self, hashed_values: np.ndarray) -> np.ndarray:
+        """Column-wise minima of :meth:`permute`, i.e. a MinHash signature."""
+        if hashed_values.size == 0:
+            return np.full(self.size, MAX_HASH, dtype=np.uint64)
+        return self.permute(hashed_values).min(axis=0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HashFamily):
+            return NotImplemented
+        return self.size == other.size and self.seed == other.seed
+
+    def __hash__(self) -> int:
+        return hash((self.size, self.seed))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"HashFamily(size={self.size}, seed={self.seed})"
+
+
+def stable_uint64(parts: Sequence[object], seed: int = 0) -> int:
+    """Stable 64-bit hash of a tuple of parts (used for bucket keys)."""
+    joined = "".join(str(part) for part in parts)
+    digest = hashlib.blake2b(
+        joined.encode("utf-8", errors="replace"),
+        digest_size=8,
+        key=seed.to_bytes(8, "little", signed=False),
+    ).digest()
+    return int.from_bytes(digest, "little")

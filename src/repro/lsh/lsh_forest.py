@@ -1,0 +1,155 @@
+"""LSH Forest (Bawa, Condie, Ganesan 2005): self-tuning top-k similarity search.
+
+An LSH Forest stores each item in ``num_trees`` prefix trees; each tree keys
+the item by a fixed-length tuple of signature positions.  Top-k queries
+descend from the longest prefix to shorter ones, so the number of candidates
+adapts to the query rather than to a global threshold — this is the property
+the paper relies on to keep search time largely independent of lake size.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+
+class _PrefixTree:
+    """One tree of the forest: a sorted list of (key tuple, item) pairs."""
+
+    def __init__(self, key_length: int) -> None:
+        self.key_length = key_length
+        self._entries: List[Tuple[Tuple[int, ...], Hashable]] = []
+        self._sorted = True
+
+    def insert(self, key: Tuple[int, ...], item: Hashable) -> None:
+        self._entries.append((key, item))
+        self._sorted = False
+
+    def remove(self, item: Hashable) -> None:
+        self._entries = [(key, entry) for key, entry in self._entries if entry != item]
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._entries.sort(key=lambda pair: pair[0])
+            self._sorted = True
+
+    def query_prefix(self, key: Tuple[int, ...], prefix_length: int) -> List[Hashable]:
+        """All items whose key agrees with ``key`` on the first ``prefix_length`` positions."""
+        self._ensure_sorted()
+        if prefix_length <= 0 or not self._entries:
+            return []
+        prefix = key[:prefix_length]
+        low_key = prefix
+        high_key = prefix + ((np.iinfo(np.int64).max,) * (self.key_length - prefix_length))
+        keys = [entry[0] for entry in self._entries]
+        low = bisect_left(keys, low_key)
+        high = bisect_right(keys, high_key)
+        return [self._entries[i][1] for i in range(low, high)]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class LSHForest:
+    """Top-k index over signature arrays.
+
+    ``num_hashes`` positions of each signature are split across ``num_trees``
+    trees, each using ``num_hashes // num_trees`` positions as its key.
+    """
+
+    def __init__(self, num_hashes: int = 256, num_trees: int = 8, seed: int = 11) -> None:
+        if num_trees <= 0 or num_hashes <= 0:
+            raise ValueError("num_hashes and num_trees must be positive")
+        if num_hashes < num_trees:
+            raise ValueError("num_hashes must be at least num_trees")
+        self.num_hashes = num_hashes
+        self.num_trees = num_trees
+        self.key_length = num_hashes // num_trees
+        self.seed = seed
+        self._trees = [_PrefixTree(self.key_length) for _ in range(num_trees)]
+        self._signatures: Dict[Hashable, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._signatures
+
+    def _tree_keys(self, signature: np.ndarray) -> List[Tuple[int, ...]]:
+        keys = []
+        for tree_index in range(self.num_trees):
+            start = tree_index * self.key_length
+            chunk = signature[start : start + self.key_length]
+            keys.append(tuple(int(value) for value in chunk))
+        return keys
+
+    def insert(self, key: Hashable, signature: np.ndarray) -> None:
+        """Insert (or replace) an item keyed by ``key``."""
+        signature = np.asarray(signature)
+        if signature.shape[0] < self.num_hashes:
+            raise ValueError(
+                f"signature of length {signature.shape[0]} is shorter than num_hashes={self.num_hashes}"
+            )
+        if key in self._signatures:
+            self.remove(key)
+        self._signatures[key] = signature
+        for tree, tree_key in zip(self._trees, self._tree_keys(signature)):
+            tree.insert(tree_key, key)
+
+    def remove(self, key: Hashable) -> None:
+        """Remove ``key`` (no-op when absent)."""
+        if key not in self._signatures:
+            return
+        del self._signatures[key]
+        for tree in self._trees:
+            tree.remove(key)
+
+    def signature(self, key: Hashable) -> np.ndarray:
+        """Stored signature for ``key``."""
+        return self._signatures[key]
+
+    def query(
+        self,
+        signature: np.ndarray,
+        k: int,
+        exclude: Optional[Hashable] = None,
+    ) -> List[Hashable]:
+        """Return up to ``k`` candidate keys, most-specific prefixes first.
+
+        Candidates are collected by descending prefix length; within a prefix
+        length the order is arbitrary but deterministic.  The caller is
+        expected to re-rank candidates by estimated distance (as D3L does).
+        """
+        if k <= 0:
+            return []
+        signature = np.asarray(signature)
+        tree_keys = self._tree_keys(signature)
+        seen: Set[Hashable] = set()
+        results: List[Hashable] = []
+        for prefix_length in range(self.key_length, 0, -1):
+            for tree, tree_key in zip(self._trees, tree_keys):
+                for item in tree.query_prefix(tree_key, prefix_length):
+                    if item == exclude or item in seen:
+                        continue
+                    seen.add(item)
+                    results.append(item)
+            if len(results) >= k:
+                break
+        return results[: max(k, 0)] if len(results) > k else results
+
+    def query_all(self, signature: np.ndarray, exclude: Optional[Hashable] = None) -> List[Hashable]:
+        """Return every key sharing at least the length-1 prefix in some tree."""
+        return self.query(signature, k=len(self._signatures) + 1, exclude=exclude)
+
+    def keys(self) -> List[Hashable]:
+        """All inserted keys."""
+        return list(self._signatures)
+
+    def estimated_bytes(self) -> int:
+        """Approximate memory footprint (signatures plus tree entries)."""
+        signature_bytes = sum(sig.nbytes for sig in self._signatures.values())
+        tree_entries = sum(len(tree) for tree in self._trees)
+        per_entry = self.key_length * 8 + 8
+        return int(signature_bytes + tree_entries * per_entry)

@@ -1,0 +1,29 @@
+"""Machine-learning utilities used by the framework.
+
+Two learned components appear in the paper:
+
+* the logistic-regression classifier (optimised with coordinate descent)
+  whose coefficients become the evidence-type weights of Equation 3
+  (section III-D), and
+* the supervised subject-attribute detector in the style of Venetis et al.
+  used by the numeric-evidence guard and the join-path machinery
+  (section III-C).
+"""
+
+from repro.ml.cross_validation import cross_validate_accuracy, k_fold_indices, train_test_split
+from repro.ml.logistic_regression import LogisticRegression
+from repro.ml.subject_attribute import (
+    SubjectAttributeClassifier,
+    column_feature_vector,
+    heuristic_subject_attribute,
+)
+
+__all__ = [
+    "LogisticRegression",
+    "SubjectAttributeClassifier",
+    "column_feature_vector",
+    "cross_validate_accuracy",
+    "heuristic_subject_attribute",
+    "k_fold_indices",
+    "train_test_split",
+]

@@ -1,0 +1,62 @@
+"""K-fold cross-validation helpers.
+
+The paper reports 10-fold cross-validated accuracy for the subject-attribute
+classifier and a held-out test accuracy for the relatedness classifier; these
+helpers provide both evaluation protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def k_fold_indices(n_samples: int, k: int, seed: int = 0) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Return (train_indices, test_indices) pairs for k-fold cross-validation."""
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if n_samples < k:
+        raise ValueError("cannot split fewer samples than folds")
+    generator = np.random.default_rng(seed)
+    permutation = generator.permutation(n_samples)
+    folds = np.array_split(permutation, k)
+    splits = []
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        splits.append((train, test))
+    return splits
+
+
+def train_test_split(
+    n_samples: int, test_fraction: float = 0.25, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (train_indices, test_indices) for a single random split."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    generator = np.random.default_rng(seed)
+    permutation = generator.permutation(n_samples)
+    cut = max(1, int(round(n_samples * test_fraction)))
+    return permutation[cut:], permutation[:cut]
+
+
+def cross_validate_accuracy(
+    model_factory: Callable[[], object],
+    features: Sequence[Sequence[float]],
+    labels: Sequence[int],
+    k: int = 10,
+    seed: int = 0,
+) -> List[float]:
+    """Accuracy of ``model_factory()`` models across k folds.
+
+    The factory must return objects with ``fit(X, y)`` and ``score(X, y)``.
+    """
+    X = np.asarray(features, dtype=np.float64)
+    y = np.asarray(labels, dtype=int)
+    accuracies = []
+    for train_index, test_index in k_fold_indices(len(y), k, seed=seed):
+        model = model_factory()
+        model.fit(X[train_index], y[train_index])
+        accuracies.append(float(model.score(X[test_index], y[test_index])))
+    return accuracies

@@ -1,0 +1,11 @@
+"""Statistical primitives: KS statistic and empirical distributions."""
+
+from repro.stats.distributions import EmpiricalDistribution, ccdf_weight
+from repro.stats.ks import ks_distance, ks_statistic
+
+__all__ = [
+    "EmpiricalDistribution",
+    "ccdf_weight",
+    "ks_distance",
+    "ks_statistic",
+]

@@ -1,0 +1,74 @@
+"""Empirical distributions and the CCDF weights of Equation 2.
+
+Equation 2 of the paper assigns each observed distance a weight equal to the
+complementary cumulative distribution function of the distance population
+evaluated at that distance: ``w = 1 - P(d <= D)``, i.e. the probability that
+a randomly drawn distance from the population is larger than the observed
+one.  Small distances (strong signals) relative to the population receive
+weights close to 1.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+class EmpiricalDistribution:
+    """Empirical distribution of a sample of real values in [0, 1]."""
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values: List[float] = sorted(float(v) for v in values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> List[float]:
+        """The sorted sample."""
+        return list(self._values)
+
+    def cdf(self, x: float) -> float:
+        """P(d <= x) under the empirical distribution (0.0 for empty samples)."""
+        if not self._values:
+            return 0.0
+        return bisect_right(self._values, float(x)) / len(self._values)
+
+    def ccdf(self, x: float) -> float:
+        """P(d > x): the complementary CDF used as the Equation 2 weight."""
+        return 1.0 - self.cdf(x)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile of the sample (0 <= q <= 1)."""
+        if not self._values:
+            raise ValueError("cannot compute the quantile of an empty sample")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        return float(np.quantile(np.asarray(self._values), q))
+
+    def mean(self) -> float:
+        """Sample mean (0.0 for empty samples)."""
+        if not self._values:
+            return 0.0
+        return float(np.mean(self._values))
+
+
+def ccdf_weight(distance: float, population: Sequence[float]) -> float:
+    """Equation 2: the weight of an observed distance within its population.
+
+    ``population`` is the set R_t of all distances of one evidence type
+    between a target attribute and every related attribute in the lake.  The
+    weight of a member distance is the fraction of the population strictly
+    greater than it, so the smallest observed distance gets the largest
+    weight.  A singleton population yields weight 1.0 so that a lone strong
+    signal is not discarded.
+    """
+    values = [float(v) for v in population]
+    if not values:
+        return 1.0
+    if len(values) == 1:
+        return 1.0
+    greater = sum(1 for v in values if v > distance)
+    return greater / len(values)

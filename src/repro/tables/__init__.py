@@ -1,0 +1,43 @@
+"""Lightweight typed table layer used throughout the reproduction.
+
+The paper operates over tabular datasets (CSV files from open-government
+portals).  This package provides the minimal relational substrate the rest of
+the system needs: typed columns, tables, CSV I/O, and the relational
+operations used by the benchmark generators and the join-path machinery
+(projection, selection, join, union).
+"""
+
+from repro.tables.column import Column
+from repro.tables.csv_io import read_csv, read_csv_directory, write_csv
+from repro.tables.operations import (
+    concat_rows,
+    hash_join,
+    natural_join,
+    project,
+    rename_columns,
+    sample_rows,
+    select,
+    union,
+)
+from repro.tables.table import Table
+from repro.tables.types import ValueType, coerce_numeric, infer_type, is_missing
+
+__all__ = [
+    "Column",
+    "Table",
+    "ValueType",
+    "coerce_numeric",
+    "concat_rows",
+    "hash_join",
+    "infer_type",
+    "is_missing",
+    "natural_join",
+    "project",
+    "read_csv",
+    "read_csv_directory",
+    "rename_columns",
+    "sample_rows",
+    "select",
+    "union",
+    "write_csv",
+]

@@ -1,0 +1,153 @@
+"""Column abstraction: a named attribute together with its extent."""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, List, Optional, Sequence
+
+from repro.tables.types import ValueType, coerce_numeric, infer_type, is_missing
+
+
+class Column:
+    """A named attribute and its extent (the list of cell values).
+
+    Values are stored as provided (usually strings read from CSV).  Type
+    inference, the non-missing extent, and the numeric view are computed
+    lazily and cached because attribute profiling (Algorithm 1 in the paper)
+    touches them repeatedly.
+    """
+
+    __slots__ = ("name", "_values", "__dict__")
+
+    def __init__(self, name: str, values: Sequence[object]) -> None:
+        if not isinstance(name, str) or not name:
+            raise ValueError("column name must be a non-empty string")
+        self.name = name
+        self._values: List[object] = list(values)
+
+    # ------------------------------------------------------------------ #
+    # basic container behaviour
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __getitem__(self, index):
+        return self._values[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Column({self.name!r}, n={len(self._values)}, type={self.value_type.value})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return self.name == other.name and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash((self.name, len(self._values)))
+
+    @property
+    def values(self) -> List[object]:
+        """The raw extent, including missing cells, in row order."""
+        return self._values
+
+    # ------------------------------------------------------------------ #
+    # derived views
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def value_type(self) -> ValueType:
+        """Inferred domain-independent type of the column."""
+        return infer_type(self._values)
+
+    @property
+    def is_numeric(self) -> bool:
+        """True when the column is treated as numeric by the framework."""
+        return self.value_type is ValueType.NUMERIC
+
+    @property
+    def is_textual(self) -> bool:
+        """True when the column is treated as textual by the framework."""
+        return self.value_type is ValueType.TEXT
+
+    @cached_property
+    def non_missing(self) -> List[str]:
+        """Non-missing values rendered as stripped strings, in row order."""
+        result: List[str] = []
+        for value in self._values:
+            if is_missing(value):
+                continue
+            result.append(str(value).strip())
+        return result
+
+    @cached_property
+    def numeric_values(self) -> List[float]:
+        """The numeric interpretation of the non-missing extent."""
+        result: List[float] = []
+        for value in self._values:
+            number = coerce_numeric(value)
+            if number is not None:
+                result.append(number)
+        return result
+
+    @cached_property
+    def distinct_values(self) -> List[str]:
+        """Distinct non-missing values (insertion ordered)."""
+        seen = {}
+        for value in self.non_missing:
+            seen.setdefault(value, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------ #
+    # summary statistics used by profiling and the subject-attribute model
+    # ------------------------------------------------------------------ #
+    @property
+    def null_ratio(self) -> float:
+        """Fraction of missing cells."""
+        if not self._values:
+            return 1.0
+        return 1.0 - len(self.non_missing) / len(self._values)
+
+    @property
+    def distinct_ratio(self) -> float:
+        """Fraction of non-missing cells holding distinct values."""
+        if not self.non_missing:
+            return 0.0
+        return len(self.distinct_values) / len(self.non_missing)
+
+    @property
+    def mean_string_length(self) -> float:
+        """Average length of non-missing values rendered as strings."""
+        if not self.non_missing:
+            return 0.0
+        return sum(len(value) for value in self.non_missing) / len(self.non_missing)
+
+    def head(self, n: int = 5) -> List[object]:
+        """First ``n`` raw values, useful for examples and debugging."""
+        return self._values[:n]
+
+    def rename(self, new_name: str) -> "Column":
+        """Return a copy of this column under ``new_name``."""
+        return Column(new_name, self._values)
+
+    def take(self, indices: Iterable[int]) -> "Column":
+        """Return a copy of this column restricted to ``indices`` (row order)."""
+        values = self._values
+        return Column(self.name, [values[i] for i in indices])
+
+    def estimated_bytes(self) -> int:
+        """Approximate in-memory size of the extent, for space accounting."""
+        total = 0
+        for value in self._values:
+            if value is None:
+                total += 1
+            else:
+                total += len(str(value))
+        return total
+
+    @staticmethod
+    def from_numeric(name: str, values: Sequence[Optional[float]]) -> "Column":
+        """Build a column from numbers, keeping None for missing entries."""
+        rendered = [None if v is None else repr(float(v)) for v in values]
+        return Column(name, rendered)

@@ -1,0 +1,93 @@
+"""CSV input/output for tables.
+
+The corpora used in the paper are directories of CSV files (open-government
+data).  The generators in :mod:`repro.datagen` can materialise their corpora
+to disk with these helpers, and lakes can be loaded back from such
+directories.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.tables.table import Table
+
+PathLike = Union[str, Path]
+
+
+def _table_name_from_path(path: Path) -> str:
+    return path.stem
+
+
+def read_csv(path: PathLike, name: Optional[str] = None, max_rows: Optional[int] = None) -> Table:
+    """Read a CSV file into a :class:`Table`.
+
+    The first row is taken as the header.  Empty header cells are given
+    positional names (``column_3``) because dirty open-data files do contain
+    them and attribute-name evidence must still be computable.
+    """
+    path = Path(path)
+    table_name = name or _table_name_from_path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"CSV file {path} is empty") from None
+        header = [
+            cell.strip() if cell and cell.strip() else f"column_{index}"
+            for index, cell in enumerate(header)
+        ]
+        rows: List[List[str]] = []
+        for row_index, row in enumerate(reader):
+            if max_rows is not None and row_index >= max_rows:
+                break
+            rows.append(row)
+    return Table.from_rows(table_name, header, rows)
+
+
+def write_csv(table: Table, path: PathLike) -> Path:
+    """Write ``table`` to ``path`` as a CSV file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in table.rows():
+            writer.writerow(["" if cell is None else cell for cell in row])
+    return path
+
+
+def read_csv_directory(
+    directory: PathLike,
+    pattern: str = "*.csv",
+    max_tables: Optional[int] = None,
+    max_rows: Optional[int] = None,
+) -> List[Table]:
+    """Read every CSV file under ``directory`` matching ``pattern``.
+
+    Files that cannot be parsed are skipped; a data lake is expected to
+    contain some malformed members and discovery must not fail because of
+    them.
+    """
+    directory = Path(directory)
+    tables: List[Table] = []
+    for index, path in enumerate(sorted(directory.glob(pattern))):
+        if max_tables is not None and len(tables) >= max_tables:
+            break
+        try:
+            tables.append(read_csv(path, max_rows=max_rows))
+        except (ValueError, OSError):
+            continue
+    return tables
+
+
+def write_csv_directory(tables: Iterable[Table], directory: PathLike) -> List[Path]:
+    """Write each table to ``directory`` as ``<table name>.csv``."""
+    directory = Path(directory)
+    paths = []
+    for table in tables:
+        paths.append(write_csv(table, directory / f"{table.name}.csv"))
+    return paths

@@ -1,0 +1,177 @@
+"""Relational operations over :class:`~repro.tables.table.Table`.
+
+These are the operations the reproduction needs:
+
+* *projection* and *selection* — used by the Synthetic benchmark generator,
+  which derives lake tables from base tables exactly as the TUS benchmark
+  does (random projections and selections);
+* *join* — used to materialise join-path results when measuring the coverage
+  contributed by D3L+J (section IV of the paper);
+* *union* — used by examples that actually populate a target from the
+  discovered unionable tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.tables.column import Column
+from repro.tables.table import Table
+from repro.tables.types import is_missing
+
+
+def project(table: Table, column_names: Sequence[str], name: Optional[str] = None) -> Table:
+    """Return the projection of ``table`` onto ``column_names``."""
+    return table.select_columns(list(column_names), name=name)
+
+
+def select(
+    table: Table,
+    predicate: Callable[[Dict[str, object]], bool],
+    name: Optional[str] = None,
+) -> Table:
+    """Return the rows of ``table`` for which ``predicate(row_dict)`` holds.
+
+    When no row satisfies the predicate a zero-row table with the same schema
+    is returned rather than raising, because benchmark derivation applies
+    arbitrary selections.
+    """
+    names = table.column_names
+    kept: List[int] = []
+    for index, row in enumerate(table.rows()):
+        row_dict = dict(zip(names, row))
+        if predicate(row_dict):
+            kept.append(index)
+    return table.take_rows(kept, name=name)
+
+
+def sample_rows(table: Table, indices: Sequence[int], name: Optional[str] = None) -> Table:
+    """Return the rows of ``table`` at ``indices`` (row-order preserving)."""
+    return table.take_rows(list(indices), name=name)
+
+
+def rename_columns(table: Table, mapping: Dict[str, str], name: Optional[str] = None) -> Table:
+    """Return a copy of ``table`` with columns renamed according to ``mapping``."""
+    columns = [
+        column.rename(mapping.get(column.name, column.name)) for column in table.columns
+    ]
+    return Table(name or table.name, columns)
+
+
+def concat_rows(tables: Sequence[Table], name: str) -> Table:
+    """Vertically concatenate tables that share an identical schema."""
+    if not tables:
+        raise ValueError("concat_rows requires at least one table")
+    schema = tables[0].column_names
+    for table in tables[1:]:
+        if table.column_names != schema:
+            raise ValueError(
+                f"cannot concatenate {table.name!r}: schema {table.column_names} "
+                f"differs from {schema}"
+            )
+    data: Dict[str, List[object]] = {column_name: [] for column_name in schema}
+    for table in tables:
+        for column_name in schema:
+            data[column_name].extend(table.column(column_name).values)
+    return Table.from_dict(name, data)
+
+
+def union(
+    target_schema: Sequence[str],
+    tables: Sequence[Table],
+    alignments: Sequence[Dict[str, str]],
+    name: str = "union_result",
+) -> Table:
+    """Union ``tables`` into a table with ``target_schema``.
+
+    ``alignments[i]`` maps target attribute names to attribute names of
+    ``tables[i]``; unaligned target attributes are filled with None.  This is
+    the operation a downstream wrangling pipeline would perform with the
+    datasets D3L discovers as unionable.
+    """
+    if len(tables) != len(alignments):
+        raise ValueError("one alignment mapping is required per table")
+    data: Dict[str, List[object]] = {column_name: [] for column_name in target_schema}
+    for table, alignment in zip(tables, alignments):
+        for target_attribute in target_schema:
+            source_attribute = alignment.get(target_attribute)
+            if source_attribute is not None and table.has_column(source_attribute):
+                data[target_attribute].extend(table.column(source_attribute).values)
+            else:
+                data[target_attribute].extend([None] * table.cardinality)
+    return Table.from_dict(name, data)
+
+
+def _join_key(value: object) -> Optional[str]:
+    if is_missing(value):
+        return None
+    return str(value).strip().lower()
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    left_on: str,
+    right_on: str,
+    name: Optional[str] = None,
+) -> Table:
+    """Equi-join ``left`` and ``right`` on the given columns.
+
+    Join keys are compared case-insensitively after trimming, matching how
+    value-overlap evidence treats tokens.  Columns of ``right`` that clash
+    with names in ``left`` are suffixed with the right table's name.
+    """
+    result_name = name or f"{left.name}_join_{right.name}"
+    right_index: Dict[str, List[int]] = {}
+    for row_number, value in enumerate(right.column(right_on).values):
+        key = _join_key(value)
+        if key is None:
+            continue
+        right_index.setdefault(key, []).append(row_number)
+
+    left_names = left.column_names
+    right_names = []
+    for column_name in right.column_names:
+        if column_name in left_names:
+            right_names.append(f"{column_name}_{right.name}")
+        else:
+            right_names.append(column_name)
+
+    header = left_names + right_names
+    rows: List[Tuple[object, ...]] = []
+    right_rows = list(right.rows())
+    for left_row, key_value in zip(left.rows(), left.column(left_on).values):
+        key = _join_key(key_value)
+        if key is None or key not in right_index:
+            continue
+        for right_row_number in right_index[key]:
+            rows.append(tuple(left_row) + tuple(right_rows[right_row_number]))
+    if not rows:
+        # Preserve the joined schema even when the join result is empty.
+        empty: Dict[str, List[object]] = {column_name: [] for column_name in header}
+        return Table.from_dict(result_name, empty)
+    return Table.from_rows(result_name, header, rows)
+
+
+def natural_join(left: Table, right: Table, name: Optional[str] = None) -> Table:
+    """Join ``left`` and ``right`` on their first shared column name."""
+    shared = [column_name for column_name in left.column_names if right.has_column(column_name)]
+    if not shared:
+        raise ValueError(
+            f"tables {left.name!r} and {right.name!r} share no column to join on"
+        )
+    return hash_join(left, right, shared[0], shared[0], name=name)
+
+
+def column_overlap(left: Column, right: Column) -> float:
+    """Containment-style overlap coefficient between two column extents.
+
+    Used by tests and by the Aurum baseline's PK/FK candidate detection:
+    ``|A ∩ B| / min(|A|, |B|)`` over distinct, case-folded values.
+    """
+    left_values = {value.lower() for value in left.distinct_values}
+    right_values = {value.lower() for value in right.distinct_values}
+    if not left_values or not right_values:
+        return 0.0
+    intersection = len(left_values & right_values)
+    return intersection / min(len(left_values), len(right_values))

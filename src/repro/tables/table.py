@@ -1,0 +1,179 @@
+"""Table abstraction: a named collection of equally long columns."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.tables.column import Column
+
+
+class Table:
+    """A named dataset with ordered, equally long columns.
+
+    This mirrors what the paper calls a *dataset*: a tabular file in the lake
+    whose only metadata are its attribute names (and, implicitly, inferred
+    domain-independent types).
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not isinstance(name, str) or not name:
+            raise ValueError("table name must be a non-empty string")
+        columns = list(columns)
+        if not columns:
+            raise ValueError(f"table {name!r} must have at least one column")
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"table {name!r} has columns of differing lengths: {sorted(lengths)}"
+            )
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"table {name!r} has duplicate column names: {duplicates}")
+        self.name = name
+        self._columns: List[Column] = columns
+        self._by_name: Dict[str, Column] = {column.name: column for column in columns}
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        header: Sequence[str],
+        rows: Iterable[Sequence[object]],
+    ) -> "Table":
+        """Build a table from a header and an iterable of rows.
+
+        Short rows are padded with None and long rows truncated, which is the
+        pragmatic behaviour needed for dirty open-data CSVs.
+        """
+        header = list(header)
+        cells: List[List[object]] = [[] for _ in header]
+        for row in rows:
+            row = list(row)
+            for i in range(len(header)):
+                cells[i].append(row[i] if i < len(row) else None)
+        columns = [Column(column_name, values) for column_name, values in zip(header, cells)]
+        return cls(name, columns)
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict[str, Sequence[object]]) -> "Table":
+        """Build a table from a mapping of column name to values."""
+        return cls(name, [Column(key, values) for key, values in data.items()])
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def columns(self) -> List[Column]:
+        """The ordered list of columns."""
+        return self._columns
+
+    @property
+    def column_names(self) -> List[str]:
+        """The ordered list of attribute names."""
+        return [column.name for column in self._columns]
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes (the paper reports this in Figure 2a)."""
+        return len(self._columns)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of rows (the paper reports this in Figure 2b)."""
+        return len(self._columns[0]) if self._columns else 0
+
+    @property
+    def numeric_ratio(self) -> float:
+        """Fraction of attributes inferred as numeric (Figure 2c)."""
+        if not self._columns:
+            return 0.0
+        numeric = sum(1 for column in self._columns if column.is_numeric)
+        return numeric / len(self._columns)
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._by_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Table({self.name!r}, arity={self.arity}, rows={self.cardinality})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.name == other.name and self._columns == other._columns
+
+    def column(self, name: str) -> Column:
+        """Return the column called ``name`` or raise KeyError."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"table {self.name!r} has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        """Return True when the table has a column called ``name``."""
+        return name in self._by_name
+
+    def column_index(self, name: str) -> int:
+        """Return the position of column ``name``."""
+        for index, column in enumerate(self._columns):
+            if column.name == name:
+                return index
+        raise KeyError(f"table {self.name!r} has no column {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # row-wise views
+    # ------------------------------------------------------------------ #
+    def rows(self) -> Iterator[Tuple[object, ...]]:
+        """Iterate over rows as tuples, in storage order."""
+        return zip(*(column.values for column in self._columns))
+
+    def row(self, index: int) -> Tuple[object, ...]:
+        """Return the row at ``index``."""
+        return tuple(column[index] for column in self._columns)
+
+    def head(self, n: int = 5) -> List[Tuple[object, ...]]:
+        """Return the first ``n`` rows (for examples and debugging)."""
+        result = []
+        for i, row in enumerate(self.rows()):
+            if i >= n:
+                break
+            result.append(row)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # derived tables
+    # ------------------------------------------------------------------ #
+    def with_name(self, new_name: str) -> "Table":
+        """Return the same table under a different name."""
+        return Table(new_name, self._columns)
+
+    def take_rows(self, indices: Sequence[int], name: Optional[str] = None) -> "Table":
+        """Return a new table containing only the rows at ``indices``."""
+        new_name = name or self.name
+        return Table(new_name, [column.take(indices) for column in self._columns])
+
+    def select_columns(self, names: Sequence[str], name: Optional[str] = None) -> "Table":
+        """Return a new table with only the named columns, in the given order."""
+        new_name = name or self.name
+        return Table(new_name, [self.column(column_name) for column_name in names])
+
+    def estimated_bytes(self) -> int:
+        """Approximate in-memory size of the table, for Table II accounting."""
+        header = sum(len(column.name) for column in self._columns)
+        return header + sum(column.estimated_bytes() for column in self._columns)
+
+    def describe(self) -> Dict[str, object]:
+        """Summary statistics used by Figure 2 style reporting."""
+        return {
+            "name": self.name,
+            "arity": self.arity,
+            "cardinality": self.cardinality,
+            "numeric_ratio": self.numeric_ratio,
+            "columns": self.column_names,
+        }

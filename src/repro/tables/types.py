@@ -1,0 +1,88 @@
+"""Value typing for data-lake columns.
+
+The paper assumes at most domain-independent types (string, integer, ...) are
+known for lake attributes.  In practice the corpora are CSV files, so every
+cell arrives as a string and the system must *infer* whether an attribute is
+numeric (section III-C of the paper treats numeric attributes specially).
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import Iterable, Optional
+
+#: Cell values considered missing when inferring types or building extents.
+MISSING_TOKENS = frozenset({"", "na", "n/a", "nan", "null", "none", "-", "--"})
+
+#: Fraction of non-missing cells that must parse as numbers for a column to be
+#: treated as numeric.  Real open-data columns often contain a few stray
+#: footnote markers; the paper's treatment of numeric attributes would be
+#: useless if a single dirty cell flipped the type.
+NUMERIC_THRESHOLD = 0.8
+
+
+class ValueType(str, Enum):
+    """Domain-independent attribute types distinguished by the framework."""
+
+    TEXT = "text"
+    NUMERIC = "numeric"
+    EMPTY = "empty"
+
+
+def is_missing(value: object) -> bool:
+    """Return True when ``value`` denotes a missing cell."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, str):
+        return value.strip().lower() in MISSING_TOKENS
+    return False
+
+
+def coerce_numeric(value: object) -> Optional[float]:
+    """Parse ``value`` as a float, returning None when it is not numeric.
+
+    Thousands separators and surrounding whitespace are tolerated because
+    open-government CSVs frequently format counts as ``"1,202"``.
+    """
+    if value is None:
+        return None
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        result = float(value)
+        return None if math.isnan(result) else result
+    if not isinstance(value, str):
+        return None
+    text = value.strip()
+    if not text or text.lower() in MISSING_TOKENS:
+        return None
+    text = text.replace(",", "")
+    if text.endswith("%"):
+        text = text[:-1]
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def infer_type(values: Iterable[object]) -> ValueType:
+    """Infer the :class:`ValueType` of a column extent.
+
+    A column is numeric when at least :data:`NUMERIC_THRESHOLD` of its
+    non-missing values parse as numbers; a column with no non-missing value is
+    ``EMPTY``; everything else is ``TEXT``.
+    """
+    total = 0
+    numeric = 0
+    for value in values:
+        if is_missing(value):
+            continue
+        total += 1
+        if coerce_numeric(value) is not None:
+            numeric += 1
+    if total == 0:
+        return ValueType.EMPTY
+    if numeric / total >= NUMERIC_THRESHOLD:
+        return ValueType.NUMERIC
+    return ValueType.TEXT

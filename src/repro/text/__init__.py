@@ -1,0 +1,41 @@
+"""Text feature extraction: the raw material of the five evidence types.
+
+The modules here turn attribute names and values into the set representations
+and vectors the paper indexes:
+
+* :mod:`repro.text.qgrams` — q-gram sets of attribute names (N evidence);
+* :mod:`repro.text.tokenizer` — value tokenisation into parts and words;
+* :mod:`repro.text.token_stats` — token histograms and the informative-token
+  selection of Algorithm 1 (V and E evidence);
+* :mod:`repro.text.regex_format` — format-describing regular expression
+  strings over the primitive lexical classes (F evidence);
+* :mod:`repro.text.embeddings` — the word-embedding model substrate
+  (fastText substitute) and attribute-vector aggregation (E evidence).
+"""
+
+from repro.text.embeddings import (
+    CooccurrenceEmbedding,
+    HashingSubwordEmbedding,
+    WordEmbeddingModel,
+    aggregate_vectors,
+)
+from repro.text.qgrams import name_qgrams, qgrams
+from repro.text.regex_format import format_string, format_set
+from repro.text.token_stats import TokenHistogram, informative_and_frequent_tokens
+from repro.text.tokenizer import split_parts, tokenize, tokenize_parts
+
+__all__ = [
+    "CooccurrenceEmbedding",
+    "HashingSubwordEmbedding",
+    "TokenHistogram",
+    "WordEmbeddingModel",
+    "aggregate_vectors",
+    "format_set",
+    "format_string",
+    "informative_and_frequent_tokens",
+    "name_qgrams",
+    "qgrams",
+    "split_parts",
+    "tokenize",
+    "tokenize_parts",
+]

@@ -1,0 +1,218 @@
+"""Word-embedding model substrate (E evidence).
+
+The paper uses fastText as its word-embedding model (WEM).  A pre-trained
+fastText binary is not available offline, so this module provides two
+substitutes that preserve the properties D3L depends on:
+
+* :class:`HashingSubwordEmbedding` — a deterministic bag-of-subwords model in
+  the spirit of fastText: a word's vector is the average of hashed character
+  n-gram vectors, so morphologically similar words (``practice`` /
+  ``practices``, ``Salford`` / ``Salford Rd``) land close together, and any
+  out-of-vocabulary word still receives a vector.
+* :class:`CooccurrenceEmbedding` — a corpus-trained model (positive PMI
+  matrix factorised with SVD) that adds distributional semantics on top: words
+  that co-occur in generated corpus sentences (``street`` / ``road`` /
+  ``avenue``) become neighbours even when they share no characters.  Unknown
+  words fall back to the subword model, exactly as fastText backs off to
+  subword units.
+
+Both expose ``vector(word)`` returning an L2-normalised ``p``-vector, and
+:func:`aggregate_vectors` combines per-word vectors into the attribute vector
+of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+
+class WordEmbeddingModel(Protocol):
+    """Protocol every word-embedding model used by the framework satisfies."""
+
+    dimension: int
+
+    def vector(self, word: str) -> np.ndarray:
+        """Return the embedding vector of ``word`` (never raises for OOV)."""
+        ...
+
+
+def _normalise(vector: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(vector))
+    if norm == 0.0:
+        return vector
+    return vector / norm
+
+
+def aggregate_vectors(vectors: Sequence[np.ndarray], dimension: int) -> np.ndarray:
+    """Combine per-word vectors into a single attribute vector.
+
+    The paper combines the p-vectors of the selected words into one p-vector
+    for the attribute; we use the mean followed by L2 normalisation, the
+    standard bag-of-words aggregation.  An empty input yields the zero vector
+    (treated as maximally distant by the cosine machinery).
+    """
+    if not vectors:
+        return np.zeros(dimension, dtype=np.float64)
+    stacked = np.vstack([np.asarray(v, dtype=np.float64) for v in vectors])
+    return _normalise(stacked.mean(axis=0))
+
+
+class HashingSubwordEmbedding:
+    """Deterministic subword-hashing embedding (fastText-style bag of n-grams)."""
+
+    def __init__(
+        self,
+        dimension: int = 64,
+        seed: int = 17,
+        ngram_range: Tuple[int, int] = (3, 5),
+        cache_size: int = 50000,
+    ) -> None:
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        low, high = ngram_range
+        if low <= 0 or high < low:
+            raise ValueError("ngram_range must be a (low, high) pair with 0 < low <= high")
+        self.dimension = dimension
+        self.seed = seed
+        self.ngram_range = ngram_range
+        self._cache: Dict[str, np.ndarray] = {}
+        self._cache_size = cache_size
+
+    def _subword_vector(self, ngram: str) -> np.ndarray:
+        digest = hashlib.blake2b(
+            ngram.encode("utf-8", errors="replace"),
+            digest_size=8,
+            key=self.seed.to_bytes(8, "little", signed=False),
+        ).digest()
+        generator = np.random.default_rng(int.from_bytes(digest, "little"))
+        return generator.standard_normal(self.dimension)
+
+    def _ngrams(self, word: str) -> List[str]:
+        padded = f"<{word}>"
+        low, high = self.ngram_range
+        grams = []
+        for n in range(low, high + 1):
+            if len(padded) < n:
+                continue
+            grams.extend(padded[i : i + n] for i in range(len(padded) - n + 1))
+        if not grams:
+            grams = [padded]
+        return grams
+
+    def vector(self, word: str) -> np.ndarray:
+        """Embedding of ``word``: the normalised mean of its subword vectors."""
+        word = word.strip().lower()
+        if not word:
+            return np.zeros(self.dimension, dtype=np.float64)
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        grams = self._ngrams(word)
+        vectors = np.vstack([self._subword_vector(gram) for gram in grams])
+        result = _normalise(vectors.mean(axis=0))
+        if len(self._cache) < self._cache_size:
+            self._cache[word] = result
+        return result
+
+
+class CooccurrenceEmbedding:
+    """Corpus-trained embedding: positive PMI matrix factorised with SVD.
+
+    Train with :meth:`train` on an iterable of token sequences (sentences).
+    Words outside the training vocabulary fall back to a
+    :class:`HashingSubwordEmbedding` so the model is total, like fastText.
+    """
+
+    def __init__(
+        self,
+        vectors: Dict[str, np.ndarray],
+        dimension: int,
+        fallback: Optional[HashingSubwordEmbedding] = None,
+    ) -> None:
+        self.dimension = dimension
+        self._vectors = vectors
+        self._fallback = fallback or HashingSubwordEmbedding(dimension=dimension)
+
+    @property
+    def vocabulary(self) -> List[str]:
+        """Words with trained vectors."""
+        return list(self._vectors)
+
+    def __contains__(self, word: str) -> bool:
+        return word.strip().lower() in self._vectors
+
+    def vector(self, word: str) -> np.ndarray:
+        """Trained vector when available, subword fallback otherwise."""
+        key = word.strip().lower()
+        trained = self._vectors.get(key)
+        if trained is not None:
+            return trained
+        return self._fallback.vector(key)
+
+    @classmethod
+    def train(
+        cls,
+        sentences: Iterable[Sequence[str]],
+        dimension: int = 64,
+        window: int = 4,
+        min_count: int = 2,
+        seed: int = 23,
+    ) -> "CooccurrenceEmbedding":
+        """Train an embedding from co-occurrence statistics.
+
+        Builds a symmetric word-context count matrix over a sliding window,
+        converts it to positive pointwise mutual information, and factorises
+        with a truncated SVD.  This is the classic count-based construction
+        that approximates what skip-gram models learn.
+        """
+        sentences = [
+            [token.strip().lower() for token in sentence if token and token.strip()]
+            for sentence in sentences
+        ]
+        counts: Dict[str, int] = {}
+        for sentence in sentences:
+            for token in sentence:
+                counts[token] = counts.get(token, 0) + 1
+        vocabulary = sorted(word for word, count in counts.items() if count >= min_count)
+        if not vocabulary:
+            return cls({}, dimension, HashingSubwordEmbedding(dimension=dimension, seed=seed))
+        index = {word: i for i, word in enumerate(vocabulary)}
+        size = len(vocabulary)
+
+        cooccurrence = np.zeros((size, size), dtype=np.float64)
+        for sentence in sentences:
+            positions = [index[token] for token in sentence if token in index]
+            for center, row in enumerate(positions):
+                start = max(0, center - window)
+                stop = min(len(positions), center + window + 1)
+                for neighbour in range(start, stop):
+                    if neighbour == center:
+                        continue
+                    cooccurrence[row, positions[neighbour]] += 1.0
+
+        total = cooccurrence.sum()
+        if total == 0:
+            return cls({}, dimension, HashingSubwordEmbedding(dimension=dimension, seed=seed))
+        row_sums = cooccurrence.sum(axis=1, keepdims=True)
+        col_sums = cooccurrence.sum(axis=0, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pmi = np.log((cooccurrence * total) / (row_sums @ col_sums))
+        pmi[~np.isfinite(pmi)] = 0.0
+        ppmi = np.maximum(pmi, 0.0)
+
+        rank = min(dimension, size - 1) if size > 1 else 1
+        if rank < 1:
+            rank = 1
+        u, singular_values, _ = np.linalg.svd(ppmi, full_matrices=False)
+        projected = u[:, :rank] * np.sqrt(singular_values[:rank])
+        if rank < dimension:
+            padding = np.zeros((size, dimension - rank))
+            projected = np.hstack([projected, padding])
+
+        vectors = {
+            word: _normalise(projected[index[word]]) for word in vocabulary
+        }
+        return cls(vectors, dimension, HashingSubwordEmbedding(dimension=dimension, seed=seed))

@@ -1,0 +1,57 @@
+"""Q-gram extraction for attribute-name evidence (N).
+
+The paper uses q = 4: ``Address`` yields ``{addr, ddre, dres, ress}``.  Names
+are lower-cased and stripped of non-alphanumeric characters before q-gram
+extraction so that ``Practice Name`` and ``practice_name`` produce the same
+q-gram set.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Set
+
+_NON_ALNUM_RE = re.compile(r"[^a-z0-9]+")
+
+#: The q used throughout the paper (section III-B, Example 2).
+DEFAULT_Q = 4
+
+
+def normalise_name(name: str) -> str:
+    """Lower-case a name and collapse separators to single spaces."""
+    return _NON_ALNUM_RE.sub(" ", name.lower()).strip()
+
+
+def qgrams(text: str, q: int = DEFAULT_Q) -> Set[str]:
+    """Return the set of q-grams of ``text``.
+
+    Strings shorter than ``q`` contribute themselves as a single gram, so that
+    short names (``GP``, ``ID``) still have a non-empty representation.
+    """
+    if q <= 0:
+        raise ValueError("q must be positive")
+    text = text.strip()
+    if not text:
+        return set()
+    if len(text) < q:
+        return {text}
+    return {text[i : i + q] for i in range(len(text) - q + 1)}
+
+
+def name_qgrams(name: str, q: int = DEFAULT_Q) -> Set[str]:
+    """Q-gram set of an attribute name.
+
+    Each whitespace-separated word of the normalised name contributes its own
+    q-grams, as does the concatenation of all words — this keeps
+    ``Practice Name`` similar to both ``Practice`` and ``PracticeName``.
+    """
+    normalised = normalise_name(name)
+    if not normalised:
+        return set()
+    grams: Set[str] = set()
+    words = normalised.split()
+    for word in words:
+        grams |= qgrams(word, q)
+    if len(words) > 1:
+        grams |= qgrams("".join(words), q)
+    return grams

@@ -1,0 +1,52 @@
+"""Tokenisation of attribute values.
+
+Algorithm 1 of the paper construes an attribute extent as a set of documents:
+each value is a document, each document is a set of *parts* (split at
+punctuation characters), and each part is a set of words.  The helpers here
+implement exactly that decomposition.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+#: Characters that split a value into parts.
+_PART_SPLIT_RE = re.compile(r"[.,;:/\-|()\[\]{}]+")
+#: Characters that split a part into words.
+_WORD_SPLIT_RE = re.compile(r"[^A-Za-z0-9]+")
+
+
+def split_parts(value: str) -> List[str]:
+    """Split a value into parts at punctuation characters.
+
+    Empty parts are dropped.  ``'18 Portland Street, M1 3BE'`` becomes
+    ``['18 Portland Street', ' M1 3BE']`` (whitespace inside parts is kept so
+    word splitting can act on it).
+    """
+    if not value:
+        return []
+    return [part for part in _PART_SPLIT_RE.split(value) if part.strip()]
+
+
+def tokenize_parts(value: str) -> List[List[str]]:
+    """Split a value into parts, each part into lower-cased words."""
+    parts = []
+    for part in split_parts(value):
+        words = [word.lower() for word in _WORD_SPLIT_RE.split(part) if word]
+        if words:
+            parts.append(words)
+    return parts
+
+
+def tokenize(value: str) -> List[str]:
+    """All lower-cased word tokens of a value, in order of appearance."""
+    tokens: List[str] = []
+    for words in tokenize_parts(value):
+        tokens.extend(words)
+    return tokens
+
+
+def is_numeric_token(token: str) -> bool:
+    """True when a token is purely numeric (digits, optional decimal point)."""
+    return bool(re.fullmatch(r"[0-9]+(\.[0-9]+)?", token))

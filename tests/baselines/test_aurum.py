@@ -1,0 +1,107 @@
+"""Tests for the Aurum baseline."""
+
+import pytest
+
+from repro.baselines.aurum import Aurum
+from repro.core.config import D3LConfig
+from repro.tables.table import Table
+
+
+@pytest.fixture(scope="module")
+def config():
+    return D3LConfig(num_hashes=128, embedding_dimension=16, min_candidates=20)
+
+
+@pytest.fixture(scope="module")
+def indexed_aurum(config, figure1_tables):
+    engine = Aurum(config=config)
+    engine.index_lake(figure1_tables["lake"])
+    return engine
+
+
+class TestGraphConstruction:
+    def test_graph_has_node_per_attribute(self, indexed_aurum, figure1_tables):
+        expected = sum(table.arity for table in figure1_tables["sources"])
+        assert indexed_aurum.graph.number_of_nodes() == expected
+
+    def test_content_edges_connect_overlapping_columns(self, indexed_aurum):
+        graph = indexed_aurum.graph
+        content_edges = [
+            (u, v)
+            for u, v, data in graph.edges(data=True)
+            if "content" in data["relations"]
+        ]
+        assert content_edges
+        # Every content edge crosses tables.
+        assert all(u.table != v.table for u, v in content_edges)
+
+    def test_estimated_bytes_positive(self, indexed_aurum):
+        assert indexed_aurum.estimated_bytes() > 0
+
+    def test_graph_rebuild_after_new_table(self, config, figure1_tables):
+        engine = Aurum(config=config)
+        engine.index_lake(figure1_tables["lake"])
+        edges_before = engine.graph.number_of_edges()
+        engine.index_table(figure1_tables["sources"][0].with_name("copy_of_s1"))
+        engine.build_graph()
+        assert engine.graph.number_of_nodes() > 0
+        assert engine.graph.number_of_edges() >= edges_before
+
+
+class TestQuery:
+    def test_rejects_non_positive_k(self, indexed_aurum, figure1_tables):
+        with pytest.raises(ValueError):
+            indexed_aurum.query(figure1_tables["target"], k=0)
+
+    def test_finds_related_tables(self, indexed_aurum, figure1_tables):
+        answer = indexed_aurum.query(figure1_tables["target"], k=3)
+        assert "gp_funding_s2" in answer.candidate_tables()
+
+    def test_scores_descending_and_bounded(self, indexed_aurum, figure1_tables):
+        answer = indexed_aurum.query(figure1_tables["target"], k=3)
+        scores = [result.score for result in answer.results]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0.0 <= score <= 1.0 for score in scores)
+
+    def test_certainty_ranking_uses_max_score(self, indexed_aurum, figure1_tables):
+        answer = indexed_aurum.query(figure1_tables["target"], k=3)
+        for result in answer.results:
+            best_alignment = max(alignment.score for alignment in result.alignments)
+            assert result.score == pytest.approx(best_alignment)
+
+    def test_exclude_self(self, indexed_aurum, figure1_tables):
+        source = figure1_tables["sources"][1]
+        answer = indexed_aurum.query(source, k=3, exclude_self=True)
+        assert source.name not in answer.candidate_tables()
+
+
+class TestJoins:
+    def test_joinable_tables_through_pkfk_edges(self, config):
+        practices = Table.from_dict(
+            "practices",
+            {
+                "Practice": ["Blackfriars", "Radclife Care", "Bolton Medical", "Dr E Cullen"],
+                "City": ["Salford", "Manchester", "Bolton", "Belfast"],
+            },
+        )
+        hours = Table.from_dict(
+            "hours",
+            {
+                "GP": ["Blackfriars", "Radclife Care", "Bolton Medical", "Dr E Cullen"],
+                "Opening": ["08:00", "07:00", "08:30", "09:00"],
+            },
+        )
+        engine = Aurum(config=config)
+        engine.index_table(practices)
+        engine.index_table(hours)
+        engine.build_graph()
+        assert "hours" in engine.joinable_tables("practices")
+
+    def test_joinable_tables_of_unknown_table(self, indexed_aurum):
+        assert indexed_aurum.joinable_tables("unknown") == set()
+
+    def test_query_with_joins_returns_disjoint_sets(self, indexed_aurum, figure1_tables):
+        answer, joined = indexed_aurum.query_with_joins(figure1_tables["target"], k=1)
+        top = set(answer.table_names(1))
+        assert joined.isdisjoint(top)
+        assert figure1_tables["target"].name not in joined

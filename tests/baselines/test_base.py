@@ -1,0 +1,57 @@
+"""Tests for the shared baseline result types."""
+
+from repro.baselines.base import Alignment, RankedAnswer, RankedTable
+from repro.lake.datalake import AttributeRef
+
+
+def _answer():
+    results = [
+        RankedTable(
+            table_name="a",
+            score=0.9,
+            alignments=[Alignment("City", AttributeRef("a", "Town"), 0.9)],
+        ),
+        RankedTable(
+            table_name="b",
+            score=0.5,
+            alignments=[
+                Alignment("City", AttributeRef("b", "City"), 0.5),
+                Alignment("Postcode", AttributeRef("b", "PostCode"), 0.4),
+            ],
+        ),
+        RankedTable(table_name="c", score=0.1),
+    ]
+    return RankedAnswer(target_name="t", requested_k=2, results=results)
+
+
+class TestRankedTable:
+    def test_matches_alias(self):
+        table = _answer().results[1]
+        assert table.matches is table.alignments
+
+    def test_covered_target_attributes(self):
+        table = _answer().results[1]
+        assert table.covered_target_attributes() == {"City", "Postcode"}
+
+    def test_empty_alignments(self):
+        table = _answer().results[2]
+        assert table.covered_target_attributes() == set()
+
+
+class TestRankedAnswer:
+    def test_top_defaults_to_requested_k(self):
+        assert [r.table_name for r in _answer().top()] == ["a", "b"]
+
+    def test_top_with_explicit_k(self):
+        assert [r.table_name for r in _answer().top(1)] == ["a"]
+
+    def test_table_names(self):
+        assert _answer().table_names(3) == ["a", "b", "c"]
+
+    def test_candidate_tables(self):
+        assert _answer().candidate_tables() == {"a", "b", "c"}
+
+    def test_result_for(self):
+        answer = _answer()
+        assert answer.result_for("b").score == 0.5
+        assert answer.result_for("zz") is None

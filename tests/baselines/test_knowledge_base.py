@@ -1,0 +1,61 @@
+"""Tests for the synthetic knowledge base (YAGO substitute)."""
+
+import pytest
+
+from repro.baselines.knowledge_base import KnowledgeBase
+
+
+@pytest.fixture
+def knowledge_base():
+    kb = KnowledgeBase()
+    kb.add_entity("Manchester", ["city", "place"])
+    kb.add_entity("Salford Royal Hospital", ["organisation", "hospital"])
+    kb.add_entity("Bolton", ["city", "place"])
+    return kb
+
+
+class TestAddEntity:
+    def test_requires_classes(self, knowledge_base):
+        with pytest.raises(ValueError):
+            knowledge_base.add_entity("Thing", [])
+
+    def test_entity_count(self, knowledge_base):
+        assert knowledge_base.entity_count == 3
+
+    def test_every_token_becomes_a_handle(self, knowledge_base):
+        assert knowledge_base.classes_of_token("salford") == {"organisation", "hospital"}
+        assert knowledge_base.classes_of_token("hospital") == {"organisation", "hospital"}
+
+    def test_classes_accumulate_across_entities(self, knowledge_base):
+        knowledge_base.add_entity("Manchester Airport", ["place", "transport"])
+        assert "transport" in knowledge_base.classes_of_token("manchester")
+        assert "city" in knowledge_base.classes_of_token("manchester")
+
+
+class TestLookups:
+    def test_unknown_token_has_no_classes(self, knowledge_base):
+        assert knowledge_base.classes_of_token("unknown") == set()
+
+    def test_classes_of_value_union(self, knowledge_base):
+        classes = knowledge_base.classes_of_value("Manchester and Bolton")
+        assert {"city", "place"} <= classes
+
+    def test_case_insensitive(self, knowledge_base):
+        assert knowledge_base.classes_of_token("MANCHESTER") == {"city", "place"}
+
+    def test_annotate_extent(self, knowledge_base):
+        annotations = knowledge_base.annotate_extent(["Manchester", "Salford Royal Hospital"])
+        assert {"city", "place", "organisation", "hospital"} == annotations
+
+    def test_coverage(self, knowledge_base):
+        coverage = knowledge_base.coverage(["Manchester", "unknownplace"])
+        assert coverage == pytest.approx(0.5)
+
+    def test_coverage_of_empty_extent(self, knowledge_base):
+        assert knowledge_base.coverage([]) == 0.0
+
+    def test_classes_property(self, knowledge_base):
+        assert {"city", "place", "organisation", "hospital"} == knowledge_base.classes
+
+    def test_len_counts_tokens(self, knowledge_base):
+        assert len(knowledge_base) >= 5

@@ -1,0 +1,89 @@
+"""Tests for the Table Union Search baseline."""
+
+import pytest
+
+from repro.baselines.knowledge_base import KnowledgeBase
+from repro.baselines.tus import TableUnionSearch
+from repro.core.config import D3LConfig
+from repro.tables.table import Table
+
+
+@pytest.fixture(scope="module")
+def config():
+    return D3LConfig(num_hashes=128, embedding_dimension=16, min_candidates=20)
+
+
+@pytest.fixture(scope="module")
+def knowledge_base():
+    kb = KnowledgeBase()
+    for city in ["Manchester", "Salford", "Bolton", "London", "Belfast"]:
+        kb.add_entity(city, ["city", "place"])
+    for practice in ["Blackfriars", "Radclife Care", "Bolton Medical", "The London Clinic"]:
+        kb.add_entity(practice, ["organisation"])
+    return kb
+
+
+@pytest.fixture(scope="module")
+def indexed_tus(config, knowledge_base, figure1_tables):
+    engine = TableUnionSearch(config=config, knowledge_base=knowledge_base)
+    engine.index_lake(figure1_tables["lake"])
+    return engine
+
+
+class TestIndexing:
+    def test_only_textual_attributes_indexed(self, indexed_tus, figure1_tables):
+        textual = sum(
+            1
+            for table in figure1_tables["sources"]
+            for column in table.columns
+            if not column.is_numeric
+        )
+        assert indexed_tus.attribute_count == textual
+
+    def test_estimated_bytes_positive(self, indexed_tus):
+        assert indexed_tus.estimated_bytes() > 0
+
+
+class TestQuery:
+    def test_rejects_non_positive_k(self, indexed_tus, figure1_tables):
+        with pytest.raises(ValueError):
+            indexed_tus.query(figure1_tables["target"], k=0)
+
+    def test_finds_value_overlapping_tables(self, indexed_tus, figure1_tables):
+        answer = indexed_tus.query(figure1_tables["target"], k=3)
+        assert "gp_funding_s2" in answer.candidate_tables()
+
+    def test_scores_descending_and_bounded(self, indexed_tus, figure1_tables):
+        answer = indexed_tus.query(figure1_tables["target"], k=3)
+        scores = [result.score for result in answer.results]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0.0 <= score <= 1.0 for score in scores)
+
+    def test_alignments_reference_target_attributes(self, indexed_tus, figure1_tables):
+        answer = indexed_tus.query(figure1_tables["target"], k=3)
+        target_columns = set(figure1_tables["target"].column_names)
+        for result in answer.results:
+            for alignment in result.alignments:
+                assert alignment.target_attribute in target_columns
+
+    def test_exclude_self(self, indexed_tus, figure1_tables):
+        source = figure1_tables["sources"][0]
+        answer = indexed_tus.query(source, k=3, exclude_self=True)
+        assert source.name not in answer.candidate_tables()
+
+    def test_numeric_only_target_returns_nothing(self, indexed_tus):
+        numeric_target = Table.from_dict("numbers", {"Count": ["1", "2", "3"]})
+        answer = indexed_tus.query(numeric_target, k=3)
+        assert answer.results == []
+
+    def test_semantic_evidence_contributes(self, config, knowledge_base, figure1_tables):
+        # A target with city values that do not literally overlap the lake's
+        # city values should still be related through the knowledge base
+        # class annotations (semantic unionability).
+        engine = TableUnionSearch(config=config, knowledge_base=knowledge_base)
+        engine.index_lake(figure1_tables["lake"])
+        target = Table.from_dict(
+            "semantic_target", {"Town": ["Belfast", "London", "Manchester"]}
+        )
+        answer = engine.query(target, k=3)
+        assert answer.results

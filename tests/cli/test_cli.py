@@ -1,0 +1,147 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datagen.ground_truth import GroundTruth
+from repro.tables.csv_io import write_csv
+from repro.tables.table import Table
+
+
+@pytest.fixture(scope="module")
+def generated_corpus_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli_corpus")
+    exit_code = main(
+        [
+            "generate",
+            "--kind",
+            "real",
+            "--output",
+            str(directory),
+            "--families",
+            "4",
+            "--tables-per-family",
+            "3",
+            "--seed",
+            "3",
+        ]
+    )
+    assert exit_code == 0
+    return directory
+
+
+@pytest.fixture(scope="module")
+def indexed_engine_path(generated_corpus_dir, tmp_path_factory):
+    engine_path = tmp_path_factory.mktemp("cli_engine") / "engine.pkl"
+    exit_code = main(
+        [
+            "index",
+            "--lake",
+            str(generated_corpus_dir / "csv"),
+            "--output",
+            str(engine_path),
+            "--num-hashes",
+            "128",
+            "--embedding-dimension",
+            "32",
+        ]
+    )
+    assert exit_code == 0
+    return engine_path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--output", "out"])
+        assert args.kind == "real"
+        assert args.families == 12
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "--engine", "e.pkl", "--target", "t.csv"])
+        assert args.k == 10
+        assert not args.joins
+
+
+class TestGenerate:
+    def test_writes_csvs_and_ground_truth(self, generated_corpus_dir):
+        csv_files = list((generated_corpus_dir / "csv").glob("*.csv"))
+        assert len(csv_files) == 4 * 3
+        truth = GroundTruth.from_json(generated_corpus_dir / "ground_truth.json")
+        assert truth.table_names
+        assert truth.average_answer_size() > 0
+
+    def test_synthetic_kind(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "generate",
+                "--kind",
+                "synthetic",
+                "--output",
+                str(tmp_path / "syn"),
+                "--families",
+                "3",
+                "--tables-per-family",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        assert len(list((tmp_path / "syn" / "csv").glob("*.csv"))) == 6
+
+
+class TestStats:
+    def test_stats_prints_table_counts(self, generated_corpus_dir, capsys):
+        exit_code = main(["stats", "--lake", str(generated_corpus_dir / "csv")])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "tables" in captured
+        assert "12" in captured
+
+    def test_stats_on_empty_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        assert main(["stats", "--lake", str(tmp_path / "empty")]) == 1
+
+
+class TestIndexAndQuery:
+    def test_index_persists_engine(self, indexed_engine_path):
+        assert indexed_engine_path.exists()
+        assert indexed_engine_path.stat().st_size > 0
+
+    def test_index_on_empty_directory(self, tmp_path):
+        (tmp_path / "none").mkdir()
+        exit_code = main(
+            ["index", "--lake", str(tmp_path / "none"), "--output", str(tmp_path / "e.pkl")]
+        )
+        assert exit_code == 1
+
+    def test_query_returns_ranked_tables(
+        self, indexed_engine_path, generated_corpus_dir, tmp_path, capsys
+    ):
+        target = Table.from_dict(
+            "cli_target",
+            {
+                "Practice": ["Salford Medical Centre", "Bolton Surgery"],
+                "City": ["Salford", "Bolton"],
+                "Postcode": ["M3 6AF", "BL3 6PY"],
+            },
+        )
+        target_path = write_csv(target, tmp_path / "cli_target.csv")
+        exit_code = main(
+            [
+                "query",
+                "--engine",
+                str(indexed_engine_path),
+                "--target",
+                str(target_path),
+                "-k",
+                "3",
+                "--joins",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Top-3 datasets" in captured
+        assert "Join paths found" in captured

@@ -1,0 +1,150 @@
+"""Tests for Equations 1-3: distance aggregation."""
+
+import math
+
+import pytest
+
+from repro.core.aggregation import (
+    aggregate_column,
+    build_distance_table,
+    combined_distance,
+    evidence_vector,
+)
+from repro.core.evidence import EvidenceType
+from repro.core.profiles import AttributeMatch
+from repro.core.weights import EvidenceWeights
+from repro.lake.datalake import AttributeRef
+
+
+def _match(target, source, value, weight=1.0):
+    distances = {evidence: value for evidence in EvidenceType.all()}
+    weights = {evidence: weight for evidence in EvidenceType.all()}
+    return AttributeMatch(
+        target_attribute=target,
+        source=AttributeRef("s", source),
+        distances=distances,
+        weights=weights,
+    )
+
+
+class TestAggregateColumn:
+    def test_empty_matches_give_maximal_distance(self):
+        assert aggregate_column([], EvidenceType.NAME) == 1.0
+
+    def test_single_match_returns_its_distance(self):
+        assert aggregate_column([_match("a", "x", 0.3)], EvidenceType.VALUE) == pytest.approx(0.3)
+
+    def test_weighted_average(self):
+        matches = [
+            AttributeMatch(
+                "a",
+                AttributeRef("s", "x"),
+                {evidence: 0.2 for evidence in EvidenceType.all()},
+                {evidence: 1.0 for evidence in EvidenceType.all()},
+            ),
+            AttributeMatch(
+                "b",
+                AttributeRef("s", "y"),
+                {evidence: 0.8 for evidence in EvidenceType.all()},
+                {evidence: 0.0 for evidence in EvidenceType.all()},
+            ),
+        ]
+        # The zero-weighted match should not drag the average towards 0.8.
+        assert aggregate_column(matches, EvidenceType.NAME) == pytest.approx(0.2)
+
+    def test_all_zero_weights_fall_back_to_mean(self):
+        matches = [_match("a", "x", 0.2, weight=0.0), _match("b", "y", 0.6, weight=0.0)]
+        assert aggregate_column(matches, EvidenceType.NAME) == pytest.approx(0.4)
+
+    def test_missing_weight_defaults_to_one(self):
+        match = AttributeMatch(
+            "a",
+            AttributeRef("s", "x"),
+            {evidence: 0.5 for evidence in EvidenceType.all()},
+        )
+        assert aggregate_column([match], EvidenceType.FORMAT) == pytest.approx(0.5)
+
+
+class TestEvidenceVector:
+    def test_has_all_five_dimensions(self):
+        vector = evidence_vector([_match("a", "x", 0.4)])
+        assert set(vector) == set(EvidenceType.all())
+
+    def test_vector_values_bounded(self):
+        vector = evidence_vector([_match("a", "x", 0.4), _match("b", "y", 0.9)])
+        assert all(0.0 <= value <= 1.0 for value in vector.values())
+
+
+class TestCombinedDistance:
+    def test_zero_vector_is_zero_distance(self):
+        vector = {evidence: 0.0 for evidence in EvidenceType.all()}
+        assert combined_distance(vector, EvidenceWeights.uniform()) == 0.0
+
+    def test_unit_vector_distance(self):
+        vector = {evidence: 1.0 for evidence in EvidenceType.all()}
+        # sqrt(sum(w^2) / sum(w)) with w=1 gives sqrt(5/5) = 1.
+        assert combined_distance(vector, EvidenceWeights.uniform()) == pytest.approx(1.0)
+
+    def test_monotone_in_each_dimension(self):
+        base = {evidence: 0.5 for evidence in EvidenceType.all()}
+        larger = dict(base)
+        larger[EvidenceType.VALUE] = 0.9
+        weights = EvidenceWeights.uniform()
+        assert combined_distance(larger, weights) > combined_distance(base, weights)
+
+    def test_zero_weight_dimension_ignored(self):
+        vector = {evidence: 0.0 for evidence in EvidenceType.all()}
+        vector[EvidenceType.DISTRIBUTION] = 1.0
+        weights = EvidenceWeights.single(EvidenceType.VALUE)
+        assert combined_distance(vector, weights) == 0.0
+
+    def test_all_zero_weights_fall_back_to_unweighted_norm(self):
+        vector = {evidence: 0.5 for evidence in EvidenceType.all()}
+        weights = EvidenceWeights({evidence: 0.0 for evidence in EvidenceType.all()})
+        assert combined_distance(vector, weights) == pytest.approx(0.5)
+
+    def test_matches_formula_with_normalised_weights(self):
+        vector = {
+            EvidenceType.NAME: 0.2,
+            EvidenceType.VALUE: 0.4,
+            EvidenceType.FORMAT: 0.6,
+            EvidenceType.EMBEDDING: 0.8,
+            EvidenceType.DISTRIBUTION: 1.0,
+        }
+        weights = EvidenceWeights(
+            {
+                EvidenceType.NAME: 2.0,
+                EvidenceType.VALUE: 1.0,
+                EvidenceType.FORMAT: 0.5,
+                EvidenceType.EMBEDDING: 1.5,
+                EvidenceType.DISTRIBUTION: 0.0,
+            }
+        )
+        # Weights are rescaled so the largest equals 1 (2.0 -> 1.0, etc.).
+        scaled = [1.0, 0.5, 0.25, 0.75, 0.0]
+        values = [0.2, 0.4, 0.6, 0.8, 1.0]
+        numerator = sum((w * v) ** 2 for w, v in zip(scaled, values))
+        expected = math.sqrt(numerator / sum(scaled))
+        assert combined_distance(vector, weights) == pytest.approx(expected)
+
+    def test_weight_scaling_does_not_change_ranking(self):
+        near = {evidence: 0.2 for evidence in EvidenceType.all()}
+        far = {evidence: 0.7 for evidence in EvidenceType.all()}
+        small = EvidenceWeights({evidence: 0.3 for evidence in EvidenceType.all()})
+        large = EvidenceWeights({evidence: 30.0 for evidence in EvidenceType.all()})
+        assert combined_distance(near, small) < combined_distance(far, small)
+        assert combined_distance(near, large) < combined_distance(far, large)
+
+    def test_bounded_even_with_large_weights(self):
+        vector = {evidence: 1.0 for evidence in EvidenceType.all()}
+        weights = EvidenceWeights({evidence: 50.0 for evidence in EvidenceType.all()})
+        assert combined_distance(vector, weights) <= 1.0
+
+
+class TestDistanceTable:
+    def test_rows_follow_matches(self):
+        matches = [_match("City", "Town", 0.3), _match("Postcode", "PostCode", 0.1)]
+        rows = build_distance_table(matches)
+        assert len(rows) == 2
+        assert rows[0]["pair"] == ("City", "s.Town")
+        assert set(rows[0]) == {"pair", "DN", "DV", "DF", "DE", "DD"}

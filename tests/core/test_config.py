@@ -1,0 +1,62 @@
+"""Tests for the D3L configuration."""
+
+import pytest
+
+from repro.core.config import D3LConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = D3LConfig()
+        assert config.qgram_size == 4
+        assert config.num_hashes == 256
+        assert config.lsh_threshold == 0.7
+
+    def test_candidate_pool_grows_with_k(self):
+        config = D3LConfig(candidate_multiplier=5, min_candidates=50)
+        assert config.candidate_pool_size(1) == 50
+        assert config.candidate_pool_size(100) == 500
+
+    def test_candidate_pool_floor(self):
+        config = D3LConfig(min_candidates=40)
+        assert config.candidate_pool_size(0) == 40
+
+
+class TestValidation:
+    def test_rejects_bad_qgram_size(self):
+        with pytest.raises(ValueError):
+            D3LConfig(qgram_size=0)
+
+    def test_rejects_bad_num_hashes(self):
+        with pytest.raises(ValueError):
+            D3LConfig(num_hashes=0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            D3LConfig(lsh_threshold=0.0)
+        with pytest.raises(ValueError):
+            D3LConfig(lsh_threshold=1.0)
+
+    def test_rejects_bad_trees(self):
+        with pytest.raises(ValueError):
+            D3LConfig(num_trees=0)
+        with pytest.raises(ValueError):
+            D3LConfig(num_hashes=16, num_trees=32)
+
+    def test_rejects_bad_embedding_dimension(self):
+        with pytest.raises(ValueError):
+            D3LConfig(embedding_dimension=0)
+
+    def test_rejects_bad_candidate_parameters(self):
+        with pytest.raises(ValueError):
+            D3LConfig(candidate_multiplier=0)
+        with pytest.raises(ValueError):
+            D3LConfig(min_candidates=0)
+
+    def test_rejects_bad_overlap_threshold(self):
+        with pytest.raises(ValueError):
+            D3LConfig(overlap_threshold=0.0)
+
+    def test_rejects_bad_join_path_length(self):
+        with pytest.raises(ValueError):
+            D3LConfig(max_join_path_length=0)

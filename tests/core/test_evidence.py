@@ -1,0 +1,35 @@
+"""Tests for the evidence-type enumeration."""
+
+from repro.core.evidence import EvidenceType
+
+
+class TestEvidenceType:
+    def test_five_types(self):
+        assert len(EvidenceType.all()) == 5
+
+    def test_indexed_excludes_distribution(self):
+        assert EvidenceType.DISTRIBUTION not in EvidenceType.indexed()
+        assert len(EvidenceType.indexed()) == 4
+
+    def test_paper_symbols(self):
+        assert EvidenceType.NAME.value == "N"
+        assert EvidenceType.VALUE.value == "V"
+        assert EvidenceType.FORMAT.value == "F"
+        assert EvidenceType.EMBEDDING.value == "E"
+        assert EvidenceType.DISTRIBUTION.value == "D"
+
+    def test_is_indexed_flag(self):
+        assert EvidenceType.NAME.is_indexed
+        assert not EvidenceType.DISTRIBUTION.is_indexed
+
+    def test_string_rendering(self):
+        assert str(EvidenceType.VALUE) == "V"
+
+    def test_order_matches_paper(self):
+        assert list(EvidenceType.all()) == [
+            EvidenceType.NAME,
+            EvidenceType.VALUE,
+            EvidenceType.FORMAT,
+            EvidenceType.EMBEDDING,
+            EvidenceType.DISTRIBUTION,
+        ]

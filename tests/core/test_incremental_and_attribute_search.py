@@ -1,0 +1,99 @@
+"""Tests for incremental index maintenance and attribute-level search."""
+
+import pytest
+
+from repro.core.discovery import D3L
+from repro.core.evidence import EvidenceType
+from repro.lake.datalake import AttributeRef, DataLake
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def engine(figure1_tables, fast_config):
+    engine = D3L(config=fast_config)
+    engine.index_lake(figure1_tables["lake"])
+    return engine
+
+
+class TestRemoveTable:
+    def test_remove_known_table(self, engine, figure1_tables):
+        assert engine.remove_table("gp_funding_s2") is True
+        assert "gp_funding_s2" not in engine.indexes.table_names
+        answer = engine.query(figure1_tables["target"], k=3)
+        assert "gp_funding_s2" not in answer.candidate_tables()
+
+    def test_remove_unknown_table(self, engine):
+        assert engine.remove_table("not_there") is False
+
+    def test_remove_clears_all_indexes(self, engine):
+        removed_refs = [
+            ref for ref in engine.indexes.profiles if ref.table == "local_gps_s3"
+        ]
+        assert removed_refs
+        engine.remove_table("local_gps_s3")
+        for ref in removed_refs:
+            assert ref not in engine.indexes.profiles
+            for evidence in EvidenceType.indexed():
+                assert engine.indexes.signature(evidence, ref) is None
+
+    def test_reinsert_after_removal(self, engine, figure1_tables):
+        engine.remove_table("gp_funding_s2")
+        engine.index_table(figure1_tables["sources"][1])
+        answer = engine.query(figure1_tables["target"], k=3)
+        assert "gp_funding_s2" in answer.candidate_tables()
+
+    def test_remove_invalidates_join_graph(self, engine):
+        graph_before = engine.join_graph
+        engine.remove_table("gp_practices_s1")
+        assert engine.join_graph is not graph_before
+        assert "gp_practices_s1" not in engine.join_graph.table_names or not list(
+            engine.join_graph.graph.edges("gp_practices_s1")
+        )
+
+    def test_attribute_count_shrinks(self, engine):
+        before = engine.indexes.attribute_count
+        engine.remove_table("gp_practices_s1")
+        assert engine.indexes.attribute_count < before
+
+
+class TestRelatedAttributes:
+    def test_returns_ranked_attributes(self, engine, figure1_tables):
+        results = engine.related_attributes(figure1_tables["target"], "Postcode", k=5)
+        assert results
+        refs = [result.ref for result in results]
+        assert AttributeRef("gp_funding_s2", "Postcode") in refs
+        distances = [result.distance for result in results]
+        assert distances == sorted(distances)
+
+    def test_respects_k(self, engine, figure1_tables):
+        assert len(engine.related_attributes(figure1_tables["target"], "City", k=1)) == 1
+
+    def test_distances_complete_and_bounded(self, engine, figure1_tables):
+        results = engine.related_attributes(figure1_tables["target"], "City", k=5)
+        for result in results:
+            assert set(result.distances) == set(EvidenceType.all())
+            assert all(0.0 <= value <= 1.0 for value in result.distances.values())
+            assert 0.0 <= result.distance <= 1.0
+
+    def test_unknown_attribute_raises(self, engine, figure1_tables):
+        with pytest.raises(KeyError):
+            engine.related_attributes(figure1_tables["target"], "NotAColumn", k=3)
+
+    def test_invalid_k_raises(self, engine, figure1_tables):
+        with pytest.raises(ValueError):
+            engine.related_attributes(figure1_tables["target"], "City", k=0)
+
+    def test_exclude_self(self, engine, figure1_tables):
+        source = figure1_tables["sources"][1]
+        included = engine.related_attributes(source, "City", k=10, exclude_self=False)
+        excluded = engine.related_attributes(source, "City", k=10, exclude_self=True)
+        assert any(result.ref.table == source.name for result in included)
+        assert all(result.ref.table != source.name for result in excluded)
+
+    def test_numeric_attribute_search(self, engine, figure1_tables):
+        results = engine.related_attributes(figure1_tables["sources"][0], "Patients", k=5)
+        # Numeric attributes are indexed by name and format, so candidates
+        # exist; the distribution distance must be defined for numeric pairs.
+        assert results
+        for result in results:
+            assert 0.0 <= result.distances[EvidenceType.DISTRIBUTION] <= 1.0

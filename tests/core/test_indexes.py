@@ -1,0 +1,150 @@
+"""Tests for the four D3L LSH indexes (Algorithm 1 construction)."""
+
+import pytest
+
+from repro.core.config import D3LConfig
+from repro.core.evidence import EvidenceType
+from repro.core.indexes import D3LIndexes
+from repro.lake.datalake import AttributeRef, DataLake
+from repro.tables.table import Table
+
+
+@pytest.fixture(scope="module")
+def config():
+    return D3LConfig(num_hashes=128, embedding_dimension=16, min_candidates=20)
+
+
+@pytest.fixture(scope="module")
+def indexed(config, figure1_tables):
+    indexes = D3LIndexes(config=config)
+    indexes.add_lake(figure1_tables["lake"])
+    return indexes
+
+
+class TestConstruction:
+    def test_all_attributes_profiled(self, indexed, figure1_tables):
+        expected = sum(table.arity for table in figure1_tables["sources"])
+        assert indexed.attribute_count == expected
+
+    def test_table_names(self, indexed):
+        assert set(indexed.table_names) == {"gp_practices_s1", "gp_funding_s2", "local_gps_s3"}
+
+    def test_textual_attribute_indexed_everywhere(self, indexed):
+        ref = AttributeRef("gp_funding_s2", "City")
+        for evidence in EvidenceType.indexed():
+            assert indexed.signature(evidence, ref) is not None
+
+    def test_numeric_attribute_not_in_value_or_embedding_index(self, indexed):
+        ref = AttributeRef("gp_practices_s1", "Patients")
+        assert indexed.signature(EvidenceType.VALUE, ref) is None
+        assert indexed.signature(EvidenceType.EMBEDDING, ref) is None
+
+    def test_numeric_attribute_in_name_and_format_index(self, indexed):
+        ref = AttributeRef("gp_practices_s1", "Patients")
+        assert indexed.signature(EvidenceType.NAME, ref) is not None
+        assert indexed.signature(EvidenceType.FORMAT, ref) is not None
+
+    def test_subject_attributes_identified(self, indexed):
+        assert indexed.subject_attribute("gp_practices_s1") == "Practice Name"
+        assert indexed.subject_attribute("local_gps_s3") == "GP"
+        assert indexed.subject_attribute("unknown") is None
+
+    def test_forest_sizes_match_inserted_signatures(self, indexed):
+        for evidence in EvidenceType.indexed():
+            forest = indexed.forest(evidence)
+            signatures = sum(
+                1
+                for ref in indexed.profiles
+                if indexed.signature(evidence, ref) is not None
+            )
+            assert len(forest) == signatures
+
+
+class TestLookup:
+    def test_lookup_finds_same_named_attribute(self, indexed, figure1_tables):
+        target_profile = indexed.profile_table(figure1_tables["target"])
+        city = target_profile.profile("City")
+        results = indexed.lookup(EvidenceType.NAME, city, k=10)
+        assert AttributeRef("gp_funding_s2", "City") in [ref for ref, _ in results]
+
+    def test_lookup_distances_sorted_and_bounded(self, indexed, figure1_tables):
+        target_profile = indexed.profile_table(figure1_tables["target"])
+        city = target_profile.profile("City")
+        results = indexed.lookup(EvidenceType.VALUE, city, k=10)
+        distances = [distance for _, distance in results]
+        assert distances == sorted(distances)
+        assert all(0.0 <= distance <= 1.0 for distance in distances)
+
+    def test_lookup_respects_k(self, indexed, figure1_tables):
+        target_profile = indexed.profile_table(figure1_tables["target"])
+        city = target_profile.profile("City")
+        assert len(indexed.lookup(EvidenceType.NAME, city, k=1)) <= 1
+
+    def test_lookup_excludes_table(self, indexed, figure1_tables):
+        source = figure1_tables["sources"][1]
+        profile = indexed.profile_table(source).profile("City")
+        results = indexed.lookup(
+            EvidenceType.NAME, profile, k=10, exclude_table=source.name
+        )
+        assert all(ref.table != source.name for ref, _ in results)
+
+    def test_lookup_on_distribution_evidence_rejected(self, indexed, figure1_tables):
+        target_profile = indexed.profile_table(figure1_tables["target"])
+        with pytest.raises(ValueError):
+            indexed.lookup(EvidenceType.DISTRIBUTION, target_profile.profile("City"), k=5)
+
+    def test_lookup_with_empty_evidence_returns_nothing(self, indexed, config):
+        table = Table.from_dict("numbers_only", {"Count": ["1", "2", "3"]})
+        profile = indexed.profile_table(table).profile("Count")
+        assert indexed.lookup(EvidenceType.VALUE, profile, k=5) == []
+
+
+class TestAttributeDistance:
+    def test_identical_attributes_have_zero_name_distance(self, indexed, figure1_tables):
+        source = figure1_tables["sources"][1]
+        profile = indexed.profile_table(source).profile("Postcode")
+        distance = indexed.attribute_distance(
+            EvidenceType.NAME, profile, AttributeRef("gp_funding_s2", "Postcode")
+        )
+        assert distance == 0.0
+
+    def test_distance_for_unindexed_evidence_is_one(self, indexed, figure1_tables):
+        target_profile = indexed.profile_table(figure1_tables["target"])
+        hours = target_profile.profile("Hours")
+        distance = indexed.attribute_distance(
+            EvidenceType.VALUE, hours, AttributeRef("gp_practices_s1", "Patients")
+        )
+        assert distance == 1.0
+
+    def test_distribution_distance_between_numeric_attributes(self, indexed, figure1_tables):
+        profile = indexed.profile_table(figure1_tables["sources"][0]).profile("Patients")
+        distance = indexed.attribute_distance(
+            EvidenceType.DISTRIBUTION, profile, AttributeRef("gp_funding_s2", "Payment")
+        )
+        assert 0.0 <= distance <= 1.0
+
+    def test_distribution_distance_with_text_is_one(self, indexed, figure1_tables):
+        profile = indexed.profile_table(figure1_tables["target"]).profile("City")
+        distance = indexed.attribute_distance(
+            EvidenceType.DISTRIBUTION, profile, AttributeRef("gp_funding_s2", "City")
+        )
+        assert distance == 1.0
+
+    def test_distance_bounded(self, indexed, figure1_tables):
+        target_profile = indexed.profile_table(figure1_tables["target"])
+        for attribute in target_profile.attributes.values():
+            for ref in indexed.profiles:
+                for evidence in EvidenceType.all():
+                    distance = indexed.attribute_distance(evidence, attribute, ref)
+                    assert 0.0 <= distance <= 1.0
+
+
+class TestSpaceAccounting:
+    def test_index_bytes_per_index(self, indexed):
+        sizes = indexed.index_bytes()
+        assert set(sizes) == {"IN", "IV", "IF", "IE", "profiles"}
+        assert all(size >= 0 for size in sizes.values())
+
+    def test_total_bytes(self, indexed):
+        assert indexed.estimated_bytes() == sum(indexed.index_bytes().values())
+        assert indexed.estimated_bytes() > 0

@@ -1,0 +1,201 @@
+"""Tests for SA-joinability and Algorithm 3 join-path discovery."""
+
+import pytest
+
+from repro.core.joins import (
+    JoinEdge,
+    JoinPath,
+    SAJoinGraph,
+    estimated_overlap,
+    find_join_paths,
+    paths_from,
+    tables_reached,
+)
+from repro.lake.datalake import AttributeRef
+
+
+class TestEstimatedOverlap:
+    def test_identical_sets(self):
+        assert estimated_overlap(1.0, 10, 10) == 1.0
+
+    def test_zero_jaccard(self):
+        assert estimated_overlap(0.0, 10, 10) == 0.0
+
+    def test_empty_set(self):
+        assert estimated_overlap(0.5, 0, 10) == 0.0
+
+    def test_containment_of_small_set_in_large(self):
+        # |A|=10 fully contained in |B|=100: J = 10/100 = 0.1,
+        # ov estimate = 0.1*110/(1.1*10) = 1.0.
+        assert estimated_overlap(0.1, 10, 100) == pytest.approx(1.0)
+
+    def test_clipped_to_one(self):
+        assert estimated_overlap(0.9, 10, 1000) == 1.0
+
+    def test_monotone_in_jaccard(self):
+        assert estimated_overlap(0.6, 50, 60) > estimated_overlap(0.3, 50, 60)
+
+
+class TestSAJoinGraph:
+    def test_figure1_join_graph_connects_gp_tables(self, figure1_engine):
+        graph = figure1_engine.join_graph
+        assert set(graph.table_names) == {
+            "gp_practices_s1",
+            "gp_funding_s2",
+            "local_gps_s3",
+        }
+        # The subject attributes (practice names) overlap heavily, so at
+        # least one SA-join edge must exist.
+        assert graph.edge_count() >= 1
+
+    def test_edges_involve_subject_attributes(self, figure1_engine):
+        graph = figure1_engine.join_graph
+        subjects = {
+            table_name: figure1_engine.indexes.subject_attribute(table_name)
+            for table_name in graph.table_names
+        }
+        for first, second in graph.graph.edges:
+            edge = graph.edge(first, second)
+            assert (
+                edge.left.column == subjects[edge.left.table]
+                or edge.right.column == subjects[edge.right.table]
+            )
+
+    def test_neighbours_of_unknown_table(self, figure1_engine):
+        assert figure1_engine.join_graph.neighbours("unknown") == []
+
+    def test_edge_for_unconnected_pair(self, figure1_engine):
+        graph = figure1_engine.join_graph
+        assert graph.edge("gp_practices_s1", "no_such_table") is None
+
+    def test_connected_component_contains_self(self, figure1_engine):
+        component = figure1_engine.join_graph.connected_component("gp_practices_s1")
+        assert "gp_practices_s1" in component
+
+    def test_connected_component_of_unknown_table(self, figure1_engine):
+        assert figure1_engine.join_graph.connected_component("unknown") == set()
+
+    def test_overlaps_above_threshold(self, figure1_engine):
+        graph = figure1_engine.join_graph
+        threshold = figure1_engine.config.overlap_threshold
+        for first, second in graph.graph.edges:
+            assert graph.edge(first, second).overlap >= threshold
+
+
+class TestFindJoinPaths:
+    @pytest.fixture
+    def toy_graph(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        edges = [
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "d"),
+            ("a", "e"),
+        ]
+        for first, second in edges:
+            graph.add_edge(
+                first,
+                second,
+                join=JoinEdge(
+                    left=AttributeRef(first, "subject"),
+                    right=AttributeRef(second, "subject"),
+                    overlap=0.9,
+                ),
+            )
+        return SAJoinGraph(graph)
+
+    def test_paths_exclude_top_k_members(self, toy_graph):
+        paths = find_join_paths(toy_graph, ["a", "b"], related_tables={"a", "b", "c", "d", "e"})
+        reached = tables_reached(paths)
+        assert "b" not in reached
+        assert {"c", "d", "e"} & reached
+
+    def test_paths_restricted_to_related_tables(self, toy_graph):
+        paths = find_join_paths(toy_graph, ["a"], related_tables={"a", "b", "e"})
+        reached = tables_reached(paths)
+        assert "e" in reached
+        assert "c" not in reached and "d" not in reached
+
+    def test_paths_are_acyclic(self, toy_graph):
+        paths = find_join_paths(toy_graph, ["a"], related_tables={"a", "b", "c", "d", "e"})
+        for path in paths:
+            assert len(path.tables) == len(set(path.tables))
+
+    def test_max_length_respected(self, toy_graph):
+        short = find_join_paths(
+            toy_graph, ["a"], related_tables={"a", "b", "c", "d", "e"}, max_length=1
+        )
+        assert all(len(path) == 2 for path in short)
+        longer = find_join_paths(
+            toy_graph, ["a"], related_tables={"a", "b", "c", "d", "e"}, max_length=3
+        )
+        assert any(len(path) == 4 for path in longer)
+
+    def test_every_path_starts_from_a_top_k_table(self, toy_graph):
+        paths = find_join_paths(toy_graph, ["a", "b"], related_tables={"a", "b", "c", "d", "e"})
+        assert all(path.start in {"a", "b"} for path in paths)
+
+    def test_path_edges_match_tables(self, toy_graph):
+        paths = find_join_paths(toy_graph, ["b"], related_tables={"a", "b", "c", "d"})
+        for path in paths:
+            assert len(path.edges) == len(path.tables) - 1
+
+    def test_paths_from_helper(self, toy_graph):
+        paths = find_join_paths(toy_graph, ["a", "b"], related_tables={"a", "b", "c", "d", "e"})
+        assert all(path.start == "a" for path in paths_from(paths, "a"))
+
+    def test_reached_property(self):
+        path = JoinPath(tables=["a", "b", "c"], edges=[])
+        assert path.start == "a"
+        assert path.reached == ["b", "c"]
+        assert len(path) == 3
+
+
+class TestEnsembleJoinGraph:
+    def test_ensemble_variant_finds_gp_joins(self, figure1_engine):
+        from repro.core.joins import SAJoinGraph
+
+        graph = SAJoinGraph.build_with_ensemble(
+            figure1_engine.indexes, figure1_engine.config
+        )
+        assert set(graph.table_names) == {
+            "gp_practices_s1",
+            "gp_funding_s2",
+            "local_gps_s3",
+        }
+        assert graph.edge_count() >= 1
+
+    def test_ensemble_edges_verified_by_value_overlap(self, figure1_engine):
+        from repro.core.joins import SAJoinGraph
+
+        graph = SAJoinGraph.build_with_ensemble(
+            figure1_engine.indexes, figure1_engine.config
+        )
+        threshold = figure1_engine.config.overlap_threshold
+        for first, second in graph.graph.edges:
+            assert graph.edge(first, second).overlap >= threshold
+
+
+class TestQueryWithJoins:
+    def test_join_augmented_result_structure(self, figure1_engine, figure1_tables):
+        augmented = figure1_engine.query_with_joins(figure1_tables["target"], k=1)
+        assert augmented.base.requested_k == 1
+        top_table = augmented.base.table_names(1)[0]
+        assert augmented.tables_for(top_table) == {
+            path.tables[1] for path in augmented.join_paths if path.start == top_table
+        } or augmented.tables_for(top_table) == set()
+
+    def test_joined_tables_not_in_top_k(self, figure1_engine, figure1_tables):
+        augmented = figure1_engine.query_with_joins(figure1_tables["target"], k=1)
+        top = set(augmented.base.table_names(1))
+        assert augmented.joined_tables.isdisjoint(top)
+
+    def test_joined_tables_on_generated_corpus(self, indexed_d3l, small_synthetic_benchmark):
+        target = small_synthetic_benchmark.pick_targets(1, seed=6)[0]
+        augmented = indexed_d3l.query_with_joins(target, k=3)
+        # Join paths may or may not exist, but the structure must be coherent.
+        for path in augmented.join_paths:
+            assert path.start in augmented.base.table_names(3)
+            assert set(path.reached) <= augmented.base.candidate_tables()

@@ -1,0 +1,90 @@
+"""Tests for engine/index persistence."""
+
+import pickle
+
+import pytest
+
+from repro.core.discovery import D3L
+from repro.core.indexes import D3LIndexes
+from repro.core.persistence import (
+    PersistenceError,
+    load_engine,
+    load_indexes,
+    save_engine,
+    save_indexes,
+)
+
+
+class TestEngineRoundTrip:
+    def test_save_and_load_engine(self, figure1_engine, figure1_tables, tmp_path):
+        path = save_engine(figure1_engine, tmp_path / "engine.pkl")
+        assert path.exists()
+        loaded = load_engine(path)
+        assert isinstance(loaded, D3L)
+        assert set(loaded.indexes.table_names) == set(figure1_engine.indexes.table_names)
+
+    def test_loaded_engine_answers_queries_identically(
+        self, figure1_engine, figure1_tables, tmp_path
+    ):
+        path = save_engine(figure1_engine, tmp_path / "engine.pkl")
+        loaded = load_engine(path)
+        target = figure1_tables["target"]
+        original = figure1_engine.query(target, k=3)
+        restored = loaded.query(target, k=3)
+        assert original.table_names(3) == restored.table_names(3)
+        assert [round(r.distance, 9) for r in original.results] == [
+            round(r.distance, 9) for r in restored.results
+        ]
+
+    def test_save_creates_parent_directories(self, figure1_engine, tmp_path):
+        path = save_engine(figure1_engine, tmp_path / "nested" / "deeper" / "engine.pkl")
+        assert path.exists()
+
+    def test_weights_survive_round_trip(self, figure1_engine, tmp_path):
+        path = save_engine(figure1_engine, tmp_path / "engine.pkl")
+        loaded = load_engine(path)
+        assert loaded.weights.values == figure1_engine.weights.values
+
+
+class TestIndexRoundTrip:
+    def test_save_and_load_indexes(self, figure1_engine, tmp_path):
+        path = save_indexes(figure1_engine.indexes, tmp_path / "indexes.pkl")
+        loaded = load_indexes(path)
+        assert isinstance(loaded, D3LIndexes)
+        assert loaded.attribute_count == figure1_engine.indexes.attribute_count
+
+    def test_kind_mismatch_rejected(self, figure1_engine, tmp_path):
+        engine_path = save_engine(figure1_engine, tmp_path / "engine.pkl")
+        with pytest.raises(PersistenceError):
+            load_indexes(engine_path)
+        indexes_path = save_indexes(figure1_engine.indexes, tmp_path / "indexes.pkl")
+        with pytest.raises(PersistenceError):
+            load_engine(indexes_path)
+
+
+class TestErrorHandling:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_engine(tmp_path / "missing.pkl")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "corrupt.pkl"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(PersistenceError):
+            load_engine(path)
+
+    def test_wrong_payload_type(self, tmp_path):
+        path = tmp_path / "wrong.pkl"
+        with path.open("wb") as handle:
+            pickle.dump(["something", "else"], handle)
+        with pytest.raises(PersistenceError):
+            load_engine(path)
+
+    def test_version_mismatch(self, figure1_engine, tmp_path):
+        path = tmp_path / "old.pkl"
+        with path.open("wb") as handle:
+            pickle.dump(
+                {"kind": "d3l_engine", "version": -1, "engine": figure1_engine}, handle
+            )
+        with pytest.raises(PersistenceError):
+            load_engine(path)

@@ -1,0 +1,88 @@
+"""Tests for Equation 3 evidence weights and their training."""
+
+import numpy as np
+import pytest
+
+from repro.core.evidence import EvidenceType
+from repro.core.weights import DEFAULT_WEIGHTS, EvidenceWeights, train_evidence_weights
+
+
+class TestEvidenceWeights:
+    def test_defaults_cover_all_evidence_types(self):
+        weights = EvidenceWeights()
+        assert set(weights.values) == set(EvidenceType.all())
+
+    def test_getitem_and_get(self):
+        weights = EvidenceWeights()
+        assert weights[EvidenceType.VALUE] == DEFAULT_WEIGHTS[EvidenceType.VALUE]
+        assert weights.get(EvidenceType.VALUE) == DEFAULT_WEIGHTS[EvidenceType.VALUE]
+
+    def test_as_dict_returns_copy(self):
+        weights = EvidenceWeights()
+        copy = weights.as_dict()
+        copy[EvidenceType.VALUE] = 99.0
+        assert weights[EvidenceType.VALUE] != 99.0
+
+    def test_uniform(self):
+        weights = EvidenceWeights.uniform()
+        assert all(value == 1.0 for value in weights.values.values())
+
+    def test_single(self):
+        weights = EvidenceWeights.single(EvidenceType.FORMAT)
+        assert weights[EvidenceType.FORMAT] == 1.0
+        assert weights[EvidenceType.VALUE] == 0.0
+
+    def test_normalised_sums_to_type_count(self):
+        weights = EvidenceWeights().normalised()
+        assert sum(weights.values.values()) == pytest.approx(len(EvidenceType.all()))
+
+    def test_normalised_handles_zero_total(self):
+        weights = EvidenceWeights({evidence: 0.0 for evidence in EvidenceType.all()})
+        assert sum(weights.normalised().values.values()) > 0
+
+
+def _make_pairs(n, seed=0):
+    """Synthetic training data where VALUE and NAME distances predict relatedness."""
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for _ in range(n):
+        related = int(rng.random() < 0.5)
+        base = 0.2 if related else 0.8
+        vector = {
+            EvidenceType.NAME: float(np.clip(base + rng.normal(0, 0.1), 0, 1)),
+            EvidenceType.VALUE: float(np.clip(base + rng.normal(0, 0.1), 0, 1)),
+            EvidenceType.FORMAT: float(rng.uniform(0, 1)),
+            EvidenceType.EMBEDDING: float(np.clip(base + rng.normal(0, 0.2), 0, 1)),
+            EvidenceType.DISTRIBUTION: 1.0,
+        }
+        pairs.append((vector, related))
+    return pairs
+
+
+class TestTraining:
+    def test_empty_training_set_returns_defaults(self):
+        weights = train_evidence_weights([])
+        assert weights.values == DEFAULT_WEIGHTS
+
+    def test_single_class_returns_defaults(self):
+        pairs = [({evidence: 0.5 for evidence in EvidenceType.all()}, 1) for _ in range(10)]
+        weights = train_evidence_weights(pairs)
+        assert weights.values == DEFAULT_WEIGHTS
+
+    def test_discriminative_evidence_gets_higher_weight(self):
+        weights = train_evidence_weights(_make_pairs(300))
+        assert weights[EvidenceType.VALUE] > weights[EvidenceType.FORMAT]
+        assert weights[EvidenceType.NAME] > weights[EvidenceType.DISTRIBUTION]
+
+    def test_training_accuracy_reported(self):
+        weights = train_evidence_weights(_make_pairs(200), _make_pairs(100, seed=5))
+        assert weights.training_accuracy is not None
+        assert weights.training_accuracy > 0.8
+
+    def test_all_weights_positive(self):
+        weights = train_evidence_weights(_make_pairs(200))
+        assert all(value > 0 for value in weights.values.values())
+
+    def test_accuracy_without_test_set_uses_training_set(self):
+        weights = train_evidence_weights(_make_pairs(150))
+        assert weights.training_accuracy is not None

@@ -1,0 +1,83 @@
+"""Tests for the base table specifications and their materialisation."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.base_tables import (
+    build_base_table,
+    build_base_tables,
+    default_base_specs,
+)
+from repro.datagen.vocab import default_vocabulary
+
+
+@pytest.fixture(scope="module")
+def vocabulary():
+    return default_vocabulary()
+
+
+class TestSpecs:
+    def test_thirty_two_base_specs(self):
+        assert len(default_base_specs()) == 32
+
+    def test_spec_names_unique(self):
+        names = [spec.name for spec in default_base_specs()]
+        assert len(set(names)) == len(names)
+
+    def test_all_domains_exist_in_vocabulary(self, vocabulary):
+        for spec in default_base_specs():
+            for domain in spec.domains:
+                assert domain in vocabulary, (spec.name, domain)
+
+    def test_subject_domain_is_textual(self, vocabulary):
+        for spec in default_base_specs():
+            assert not vocabulary.domain(spec.subject_domain).numeric, spec.name
+
+    def test_specs_are_wide(self):
+        for spec in default_base_specs():
+            assert len(spec.domains) >= 6, spec.name
+
+    def test_topics_cover_multiple_areas(self):
+        topics = {spec.topic for spec in default_base_specs()}
+        assert len(topics) >= 5
+
+
+class TestMaterialisation:
+    def test_row_count(self, vocabulary):
+        spec = default_base_specs()[0]
+        base = build_base_table(spec, vocabulary, rows=50, rng=np.random.default_rng(0))
+        assert base.table.cardinality == 50
+
+    def test_column_count_matches_spec(self, vocabulary):
+        spec = default_base_specs()[0]
+        base = build_base_table(spec, vocabulary, rows=10, rng=np.random.default_rng(0))
+        assert base.table.arity == len(spec.domains)
+
+    def test_column_domains_recorded(self, vocabulary):
+        spec = default_base_specs()[0]
+        base = build_base_table(spec, vocabulary, rows=10, rng=np.random.default_rng(0))
+        assert set(base.column_domains.values()) == set(spec.domains)
+
+    def test_subject_attribute_is_first_column(self, vocabulary):
+        spec = default_base_specs()[3]
+        base = build_base_table(spec, vocabulary, rows=10, rng=np.random.default_rng(1))
+        assert base.subject_attribute == base.table.column_names[0]
+
+    def test_repeated_domains_get_distinct_names(self, vocabulary):
+        spec = default_base_specs()[0]
+        spec.domains.append(spec.domains[1])
+        try:
+            base = build_base_table(spec, vocabulary, rows=5, rng=np.random.default_rng(2))
+            assert len(set(base.table.column_names)) == base.table.arity
+        finally:
+            spec.domains.pop()
+
+    def test_build_all_base_tables(self, vocabulary):
+        bases = build_base_tables(rows=20, seed=0, vocabulary=vocabulary)
+        assert len(bases) == 32
+        assert all(base.table.cardinality == 20 for base in bases)
+
+    def test_deterministic_given_seed(self, vocabulary):
+        first = build_base_tables(rows=10, seed=5, vocabulary=vocabulary)[0]
+        second = build_base_tables(rows=10, seed=5, vocabulary=vocabulary)[0]
+        assert first.table == second.table

@@ -1,0 +1,76 @@
+"""Tests for the benchmark bundle helpers."""
+
+import pytest
+
+from repro.datagen.corpus import build_embedding_corpus, build_knowledge_base
+from repro.datagen.vocab import default_vocabulary
+
+
+class TestPickTargets:
+    def test_requested_count(self, small_synthetic_benchmark):
+        targets = small_synthetic_benchmark.pick_targets(5, seed=0)
+        assert len(targets) == 5
+
+    def test_targets_have_related_tables(self, small_synthetic_benchmark):
+        targets = small_synthetic_benchmark.pick_targets(5, seed=0, min_related=1)
+        for target in targets:
+            assert small_synthetic_benchmark.ground_truth.answer_size(target.name) >= 1
+
+    def test_count_larger_than_candidates_returns_all(self, small_synthetic_benchmark):
+        targets = small_synthetic_benchmark.pick_targets(10_000)
+        assert len(targets) == len(small_synthetic_benchmark.lake)
+
+    def test_invalid_count(self, small_synthetic_benchmark):
+        with pytest.raises(ValueError):
+            small_synthetic_benchmark.pick_targets(0)
+
+    def test_deterministic_given_seed(self, small_synthetic_benchmark):
+        first = [t.name for t in small_synthetic_benchmark.pick_targets(4, seed=3)]
+        second = [t.name for t in small_synthetic_benchmark.pick_targets(4, seed=3)]
+        assert first == second
+
+
+class TestLabelledSubjects:
+    def test_labels_reference_existing_columns(self, small_real_benchmark):
+        labelled = small_real_benchmark.labelled_subject_tables()
+        assert labelled
+        for table, subject in labelled:
+            assert subject in table
+
+    def test_describe_includes_answer_size(self, small_real_benchmark):
+        stats = small_real_benchmark.describe()
+        assert "average_answer_size" in stats
+        assert stats["tables"] == len(small_real_benchmark.lake)
+
+
+class TestEmbeddingCorpus:
+    def test_sentences_generated(self):
+        sentences = build_embedding_corpus(sentences_per_domain=5)
+        assert len(sentences) > 0
+        assert all(isinstance(sentence, list) for sentence in sentences)
+
+    def test_sentences_contain_alias_tokens(self):
+        sentences = build_embedding_corpus(sentences_per_domain=10, seed=1)
+        tokens = {token for sentence in sentences for token in sentence}
+        assert "city" in tokens or "town" in tokens
+
+    def test_deterministic(self):
+        assert build_embedding_corpus(sentences_per_domain=3, seed=7) == build_embedding_corpus(
+            sentences_per_domain=3, seed=7
+        )
+
+
+class TestKnowledgeBase:
+    def test_covers_vocabulary_classes(self):
+        knowledge_base = build_knowledge_base(samples_per_domain=50, seed=2)
+        assert "place" in knowledge_base.classes
+        assert "organisation" in knowledge_base.classes
+
+    def test_city_tokens_annotated(self):
+        knowledge_base = build_knowledge_base(samples_per_domain=200, seed=2)
+        assert "place" in knowledge_base.classes_of_token("manchester")
+
+    def test_vocabulary_argument_respected(self):
+        vocabulary = default_vocabulary()
+        knowledge_base = build_knowledge_base(vocabulary, samples_per_domain=10, seed=0)
+        assert len(knowledge_base) > 0

@@ -1,0 +1,121 @@
+"""Tests for the ground-truth structure."""
+
+import pytest
+
+from repro.datagen.ground_truth import GroundTruth
+from repro.lake.datalake import AttributeRef
+
+
+@pytest.fixture
+def ground_truth():
+    truth = GroundTruth()
+    truth.add_table("a", {"Practice": "practice_name", "City": "city"}, subject_attribute="Practice")
+    truth.add_table("b", {"GP": "practice_name", "Town": "city"}, subject_attribute="GP")
+    truth.add_table("c", {"School": "school_name"}, subject_attribute="School")
+    truth.mark_related("a", "b")
+    return truth
+
+
+class TestTableRelatedness:
+    def test_symmetric(self, ground_truth):
+        assert ground_truth.is_related("a", "b")
+        assert ground_truth.is_related("b", "a")
+
+    def test_unrelated(self, ground_truth):
+        assert not ground_truth.is_related("a", "c")
+
+    def test_identity_never_related(self, ground_truth):
+        ground_truth.mark_related("a", "a")
+        assert not ground_truth.is_related("a", "a")
+
+    def test_related_to(self, ground_truth):
+        assert ground_truth.related_to("a") == {"b"}
+        assert ground_truth.related_to("c") == set()
+
+    def test_answer_size(self, ground_truth):
+        assert ground_truth.answer_size("a") == 1
+        assert ground_truth.answer_size("c") == 0
+
+    def test_average_answer_size(self, ground_truth):
+        assert ground_truth.average_answer_size() == pytest.approx(2 / 3)
+
+    def test_average_answer_size_empty(self):
+        assert GroundTruth().average_answer_size() == 0.0
+
+    def test_mark_group_related(self):
+        truth = GroundTruth()
+        for name in ["x", "y", "z"]:
+            truth.add_table(name, {})
+        truth.mark_group_related(["x", "y", "z"])
+        assert truth.is_related("x", "z")
+        assert truth.answer_size("y") == 2
+
+    def test_table_names(self, ground_truth):
+        assert set(ground_truth.table_names) == {"a", "b", "c"}
+
+
+class TestAttributeRelatedness:
+    def test_same_domain_attributes_related(self, ground_truth):
+        assert ground_truth.are_attributes_related(
+            AttributeRef("a", "Practice"), AttributeRef("b", "GP")
+        )
+
+    def test_different_domain_attributes_unrelated(self, ground_truth):
+        assert not ground_truth.are_attributes_related(
+            AttributeRef("a", "Practice"), AttributeRef("b", "Town")
+        )
+
+    def test_unknown_attribute_unrelated(self, ground_truth):
+        assert not ground_truth.are_attributes_related(
+            AttributeRef("a", "Practice"), AttributeRef("zz", "Whatever")
+        )
+
+    def test_domain_of(self, ground_truth):
+        assert ground_truth.domain_of(AttributeRef("a", "City")) == "city"
+        assert ground_truth.domain_of(AttributeRef("a", "Missing")) is None
+
+    def test_related_target_attributes(self, ground_truth):
+        related = ground_truth.related_target_attributes("a", AttributeRef("b", "Town"))
+        assert related == {"City"}
+
+    def test_table_attributes(self, ground_truth):
+        refs = ground_truth.table_attributes("a")
+        assert AttributeRef("a", "Practice") in refs
+        assert len(refs) == 2
+
+
+class TestSubjectAttributes:
+    def test_subject_attribute_of(self, ground_truth):
+        assert ground_truth.subject_attribute_of("a") == "Practice"
+        assert ground_truth.subject_attribute_of("missing") is None
+
+    def test_labelled_subject_attributes(self, ground_truth):
+        labelled = dict(ground_truth.labelled_subject_attributes())
+        assert labelled == {"a": "Practice", "b": "GP", "c": "School"}
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self, ground_truth):
+        rebuilt = GroundTruth.from_dict(ground_truth.to_dict())
+        assert rebuilt.related_tables == ground_truth.related_tables
+        assert rebuilt.attribute_domains == ground_truth.attribute_domains
+        assert rebuilt.subject_attributes == ground_truth.subject_attributes
+
+    def test_json_round_trip(self, ground_truth, tmp_path):
+        path = ground_truth.to_json(tmp_path / "truth.json")
+        assert path.exists()
+        rebuilt = GroundTruth.from_json(path)
+        assert rebuilt.is_related("a", "b")
+        assert rebuilt.domain_of(AttributeRef("b", "Town")) == "city"
+        assert rebuilt.subject_attribute_of("c") == "School"
+
+    def test_to_dict_is_json_friendly(self, ground_truth):
+        import json
+
+        rendered = json.dumps(ground_truth.to_dict())
+        assert "practice_name" in rendered
+
+    def test_from_dict_tolerates_missing_sections(self):
+        rebuilt = GroundTruth.from_dict({})
+        assert rebuilt.table_names == []
+        assert rebuilt.average_answer_size() == 0.0

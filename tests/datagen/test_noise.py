@@ -1,0 +1,88 @@
+"""Tests for dirtiness injection."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.noise import (
+    abbreviate,
+    dirty_value,
+    introduce_typo,
+    perturb_case,
+    perturb_punctuation,
+    truncate,
+)
+
+
+class TestAbbreviate:
+    def test_street_abbreviated(self):
+        assert abbreviate("18 Portland Street") == "18 Portland St"
+
+    def test_lowercase_word_abbreviated_in_lowercase(self):
+        assert abbreviate("portland street") == "portland st"
+
+    def test_unknown_words_untouched(self):
+        assert abbreviate("Blackfriars Surgery") == "Blackfriars Surgery"
+
+    def test_multiple_abbreviations(self):
+        assert abbreviate("North Medical Centre") == "N Med Ctr"
+
+
+class TestPerturbations:
+    def test_perturb_case_changes_case_only(self):
+        rng = np.random.default_rng(0)
+        value = "Portland Street"
+        result = perturb_case(value, rng)
+        assert result.lower() == value.lower()
+
+    def test_perturb_punctuation_keeps_letters(self):
+        rng = np.random.default_rng(1)
+        result = perturb_punctuation("a, b-c", rng)
+        assert set("abc") <= set(result)
+
+    def test_introduce_typo_changes_length_by_at_most_one(self):
+        rng = np.random.default_rng(2)
+        value = "Manchester"
+        result = introduce_typo(value, rng)
+        assert abs(len(result) - len(value)) == 1
+
+    def test_introduce_typo_short_values_untouched(self):
+        rng = np.random.default_rng(3)
+        assert introduce_typo("ab", rng) == "ab"
+
+    def test_truncate_keeps_prefix_words(self):
+        rng = np.random.default_rng(4)
+        result = truncate("Bolton Medical Centre", rng)
+        assert "Bolton" in result
+        assert len(result.split()) < 3
+
+    def test_truncate_single_word_untouched(self):
+        rng = np.random.default_rng(5)
+        assert truncate("Bolton", rng) == "Bolton"
+
+
+class TestDirtyValue:
+    def test_zero_dirtiness_returns_value(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert dirty_value("Salford Road", rng, dirtiness=0.0) == "Salford Road"
+
+    def test_invalid_dirtiness_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            dirty_value("x", rng, dirtiness=1.5)
+
+    def test_full_dirtiness_usually_changes_value(self):
+        rng = np.random.default_rng(1)
+        values = [dirty_value("18 Portland Street Manchester", rng, dirtiness=1.0) for _ in range(50)]
+        changed = sum(1 for value in values if value != "18 Portland Street Manchester")
+        assert changed > 25
+
+    def test_missing_values_possible_when_allowed(self):
+        rng = np.random.default_rng(2)
+        values = [dirty_value("x y z", rng, dirtiness=1.0, allow_missing=True) for _ in range(200)]
+        assert any(value is None for value in values)
+
+    def test_missing_values_suppressed_when_disallowed(self):
+        rng = np.random.default_rng(3)
+        values = [dirty_value("x y z", rng, dirtiness=1.0, allow_missing=False) for _ in range(200)]
+        assert all(value is not None for value in values)

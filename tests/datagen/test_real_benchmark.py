@@ -1,0 +1,98 @@
+"""Tests for the real-world-style corpus generator."""
+
+import pytest
+
+from repro.datagen.real_benchmark import RealBenchmarkConfig, generate_real_benchmark
+from repro.lake.datalake import AttributeRef
+
+
+class TestConfigValidation:
+    def test_rejects_zero_families(self):
+        with pytest.raises(ValueError):
+            RealBenchmarkConfig(num_families=0)
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            RealBenchmarkConfig(min_rows=50, max_rows=10)
+
+    def test_rejects_bad_dirtiness(self):
+        with pytest.raises(ValueError):
+            RealBenchmarkConfig(dirtiness=2.0)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_real_benchmark(
+            RealBenchmarkConfig(
+                num_families=5,
+                tables_per_family=4,
+                min_rows=15,
+                max_rows=40,
+                dirtiness=0.4,
+                seed=13,
+            )
+        )
+
+    def test_table_count(self, corpus):
+        assert len(corpus.lake) == 5 * 4
+
+    def test_row_bounds(self, corpus):
+        for table in corpus.lake:
+            assert 15 <= table.cardinality <= 40
+
+    def test_family_members_related(self, corpus):
+        names = corpus.lake.table_names
+        family_prefix = names[0].rsplit("_", 1)[0]
+        family = [name for name in names if name.startswith(family_prefix)]
+        assert len(family) == 4
+        assert corpus.ground_truth.is_related(family[0], family[1])
+
+    def test_cross_family_unrelated(self, corpus):
+        names = corpus.lake.table_names
+        assert not corpus.ground_truth.is_related(names[0], names[-1])
+
+    def test_every_table_has_subject_attribute(self, corpus):
+        for table in corpus.lake:
+            subject = corpus.ground_truth.subject_attribute_of(table.name)
+            assert subject is not None
+            assert subject in table
+
+    def test_attribute_domains_recorded(self, corpus):
+        for table in corpus.lake:
+            for column_name in table.column_names:
+                assert (
+                    corpus.ground_truth.domain_of(AttributeRef(table.name, column_name))
+                    is not None
+                )
+
+    def test_values_not_simply_copied_across_family(self, corpus):
+        # Unlike the Synthetic corpus, family members are generated
+        # independently: their subject columns should not be identical.
+        names = corpus.lake.table_names
+        first = corpus.lake.table(names[0])
+        second = corpus.lake.table(names[1])
+        subject_first = corpus.ground_truth.subject_attribute_of(names[0])
+        subject_second = corpus.ground_truth.subject_attribute_of(names[1])
+        values_first = set(first.column(subject_first).non_missing)
+        values_second = set(second.column(subject_second).non_missing)
+        assert values_first != values_second
+
+    def test_dirtiness_produces_missing_cells(self, corpus):
+        total_missing = sum(
+            column.null_ratio > 0.0
+            for table in corpus.lake
+            for column in table.columns
+        )
+        assert total_missing > 0
+
+    def test_deterministic(self):
+        config = RealBenchmarkConfig(num_families=3, tables_per_family=2, seed=21)
+        assert (
+            generate_real_benchmark(config).lake.tables[0]
+            == generate_real_benchmark(config).lake.tables[0]
+        )
+
+    def test_custom_name(self):
+        config = RealBenchmarkConfig(num_families=2, tables_per_family=2, name="larger_real")
+        assert generate_real_benchmark(config).lake.name == "larger_real"

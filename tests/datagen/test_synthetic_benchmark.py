@@ -1,0 +1,97 @@
+"""Tests for the Synthetic corpus generator."""
+
+import pytest
+
+from repro.datagen.synthetic_benchmark import (
+    SyntheticBenchmarkConfig,
+    generate_synthetic_benchmark,
+)
+from repro.lake.datalake import AttributeRef
+
+
+class TestConfigValidation:
+    def test_rejects_zero_tables(self):
+        with pytest.raises(ValueError):
+            SyntheticBenchmarkConfig(num_base_tables=0)
+
+    def test_rejects_bad_row_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticBenchmarkConfig(min_rows=0)
+        with pytest.raises(ValueError):
+            SyntheticBenchmarkConfig(min_rows=100, max_rows=50)
+        with pytest.raises(ValueError):
+            SyntheticBenchmarkConfig(max_rows=500, base_rows=200)
+
+    def test_rejects_bad_retention(self):
+        with pytest.raises(ValueError):
+            SyntheticBenchmarkConfig(subject_retention=1.5)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_synthetic_benchmark(
+            SyntheticBenchmarkConfig(
+                num_base_tables=5, tables_per_base=4, base_rows=60, min_rows=20, max_rows=50, seed=3
+            )
+        )
+
+    def test_table_count(self, corpus):
+        assert len(corpus.lake) == 5 * 4
+
+    def test_row_bounds_respected(self, corpus):
+        for table in corpus.lake:
+            assert 20 <= table.cardinality <= 50
+
+    def test_column_bounds_respected(self, corpus):
+        for table in corpus.lake:
+            assert table.arity >= 3
+
+    def test_tables_from_same_base_are_related(self, corpus):
+        names = corpus.lake.table_names
+        same_base = [name for name in names if name.startswith(names[0].rsplit("_", 1)[0])]
+        assert len(same_base) == 4
+        for other in same_base[1:]:
+            assert corpus.ground_truth.is_related(same_base[0], other)
+
+    def test_tables_from_different_bases_are_unrelated(self, corpus):
+        names = corpus.lake.table_names
+        first_base = names[0].rsplit("_", 1)[0]
+        other = next(name for name in names if not name.startswith(first_base))
+        assert not corpus.ground_truth.is_related(names[0], other)
+
+    def test_attribute_domains_recorded_for_every_column(self, corpus):
+        for table in corpus.lake:
+            for column_name in table.column_names:
+                ref = AttributeRef(table.name, column_name)
+                assert corpus.ground_truth.domain_of(ref) is not None
+
+    def test_derived_values_copied_from_base(self, corpus):
+        # Related tables share actual values (consistent representation).
+        names = corpus.lake.table_names
+        first = corpus.lake.table(names[0])
+        related_name = next(iter(corpus.ground_truth.related_to(names[0])))
+        related = corpus.lake.table(related_name)
+        shared_columns = set(first.column_names) & set(related.column_names)
+        assert shared_columns
+        column = next(iter(shared_columns))
+        overlap = set(first.column(column).non_missing) & set(related.column(column).non_missing)
+        assert overlap
+
+    def test_average_answer_size(self, corpus):
+        assert corpus.average_answer_size() == pytest.approx(3.0)
+
+    def test_deterministic(self):
+        config = SyntheticBenchmarkConfig(
+            num_base_tables=3, tables_per_base=2, base_rows=40, min_rows=10, max_rows=30, seed=9
+        )
+        first = generate_synthetic_benchmark(config)
+        second = generate_synthetic_benchmark(config)
+        assert first.lake.table_names == second.lake.table_names
+        assert first.lake.tables[0] == second.lake.tables[0]
+
+    def test_subject_attributes_recorded_when_retained(self, corpus):
+        labelled = corpus.ground_truth.labelled_subject_attributes()
+        assert labelled
+        for table_name, subject in labelled:
+            assert subject in corpus.lake.table(table_name)

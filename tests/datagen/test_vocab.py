@@ -1,0 +1,90 @@
+"""Tests for the semantic-domain vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.vocab import SemanticDomain, Vocabulary, default_vocabulary
+from repro.tables.types import coerce_numeric
+
+
+@pytest.fixture(scope="module")
+def vocabulary():
+    return default_vocabulary()
+
+
+class TestDefaultVocabulary:
+    def test_has_many_domains(self, vocabulary):
+        assert len(vocabulary) >= 30
+
+    def test_domain_names_unique(self, vocabulary):
+        assert len(set(vocabulary.names)) == len(vocabulary.names)
+
+    def test_contains_core_domains(self, vocabulary):
+        for name in ["practice_name", "city", "postcode", "payment_amount", "opening_hours"]:
+            assert name in vocabulary
+
+    def test_missing_domain_raises(self, vocabulary):
+        with pytest.raises(KeyError):
+            vocabulary.domain("nonexistent_domain")
+
+    def test_textual_and_numeric_partition(self, vocabulary):
+        textual = {domain.name for domain in vocabulary.textual_domains()}
+        numeric = {domain.name for domain in vocabulary.numeric_domains()}
+        assert textual.isdisjoint(numeric)
+        assert textual | numeric == set(vocabulary.names)
+
+    def test_every_domain_has_aliases(self, vocabulary):
+        for domain in vocabulary.domains:
+            assert domain.aliases, domain.name
+
+    def test_every_domain_has_ontology_class(self, vocabulary):
+        for domain in vocabulary.domains:
+            assert domain.ontology_class
+
+    def test_duplicate_domains_rejected(self):
+        domain = SemanticDomain("d", ["D"], "c", lambda rng: "x")
+        with pytest.raises(ValueError):
+            Vocabulary([domain, domain])
+
+
+class TestValueGeneration:
+    def test_generators_are_deterministic_given_seed(self, vocabulary):
+        for domain in vocabulary.domains:
+            first = domain.sample(np.random.default_rng(5), 5)
+            second = domain.sample(np.random.default_rng(5), 5)
+            assert first == second, domain.name
+
+    def test_numeric_domains_produce_numbers(self, vocabulary):
+        rng = np.random.default_rng(0)
+        for domain in vocabulary.numeric_domains():
+            for value in domain.sample(rng, 10):
+                assert coerce_numeric(value) is not None, (domain.name, value)
+
+    def test_textual_domains_produce_non_empty_strings(self, vocabulary):
+        rng = np.random.default_rng(1)
+        for domain in vocabulary.textual_domains():
+            for value in domain.sample(rng, 5):
+                assert isinstance(value, str) and value.strip(), domain.name
+
+    def test_postcode_format(self, vocabulary):
+        rng = np.random.default_rng(2)
+        for value in vocabulary.domain("postcode").sample(rng, 20):
+            assert " " in value
+            area, unit = value.split(" ", 1)
+            assert any(char.isdigit() for char in area)
+            assert len(unit) == 3
+
+    def test_opening_hours_format(self, vocabulary):
+        rng = np.random.default_rng(3)
+        for value in vocabulary.domain("opening_hours").sample(rng, 10):
+            assert "-" in value and ":" in value
+
+    def test_alias_for_returns_known_alias(self, vocabulary):
+        rng = np.random.default_rng(4)
+        alias = vocabulary.alias_for("city", rng)
+        assert alias in vocabulary.domain("city").aliases
+
+    def test_rating_bounded(self, vocabulary):
+        rng = np.random.default_rng(5)
+        for value in vocabulary.domain("rating").sample(rng, 30):
+            assert 1 <= float(value) <= 5

@@ -1,0 +1,94 @@
+"""Tests for target coverage (Equations 4 and 5)."""
+
+import pytest
+
+from repro.baselines.base import Alignment, RankedAnswer, RankedTable
+from repro.evaluation.coverage import (
+    table_coverage,
+    target_coverage_at_k,
+    target_coverage_with_joins,
+)
+from repro.lake.datalake import AttributeRef
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def target():
+    return Table.from_dict(
+        "target",
+        {
+            "Practice": ["x"],
+            "City": ["y"],
+            "Postcode": ["z"],
+            "Hours": ["h"],
+        },
+    )
+
+
+@pytest.fixture
+def answer():
+    return RankedAnswer(
+        target_name="target",
+        requested_k=2,
+        results=[
+            RankedTable(
+                "s1",
+                0.9,
+                [
+                    Alignment("Practice", AttributeRef("s1", "Name"), 0.9),
+                    Alignment("City", AttributeRef("s1", "Town"), 0.8),
+                ],
+            ),
+            RankedTable(
+                "s2",
+                0.7,
+                [Alignment("Postcode", AttributeRef("s2", "PostCode"), 0.7)],
+            ),
+            RankedTable(
+                "s3",
+                0.4,
+                [Alignment("Hours", AttributeRef("s3", "Opening"), 0.4)],
+            ),
+        ],
+    )
+
+
+class TestTableCoverage:
+    def test_counts_covered_target_attributes(self, answer, target):
+        assert table_coverage(answer.results[0], target) == pytest.approx(0.5)
+        assert table_coverage(answer.results[1], target) == pytest.approx(0.25)
+
+    def test_alignments_to_unknown_target_attributes_ignored(self, target):
+        result = RankedTable(
+            "s", 0.5, [Alignment("NotAColumn", AttributeRef("s", "x"), 0.5)]
+        )
+        assert table_coverage(result, target) == 0.0
+
+
+class TestCoverageAtK:
+    def test_average_over_top_k(self, answer, target):
+        assert target_coverage_at_k(answer, target, 2) == pytest.approx((0.5 + 0.25) / 2)
+
+    def test_empty_answer(self, target):
+        empty = RankedAnswer("target", 2, [])
+        assert target_coverage_at_k(empty, target, 2) == 0.0
+
+
+class TestCoverageWithJoins:
+    def test_join_tables_add_coverage(self, answer, target):
+        joined = {"s1": {"s3"}, "s2": set()}
+        with_joins = target_coverage_with_joins(answer, joined, target, 2)
+        without = target_coverage_at_k(answer, target, 2)
+        # s1 gains the Hours attribute through s3: coverage (0.75 + 0.25)/2.
+        assert with_joins == pytest.approx((0.75 + 0.25) / 2)
+        assert with_joins > without
+
+    def test_unknown_joined_table_ignored(self, answer, target):
+        joined = {"s1": {"not_in_answer"}}
+        assert target_coverage_with_joins(answer, joined, target, 2) == pytest.approx(
+            target_coverage_at_k(answer, target, 2)
+        )
+
+    def test_empty_answer(self, target):
+        empty = RankedAnswer("target", 2, [])
+        assert target_coverage_with_joins(empty, {}, target, 2) == 0.0

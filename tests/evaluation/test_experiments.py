@@ -1,0 +1,168 @@
+"""Tests for the experiment runners.
+
+These use tiny corpora so the full experiment machinery runs in seconds; the
+assertions check structure and value ranges rather than the paper's absolute
+numbers (those are exercised, at realistic scale, by the benchmarks).
+"""
+
+import pytest
+
+from repro.core.evidence import EvidenceType
+from repro.evaluation.experiments import (
+    build_engine_suite,
+    experiment_effectiveness,
+    experiment_example_distances,
+    experiment_indexing_time,
+    experiment_individual_evidence,
+    experiment_join_impact,
+    experiment_repository_stats,
+    experiment_search_time,
+    experiment_space_overhead,
+    experiment_subject_attribute_accuracy,
+    experiment_weight_training,
+    train_d3l_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def suite(small_real_benchmark, fast_config):
+    return build_engine_suite(
+        small_real_benchmark,
+        systems=("d3l", "tus", "aurum"),
+        config=fast_config,
+        train_weights=False,
+    )
+
+
+class TestEngineSuite:
+    def test_all_systems_built(self, suite):
+        assert set(suite.systems()) == {"d3l", "tus", "aurum"}
+
+    def test_d3l_indexed_all_tables(self, suite, small_real_benchmark):
+        assert len(suite.d3l.indexes.table_profiles) == len(small_real_benchmark.lake)
+
+    def test_weight_training_updates_engine(self, suite, small_real_benchmark):
+        original = suite.d3l.weights
+        weights = train_d3l_weights(suite.d3l, small_real_benchmark, num_targets=4, k=10)
+        assert suite.d3l.weights is weights
+        suite.d3l.set_weights(original)
+
+
+class TestRepositoryStats:
+    def test_one_row_per_corpus(self, small_real_benchmark, small_synthetic_benchmark):
+        rows = experiment_repository_stats(
+            {"real": small_real_benchmark, "synthetic": small_synthetic_benchmark}
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["tables"] > 0
+            assert 0.0 <= row["numeric_attribute_ratio"] <= 1.0
+
+
+class TestExampleDistances:
+    def test_table1_rows(self):
+        rows = experiment_example_distances()
+        assert rows
+        for row in rows:
+            for evidence in EvidenceType.all():
+                value = row[f"D{evidence.value}"]
+                assert 0.0 <= value <= 1.0
+        pairs = {row["pair"] for row in rows}
+        assert any("Postcode" in pair for pair in pairs)
+
+
+class TestEffectivenessExperiments:
+    def test_individual_evidence_rows(self, suite):
+        rows = experiment_individual_evidence(suite, ks=[3, 5], num_targets=4)
+        labels = {row["evidence"] for row in rows}
+        assert labels == {"N", "V", "F", "E", "all"}
+        for row in rows:
+            assert 0.0 <= row["precision"] <= 1.0
+            assert 0.0 <= row["recall"] <= 1.0
+
+    def test_comparative_effectiveness_rows(self, suite):
+        rows = experiment_effectiveness(suite, ks=[3, 5], num_targets=4)
+        systems = {row["system"] for row in rows}
+        assert systems == {"d3l", "tus", "aurum"}
+        assert len(rows) == 3 * 2
+
+    def test_recall_non_decreasing_in_k(self, suite):
+        rows = experiment_effectiveness(suite, ks=[2, 8], num_targets=4)
+        by_system = {}
+        for row in rows:
+            by_system.setdefault(row["system"], {})[row["k"]] = row["recall"]
+        for system, series in by_system.items():
+            assert series[8] >= series[2] - 1e-9, system
+
+
+class TestEfficiencyExperiments:
+    def test_indexing_time_rows(self, fast_config):
+        rows = experiment_indexing_time(
+            [8, 16], systems=("d3l", "aurum"), config=fast_config, base_rows=40
+        )
+        assert len(rows) == 2
+        assert rows[1]["tables"] >= rows[0]["tables"]
+        for row in rows:
+            assert row["d3l_seconds"] > 0
+            assert row["aurum_seconds"] > 0
+            assert "tus_seconds" not in row
+
+    def test_search_time_rows(self, suite):
+        rows = experiment_search_time(suite, ks=[2, 5], num_targets=3)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["d3l_seconds"] > 0
+            assert row["tus_seconds"] > 0
+            assert row["aurum_seconds"] > 0
+
+    def test_space_overhead_rows(self, suite):
+        rows = experiment_space_overhead({"real": suite})
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["d3l_overhead"] > 0
+        assert row["tus_overhead"] > 0
+        assert row["aurum_overhead"] > 0
+        # D3L builds four indexes and finer-grained profiles, so its overhead
+        # should not be smaller than Aurum's two-index footprint.
+        assert row["d3l_overhead"] >= row["aurum_overhead"]
+
+
+class TestJoinImpact:
+    def test_rows_cover_all_systems(self, suite):
+        rows = experiment_join_impact(suite, ks=[2, 4], num_targets=3)
+        systems = {row["system"] for row in rows}
+        assert systems == {"d3l", "d3l+j", "tus", "aurum", "aurum+j"}
+        for row in rows:
+            assert 0.0 <= row["coverage"] <= 1.0
+            assert 0.0 <= row["attribute_precision"] <= 1.0
+
+    def test_join_variant_never_reduces_coverage(self, suite):
+        rows = experiment_join_impact(suite, ks=[3], num_targets=3)
+        by_system = {row["system"]: row for row in rows}
+        assert by_system["d3l+j"]["coverage"] >= by_system["d3l"]["coverage"] - 1e-9
+        assert by_system["aurum+j"]["coverage"] >= by_system["aurum"]["coverage"] - 1e-9
+
+
+class TestLearnedComponentExperiments:
+    def test_weight_training_experiment(self, small_synthetic_benchmark, small_real_benchmark, fast_config):
+        result = experiment_weight_training(
+            small_synthetic_benchmark,
+            small_real_benchmark,
+            config=fast_config,
+            num_targets=4,
+            k=10,
+        )
+        assert result["training_pairs"] > 0
+        assert result["test_pairs"] > 0
+        assert 0.0 <= result["accuracy"] <= 1.0
+        assert set(result["weights"]) == {"N", "V", "F", "E", "D"}
+
+    def test_subject_attribute_accuracy(self, small_real_benchmark):
+        result = experiment_subject_attribute_accuracy(small_real_benchmark, folds=5)
+        assert result["tables"] > 0
+        assert 0.0 <= result["mean_accuracy"] <= 1.0
+        assert len(result["fold_accuracies"]) <= 5
+
+    def test_subject_attribute_accuracy_requires_enough_tables(self, small_real_benchmark):
+        with pytest.raises(ValueError):
+            experiment_subject_attribute_accuracy(small_real_benchmark, folds=10_000)

@@ -1,0 +1,144 @@
+"""Tests for precision/recall and attribute precision metrics."""
+
+import pytest
+
+from repro.baselines.base import Alignment, RankedAnswer, RankedTable
+from repro.datagen.ground_truth import GroundTruth
+from repro.evaluation.metrics import (
+    attribute_precision_at_k,
+    attribute_precision_with_joins,
+    average_over_targets,
+    precision_recall_at_k,
+    table_attribute_precision,
+)
+from repro.lake.datalake import AttributeRef
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def ground_truth():
+    truth = GroundTruth()
+    truth.add_table("target", {"City": "city", "Practice": "practice_name"})
+    truth.add_table("related_1", {"Town": "city"})
+    truth.add_table("related_2", {"GP": "practice_name", "Area": "city"})
+    truth.add_table("unrelated", {"Route": "route"})
+    truth.mark_related("target", "related_1")
+    truth.mark_related("target", "related_2")
+    return truth
+
+
+@pytest.fixture
+def answer():
+    return RankedAnswer(
+        target_name="target",
+        requested_k=3,
+        results=[
+            RankedTable(
+                "related_1",
+                0.9,
+                [Alignment("City", AttributeRef("related_1", "Town"), 0.9)],
+            ),
+            RankedTable(
+                "unrelated",
+                0.6,
+                [Alignment("City", AttributeRef("unrelated", "Route"), 0.6)],
+            ),
+            RankedTable(
+                "related_2",
+                0.5,
+                [
+                    Alignment("Practice", AttributeRef("related_2", "GP"), 0.5),
+                    Alignment("City", AttributeRef("related_2", "GP"), 0.2),
+                ],
+            ),
+        ],
+    )
+
+
+class TestPrecisionRecall:
+    def test_perfect_at_k_one(self, answer, ground_truth):
+        precision, recall = precision_recall_at_k(answer, ground_truth, "target", 1)
+        assert precision == 1.0
+        assert recall == pytest.approx(0.5)
+
+    def test_mixed_at_k_two(self, answer, ground_truth):
+        precision, recall = precision_recall_at_k(answer, ground_truth, "target", 2)
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.5)
+
+    def test_full_answer(self, answer, ground_truth):
+        precision, recall = precision_recall_at_k(answer, ground_truth, "target", 3)
+        assert precision == pytest.approx(2 / 3)
+        assert recall == 1.0
+
+    def test_empty_answer(self, ground_truth):
+        empty = RankedAnswer("target", 3, [])
+        precision, recall = precision_recall_at_k(empty, ground_truth, "target", 3)
+        assert precision == 0.0
+        assert recall == 0.0
+
+    def test_target_without_relevant_tables(self, answer):
+        truth = GroundTruth()
+        truth.add_table("target", {})
+        precision, recall = precision_recall_at_k(answer, truth, "target", 2)
+        assert precision == 0.0
+        assert recall == 0.0
+
+
+class TestAttributePrecision:
+    def test_single_table_precision(self, answer, ground_truth):
+        result = answer.results[2]
+        # Practice->GP correct, City->GP incorrect: precision 0.5.
+        assert table_attribute_precision(result, ground_truth, "target") == pytest.approx(0.5)
+
+    def test_table_without_alignments(self, ground_truth):
+        result = RankedTable("related_1", 0.5, [])
+        assert table_attribute_precision(result, ground_truth, "target") is None
+
+    def test_average_over_top_k(self, answer, ground_truth):
+        # k=3: precisions are 1.0 (related_1), 0.0 (unrelated), 0.5 (related_2).
+        value = attribute_precision_at_k(answer, ground_truth, "target", 3)
+        assert value == pytest.approx((1.0 + 0.0 + 0.5) / 3)
+
+    def test_average_at_k_one(self, answer, ground_truth):
+        assert attribute_precision_at_k(answer, ground_truth, "target", 1) == 1.0
+
+    def test_empty_answer_gives_zero(self, ground_truth):
+        empty = RankedAnswer("target", 3, [])
+        assert attribute_precision_at_k(empty, ground_truth, "target", 3) == 0.0
+
+
+class TestAttributePrecisionWithJoins:
+    def test_joined_tables_can_repair_bad_alignments(self, answer, ground_truth):
+        # 'unrelated' (wrong City alignment) is augmented by a join path to
+        # 'related_1' whose City alignment is correct, so its City group
+        # becomes a true positive.
+        joined = {"unrelated": {"related_1"}}
+        with_joins = attribute_precision_with_joins(
+            answer, joined, ground_truth, "target", 2
+        )
+        without = attribute_precision_at_k(answer, ground_truth, "target", 2)
+        assert with_joins > without
+
+    def test_no_join_tables_matches_plain_metric_at_k_one(self, answer, ground_truth):
+        assert attribute_precision_with_joins(
+            answer, {}, ground_truth, "target", 1
+        ) == attribute_precision_at_k(answer, ground_truth, "target", 1)
+
+    def test_empty_answer(self, ground_truth):
+        empty = RankedAnswer("target", 3, [])
+        assert attribute_precision_with_joins(empty, {}, ground_truth, "target", 2) == 0.0
+
+
+class TestAverageOverTargets:
+    def test_averages_tuples(self):
+        targets = [
+            Table.from_dict("a", {"x": ["1"]}),
+            Table.from_dict("b", {"x": ["2"]}),
+        ]
+        values = {"a": (1.0, 0.0), "b": (0.0, 1.0)}
+        result = average_over_targets(lambda table: values[table.name], targets)
+        assert result == (0.5, 0.5)
+
+    def test_empty_targets(self):
+        assert average_over_targets(lambda table: (1.0,), []) == ()

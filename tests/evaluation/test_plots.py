@@ -1,0 +1,56 @@
+"""Tests for the ASCII chart rendering."""
+
+import pytest
+
+from repro.evaluation.plots import ascii_line_chart, chart_metric_by_system
+
+
+@pytest.fixture
+def rows():
+    data = []
+    for k, d3l, tus in [(5, 0.9, 0.5), (10, 0.8, 0.45), (20, 0.6, 0.4)]:
+        data.append({"system": "d3l", "k": k, "precision": d3l})
+        data.append({"system": "tus", "k": k, "precision": tus})
+    return data
+
+
+class TestAsciiLineChart:
+    def test_contains_legend_and_axes(self, rows):
+        chart = ascii_line_chart(rows, x="k", y="precision", group_by="system", title="Fig")
+        assert "Fig" in chart
+        assert "legend:" in chart
+        assert "d3l" in chart and "tus" in chart
+        assert "k: 5 .. 20" in chart
+
+    def test_dimensions(self, rows):
+        chart = ascii_line_chart(rows, x="k", y="precision", group_by="system",
+                                 width=40, height=10)
+        grid_lines = [line for line in chart.splitlines() if line.startswith("|")]
+        assert len(grid_lines) == 10
+        assert all(len(line) <= 41 for line in grid_lines)
+
+    def test_markers_plotted(self, rows):
+        chart = ascii_line_chart(rows, x="k", y="precision", group_by="system")
+        body = "\n".join(line for line in chart.splitlines() if line.startswith("|"))
+        assert "*" in body
+        assert "o" in body
+
+    def test_empty_rows(self):
+        assert "(no data)" in ascii_line_chart([], x="k", y="p", group_by="s")
+
+    def test_missing_column_raises(self, rows):
+        with pytest.raises(KeyError):
+            ascii_line_chart(rows, x="k", y="missing", group_by="system")
+
+    def test_too_small_dimensions_rejected(self, rows):
+        with pytest.raises(ValueError):
+            ascii_line_chart(rows, x="k", y="precision", group_by="system", width=2)
+
+    def test_constant_series_does_not_crash(self):
+        rows = [{"system": "a", "k": 5, "precision": 0.5}, {"system": "a", "k": 5, "precision": 0.5}]
+        chart = ascii_line_chart(rows, x="k", y="precision", group_by="system")
+        assert "legend" in chart
+
+    def test_wrapper_defaults(self, rows):
+        chart = chart_metric_by_system(rows, "precision", title="Precision vs k")
+        assert "Precision vs k" in chart

@@ -1,0 +1,51 @@
+"""Tests for plain-text result rendering."""
+
+from repro.evaluation.reporting import format_series_table, render_rows
+
+
+class TestRenderRows:
+    def test_empty_rows(self):
+        assert "(no rows)" in render_rows([], title="empty")
+
+    def test_header_and_rows_present(self):
+        rows = [{"system": "d3l", "precision": 0.75}, {"system": "tus", "precision": 0.5}]
+        rendered = render_rows(rows, title="Comparison")
+        assert "Comparison" in rendered
+        assert "system" in rendered and "precision" in rendered
+        assert "d3l" in rendered and "tus" in rendered
+        assert "0.750" in rendered
+
+    def test_missing_values_rendered_as_dash(self):
+        rows = [{"a": 1, "b": None}]
+        assert "-" in render_rows(rows)
+
+    def test_column_alignment(self):
+        rows = [{"name": "a", "value": 1}, {"name": "longer_name", "value": 2}]
+        rendered = render_rows(rows)
+        lines = rendered.splitlines()
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+
+class TestFormatSeriesTable:
+    def test_empty(self):
+        assert "(no rows)" in format_series_table([], "system", "k", "precision")
+
+    def test_pivot_by_group(self):
+        rows = [
+            {"system": "d3l", "k": 5, "precision": 0.9},
+            {"system": "d3l", "k": 10, "precision": 0.8},
+            {"system": "tus", "k": 5, "precision": 0.6},
+            {"system": "tus", "k": 10, "precision": 0.5},
+        ]
+        rendered = format_series_table(rows, group_by="system", x="k", y="precision")
+        assert "k=5" in rendered and "k=10" in rendered
+        assert rendered.count("d3l") == 1
+        assert rendered.count("tus") == 1
+
+    def test_missing_combination_rendered_as_dash(self):
+        rows = [
+            {"system": "d3l", "k": 5, "precision": 0.9},
+            {"system": "tus", "k": 10, "precision": 0.5},
+        ]
+        rendered = format_series_table(rows, group_by="system", x="k", y="precision")
+        assert "-" in rendered

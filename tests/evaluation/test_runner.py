@@ -1,0 +1,81 @@
+"""Tests for the one-shot evaluation runner."""
+
+import json
+
+import pytest
+
+from repro.core.config import D3LConfig
+from repro.evaluation.runner import SCALES, ExperimentReport, main, run_all_experiments
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert {"smoke", "small", "full"} <= set(SCALES)
+
+    def test_scales_are_ordered_by_size(self):
+        assert SCALES["smoke"].families <= SCALES["small"].families <= SCALES["full"].families
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_all_experiments(scale="enormous")
+
+
+class TestReport:
+    def test_add_and_render(self):
+        report = ExperimentReport(scale="smoke")
+        report.add("example", [{"a": 1, "b": 2.5}], 0.1)
+        rendered = report.render()
+        assert "example" in rendered
+        assert "2.500" in rendered
+
+    def test_save_writes_text_and_json(self, tmp_path):
+        report = ExperimentReport(scale="smoke")
+        report.add("example", [{"a": 1}], 0.2)
+        written = report.save(tmp_path / "out")
+        assert len(written) == 2
+        data = json.loads((tmp_path / "out" / "report_smoke.json").read_text())
+        assert data["scale"] == "smoke"
+        assert "example" in data["sections"]
+
+
+class TestSmokeRun:
+    @pytest.fixture(scope="class")
+    def report(self):
+        config = D3LConfig(num_hashes=64, embedding_dimension=24, min_candidates=20)
+        return run_all_experiments(scale="smoke", config=config, seed=1)
+
+    def test_all_sections_present(self, report):
+        expected = {
+            "figure2_repository_stats",
+            "table1_example_distances",
+            "figure3_individual_evidence",
+            "figure4_synthetic_effectiveness",
+            "figure5_real_effectiveness",
+            "figure6a_indexing_time",
+            "figure6b_search_time_synthetic",
+            "figure6c_search_time_real",
+            "table2_space_overhead",
+            "figure7_synthetic_joins",
+            "figure8_real_joins",
+            "weights_classifier",
+            "subject_attribute_accuracy",
+        }
+        assert expected <= set(report.sections)
+
+    def test_every_section_has_rows(self, report):
+        for name, rows in report.sections.items():
+            assert rows, name
+
+    def test_wall_clock_recorded(self, report):
+        assert all(seconds >= 0 for seconds in report.wall_clock_seconds.values())
+
+    def test_cli_main_writes_report(self, tmp_path, capsys, monkeypatch):
+        # Patch the scale registry so the CLI path stays fast.
+        from repro.evaluation import runner as runner_module
+
+        monkeypatch.setitem(runner_module.SCALES, "tiny", runner_module.SCALES["smoke"])
+        exit_code = main(["--scale", "smoke", "--output", str(tmp_path / "results"), "--seed", "2"])
+        assert exit_code == 0
+        assert (tmp_path / "results" / "report_smoke.txt").exists()
+        captured = capsys.readouterr().out
+        assert "figure4_synthetic_effectiveness" in captured

@@ -1,0 +1,107 @@
+"""Tests for the data lake abstraction."""
+
+import pytest
+
+from repro.lake.datalake import AttributeRef, DataLake
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def tables():
+    return [
+        Table.from_dict("gp", {"Practice": ["A", "B"], "Patients": ["10", "20"]}),
+        Table.from_dict("schools", {"School": ["X"], "Pupils": ["300"]}),
+    ]
+
+
+@pytest.fixture
+def lake(tables):
+    return DataLake("test_lake", tables)
+
+
+class TestAttributeRef:
+    def test_str(self):
+        assert str(AttributeRef("gp", "Practice")) == "gp.Practice"
+
+    def test_parse(self):
+        ref = AttributeRef.parse("gp.Practice")
+        assert ref == AttributeRef("gp", "Practice")
+
+    def test_parse_with_dot_in_column(self):
+        ref = AttributeRef.parse("gp.Practice.Name")
+        assert ref.table == "gp"
+        assert ref.column == "Practice.Name"
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            AttributeRef.parse("noseparator")
+
+    def test_hashable_and_ordered(self):
+        refs = {AttributeRef("a", "x"), AttributeRef("a", "x"), AttributeRef("b", "y")}
+        assert len(refs) == 2
+        assert AttributeRef("a", "x") < AttributeRef("b", "y")
+
+
+class TestDataLake:
+    def test_len_and_contains(self, lake):
+        assert len(lake) == 2
+        assert "gp" in lake
+        assert "missing" not in lake
+
+    def test_iteration_order(self, lake):
+        assert [table.name for table in lake] == ["gp", "schools"]
+
+    def test_table_lookup(self, lake):
+        assert lake.table("gp").arity == 2
+
+    def test_table_lookup_missing(self, lake):
+        with pytest.raises(KeyError):
+            lake.table("missing")
+
+    def test_column_lookup(self, lake):
+        column = lake.column(AttributeRef("schools", "Pupils"))
+        assert column.values == ["300"]
+
+    def test_add_table_replaces_same_name(self, lake):
+        replacement = Table.from_dict("gp", {"Practice": ["Z"]})
+        lake.add_table(replacement)
+        assert len(lake) == 2
+        assert lake.table("gp").cardinality == 1
+
+    def test_remove_table(self, lake):
+        lake.remove_table("gp")
+        assert "gp" not in lake
+        lake.remove_table("gp")  # no-op
+
+    def test_attributes_enumeration(self, lake):
+        refs = [ref for ref, _ in lake.attributes()]
+        assert AttributeRef("gp", "Practice") in refs
+        assert len(refs) == lake.attribute_count == 4
+
+    def test_estimated_bytes_positive(self, lake):
+        assert lake.estimated_bytes() > 0
+
+    def test_describe_fields(self, lake):
+        stats = lake.describe()
+        assert stats["tables"] == 2
+        assert stats["attributes"] == 4
+        assert 0.0 <= stats["numeric_attribute_ratio"] <= 1.0
+
+    def test_describe_empty_lake(self):
+        stats = DataLake("empty").describe()
+        assert stats["tables"] == 0
+        assert stats["arity_mean"] == 0.0
+
+    def test_sample_smaller_than_lake(self, lake):
+        sample = lake.sample(1, seed=0)
+        assert len(sample) == 1
+
+    def test_sample_larger_than_lake_returns_all(self, lake):
+        sample = lake.sample(10)
+        assert len(sample) == 2
+
+    def test_directory_round_trip(self, lake, tmp_path):
+        lake.to_directory(tmp_path / "lake_dir")
+        loaded = DataLake.from_directory(tmp_path / "lake_dir")
+        assert set(loaded.table_names) == set(lake.table_names)
+        assert loaded.table("gp").column_names == ["Practice", "Patients"]

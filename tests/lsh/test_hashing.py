@@ -1,0 +1,90 @@
+"""Tests for the hashing primitives."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.hashing import HashFamily, MAX_HASH, hash_token, hash_tokens, stable_uint64
+
+
+class TestHashToken:
+    def test_deterministic(self):
+        assert hash_token("salford") == hash_token("salford")
+
+    def test_seed_changes_hash(self):
+        assert hash_token("salford", seed=1) != hash_token("salford", seed=2)
+
+    def test_different_tokens_differ(self):
+        assert hash_token("salford") != hash_token("bolton")
+
+    def test_within_32_bits(self):
+        assert 0 <= hash_token("anything") <= int(MAX_HASH)
+
+    def test_unicode_tokens_are_hashable(self):
+        assert hash_token("café") != hash_token("cafe")
+
+
+class TestHashTokens:
+    def test_deduplicates(self):
+        values = hash_tokens(["a", "a", "b"])
+        assert values.shape == (2,)
+
+    def test_empty_input(self):
+        assert hash_tokens([]).shape == (0,)
+
+    def test_order_independent_content(self):
+        first = set(hash_tokens(["a", "b", "c"]).tolist())
+        second = set(hash_tokens(["c", "b", "a"]).tolist())
+        assert first == second
+
+
+class TestHashFamily:
+    def test_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            HashFamily(0)
+
+    def test_permute_shape(self):
+        family = HashFamily(16, seed=3)
+        result = family.permute(np.array([1, 2, 3], dtype=np.uint64))
+        assert result.shape == (3, 16)
+
+    def test_permute_empty(self):
+        family = HashFamily(16)
+        assert family.permute(np.empty(0, dtype=np.uint64)).shape == (0, 16)
+
+    def test_minhash_values_of_empty_set_are_max(self):
+        family = HashFamily(8)
+        values = family.minhash_values(np.empty(0, dtype=np.uint64))
+        assert np.all(values == MAX_HASH)
+
+    def test_minhash_values_bounded(self):
+        family = HashFamily(8)
+        values = family.minhash_values(np.array([5, 9, 13], dtype=np.uint64))
+        assert np.all(values <= MAX_HASH)
+
+    def test_same_seed_same_family(self):
+        assert HashFamily(8, seed=5) == HashFamily(8, seed=5)
+
+    def test_different_seed_different_results(self):
+        data = np.array([7, 11], dtype=np.uint64)
+        first = HashFamily(8, seed=1).minhash_values(data)
+        second = HashFamily(8, seed=2).minhash_values(data)
+        assert not np.array_equal(first, second)
+
+    def test_minhash_is_monotone_under_union(self):
+        family = HashFamily(32, seed=9)
+        small = np.array([1, 2, 3], dtype=np.uint64)
+        large = np.array([1, 2, 3, 4, 5], dtype=np.uint64)
+        small_values = family.minhash_values(small)
+        large_values = family.minhash_values(large)
+        assert np.all(large_values <= small_values)
+
+
+class TestStableUint64:
+    def test_deterministic(self):
+        assert stable_uint64(["a", 1]) == stable_uint64(["a", 1])
+
+    def test_sensitive_to_order(self):
+        assert stable_uint64(["a", "b"]) != stable_uint64(["b", "a"])
+
+    def test_seed_changes_value(self):
+        assert stable_uint64(["a"], seed=1) != stable_uint64(["a"], seed=2)

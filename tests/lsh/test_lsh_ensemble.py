@@ -1,0 +1,96 @@
+"""Tests for the LSH Ensemble containment index."""
+
+import pytest
+
+from repro.lsh.lsh_ensemble import LSHEnsemble
+from repro.lsh.minhash import MinHashFactory
+
+
+@pytest.fixture
+def factory():
+    return MinHashFactory(num_perm=128, seed=9)
+
+
+def _tokens(prefix, count):
+    return {f"{prefix}{i}" for i in range(count)}
+
+
+class TestLifecycle:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            LSHEnsemble(threshold=0.0)
+
+    def test_rejects_bad_partitions(self):
+        with pytest.raises(ValueError):
+            LSHEnsemble(num_partitions=0)
+
+    def test_insert_after_index_fails(self, factory):
+        ensemble = LSHEnsemble(num_hashes=128)
+        ensemble.insert("a", factory.from_tokens(_tokens("a", 10)), 10)
+        ensemble.index()
+        with pytest.raises(RuntimeError):
+            ensemble.insert("b", factory.from_tokens(_tokens("b", 10)), 10)
+
+    def test_query_before_index_fails(self, factory):
+        ensemble = LSHEnsemble(num_hashes=128)
+        with pytest.raises(RuntimeError):
+            ensemble.query(factory.from_tokens(_tokens("a", 10)), 10)
+
+    def test_negative_size_rejected(self, factory):
+        ensemble = LSHEnsemble(num_hashes=128)
+        with pytest.raises(ValueError):
+            ensemble.insert("a", factory.from_tokens(_tokens("a", 10)), -1)
+
+    def test_index_idempotent(self, factory):
+        ensemble = LSHEnsemble(num_hashes=128)
+        ensemble.insert("a", factory.from_tokens(_tokens("a", 10)), 10)
+        ensemble.index()
+        ensemble.index()
+        assert len(ensemble) == 1
+
+    def test_empty_ensemble_queries_cleanly(self, factory):
+        ensemble = LSHEnsemble(num_hashes=128)
+        ensemble.index()
+        assert ensemble.query(factory.from_tokens(_tokens("a", 5)), 5) == set()
+
+
+class TestContainmentSearch:
+    def test_contained_set_is_found(self, factory):
+        ensemble = LSHEnsemble(threshold=0.7, num_hashes=128, num_partitions=4)
+        superset = _tokens("x", 200)
+        subset = set(list(superset)[:40])
+        ensemble.insert("superset", factory.from_tokens(superset), len(superset))
+        ensemble.index()
+        results = ensemble.query(factory.from_tokens(subset), len(subset))
+        assert "superset" in results
+
+    def test_unrelated_set_is_not_found(self, factory):
+        ensemble = LSHEnsemble(threshold=0.7, num_hashes=128, num_partitions=4)
+        ensemble.insert("stored", factory.from_tokens(_tokens("a", 100)), 100)
+        ensemble.index()
+        results = ensemble.query(factory.from_tokens(_tokens("b", 30)), 30)
+        assert results == set()
+
+    def test_exclude_key(self, factory):
+        ensemble = LSHEnsemble(threshold=0.5, num_hashes=128)
+        tokens = _tokens("a", 50)
+        ensemble.insert("self", factory.from_tokens(tokens), 50)
+        ensemble.index()
+        assert "self" not in ensemble.query(factory.from_tokens(tokens), 50, exclude="self")
+
+    def test_skewed_sizes_partitioned(self, factory):
+        ensemble = LSHEnsemble(threshold=0.7, num_hashes=128, num_partitions=3)
+        small = _tokens("small", 10)
+        large = _tokens("large", 500)
+        ensemble.insert("small", factory.from_tokens(small), 10)
+        ensemble.insert("large", factory.from_tokens(large), 500)
+        ensemble.index()
+        # Query with the small set itself: should match "small" exactly.
+        results = ensemble.query(factory.from_tokens(small), 10)
+        assert "small" in results
+
+    def test_estimated_bytes_positive_after_index(self, factory):
+        ensemble = LSHEnsemble(num_hashes=128)
+        ensemble.insert("a", factory.from_tokens(_tokens("a", 10)), 10)
+        ensemble.index()
+        assert ensemble.estimated_bytes() > 0

@@ -1,0 +1,130 @@
+"""Tests for the LSH Forest top-k index."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.lsh_forest import LSHForest
+from repro.lsh.minhash import MinHashFactory
+
+
+@pytest.fixture
+def factory():
+    return MinHashFactory(num_perm=128, seed=7)
+
+
+@pytest.fixture
+def forest():
+    return LSHForest(num_hashes=128, num_trees=8)
+
+
+def _tokens(prefix, count):
+    return {f"{prefix}{i}" for i in range(count)}
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LSHForest(num_hashes=0)
+        with pytest.raises(ValueError):
+            LSHForest(num_hashes=16, num_trees=0)
+        with pytest.raises(ValueError):
+            LSHForest(num_hashes=4, num_trees=8)
+
+    def test_key_length(self):
+        assert LSHForest(num_hashes=128, num_trees=8).key_length == 16
+
+
+class TestInsertQuery:
+    def test_insert_and_len(self, forest, factory):
+        forest.insert("a", factory.from_tokens(_tokens("a", 10)).hashvalues)
+        assert len(forest) == 1
+        assert "a" in forest
+
+    def test_short_signature_rejected(self, forest):
+        with pytest.raises(ValueError):
+            forest.insert("bad", np.zeros(8, dtype=np.uint64))
+
+    def test_query_finds_identical_item(self, forest, factory):
+        signature = factory.from_tokens(_tokens("x", 25))
+        forest.insert("x", signature.hashvalues)
+        assert forest.query(signature.hashvalues, k=5) == ["x"]
+
+    def test_query_excludes_requested_key(self, forest, factory):
+        signature = factory.from_tokens(_tokens("x", 25))
+        forest.insert("x", signature.hashvalues)
+        assert forest.query(signature.hashvalues, k=5, exclude="x") == []
+
+    def test_query_zero_k_returns_nothing(self, forest, factory):
+        signature = factory.from_tokens(_tokens("x", 25))
+        forest.insert("x", signature.hashvalues)
+        assert forest.query(signature.hashvalues, k=0) == []
+
+    def test_similar_ranked_before_dissimilar(self, forest, factory):
+        base = _tokens("tok", 60)
+        forest.insert("near", factory.from_tokens(base | {"one-extra"}).hashvalues)
+        forest.insert("far", factory.from_tokens(_tokens("other", 60)).hashvalues)
+        results = forest.query(factory.from_tokens(base).hashvalues, k=1)
+        assert results and results[0] == "near"
+
+    def test_remove(self, forest, factory):
+        signature = factory.from_tokens(_tokens("x", 25))
+        forest.insert("x", signature.hashvalues)
+        forest.remove("x")
+        assert len(forest) == 0
+        assert forest.query(signature.hashvalues, k=5) == []
+
+    def test_remove_missing_is_noop(self, forest):
+        forest.remove("missing")
+        assert len(forest) == 0
+
+    def test_reinsert_replaces(self, forest, factory):
+        first = factory.from_tokens(_tokens("a", 25))
+        second = factory.from_tokens(_tokens("b", 25))
+        forest.insert("item", first.hashvalues)
+        forest.insert("item", second.hashvalues)
+        assert len(forest) == 1
+        assert forest.query(second.hashvalues, k=3) == ["item"]
+
+    def test_signature_accessor(self, forest, factory):
+        signature = factory.from_tokens(_tokens("x", 25))
+        forest.insert("x", signature.hashvalues)
+        assert np.array_equal(forest.signature("x"), signature.hashvalues)
+
+    def test_keys(self, forest, factory):
+        forest.insert("a", factory.from_tokens(_tokens("a", 5)).hashvalues)
+        forest.insert("b", factory.from_tokens(_tokens("b", 5)).hashvalues)
+        assert set(forest.keys()) == {"a", "b"}
+
+
+class TestTopKBehaviour:
+    def test_returns_at_most_total_items(self, forest, factory):
+        for i in range(5):
+            forest.insert(f"item{i}", factory.from_tokens(_tokens(f"g{i}", 20)).hashvalues)
+        query = factory.from_tokens(_tokens("g0", 20))
+        assert len(forest.query(query.hashvalues, k=50)) <= 5
+
+    def test_query_all_returns_related_items(self, forest, factory):
+        base = _tokens("shared", 40)
+        for i in range(4):
+            forest.insert(
+                f"item{i}",
+                factory.from_tokens(base | {f"delta{i}"}).hashvalues,
+            )
+        results = forest.query_all(factory.from_tokens(base).hashvalues)
+        assert set(results) == {f"item{i}" for i in range(4)}
+
+    def test_estimated_bytes_grow(self, forest, factory):
+        before = forest.estimated_bytes()
+        forest.insert("a", factory.from_tokens(_tokens("a", 5)).hashvalues)
+        assert forest.estimated_bytes() > before
+
+    def test_recall_of_highly_similar_items(self, factory):
+        forest = LSHForest(num_hashes=128, num_trees=16)
+        base = _tokens("val", 100)
+        forest.insert("stored", factory.from_tokens(base).hashvalues)
+        # Insert distractors.
+        for i in range(20):
+            forest.insert(f"noise{i}", factory.from_tokens(_tokens(f"n{i}", 100)).hashvalues)
+        query = factory.from_tokens(set(list(base)[:90]) | _tokens("q", 10))
+        results = forest.query(query.hashvalues, k=5)
+        assert "stored" in results

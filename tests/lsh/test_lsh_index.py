@@ -1,0 +1,124 @@
+"""Tests for the banded LSH index."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.lsh_index import LSHIndex, optimal_bands
+from repro.lsh.minhash import MinHashFactory
+
+
+@pytest.fixture
+def factory():
+    return MinHashFactory(num_perm=128, seed=5)
+
+
+@pytest.fixture
+def index():
+    return LSHIndex(threshold=0.7, num_hashes=128)
+
+
+def _tokens(prefix, count):
+    return {f"{prefix}{i}" for i in range(count)}
+
+
+class TestOptimalBands:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            optimal_bands(0.0, 128)
+        with pytest.raises(ValueError):
+            optimal_bands(1.0, 128)
+
+    def test_rejects_bad_num_hashes(self):
+        with pytest.raises(ValueError):
+            optimal_bands(0.5, 0)
+
+    def test_product_does_not_exceed_signature(self):
+        bands, rows = optimal_bands(0.7, 128)
+        assert bands * rows <= 128
+
+    def test_higher_threshold_gives_more_rows_per_band(self):
+        _, rows_low = optimal_bands(0.3, 128)
+        _, rows_high = optimal_bands(0.9, 128)
+        assert rows_high >= rows_low
+
+
+class TestInsertQuery:
+    def test_insert_and_contains(self, index, factory):
+        signature = factory.from_tokens(_tokens("a", 30))
+        index.insert("item", signature.hashvalues)
+        assert "item" in index
+        assert len(index) == 1
+
+    def test_near_duplicates_collide(self, index, factory):
+        base = _tokens("tok", 50)
+        first = factory.from_tokens(base)
+        second = factory.from_tokens(base | {"extra"})
+        index.insert("first", first.hashvalues)
+        candidates = index.query(second.hashvalues)
+        assert "first" in candidates
+
+    def test_dissimilar_items_do_not_collide(self, index, factory):
+        index.insert("first", factory.from_tokens(_tokens("a", 50)).hashvalues)
+        candidates = index.query(factory.from_tokens(_tokens("b", 50)).hashvalues)
+        assert "first" not in candidates
+
+    def test_exclude_removes_self(self, index, factory):
+        signature = factory.from_tokens(_tokens("a", 20))
+        index.insert("self", signature.hashvalues)
+        assert index.query(signature.hashvalues, exclude="self") == set()
+
+    def test_reinsert_replaces(self, index, factory):
+        first = factory.from_tokens(_tokens("a", 20))
+        second = factory.from_tokens(_tokens("b", 20))
+        index.insert("item", first.hashvalues)
+        index.insert("item", second.hashvalues)
+        assert len(index) == 1
+        assert "item" not in index.query(first.hashvalues)
+        assert "item" in index.query(second.hashvalues)
+
+    def test_remove(self, index, factory):
+        signature = factory.from_tokens(_tokens("a", 20))
+        index.insert("item", signature.hashvalues)
+        index.remove("item")
+        assert "item" not in index
+        assert index.query(signature.hashvalues) == set()
+
+    def test_remove_missing_is_noop(self, index):
+        index.remove("missing")
+        assert len(index) == 0
+
+    def test_short_signature_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.insert("bad", np.zeros(4, dtype=np.uint64))
+
+    def test_signature_retrieval(self, index, factory):
+        signature = factory.from_tokens(_tokens("a", 20))
+        index.insert("item", signature.hashvalues)
+        assert np.array_equal(index.signature("item"), signature.hashvalues)
+
+
+class TestAccounting:
+    def test_bucket_count_grows_with_inserts(self, index, factory):
+        assert index.bucket_count() == 0
+        index.insert("a", factory.from_tokens(_tokens("a", 10)).hashvalues)
+        assert index.bucket_count() > 0
+
+    def test_estimated_bytes_grow_with_inserts(self, index, factory):
+        empty_bytes = index.estimated_bytes()
+        index.insert("a", factory.from_tokens(_tokens("a", 10)).hashvalues)
+        assert index.estimated_bytes() > empty_bytes
+
+    def test_keys_and_items(self, index, factory):
+        index.insert("a", factory.from_tokens(_tokens("a", 10)).hashvalues)
+        assert index.keys == ["a"]
+        assert [key for key, _ in index.items()] == ["a"]
+
+
+class TestRecall:
+    def test_high_similarity_pairs_mostly_retrieved(self, factory):
+        index = LSHIndex(threshold=0.6, num_hashes=128)
+        base = _tokens("shared", 90)
+        index.insert("stored", factory.from_tokens(base).hashvalues)
+        # 90% overlapping query should be retrieved.
+        query = factory.from_tokens(set(list(base)[:81]) | _tokens("noise", 9))
+        assert "stored" in index.query(query.hashvalues)

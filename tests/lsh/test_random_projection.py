@@ -1,0 +1,101 @@
+"""Tests for random-projection (SimHash) signatures."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.random_projection import (
+    RandomProjectionFactory,
+    exact_cosine_distance,
+    exact_cosine_similarity,
+)
+
+
+@pytest.fixture
+def factory():
+    return RandomProjectionFactory(num_bits=256, seed=3)
+
+
+class TestExactCosine:
+    def test_identical_vectors(self):
+        assert exact_cosine_similarity([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert exact_cosine_similarity([1.0, 0.0], [0.0, 1.0]) == pytest.approx(0.0)
+
+    def test_zero_vector_yields_zero_similarity(self):
+        assert exact_cosine_similarity([0.0, 0.0], [1.0, 1.0]) == 0.0
+
+    def test_distance_clipped_to_unit_interval(self):
+        assert exact_cosine_distance([1.0, 0.0], [-1.0, 0.0]) == 1.0
+
+
+class TestFactory:
+    def test_rejects_non_positive_bits(self):
+        with pytest.raises(ValueError):
+            RandomProjectionFactory(num_bits=0)
+
+    def test_signature_shape(self, factory):
+        signature = factory.from_vector(np.ones(16))
+        assert signature.bits.shape == (256,)
+
+    def test_rejects_matrix_input(self, factory):
+        with pytest.raises(ValueError):
+            factory.from_vector(np.ones((2, 2)))
+
+    def test_dimension_locked_after_first_use(self, factory):
+        factory.from_vector(np.ones(16))
+        with pytest.raises(ValueError):
+            factory.from_vector(np.ones(8))
+
+    def test_zero_vector_marked(self, factory):
+        signature = factory.from_vector(np.zeros(16))
+        assert signature.is_zero
+
+
+class TestCosineEstimation:
+    def test_identical_vectors_distance_zero(self, factory):
+        rng = np.random.default_rng(0)
+        vector = rng.standard_normal(32)
+        first = factory.from_vector(vector)
+        second = factory.from_vector(vector)
+        assert first.cosine_distance(second) == 0.0
+
+    def test_opposite_vectors_far_apart(self, factory):
+        rng = np.random.default_rng(1)
+        vector = rng.standard_normal(32)
+        first = factory.from_vector(vector)
+        second = factory.from_vector(-vector)
+        assert first.cosine_distance(second) == 1.0
+
+    def test_estimate_close_to_exact(self, factory):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal(32)
+        b = a + 0.5 * rng.standard_normal(32)
+        estimate = factory.from_vector(a).cosine_similarity(factory.from_vector(b))
+        exact = exact_cosine_similarity(a, b)
+        assert abs(estimate - exact) < 0.15
+
+    def test_zero_vector_similarity_zero(self, factory):
+        zero = factory.from_vector(np.zeros(32))
+        other = factory.from_vector(np.ones(32))
+        assert zero.cosine_similarity(other) == 0.0
+        assert zero.cosine_distance(other) == 1.0
+
+    def test_symmetry(self, factory):
+        rng = np.random.default_rng(3)
+        a = factory.from_vector(rng.standard_normal(32))
+        b = factory.from_vector(rng.standard_normal(32))
+        assert a.cosine_similarity(b) == pytest.approx(b.cosine_similarity(a))
+
+    def test_incompatible_signatures_raise(self, factory):
+        other = RandomProjectionFactory(num_bits=256, seed=99)
+        a = factory.from_vector(np.ones(8))
+        b = other.from_vector(np.ones(8))
+        with pytest.raises(ValueError):
+            a.hamming_fraction(b)
+
+    def test_distance_in_unit_interval(self, factory):
+        rng = np.random.default_rng(4)
+        a = factory.from_vector(rng.standard_normal(32))
+        b = factory.from_vector(rng.standard_normal(32))
+        assert 0.0 <= a.cosine_distance(b) <= 1.0

@@ -1,0 +1,72 @@
+"""Tests for cross-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.cross_validation import cross_validate_accuracy, k_fold_indices, train_test_split
+from repro.ml.logistic_regression import LogisticRegression
+
+
+class TestKFold:
+    def test_number_of_folds(self):
+        assert len(k_fold_indices(20, 5)) == 5
+
+    def test_every_sample_tested_exactly_once(self):
+        splits = k_fold_indices(23, 4, seed=1)
+        tested = np.concatenate([test for _, test in splits])
+        assert sorted(tested.tolist()) == list(range(23))
+
+    def test_train_and_test_disjoint(self):
+        for train, test in k_fold_indices(15, 3):
+            assert set(train.tolist()).isdisjoint(test.tolist())
+
+    def test_rejects_too_few_folds(self):
+        with pytest.raises(ValueError):
+            k_fold_indices(10, 1)
+
+    def test_rejects_more_folds_than_samples(self):
+        with pytest.raises(ValueError):
+            k_fold_indices(3, 5)
+
+    def test_deterministic_given_seed(self):
+        first = k_fold_indices(10, 2, seed=7)
+        second = k_fold_indices(10, 2, seed=7)
+        assert all(
+            np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+            for a, b in zip(first, second)
+        )
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(100, test_fraction=0.25, seed=0)
+        assert len(test) == 25
+        assert len(train) == 75
+
+    def test_disjoint_and_complete(self):
+        train, test = train_test_split(40, test_fraction=0.2, seed=3)
+        combined = sorted(np.concatenate([train, test]).tolist())
+        assert combined == list(range(40))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(10, test_fraction=1.0)
+
+
+class TestCrossValidateAccuracy:
+    def test_accuracy_on_learnable_problem(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((200, 2))
+        y = (X[:, 0] > 0).astype(int)
+        accuracies = cross_validate_accuracy(LogisticRegression, X, y, k=5)
+        assert len(accuracies) == 5
+        assert np.mean(accuracies) > 0.9
+
+    def test_each_fold_accuracy_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((60, 2))
+        y = rng.integers(0, 2, 60)
+        accuracies = cross_validate_accuracy(LogisticRegression, X, y, k=3)
+        assert all(0.0 <= accuracy <= 1.0 for accuracy in accuracies)

@@ -1,0 +1,106 @@
+"""Tests for the coordinate-descent logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic_regression import LogisticRegression
+
+
+def _separable_data(seed=0, n=200):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, 3))
+    true_weights = np.array([2.0, -1.5, 0.5])
+    logits = X @ true_weights + 0.3
+    y = (logits + 0.2 * rng.standard_normal(n) > 0).astype(int)
+    return X, y
+
+
+class TestValidation:
+    def test_rejects_negative_regularisation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_rejects_non_2d_features(self):
+        model = LogisticRegression()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(3), [0, 1, 0])
+
+    def test_rejects_length_mismatch(self):
+        model = LogisticRegression()
+        with pytest.raises(ValueError):
+            model.fit([[1.0], [2.0]], [0])
+
+    def test_rejects_empty_training_set(self):
+        model = LogisticRegression()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((0, 2)), [])
+
+    def test_rejects_non_binary_labels(self):
+        model = LogisticRegression()
+        with pytest.raises(ValueError):
+            model.fit([[1.0], [2.0]], [0, 2])
+
+    def test_predict_before_fit_raises(self):
+        model = LogisticRegression()
+        with pytest.raises(RuntimeError):
+            model.predict([[1.0]])
+
+
+class TestFitting:
+    def test_high_accuracy_on_separable_data(self):
+        X, y = _separable_data()
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_coefficient_signs_recovered(self):
+        X, y = _separable_data()
+        model = LogisticRegression().fit(X, y)
+        assert model.coef_[0] > 0
+        assert model.coef_[1] < 0
+
+    def test_probabilities_in_unit_interval(self):
+        X, y = _separable_data()
+        model = LogisticRegression().fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert np.all(probabilities >= 0.0)
+        assert np.all(probabilities <= 1.0)
+
+    def test_predictions_are_binary(self):
+        X, y = _separable_data()
+        model = LogisticRegression().fit(X, y)
+        assert set(np.unique(model.predict(X))).issubset({0, 1})
+
+    def test_decision_threshold(self):
+        X, y = _separable_data()
+        model = LogisticRegression().fit(X, y)
+        strict = model.predict(X, threshold=0.9).sum()
+        lenient = model.predict(X, threshold=0.1).sum()
+        assert strict <= lenient
+
+    def test_converges_and_reports_iterations(self):
+        X, y = _separable_data(n=100)
+        model = LogisticRegression(max_iter=500, tol=1e-8).fit(X, y)
+        assert 1 <= model.n_iter_ <= 500
+
+    def test_stronger_regularisation_shrinks_coefficients(self):
+        X, y = _separable_data()
+        weak = LogisticRegression(l2=1e-4).fit(X, y)
+        strong = LogisticRegression(l2=10.0).fit(X, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_constant_labels_rejected(self):
+        X = np.ones((10, 2))
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(X, np.full(10, 2))
+
+    def test_single_class_allowed_if_binary_value(self):
+        # All-zero labels are technically binary: the model should fit and
+        # predict the majority class.
+        X = np.random.default_rng(0).standard_normal((20, 2))
+        model = LogisticRegression().fit(X, np.zeros(20, dtype=int))
+        assert model.score(X, np.zeros(20, dtype=int)) == 1.0
+
+    def test_score_on_empty_set(self):
+        X, y = _separable_data(n=50)
+        model = LogisticRegression().fit(X, y)
+        assert model.score(np.zeros((0, 3)), []) == 0.0

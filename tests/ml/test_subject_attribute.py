@@ -1,0 +1,109 @@
+"""Tests for subject-attribute detection."""
+
+import pytest
+
+from repro.ml.subject_attribute import (
+    FEATURE_NAMES,
+    SubjectAttributeClassifier,
+    column_feature_vector,
+    heuristic_subject_attribute,
+)
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def practices_table():
+    return Table.from_dict(
+        "practices",
+        {
+            "Practice Name": ["Blackfriars", "Radclife Care", "Bolton Medical", "Dr E Cullen"],
+            "City": ["Salford", "Manchester", "Bolton", "Belfast"],
+            "Patients": ["3572", "2209", "1840", "1202"],
+        },
+    )
+
+
+@pytest.fixture
+def labelled_tables(small_synthetic_benchmark):
+    return small_synthetic_benchmark.labelled_subject_tables()
+
+
+class TestFeatureVector:
+    def test_feature_vector_length(self, practices_table):
+        vector = column_feature_vector(practices_table, 0)
+        assert len(vector) == len(FEATURE_NAMES)
+
+    def test_numeric_flag(self, practices_table):
+        assert column_feature_vector(practices_table, 2)[1] == 1.0
+        assert column_feature_vector(practices_table, 0)[1] == 0.0
+
+    def test_position_normalised(self, practices_table):
+        assert column_feature_vector(practices_table, 0)[0] == 0.0
+        assert column_feature_vector(practices_table, 2)[0] == 1.0
+
+    def test_leftmost_textual_flag(self, practices_table):
+        assert column_feature_vector(practices_table, 0)[5] == 1.0
+        assert column_feature_vector(practices_table, 1)[5] == 0.0
+
+
+class TestHeuristic:
+    def test_prefers_distinct_leftmost_textual_column(self, practices_table):
+        assert heuristic_subject_attribute(practices_table) == "Practice Name"
+
+    def test_numeric_only_table_has_no_subject(self):
+        table = Table.from_dict("numbers", {"a": ["1", "2"], "b": ["3", "4"]})
+        assert heuristic_subject_attribute(table) is None
+
+    def test_prefers_distinct_over_repetitive_column(self):
+        table = Table.from_dict(
+            "services",
+            {
+                "Category": ["Health", "Health", "Health", "Health"],
+                "Provider": ["A Practice", "B Surgery", "C Clinic", "D Centre"],
+            },
+        )
+        assert heuristic_subject_attribute(table) == "Provider"
+
+
+class TestClassifier:
+    def test_unfitted_identify_falls_back_to_heuristic(self, practices_table):
+        classifier = SubjectAttributeClassifier()
+        assert classifier.identify(practices_table) == "Practice Name"
+        assert not classifier.is_fitted
+
+    def test_unfitted_column_scores_raise(self, practices_table):
+        with pytest.raises(RuntimeError):
+            SubjectAttributeClassifier().column_scores(practices_table)
+
+    def test_training_set_has_row_per_column(self, labelled_tables):
+        features, labels = SubjectAttributeClassifier.build_training_set(labelled_tables)
+        expected_rows = sum(table.arity for table, _ in labelled_tables)
+        assert features.shape[0] == expected_rows
+        assert labels.sum() == len(labelled_tables)
+
+    def test_fit_and_identify(self, labelled_tables):
+        classifier = SubjectAttributeClassifier().fit(labelled_tables)
+        assert classifier.is_fitted
+        accuracy = classifier.accuracy(labelled_tables)
+        assert accuracy > 0.6
+
+    def test_column_scores_only_textual_columns(self, labelled_tables, practices_table):
+        classifier = SubjectAttributeClassifier().fit(labelled_tables)
+        scores = classifier.column_scores(practices_table)
+        assert "Patients" not in scores
+        assert set(scores) <= {"Practice Name", "City"}
+
+    def test_accuracy_of_empty_set(self, labelled_tables):
+        classifier = SubjectAttributeClassifier().fit(labelled_tables)
+        assert classifier.accuracy([]) == 0.0
+
+    def test_fit_requires_both_classes(self, practices_table):
+        classifier = SubjectAttributeClassifier()
+        with pytest.raises(ValueError):
+            # Labelling a non-existent column makes every row a negative
+            # example, so the training set has a single class.
+            classifier.fit([(practices_table, "No Such Column")])
+
+    def test_fit_rejects_empty_training_data(self):
+        with pytest.raises(ValueError):
+            SubjectAttributeClassifier().fit([])

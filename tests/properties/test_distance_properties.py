@@ -1,0 +1,119 @@
+"""Property-based tests for the distance space and aggregation invariants.
+
+The paper's framework relies on every evidence distance living in [0, 1] and
+on the aggregation (Equations 1-3) preserving that interval; these properties
+are what make the five evidence types combinable in one distance space.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregation import aggregate_column, combined_distance, evidence_vector
+from repro.core.evidence import EvidenceType
+from repro.core.profiles import AttributeMatch
+from repro.core.weights import EvidenceWeights
+from repro.lake.datalake import AttributeRef
+from repro.stats.distributions import ccdf_weight
+from repro.stats.ks import ks_statistic
+
+unit = st.floats(min_value=0.0, max_value=1.0)
+positive = st.floats(min_value=0.0, max_value=10.0)
+
+
+def _matches(distance_rows):
+    matches = []
+    for index, row in enumerate(distance_rows):
+        distances = dict(zip(EvidenceType.all(), row))
+        weights = {evidence: 1.0 for evidence in EvidenceType.all()}
+        matches.append(
+            AttributeMatch(
+                target_attribute=f"a{index}",
+                source=AttributeRef("s", f"c{index}"),
+                distances=distances,
+                weights=weights,
+            )
+        )
+    return matches
+
+
+distance_rows = st.lists(st.tuples(unit, unit, unit, unit, unit), min_size=1, max_size=6)
+weight_values = st.tuples(positive, positive, positive, positive, positive)
+
+
+class TestAggregationProperties:
+    @given(distance_rows)
+    @settings(max_examples=80, deadline=None)
+    def test_equation1_stays_in_unit_interval(self, rows):
+        matches = _matches(rows)
+        for evidence in EvidenceType.all():
+            assert 0.0 <= aggregate_column(matches, evidence) <= 1.0
+
+    @given(distance_rows)
+    @settings(max_examples=80, deadline=None)
+    def test_equation1_bounded_by_min_and_max(self, rows):
+        matches = _matches(rows)
+        for evidence in EvidenceType.all():
+            values = [match.distances[evidence] for match in matches]
+            aggregated = aggregate_column(matches, evidence)
+            assert min(values) - 1e-9 <= aggregated <= max(values) + 1e-9
+
+    @given(distance_rows, weight_values)
+    @settings(max_examples=80, deadline=None)
+    def test_equation3_stays_in_unit_interval(self, rows, weight_tuple):
+        matches = _matches(rows)
+        vector = evidence_vector(matches)
+        weights = EvidenceWeights(dict(zip(EvidenceType.all(), weight_tuple)))
+        assert 0.0 <= combined_distance(vector, weights) <= 1.0
+
+    @given(st.tuples(unit, unit, unit, unit, unit), weight_values)
+    @settings(max_examples=80, deadline=None)
+    def test_equation3_zero_iff_all_weighted_dimensions_zero(self, values, weight_tuple):
+        vector = dict(zip(EvidenceType.all(), values))
+        weights = EvidenceWeights(dict(zip(EvidenceType.all(), weight_tuple)))
+        distance = combined_distance(vector, weights)
+        weighted_values = [
+            value for value, weight in zip(values, weight_tuple) if weight > 0
+        ]
+        if weighted_values and max(weighted_values) == 0.0:
+            assert distance == 0.0
+        if distance == 0.0 and sum(weight_tuple) > 0:
+            # Allow for floating-point underflow of (weight * value)^2.
+            assert all(
+                value * weight < 1e-6
+                for value, weight in zip(values, weight_tuple)
+                if weight > 0
+            )
+
+
+class TestWeightProperties:
+    @given(unit, st.lists(unit, min_size=2, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_ccdf_weight_in_unit_interval(self, distance, population):
+        assert 0.0 <= ccdf_weight(distance, population) <= 1.0
+
+    @given(st.lists(unit, min_size=2, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_ccdf_weight_antitone_in_distance(self, population):
+        small = min(population)
+        large = max(population)
+        assert ccdf_weight(small, population) >= ccdf_weight(large, population)
+
+
+class TestKsProperties:
+    samples = st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=60
+    )
+
+    @given(samples, samples)
+    @settings(max_examples=80, deadline=None)
+    def test_bounded(self, first, second):
+        assert 0.0 <= ks_statistic(first, second) <= 1.0
+
+    @given(samples, samples)
+    @settings(max_examples=80, deadline=None)
+    def test_symmetric(self, first, second):
+        assert abs(ks_statistic(first, second) - ks_statistic(second, first)) < 1e-12
+
+    @given(samples)
+    @settings(max_examples=80, deadline=None)
+    def test_identity(self, sample):
+        assert ks_statistic(sample, sample) == 0.0

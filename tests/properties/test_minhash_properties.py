@@ -1,0 +1,58 @@
+"""Property-based tests for MinHash and Jaccard estimation invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lsh.minhash import MinHashFactory, exact_jaccard
+
+_FACTORY = MinHashFactory(num_perm=128, seed=42)
+
+tokens = st.sets(st.text(alphabet="abcdefghij0123456789", min_size=1, max_size=8), max_size=40)
+non_empty_tokens = st.sets(
+    st.text(alphabet="abcdefghij0123456789", min_size=1, max_size=8), min_size=1, max_size=40
+)
+
+
+class TestMinHashProperties:
+    @given(non_empty_tokens)
+    @settings(max_examples=50, deadline=None)
+    def test_identity_has_similarity_one(self, token_set):
+        signature = _FACTORY.from_tokens(token_set)
+        assert signature.jaccard(signature) == 1.0
+
+    @given(non_empty_tokens, non_empty_tokens)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, first, second):
+        a = _FACTORY.from_tokens(first)
+        b = _FACTORY.from_tokens(second)
+        assert a.jaccard(b) == b.jaccard(a)
+
+    @given(non_empty_tokens, non_empty_tokens)
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_within_unit_interval(self, first, second):
+        estimate = _FACTORY.from_tokens(first).jaccard(_FACTORY.from_tokens(second))
+        assert 0.0 <= estimate <= 1.0
+
+    @given(non_empty_tokens, non_empty_tokens)
+    @settings(max_examples=30, deadline=None)
+    def test_estimate_tracks_exact_jaccard(self, first, second):
+        estimate = _FACTORY.from_tokens(first).jaccard(_FACTORY.from_tokens(second))
+        exact = exact_jaccard(first, second)
+        # 128 permutations give a standard error below 0.09; allow 4 sigma.
+        assert abs(estimate - exact) <= 0.36
+
+    @given(non_empty_tokens, non_empty_tokens)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_union_signature(self, first, second):
+        merged = _FACTORY.merge(_FACTORY.from_tokens(first), _FACTORY.from_tokens(second))
+        assert merged == _FACTORY.from_tokens(first | second)
+
+    @given(non_empty_tokens)
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic(self, token_set):
+        assert _FACTORY.from_tokens(token_set) == _FACTORY.from_tokens(set(token_set))
+
+    @given(tokens)
+    @settings(max_examples=50, deadline=None)
+    def test_empty_flag_consistent(self, token_set):
+        signature = _FACTORY.from_tokens(token_set)
+        assert signature.is_empty() == (len(token_set) == 0)

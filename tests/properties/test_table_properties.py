@@ -1,0 +1,80 @@
+"""Property-based tests for the table layer."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tables.operations import project, select
+from repro.tables.table import Table
+from repro.tables.types import coerce_numeric, infer_type, is_missing
+
+column_names = st.lists(
+    st.text(alphabet=string.ascii_letters, min_size=1, max_size=8),
+    min_size=1,
+    max_size=5,
+    unique=True,
+)
+cell = st.one_of(
+    st.none(),
+    st.text(alphabet=string.ascii_letters + string.digits + " .-", max_size=12),
+    st.integers(min_value=-10_000, max_value=10_000).map(str),
+)
+
+
+@st.composite
+def tables(draw):
+    names = draw(column_names)
+    num_rows = draw(st.integers(min_value=0, max_value=8))
+    data = {name: [draw(cell) for _ in range(num_rows)] for name in names}
+    return Table.from_dict("generated", data)
+
+
+class TestTableInvariants:
+    @given(tables())
+    @settings(max_examples=60, deadline=None)
+    def test_all_columns_have_cardinality_rows(self, table):
+        for column in table.columns:
+            assert len(column) == table.cardinality
+
+    @given(tables())
+    @settings(max_examples=60, deadline=None)
+    def test_rows_round_trip(self, table):
+        rows = list(table.rows())
+        rebuilt = Table.from_rows("rebuilt", table.column_names, rows)
+        for name in table.column_names:
+            assert rebuilt.column(name).values == table.column(name).values
+
+    @given(tables())
+    @settings(max_examples=60, deadline=None)
+    def test_projection_preserves_cardinality(self, table):
+        projected = project(table, table.column_names[:1])
+        assert projected.cardinality == table.cardinality
+
+    @given(tables())
+    @settings(max_examples=60, deadline=None)
+    def test_select_true_keeps_everything(self, table):
+        assert select(table, lambda row: True).cardinality == table.cardinality
+
+    @given(tables())
+    @settings(max_examples=60, deadline=None)
+    def test_select_false_keeps_nothing(self, table):
+        assert select(table, lambda row: False).cardinality == 0
+
+    @given(tables())
+    @settings(max_examples=60, deadline=None)
+    def test_numeric_ratio_bounded(self, table):
+        assert 0.0 <= table.numeric_ratio <= 1.0
+
+
+class TestTypeInvariants:
+    @given(cell)
+    @settings(max_examples=200, deadline=None)
+    def test_missing_values_never_numeric(self, value):
+        if is_missing(value):
+            assert coerce_numeric(value) is None
+
+    @given(st.lists(cell, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_infer_type_total(self, values):
+        # infer_type must always return a valid enum member, never raise.
+        assert infer_type(values).value in {"text", "numeric", "empty"}

@@ -1,0 +1,89 @@
+"""Property-based tests for the text feature extractors."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.text.qgrams import name_qgrams, qgrams
+from repro.text.regex_format import format_string
+from repro.text.token_stats import informative_and_frequent_tokens, value_token_set
+from repro.text.tokenizer import split_parts, tokenize
+
+printable_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=60
+)
+value_lists = st.lists(printable_text, min_size=0, max_size=15)
+
+
+class TestTokenizerProperties:
+    @given(printable_text)
+    @settings(max_examples=100, deadline=None)
+    def test_tokens_are_lowercase_alphanumeric(self, value):
+        for token in tokenize(value):
+            assert token == token.lower()
+            assert token.isalnum()
+
+    @given(printable_text)
+    @settings(max_examples=100, deadline=None)
+    def test_parts_cover_no_empty_strings(self, value):
+        assert all(part.strip() for part in split_parts(value))
+
+    @given(printable_text)
+    @settings(max_examples=100, deadline=None)
+    def test_tokenize_idempotent_on_joined_tokens(self, value):
+        tokens = tokenize(value)
+        assert tokenize(" ".join(tokens)) == tokens
+
+
+class TestQgramProperties:
+    @given(st.text(alphabet="abcdefghijklmnop", min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_qgram_count_bounded_by_length(self, text):
+        grams = qgrams(text, 4)
+        assert 1 <= len(grams) <= max(1, len(text))
+
+    @given(st.text(alphabet="abcdefghijklmnop ", max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_name_qgrams_case_insensitive(self, name):
+        assert name_qgrams(name) == name_qgrams(name.upper())
+
+    @given(st.text(alphabet="abcdefghijklmnop", min_size=4, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_every_gram_is_substring(self, text):
+        for gram in qgrams(text, 4):
+            assert gram in text
+
+
+class TestFormatProperties:
+    @given(printable_text)
+    @settings(max_examples=150, deadline=None)
+    def test_format_string_uses_primitive_alphabet(self, value):
+        rendered = format_string(value)
+        assert set(rendered) <= set("CULNAP+")
+
+    @given(printable_text)
+    @settings(max_examples=150, deadline=None)
+    def test_format_string_never_repeats_symbol_adjacently(self, value):
+        rendered = format_string(value)
+        compact = rendered.replace("+", "")
+        assert all(a != b for a, b in zip(compact, compact[1:])) or len(compact) <= 1
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_lowercase_words_have_format_l(self, word):
+        assert format_string(word) == "L"
+
+
+class TestTokenStatsProperties:
+    @given(value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_tset_is_subset_of_all_tokens(self, values):
+        tset, embedding_tokens = informative_and_frequent_tokens(values)
+        all_tokens = value_token_set(values)
+        assert tset <= all_tokens
+        assert embedding_tokens <= all_tokens
+
+    @given(value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_non_empty_values_with_tokens_produce_tset(self, values):
+        all_tokens = value_token_set(values)
+        tset, _ = informative_and_frequent_tokens(values)
+        assert bool(tset) == bool(all_tokens)

@@ -1,0 +1,71 @@
+"""Tests for empirical distributions and the Equation 2 CCDF weights."""
+
+import pytest
+
+from repro.stats.distributions import EmpiricalDistribution, ccdf_weight
+
+
+class TestEmpiricalDistribution:
+    def test_cdf_monotone(self):
+        distribution = EmpiricalDistribution([0.1, 0.4, 0.4, 0.9])
+        assert distribution.cdf(0.0) <= distribution.cdf(0.5) <= distribution.cdf(1.0)
+
+    def test_cdf_values(self):
+        distribution = EmpiricalDistribution([0.2, 0.4, 0.6, 0.8])
+        assert distribution.cdf(0.4) == pytest.approx(0.5)
+        assert distribution.cdf(1.0) == 1.0
+        assert distribution.cdf(0.1) == 0.0
+
+    def test_ccdf_complement(self):
+        distribution = EmpiricalDistribution([0.2, 0.4, 0.6, 0.8])
+        assert distribution.ccdf(0.4) == pytest.approx(0.5)
+
+    def test_empty_distribution(self):
+        distribution = EmpiricalDistribution([])
+        assert distribution.cdf(0.5) == 0.0
+        assert distribution.ccdf(0.5) == 1.0
+        assert distribution.mean() == 0.0
+        assert len(distribution) == 0
+
+    def test_quantile(self):
+        distribution = EmpiricalDistribution([0.0, 0.5, 1.0])
+        assert distribution.quantile(0.5) == pytest.approx(0.5)
+
+    def test_quantile_validation(self):
+        distribution = EmpiricalDistribution([0.5])
+        with pytest.raises(ValueError):
+            distribution.quantile(1.5)
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([]).quantile(0.5)
+
+    def test_values_are_sorted_copy(self):
+        distribution = EmpiricalDistribution([0.9, 0.1])
+        assert distribution.values == [0.1, 0.9]
+
+    def test_mean(self):
+        assert EmpiricalDistribution([0.0, 1.0]).mean() == pytest.approx(0.5)
+
+
+class TestCcdfWeight:
+    def test_smallest_distance_gets_largest_weight(self):
+        population = [0.1, 0.5, 0.9]
+        assert ccdf_weight(0.1, population) > ccdf_weight(0.9, population)
+
+    def test_largest_distance_gets_zero_weight(self):
+        population = [0.1, 0.5, 0.9]
+        assert ccdf_weight(0.9, population) == 0.0
+
+    def test_weight_is_fraction_of_larger_values(self):
+        population = [0.2, 0.4, 0.6, 0.8]
+        assert ccdf_weight(0.4, population) == pytest.approx(0.5)
+
+    def test_empty_population_defaults_to_one(self):
+        assert ccdf_weight(0.3, []) == 1.0
+
+    def test_singleton_population_defaults_to_one(self):
+        assert ccdf_weight(0.3, [0.3]) == 1.0
+
+    def test_weight_in_unit_interval(self):
+        population = [0.1, 0.2, 0.3, 0.7, 0.95]
+        for distance in population:
+            assert 0.0 <= ccdf_weight(distance, population) <= 1.0

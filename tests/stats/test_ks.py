@@ -1,0 +1,55 @@
+"""Tests for the two-sample Kolmogorov-Smirnov statistic."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.ks import ks_distance, ks_statistic
+
+
+class TestKsStatistic:
+    def test_identical_samples(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert ks_statistic(sample, sample) == 0.0
+
+    def test_disjoint_supports_give_one(self):
+        assert ks_statistic([1, 2, 3], [10, 11, 12]) == 1.0
+
+    def test_empty_sample_gives_one(self):
+        assert ks_statistic([], [1, 2, 3]) == 1.0
+        assert ks_statistic([1, 2, 3], []) == 1.0
+        assert ks_statistic([], []) == 1.0
+
+    def test_bounded_by_unit_interval(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 100)
+        b = rng.normal(0.5, 1, 80)
+        assert 0.0 <= ks_statistic(a, b) <= 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 50)
+        b = rng.uniform(-1, 1, 70)
+        assert ks_statistic(a, b) == pytest.approx(ks_statistic(b, a))
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 120)
+        b = rng.normal(0.3, 1.2, 90)
+        expected = scipy_stats.ks_2samp(a, b).statistic
+        assert ks_statistic(a, b) == pytest.approx(expected, abs=1e-12)
+
+    def test_similar_distributions_closer_than_different(self):
+        rng = np.random.default_rng(3)
+        ages_a = rng.uniform(18, 90, 200)
+        ages_b = rng.uniform(18, 90, 200)
+        weights = rng.uniform(2000, 15000, 200)
+        assert ks_statistic(ages_a, ages_b) < ks_statistic(ages_a, weights)
+
+    def test_non_finite_values_ignored(self):
+        assert ks_statistic([1.0, float("nan"), 2.0], [1.0, 2.0]) < 0.5
+
+    def test_ks_distance_alias(self):
+        a = [1.0, 2.0]
+        b = [1.5, 2.5]
+        assert ks_distance(a, b) == ks_statistic(a, b)

@@ -1,0 +1,104 @@
+"""Tests for the Column abstraction."""
+
+import pytest
+
+from repro.tables.column import Column
+from repro.tables.types import ValueType
+
+
+@pytest.fixture
+def city_column():
+    return Column("City", ["Manchester", "Salford", "Salford", None, "Bolton"])
+
+
+@pytest.fixture
+def patients_column():
+    return Column("Patients", ["1202", "3572", "", "845"])
+
+
+class TestConstruction:
+    def test_requires_non_empty_name(self):
+        with pytest.raises(ValueError):
+            Column("", ["a"])
+
+    def test_requires_string_name(self):
+        with pytest.raises(ValueError):
+            Column(None, ["a"])  # type: ignore[arg-type]
+
+    def test_length(self, city_column):
+        assert len(city_column) == 5
+
+    def test_iteration_preserves_order(self, city_column):
+        assert list(city_column)[:2] == ["Manchester", "Salford"]
+
+    def test_getitem(self, city_column):
+        assert city_column[0] == "Manchester"
+
+    def test_equality(self):
+        assert Column("a", ["1"]) == Column("a", ["1"])
+        assert Column("a", ["1"]) != Column("a", ["2"])
+        assert Column("a", ["1"]) != Column("b", ["1"])
+
+    def test_from_numeric_preserves_none(self):
+        column = Column.from_numeric("x", [1.0, None, 2.5])
+        assert column.values[1] is None
+        assert column.numeric_values == [1.0, 2.5]
+
+
+class TestTyping:
+    def test_text_column(self, city_column):
+        assert city_column.value_type is ValueType.TEXT
+        assert city_column.is_textual
+        assert not city_column.is_numeric
+
+    def test_numeric_column(self, patients_column):
+        assert patients_column.value_type is ValueType.NUMERIC
+        assert patients_column.is_numeric
+
+    def test_empty_column(self):
+        column = Column("empty", [None, "", "n/a"])
+        assert column.value_type is ValueType.EMPTY
+        assert not column.is_numeric
+        assert not column.is_textual
+
+
+class TestDerivedViews:
+    def test_non_missing_strips_and_drops(self, city_column):
+        assert city_column.non_missing == ["Manchester", "Salford", "Salford", "Bolton"]
+
+    def test_numeric_values(self, patients_column):
+        assert patients_column.numeric_values == [1202.0, 3572.0, 845.0]
+
+    def test_distinct_values_preserve_first_occurrence_order(self, city_column):
+        assert city_column.distinct_values == ["Manchester", "Salford", "Bolton"]
+
+    def test_null_ratio(self, city_column):
+        assert city_column.null_ratio == pytest.approx(1 / 5)
+
+    def test_null_ratio_of_empty_column(self):
+        assert Column("x", []).null_ratio == 1.0
+
+    def test_distinct_ratio(self, city_column):
+        assert city_column.distinct_ratio == pytest.approx(3 / 4)
+
+    def test_distinct_ratio_empty(self):
+        assert Column("x", [None]).distinct_ratio == 0.0
+
+    def test_mean_string_length(self):
+        column = Column("x", ["ab", "abcd"])
+        assert column.mean_string_length == 3.0
+
+    def test_head(self, city_column):
+        assert city_column.head(2) == ["Manchester", "Salford"]
+
+    def test_rename_keeps_values(self, city_column):
+        renamed = city_column.rename("Town")
+        assert renamed.name == "Town"
+        assert renamed.values == city_column.values
+
+    def test_take_selects_rows(self, city_column):
+        taken = city_column.take([0, 4])
+        assert taken.values == ["Manchester", "Bolton"]
+
+    def test_estimated_bytes_positive(self, city_column):
+        assert city_column.estimated_bytes() > 0

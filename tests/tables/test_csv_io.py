@@ -1,0 +1,87 @@
+"""Tests for CSV reading and writing."""
+
+import pytest
+
+from repro.tables.csv_io import read_csv, read_csv_directory, write_csv, write_csv_directory
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def sample_table():
+    return Table.from_dict(
+        "gp_list",
+        {
+            "Practice": ["Blackfriars", "Radclife Care"],
+            "City": ["Salford", None],
+            "Patients": ["3572", "2209"],
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, sample_table, tmp_path):
+        path = write_csv(sample_table, tmp_path / "gp_list.csv")
+        loaded = read_csv(path)
+        assert loaded.name == "gp_list"
+        assert loaded.column_names == sample_table.column_names
+        assert loaded.cardinality == sample_table.cardinality
+
+    def test_missing_cells_round_trip_as_empty(self, sample_table, tmp_path):
+        path = write_csv(sample_table, tmp_path / "gp_list.csv")
+        loaded = read_csv(path)
+        assert loaded.column("City").values[1] == ""
+        assert loaded.column("City").non_missing == ["Salford"]
+
+    def test_write_creates_parent_directories(self, sample_table, tmp_path):
+        path = write_csv(sample_table, tmp_path / "nested" / "deep" / "t.csv")
+        assert path.exists()
+
+
+class TestReadCsv:
+    def test_explicit_name_overrides_stem(self, sample_table, tmp_path):
+        path = write_csv(sample_table, tmp_path / "file.csv")
+        loaded = read_csv(path, name="custom")
+        assert loaded.name == "custom"
+
+    def test_max_rows_limits_read(self, sample_table, tmp_path):
+        path = write_csv(sample_table, tmp_path / "t.csv")
+        loaded = read_csv(path, max_rows=1)
+        assert loaded.cardinality == 1
+
+    def test_empty_file_raises(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            read_csv(empty)
+
+    def test_blank_header_cells_get_positional_names(self, tmp_path):
+        path = tmp_path / "odd.csv"
+        path.write_text("Name,,Value\nfoo,bar,1\n")
+        loaded = read_csv(path)
+        assert loaded.column_names == ["Name", "column_1", "Value"]
+
+
+class TestDirectoryIo:
+    def test_write_and_read_directory(self, sample_table, tmp_path):
+        other = sample_table.with_name("other")
+        write_csv_directory([sample_table, other], tmp_path / "lake")
+        tables = read_csv_directory(tmp_path / "lake")
+        assert {table.name for table in tables} == {"gp_list", "other"}
+
+    def test_max_tables_limits_directory_read(self, sample_table, tmp_path):
+        write_csv_directory(
+            [sample_table.with_name(f"t{i}") for i in range(5)], tmp_path / "lake"
+        )
+        tables = read_csv_directory(tmp_path / "lake", max_tables=2)
+        assert len(tables) == 2
+
+    def test_unparseable_files_are_skipped(self, sample_table, tmp_path):
+        directory = tmp_path / "lake"
+        write_csv_directory([sample_table], directory)
+        (directory / "broken.csv").write_text("")
+        tables = read_csv_directory(directory)
+        assert {table.name for table in tables} == {"gp_list"}
+
+    def test_empty_directory_returns_no_tables(self, tmp_path):
+        (tmp_path / "lake").mkdir()
+        assert read_csv_directory(tmp_path / "lake") == []

@@ -1,0 +1,147 @@
+"""Tests for relational operations over tables."""
+
+import pytest
+
+from repro.tables.operations import (
+    column_overlap,
+    concat_rows,
+    hash_join,
+    natural_join,
+    project,
+    rename_columns,
+    sample_rows,
+    select,
+    union,
+)
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def practices():
+    return Table.from_dict(
+        "practices",
+        {
+            "Practice": ["Blackfriars", "Radclife Care", "Bolton Medical"],
+            "City": ["Salford", "Manchester", "Bolton"],
+            "Patients": ["3572", "2209", "1840"],
+        },
+    )
+
+
+@pytest.fixture
+def hours():
+    return Table.from_dict(
+        "hours",
+        {
+            "GP": ["blackfriars", "Radclife Care", "Unknown Practice"],
+            "Opening hours": ["08:00-18:00", "07:00-20:00", "09:00-17:00"],
+        },
+    )
+
+
+class TestProjectSelect:
+    def test_project_keeps_requested_columns(self, practices):
+        result = project(practices, ["City"])
+        assert result.column_names == ["City"]
+        assert result.cardinality == 3
+
+    def test_project_reorders_columns(self, practices):
+        result = project(practices, ["Patients", "Practice"])
+        assert result.column_names == ["Patients", "Practice"]
+
+    def test_select_filters_rows(self, practices):
+        result = select(practices, lambda row: row["City"] == "Salford")
+        assert result.cardinality == 1
+        assert result.column("Practice").values == ["Blackfriars"]
+
+    def test_select_can_return_empty_table(self, practices):
+        result = select(practices, lambda row: False)
+        assert result.cardinality == 0
+        assert result.column_names == practices.column_names
+
+    def test_sample_rows(self, practices):
+        result = sample_rows(practices, [2, 0])
+        assert result.column("City").values == ["Bolton", "Salford"]
+
+    def test_rename_columns(self, practices):
+        result = rename_columns(practices, {"Practice": "GP"})
+        assert result.column_names == ["GP", "City", "Patients"]
+        assert result.column("GP").values[0] == "Blackfriars"
+
+
+class TestConcatAndUnion:
+    def test_concat_rows_same_schema(self, practices):
+        combined = concat_rows([practices, practices], "double")
+        assert combined.cardinality == 6
+        assert combined.column_names == practices.column_names
+
+    def test_concat_rows_rejects_mismatched_schema(self, practices, hours):
+        with pytest.raises(ValueError):
+            concat_rows([practices, hours], "bad")
+
+    def test_concat_requires_at_least_one_table(self):
+        with pytest.raises(ValueError):
+            concat_rows([], "empty")
+
+    def test_union_aligns_columns_and_fills_gaps(self, practices, hours):
+        result = union(
+            ["Practice", "City", "Hours"],
+            [practices, hours],
+            [
+                {"Practice": "Practice", "City": "City"},
+                {"Practice": "GP", "Hours": "Opening hours"},
+            ],
+        )
+        assert result.cardinality == 6
+        assert result.column("Hours").values[:3] == [None, None, None]
+        assert result.column("Practice").values[3] == "blackfriars"
+
+    def test_union_requires_one_alignment_per_table(self, practices):
+        with pytest.raises(ValueError):
+            union(["a"], [practices], [])
+
+
+class TestJoins:
+    def test_hash_join_matches_case_insensitively(self, practices, hours):
+        result = hash_join(practices, hours, "Practice", "GP")
+        assert result.cardinality == 2
+        assert "Opening hours" in result.column_names
+
+    def test_hash_join_renames_clashing_columns(self, practices):
+        other = practices.with_name("other")
+        result = hash_join(practices, other, "Practice", "Practice")
+        assert "City_other" in result.column_names
+
+    def test_hash_join_empty_result_keeps_schema(self, practices, hours):
+        no_overlap = Table.from_dict("none", {"GP": ["Nobody"], "Opening hours": ["-"]})
+        result = hash_join(practices, no_overlap, "Practice", "GP")
+        assert result.cardinality == 0
+        assert "Opening hours" in result.column_names
+
+    def test_natural_join_uses_shared_column(self, practices):
+        funding = Table.from_dict(
+            "funding",
+            {"Practice": ["Blackfriars"], "Payment": ["15530"]},
+        )
+        result = natural_join(practices, funding)
+        assert result.cardinality == 1
+        assert result.column("Payment").values == ["15530"]
+
+    def test_natural_join_without_shared_column_raises(self, practices, hours):
+        with pytest.raises(ValueError):
+            natural_join(practices, hours)
+
+
+class TestColumnOverlap:
+    def test_full_containment(self, practices):
+        subset = Table.from_dict("subset", {"Practice": ["Blackfriars"]})
+        overlap = column_overlap(subset.column("Practice"), practices.column("Practice"))
+        assert overlap == 1.0
+
+    def test_no_overlap(self, practices, hours):
+        overlap = column_overlap(practices.column("City"), hours.column("Opening hours"))
+        assert overlap == 0.0
+
+    def test_empty_column_yields_zero(self, practices):
+        empty = Table.from_dict("empty", {"Practice": [None]})
+        assert column_overlap(empty.column("Practice"), practices.column("Practice")) == 0.0

@@ -1,0 +1,137 @@
+"""Tests for the Table abstraction."""
+
+import pytest
+
+from repro.tables.column import Column
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def practices_table():
+    return Table.from_dict(
+        "practices",
+        {
+            "Practice": ["Blackfriars", "Radclife Care", "Bolton Medical"],
+            "City": ["Salford", "Manchester", "Bolton"],
+            "Patients": ["3572", "2209", "1840"],
+        },
+    )
+
+
+class TestConstruction:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Table("", [Column("a", ["1"])])
+
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table("t", [])
+
+    def test_rejects_unequal_column_lengths(self):
+        with pytest.raises(ValueError):
+            Table("t", [Column("a", ["1"]), Column("b", ["1", "2"])])
+
+    def test_rejects_duplicate_column_names(self):
+        with pytest.raises(ValueError):
+            Table("t", [Column("a", ["1"]), Column("a", ["2"])])
+
+    def test_from_rows_pads_short_rows(self):
+        table = Table.from_rows("t", ["a", "b"], [["1"], ["2", "3"]])
+        assert table.column("b").values == [None, "3"]
+
+    def test_from_rows_truncates_long_rows(self):
+        table = Table.from_rows("t", ["a"], [["1", "extra"]])
+        assert table.column("a").values == ["1"]
+
+    def test_from_dict_preserves_column_order(self, practices_table):
+        assert practices_table.column_names == ["Practice", "City", "Patients"]
+
+
+class TestAccessors:
+    def test_arity(self, practices_table):
+        assert practices_table.arity == 3
+
+    def test_cardinality(self, practices_table):
+        assert practices_table.cardinality == 3
+
+    def test_len_is_cardinality(self, practices_table):
+        assert len(practices_table) == 3
+
+    def test_numeric_ratio(self, practices_table):
+        assert practices_table.numeric_ratio == pytest.approx(1 / 3)
+
+    def test_contains(self, practices_table):
+        assert "City" in practices_table
+        assert "Missing" not in practices_table
+
+    def test_column_lookup(self, practices_table):
+        assert practices_table.column("City").values[0] == "Salford"
+
+    def test_column_lookup_missing_raises_keyerror(self, practices_table):
+        with pytest.raises(KeyError):
+            practices_table.column("Nope")
+
+    def test_column_index(self, practices_table):
+        assert practices_table.column_index("Patients") == 2
+
+    def test_column_index_missing(self, practices_table):
+        with pytest.raises(KeyError):
+            practices_table.column_index("Nope")
+
+    def test_has_column(self, practices_table):
+        assert practices_table.has_column("Practice")
+
+    def test_equality(self, practices_table):
+        clone = Table.from_dict(
+            "practices",
+            {
+                "Practice": ["Blackfriars", "Radclife Care", "Bolton Medical"],
+                "City": ["Salford", "Manchester", "Bolton"],
+                "Patients": ["3572", "2209", "1840"],
+            },
+        )
+        assert practices_table == clone
+
+
+class TestRowViews:
+    def test_rows_iteration(self, practices_table):
+        rows = list(practices_table.rows())
+        assert rows[0] == ("Blackfriars", "Salford", "3572")
+        assert len(rows) == 3
+
+    def test_single_row(self, practices_table):
+        assert practices_table.row(1) == ("Radclife Care", "Manchester", "2209")
+
+    def test_head_limits_rows(self, practices_table):
+        assert len(practices_table.head(2)) == 2
+
+
+class TestDerivedTables:
+    def test_with_name(self, practices_table):
+        assert practices_table.with_name("other").name == "other"
+
+    def test_take_rows(self, practices_table):
+        subset = practices_table.take_rows([2])
+        assert subset.cardinality == 1
+        assert subset.column("City").values == ["Bolton"]
+
+    def test_take_rows_keeps_all_columns(self, practices_table):
+        subset = practices_table.take_rows([0, 1])
+        assert subset.arity == practices_table.arity
+
+    def test_select_columns(self, practices_table):
+        projected = practices_table.select_columns(["City", "Practice"])
+        assert projected.column_names == ["City", "Practice"]
+
+    def test_select_missing_column_raises(self, practices_table):
+        with pytest.raises(KeyError):
+            practices_table.select_columns(["Nope"])
+
+    def test_estimated_bytes_positive(self, practices_table):
+        assert practices_table.estimated_bytes() > 0
+
+    def test_describe_fields(self, practices_table):
+        description = practices_table.describe()
+        assert description["arity"] == 3
+        assert description["cardinality"] == 3
+        assert description["name"] == "practices"

@@ -1,0 +1,103 @@
+"""Tests for value typing and numeric coercion."""
+
+import math
+
+import pytest
+
+from repro.tables.types import ValueType, coerce_numeric, infer_type, is_missing
+
+
+class TestIsMissing:
+    def test_none_is_missing(self):
+        assert is_missing(None)
+
+    def test_empty_string_is_missing(self):
+        assert is_missing("")
+
+    def test_whitespace_is_missing(self):
+        assert is_missing("   ")
+
+    def test_na_tokens_are_missing(self):
+        for token in ["na", "N/A", "NaN", "null", "NONE", "-", "--"]:
+            assert is_missing(token), token
+
+    def test_nan_float_is_missing(self):
+        assert is_missing(float("nan"))
+
+    def test_regular_string_is_not_missing(self):
+        assert not is_missing("Manchester")
+
+    def test_zero_is_not_missing(self):
+        assert not is_missing(0)
+        assert not is_missing("0")
+
+    def test_dash_inside_value_is_not_missing(self):
+        assert not is_missing("08:00-18:00")
+
+
+class TestCoerceNumeric:
+    def test_plain_integer(self):
+        assert coerce_numeric("42") == 42.0
+
+    def test_plain_float(self):
+        assert coerce_numeric("3.14") == pytest.approx(3.14)
+
+    def test_negative_number(self):
+        assert coerce_numeric("-7.5") == pytest.approx(-7.5)
+
+    def test_thousands_separator(self):
+        assert coerce_numeric("1,202") == 1202.0
+
+    def test_percentage_suffix(self):
+        assert coerce_numeric("85%") == 85.0
+
+    def test_surrounding_whitespace(self):
+        assert coerce_numeric("  19 ") == 19.0
+
+    def test_text_returns_none(self):
+        assert coerce_numeric("Salford") is None
+
+    def test_missing_returns_none(self):
+        assert coerce_numeric("") is None
+        assert coerce_numeric(None) is None
+        assert coerce_numeric("n/a") is None
+
+    def test_boolean_is_not_numeric(self):
+        assert coerce_numeric(True) is None
+
+    def test_native_numbers_pass_through(self):
+        assert coerce_numeric(7) == 7.0
+        assert coerce_numeric(2.5) == 2.5
+
+    def test_nan_returns_none(self):
+        assert coerce_numeric(float("nan")) is None
+
+    def test_postcode_is_not_numeric(self):
+        assert coerce_numeric("M3 6AF") is None
+
+
+class TestInferType:
+    def test_all_numbers_is_numeric(self):
+        assert infer_type(["1", "2", "3.5"]) is ValueType.NUMERIC
+
+    def test_all_text_is_text(self):
+        assert infer_type(["Salford", "Bolton", "Bury"]) is ValueType.TEXT
+
+    def test_mostly_numeric_with_stray_text(self):
+        values = ["1", "2", "3", "4", "5", "6", "7", "8", "9", "footnote"]
+        assert infer_type(values) is ValueType.NUMERIC
+
+    def test_half_numeric_is_text(self):
+        assert infer_type(["1", "2", "a", "b"]) is ValueType.TEXT
+
+    def test_empty_extent(self):
+        assert infer_type([]) is ValueType.EMPTY
+
+    def test_all_missing_extent(self):
+        assert infer_type([None, "", "n/a"]) is ValueType.EMPTY
+
+    def test_missing_values_ignored(self):
+        assert infer_type(["1", None, "2", ""]) is ValueType.NUMERIC
+
+    def test_alphanumeric_codes_are_text(self):
+        assert infer_type(["BT7 1JL", "M3 6AF", "BL3 6PY"]) is ValueType.TEXT

@@ -1,0 +1,108 @@
+"""Tests for the word-embedding model substrates."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.random_projection import exact_cosine_similarity
+from repro.text.embeddings import (
+    CooccurrenceEmbedding,
+    HashingSubwordEmbedding,
+    aggregate_vectors,
+)
+
+
+class TestAggregateVectors:
+    def test_empty_input_gives_zero_vector(self):
+        result = aggregate_vectors([], dimension=8)
+        assert result.shape == (8,)
+        assert not np.any(result)
+
+    def test_single_vector_is_normalised(self):
+        result = aggregate_vectors([np.array([3.0, 4.0])], dimension=2)
+        assert np.linalg.norm(result) == pytest.approx(1.0)
+
+    def test_mean_of_identical_vectors(self):
+        vector = np.array([1.0, 0.0])
+        result = aggregate_vectors([vector, vector], dimension=2)
+        assert result == pytest.approx(vector)
+
+
+class TestHashingSubwordEmbedding:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HashingSubwordEmbedding(dimension=0)
+        with pytest.raises(ValueError):
+            HashingSubwordEmbedding(ngram_range=(3, 2))
+
+    def test_dimension(self):
+        model = HashingSubwordEmbedding(dimension=32)
+        assert model.vector("street").shape == (32,)
+
+    def test_deterministic(self):
+        model = HashingSubwordEmbedding(dimension=32, seed=5)
+        assert np.array_equal(model.vector("street"), model.vector("street"))
+
+    def test_case_insensitive(self):
+        model = HashingSubwordEmbedding(dimension=32)
+        assert np.array_equal(model.vector("Street"), model.vector("street"))
+
+    def test_empty_word_gives_zero_vector(self):
+        model = HashingSubwordEmbedding(dimension=16)
+        assert not np.any(model.vector(""))
+
+    def test_vectors_are_normalised(self):
+        model = HashingSubwordEmbedding(dimension=32)
+        assert np.linalg.norm(model.vector("postcode")) == pytest.approx(1.0)
+
+    def test_morphologically_similar_words_are_close(self):
+        model = HashingSubwordEmbedding(dimension=64)
+        similar = exact_cosine_similarity(model.vector("practice"), model.vector("practices"))
+        different = exact_cosine_similarity(model.vector("practice"), model.vector("payment"))
+        assert similar > different
+
+    def test_short_word_still_embedded(self):
+        model = HashingSubwordEmbedding(dimension=16)
+        assert np.any(model.vector("gp"))
+
+
+class TestCooccurrenceEmbedding:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        sentences = []
+        # street / road / avenue co-occur with addresses; city names co-occur
+        # with each other.
+        for i in range(30):
+            sentences.append(["address", "street", "road", f"number{i % 5}"])
+            sentences.append(["address", "avenue", "road", f"number{i % 7}"])
+            sentences.append(["city", "manchester", "salford", "bolton"])
+            sentences.append(["payment", "amount", "funding", "spend"])
+        return CooccurrenceEmbedding.train(sentences, dimension=16, seed=1)
+
+    def test_vocabulary_contains_frequent_words(self, trained):
+        assert "street" in trained
+        assert "road" in trained
+
+    def test_rare_words_fall_back_to_subwords(self, trained):
+        vector = trained.vector("neverseenword")
+        assert vector.shape == (16,)
+        assert np.any(vector)
+
+    def test_cooccurring_words_are_closer_than_non_cooccurring(self, trained):
+        street_road = exact_cosine_similarity(trained.vector("street"), trained.vector("road"))
+        street_payment = exact_cosine_similarity(
+            trained.vector("street"), trained.vector("payment")
+        )
+        assert street_road > street_payment
+
+    def test_vectors_normalised(self, trained):
+        assert np.linalg.norm(trained.vector("street")) == pytest.approx(1.0)
+
+    def test_empty_training_corpus(self):
+        model = CooccurrenceEmbedding.train([], dimension=8)
+        assert model.vector("anything").shape == (8,)
+
+    def test_min_count_filters_rare_words(self):
+        model = CooccurrenceEmbedding.train(
+            [["common", "common", "rare"]], dimension=8, min_count=2
+        )
+        assert "rare" not in model

@@ -1,0 +1,67 @@
+"""Tests for q-gram extraction from attribute names."""
+
+from repro.text.qgrams import name_qgrams, normalise_name, qgrams
+
+
+class TestNormaliseName:
+    def test_lowercases(self):
+        assert normalise_name("Practice Name") == "practice name"
+
+    def test_strips_separators(self):
+        assert normalise_name("practice_name") == "practice name"
+        assert normalise_name("Practice-Name") == "practice name"
+
+    def test_collapses_whitespace(self):
+        assert normalise_name("  Practice   Name  ") == "practice name"
+
+
+class TestQgrams:
+    def test_paper_example(self):
+        # The paper's Example 2: Address with q=4 (lower-cased here).
+        assert qgrams("address", 4) == {"addr", "ddre", "dres", "ress"}
+
+    def test_short_string_returns_itself(self):
+        assert qgrams("gp", 4) == {"gp"}
+
+    def test_empty_string(self):
+        assert qgrams("", 4) == set()
+
+    def test_q_equal_to_length(self):
+        assert qgrams("city", 4) == {"city"}
+
+    def test_invalid_q(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            qgrams("abc", 0)
+
+    def test_number_of_grams(self):
+        assert len(qgrams("postcode", 4)) == len("postcode") - 4 + 1
+
+
+class TestNameQgrams:
+    def test_single_word_name(self):
+        assert name_qgrams("City") == qgrams("city", 4)
+
+    def test_multi_word_name_includes_concatenation(self):
+        grams = name_qgrams("Practice Name")
+        assert qgrams("practice", 4) <= grams
+        assert qgrams("name", 4) <= grams
+        assert "cena" in grams  # from the concatenation "practicename"
+
+    def test_similar_names_share_grams(self):
+        first = name_qgrams("Practice Name")
+        second = name_qgrams("Practice")
+        assert first & second
+
+    def test_unrelated_names_share_few_grams(self):
+        first = name_qgrams("Postcode")
+        second = name_qgrams("Payment")
+        overlap = len(first & second) / len(first | second)
+        assert overlap < 0.2
+
+    def test_empty_name(self):
+        assert name_qgrams("") == set()
+
+    def test_separator_insensitive(self):
+        assert name_qgrams("practice_name") == name_qgrams("Practice Name")

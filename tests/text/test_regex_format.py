@@ -1,0 +1,69 @@
+"""Tests for the format-describing regular expression strings."""
+
+from repro.text.regex_format import classify_token, format_set, format_string
+
+
+class TestClassifyToken:
+    def test_capitalised_word(self):
+        assert classify_token("Portland") == "C"
+
+    def test_uppercase_run(self):
+        assert classify_token("NHS") == "U"
+
+    def test_lowercase_run(self):
+        assert classify_token("street") == "L"
+
+    def test_digit_run(self):
+        assert classify_token("2024") == "N"
+
+    def test_mixed_alphanumeric(self):
+        assert classify_token("M1") == "A"
+        assert classify_token("3BE") == "A"
+
+    def test_punctuation(self):
+        assert classify_token("--") == "P"
+        assert classify_token("/") == "P"
+
+    def test_first_match_wins(self):
+        # "A" matches both C (no) and U? "Abc" is C; "ABC" is U not A.
+        assert classify_token("Abc") == "C"
+        assert classify_token("ABC") == "U"
+
+
+class TestFormatString:
+    def test_address_format(self):
+        assert format_string("18 Portland Street") == "NC+"
+
+    def test_postcode_format(self):
+        assert format_string("M1 3BE") == "A+"
+
+    def test_time_range_format(self):
+        assert format_string("08:00-18:00") == "NPNPNPN"
+
+    def test_empty_value(self):
+        assert format_string("") == ""
+        assert format_string(None) == ""
+
+    def test_single_word(self):
+        assert format_string("Salford") == "C"
+
+    def test_collapse_repeats(self):
+        assert format_string("One Two Three") == "C+"
+
+    def test_email_like_format(self):
+        assert format_string("smith12@nhs.uk") == "APLPL"
+
+    def test_same_format_different_values(self):
+        assert format_string("M3 6AF") == format_string("BL3 6PY")
+
+
+class TestFormatSet:
+    def test_collects_distinct_formats(self):
+        formats = format_set(["M1 3BE", "M3 6AF", "18 Portland Street"])
+        assert formats == {"A+", "NC+"}
+
+    def test_empty_values_ignored(self):
+        assert format_set(["", "   "]) == set()
+
+    def test_uniform_extent_has_single_format(self):
+        assert len(format_set(["08:00-18:00", "07:30-20:00"])) <= 2

@@ -1,0 +1,99 @@
+"""Tests for token histograms and informative-token selection."""
+
+from repro.text.token_stats import (
+    TokenHistogram,
+    informative_and_frequent_tokens,
+    value_token_set,
+)
+
+
+class TestTokenHistogram:
+    def test_counts_accumulate(self):
+        histogram = TokenHistogram()
+        histogram.insert(["street", "portland"])
+        histogram.insert(["street", "oxford"])
+        assert histogram.count("street") == 2
+        assert histogram.count("oxford") == 1
+        assert histogram.count("missing") == 0
+
+    def test_total_values(self):
+        histogram = TokenHistogram()
+        histogram.insert(["a"])
+        histogram.insert(["b"])
+        assert histogram.total_values == 2
+
+    def test_len_counts_distinct_tokens(self):
+        histogram = TokenHistogram()
+        histogram.insert(["a", "b", "a"])
+        assert len(histogram) == 2
+
+    def test_frequent_and_infrequent_partition(self):
+        histogram = TokenHistogram()
+        for _ in range(5):
+            histogram.insert(["street", f"unique{_}"])
+        frequent = histogram.frequent()
+        infrequent = histogram.infrequent()
+        assert "street" in frequent
+        assert all(token in infrequent for token in [f"unique{i}" for i in range(5)])
+        assert frequent.isdisjoint(infrequent)
+        assert frequent | infrequent == set(histogram.as_dict())
+
+    def test_empty_histogram(self):
+        histogram = TokenHistogram()
+        assert histogram.frequent() == set()
+        assert histogram.infrequent() == set()
+        assert histogram.frequency_threshold() == 0.0
+
+    def test_most_common(self):
+        histogram = TokenHistogram()
+        histogram.insert(["a", "a", "b"])
+        assert histogram.most_common(1) == [("a", 2)]
+
+
+class TestInformativeTokens:
+    def test_paper_example_addresses(self):
+        # The paper's Example 2: street-type words and postcode-area tokens
+        # are frequent (weak value signal, strong type signal); house/street
+        # identifiers are informative.
+        values = [
+            "18 Portland Street, M1 3BE",
+            "41 Oxford Street, M13 9PL",
+            "9 Mirabel Street, M3 1NN",
+        ]
+        tset, embedding_tokens = informative_and_frequent_tokens(values)
+        assert "street" not in tset
+        assert "street" in embedding_tokens
+        assert {"portland", "oxford", "mirabel"} <= tset | embedding_tokens
+        # The distinctive postcode units end up carrying value signal.
+        assert {"3be", "9pl", "1nn"} & tset
+
+    def test_unique_values_all_informative(self):
+        values = ["alpha", "beta", "gamma"]
+        tset, _ = informative_and_frequent_tokens(values)
+        assert tset == {"alpha", "beta", "gamma"}
+
+    def test_empty_extent(self):
+        tset, embedding_tokens = informative_and_frequent_tokens([])
+        assert tset == set()
+        assert embedding_tokens == set()
+
+    def test_deterministic(self):
+        values = ["a b", "a c", "a d"]
+        assert informative_and_frequent_tokens(values) == informative_and_frequent_tokens(values)
+
+    def test_single_word_values(self):
+        tset, embedding_tokens = informative_and_frequent_tokens(["Salford", "Salford", "Bolton"])
+        assert "salford" in embedding_tokens
+        assert "bolton" in tset
+
+
+class TestValueTokenSet:
+    def test_union_of_all_tokens(self):
+        tokens = value_token_set(["18 Portland Street", "M1 3BE"])
+        assert {"18", "portland", "street", "m1", "3be"} == tokens
+
+    def test_empty(self):
+        assert value_token_set([]) == set()
+
+    def test_lowercased(self):
+        assert value_token_set(["SALFORD"]) == {"salford"}

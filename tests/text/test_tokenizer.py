@@ -1,0 +1,59 @@
+"""Tests for value tokenisation."""
+
+from repro.text.tokenizer import is_numeric_token, split_parts, tokenize, tokenize_parts
+
+
+class TestSplitParts:
+    def test_splits_at_commas(self):
+        parts = split_parts("18 Portland Street, M1 3BE")
+        assert parts == ["18 Portland Street", " M1 3BE"]
+
+    def test_splits_at_multiple_punctuation(self):
+        parts = split_parts("a;b/c-d")
+        assert parts == ["a", "b", "c", "d"]
+
+    def test_empty_value(self):
+        assert split_parts("") == []
+
+    def test_value_without_punctuation_is_one_part(self):
+        assert split_parts("Blackfriars Medical Centre") == ["Blackfriars Medical Centre"]
+
+    def test_blank_parts_dropped(self):
+        assert split_parts(",,a,,") == ["a"]
+
+
+class TestTokenizeParts:
+    def test_words_lowercased(self):
+        parts = tokenize_parts("18 Portland Street, M1 3BE")
+        assert parts == [["18", "portland", "street"], ["m1", "3be"]]
+
+    def test_empty_parts_removed(self):
+        assert tokenize_parts("...") == []
+
+    def test_time_range_tokenised(self):
+        assert tokenize_parts("08:00-18:00") == [["08"], ["00"], ["18"], ["00"]]
+
+
+class TestTokenize:
+    def test_flattens_parts(self):
+        assert tokenize("18 Portland Street, M1 3BE") == ["18", "portland", "street", "m1", "3be"]
+
+    def test_empty_value(self):
+        assert tokenize("") == []
+
+    def test_underscores_split_words(self):
+        assert tokenize("hello_world") == ["hello", "world"]
+
+
+class TestIsNumericToken:
+    def test_integers(self):
+        assert is_numeric_token("42")
+
+    def test_decimals(self):
+        assert is_numeric_token("3.5")
+
+    def test_alphanumeric_is_not_numeric(self):
+        assert not is_numeric_token("m1")
+
+    def test_words_are_not_numeric(self):
+        assert not is_numeric_token("street")
