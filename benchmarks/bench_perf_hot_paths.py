@@ -1,0 +1,229 @@
+"""Hot-path microbenchmarks: vectorized LSH backend vs the scalar seed paths.
+
+Runs index-time and top-k query-time microbenchmarks over lakes of
+100/500/1000 attributes, comparing the NumPy-backed
+:class:`~repro.lsh.lsh_forest.LSHForest` + batched distance engine against
+the scalar reference (:mod:`repro.lsh.reference`, the seed implementation's
+layout), and verifies the two produce identical top-k rankings before any
+timing is trusted.
+
+Run directly (writes ``BENCH_hot_paths.json`` at the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hot_paths.py
+
+The JSON records one entry per lake size with index/query wall-clock for
+both backends, the speedup ratios, and the ranking-equivalence flag, so the
+perf trajectory of the hot path can be tracked PR over PR.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lsh.hashing import clear_token_hash_cache  # noqa: E402
+from repro.lsh.lsh_forest import LSHForest  # noqa: E402
+from repro.lsh.minhash import MinHashFactory, batch_jaccard_distances  # noqa: E402
+from repro.lsh.reference import (  # noqa: E402
+    ScalarLSHForest,
+    scalar_hash_tokens,
+    scalar_signature_distance,
+)
+
+#: Paper configuration: MinHash size 256 split over 8 trees.
+NUM_HASHES = 256
+NUM_TREES = 8
+#: Lake sizes (attribute counts) swept by the benchmark.
+LAKE_SIZES = (100, 500, 1000)
+#: Queries timed per lake size and the answer size requested.
+NUM_QUERIES = 30
+TOP_K = 10
+
+RESULT_PATH = REPO_ROOT / "BENCH_hot_paths.json"
+
+
+def _synthetic_attributes(count: int, seed: int) -> List[Tuple[str, set]]:
+    """Token sets shaped like a lake: families of related attributes plus noise."""
+    rng = random.Random(seed)
+    num_families = max(4, count // 8)
+    families = [
+        {f"fam{f}-tok{t}" for t in range(40)} for f in range(num_families)
+    ]
+    attributes = []
+    for index in range(count):
+        base = families[rng.randrange(num_families)]
+        kept = {token for token in base if rng.random() > 0.25}
+        extra = {f"attr{index}-noise{j}" for j in range(rng.randrange(10))}
+        attributes.append((f"attr{index}", kept | extra))
+    return attributes
+
+
+def _query_signatures(
+    attributes: List[Tuple[str, set]], factory: MinHashFactory, seed: int
+):
+    """Perturbed versions of sampled attributes — realistic near-neighbor queries."""
+    rng = random.Random(seed)
+    sampled = rng.sample(attributes, k=min(NUM_QUERIES, len(attributes)))
+    queries = []
+    for name, tokens in sampled:
+        kept = {token for token in tokens if rng.random() > 0.15}
+        extra = {f"query-{name}-{j}" for j in range(3)}
+        queries.append((name, factory.from_tokens(kept | extra)))
+    return queries
+
+
+def _time_indexing(forest_cls, signatures, probe) -> Tuple[float, object]:
+    """Wall-clock to insert every signature and force the sorted structure."""
+    start = time.perf_counter()
+    forest = forest_cls(num_hashes=NUM_HASHES, num_trees=NUM_TREES)
+    for key, values in signatures:
+        forest.insert(key, values)
+    forest.query(probe, 1)  # force the deferred sort, as the first query would
+    return time.perf_counter() - start, forest
+
+
+def _rank_vectorized(forest, matrix, row_of, query, k):
+    candidates = forest.query(query.hashvalues, k)
+    if not candidates:
+        return []
+    rows = np.array([row_of[key] for key in candidates], dtype=np.intp)
+    distances = batch_jaccard_distances(query.hashvalues, matrix[rows])
+    ranked = sorted(zip(distances.tolist(), candidates))
+    return ranked[:k]
+
+
+def _rank_scalar(forest, signatures_by_key, query, k):
+    candidates = forest.query(query.hashvalues, k)
+    ranked = sorted(
+        (scalar_signature_distance(query, signatures_by_key[key]), key)
+        for key in candidates
+    )
+    return ranked[:k]
+
+
+def _time_queries(rank, queries, k) -> Tuple[float, List[list]]:
+    rankings = []
+    start = time.perf_counter()
+    for _, query in queries:
+        rankings.append(rank(query, k))
+    elapsed = time.perf_counter() - start
+    return elapsed / len(queries), rankings
+
+
+def _bench_token_hashing(attributes, seed: int) -> Dict[str, float]:
+    """Batched+cached hash_tokens vs the per-token scalar pass."""
+    from repro.lsh.hashing import hash_tokens
+
+    token_sets = [tokens for _, tokens in attributes]
+    start = time.perf_counter()
+    for tokens in token_sets:
+        scalar_hash_tokens(tokens, seed=seed)
+    scalar_seconds = time.perf_counter() - start
+    clear_token_hash_cache()
+    start = time.perf_counter()
+    for tokens in token_sets:
+        hash_tokens(tokens, seed=seed)
+    vectorized_seconds = time.perf_counter() - start
+    return {
+        "scalar_seconds": scalar_seconds,
+        "vectorized_seconds": vectorized_seconds,
+        "speedup": scalar_seconds / max(vectorized_seconds, 1e-12),
+    }
+
+
+def bench_lake_size(count: int, seed: int = 7) -> Dict[str, object]:
+    factory = MinHashFactory(num_perm=NUM_HASHES, seed=3)
+    attributes = _synthetic_attributes(count, seed)
+    minhashes = [(key, factory.from_tokens(tokens)) for key, tokens in attributes]
+    signatures = [(key, signature.hashvalues) for key, signature in minhashes]
+    signatures_by_key = dict(minhashes)
+    queries = _query_signatures(attributes, factory, seed + 1)
+    probe = queries[0][1].hashvalues
+
+    vec_index_seconds, vec_forest = _time_indexing(LSHForest, signatures, probe)
+    scalar_index_seconds, scalar_forest = _time_indexing(
+        ScalarLSHForest, signatures, probe
+    )
+
+    matrix = np.vstack([values for _, values in signatures])
+    row_of = {key: row for row, (key, _) in enumerate(signatures)}
+
+    vec_query_seconds, vec_rankings = _time_queries(
+        lambda query, k: _rank_vectorized(vec_forest, matrix, row_of, query, k),
+        queries,
+        TOP_K,
+    )
+    scalar_query_seconds, scalar_rankings = _time_queries(
+        lambda query, k: _rank_scalar(scalar_forest, signatures_by_key, query, k),
+        queries,
+        TOP_K,
+    )
+
+    rankings_identical = vec_rankings == scalar_rankings
+    return {
+        "num_attributes": count,
+        "num_queries": len(queries),
+        "top_k": TOP_K,
+        "index_seconds": {
+            "vectorized": vec_index_seconds,
+            "scalar": scalar_index_seconds,
+            "speedup": scalar_index_seconds / max(vec_index_seconds, 1e-12),
+        },
+        "query_seconds_per_query": {
+            "vectorized": vec_query_seconds,
+            "scalar": scalar_query_seconds,
+            "speedup": scalar_query_seconds / max(vec_query_seconds, 1e-12),
+        },
+        "token_hashing": _bench_token_hashing(attributes, seed=3),
+        "rankings_identical": rankings_identical,
+    }
+
+
+def run(sizes=LAKE_SIZES) -> Dict[str, object]:
+    results = [bench_lake_size(size) for size in sizes]
+    payload = {
+        "benchmark": "hot_paths",
+        "generated_by": "benchmarks/bench_perf_hot_paths.py",
+        "config": {
+            "num_hashes": NUM_HASHES,
+            "num_trees": NUM_TREES,
+            "num_queries": NUM_QUERIES,
+            "top_k": TOP_K,
+        },
+        "lake_sizes": list(sizes),
+        "results": results,
+    }
+    return payload
+
+
+def main() -> int:
+    payload = run()
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    for entry in payload["results"]:
+        print(
+            f"n={entry['num_attributes']:>5}  "
+            f"index: {entry['index_seconds']['speedup']:.1f}x  "
+            f"query: {entry['query_seconds_per_query']['speedup']:.1f}x  "
+            f"identical rankings: {entry['rankings_identical']}"
+        )
+    print(f"wrote {RESULT_PATH}")
+    failures = [
+        entry["num_attributes"]
+        for entry in payload["results"]
+        if not entry["rankings_identical"]
+    ]
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,7 +31,7 @@ from repro.core.weights import EvidenceWeights
 from repro.lake.datalake import AttributeRef, DataLake
 from repro.ml.subject_attribute import SubjectAttributeClassifier
 from repro.stats.distributions import ccdf_weight
-from repro.stats.ks import ks_statistic
+from repro.stats.ks import ks_statistic_sorted
 from repro.tables.table import Table
 from repro.text.embeddings import WordEmbeddingModel
 
@@ -303,12 +303,18 @@ class D3L:
             ):
                 candidates.add(ref)
 
+        # One vectorized distance pass per evidence type over all candidates.
+        refs = sorted(candidates)
+        distance_columns = {
+            evidence: self.indexes.batch_attribute_distances(
+                evidence, profile, refs, query_signatures
+            )
+            for evidence in EvidenceType.all()
+        }
         results: List[AttributeSearchResult] = []
-        for ref in candidates:
+        for position, ref in enumerate(refs):
             distances = {
-                evidence: self.indexes.attribute_distance(
-                    evidence, profile, ref, query_signatures
-                )
+                evidence: float(distance_columns[evidence][position])
                 for evidence in EvidenceType.all()
             }
             results.append(
@@ -361,17 +367,22 @@ class D3L:
             if not candidate_refs:
                 continue
 
-            # Full distance vectors for every candidate of this attribute.
+            # Full distance vectors for every candidate of this attribute:
+            # one vectorized matrix pass per evidence type instead of one
+            # signature comparison per (candidate, evidence) pair.
+            refs = sorted(candidate_refs)
+            distance_columns = {
+                evidence: indexes.batch_attribute_distances(
+                    evidence, attribute_profile, refs, query_signatures
+                )
+                for evidence in EvidenceType.indexed()
+            }
             distances_by_ref: Dict[AttributeRef, Dict[EvidenceType, float]] = {}
-            for ref in candidate_refs:
-                distances: Dict[EvidenceType, float] = {}
-                for evidence in EvidenceType.indexed():
-                    if evidence in lookups and ref in lookups[evidence]:
-                        distances[evidence] = lookups[evidence][ref]
-                    else:
-                        distances[evidence] = indexes.attribute_distance(
-                            evidence, attribute_profile, ref, query_signatures
-                        )
+            for position, ref in enumerate(refs):
+                distances: Dict[EvidenceType, float] = {
+                    evidence: float(distance_columns[evidence][position])
+                    for evidence in EvidenceType.indexed()
+                }
                 distances[EvidenceType.DISTRIBUTION] = (
                     self._distribution_distance(
                         attribute_profile,
@@ -428,12 +439,16 @@ class D3L:
             return set()
         related: Set[str] = set()
         cutoff = self.indexes.threshold_distance()
+        # The subject's signatures are the same for all four indexes; compute
+        # them once instead of once per lookup.
+        query_signatures = self.indexes.signatures_for(subject)
         for evidence in EvidenceType.indexed():
             for ref, _ in self.indexes.lookup(
                 evidence,
                 subject,
                 k=pool,
                 exclude_table=exclude_table,
+                query_signatures=query_signatures,
                 max_distance=cutoff,
             ):
                 related.add(ref.table)
@@ -460,4 +475,4 @@ class D3L:
         )
         if not guard:
             return 1.0
-        return ks_statistic(attribute_profile.numeric_values, other.numeric_values)
+        return ks_statistic_sorted(attribute_profile.numeric_sorted, other.numeric_sorted)

@@ -24,15 +24,109 @@ from repro.core.evidence import EvidenceType
 from repro.core.profiles import AttributeProfile, TableProfile
 from repro.lake.datalake import AttributeRef, DataLake
 from repro.lsh.lsh_forest import LSHForest
-from repro.lsh.minhash import MinHash, MinHashFactory
-from repro.lsh.random_projection import RandomProjection, RandomProjectionFactory
+from repro.lsh.minhash import MinHash, MinHashFactory, batch_jaccard_distances
+from repro.lsh.random_projection import (
+    RandomProjection,
+    RandomProjectionFactory,
+    batch_cosine_distances,
+)
 from repro.ml.subject_attribute import SubjectAttributeClassifier, heuristic_subject_attribute
-from repro.stats.ks import ks_statistic
+from repro.stats.ks import ks_statistic_sorted
 from repro.tables.table import Table
 from repro.text.embeddings import HashingSubwordEmbedding, WordEmbeddingModel
 
 #: Signature type union used internally.
 Signature = object
+
+
+class SignatureMatrix:
+    """Per-evidence signature matrix with a ref↔row registry.
+
+    All signatures of one index live in a single ``(N, num_hashes)`` array so
+    that the distances between a query signature and any subset of stored
+    attributes are one vectorized agreement count (MinHash) or
+    boolean-difference popcount (random projection) instead of N pairwise
+    calls.  A parallel boolean flag per row marks degenerate signatures
+    (empty MinHash / zero-vector projection) whose distance is pinned at 1.0.
+
+    Rows are stable between removals; a removal swaps the last row into the
+    vacated slot and updates the registry, so the dense block stays packed.
+    """
+
+    def __init__(self, num_hashes: int, dtype: np.dtype) -> None:
+        self.num_hashes = num_hashes
+        self._dtype = np.dtype(dtype)
+        self._matrix = np.empty((0, num_hashes), dtype=self._dtype)
+        self._flags = np.empty(0, dtype=bool)
+        self._refs: List[AttributeRef] = []
+        self._row_of: Dict[AttributeRef, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._refs)
+
+    def __contains__(self, ref: AttributeRef) -> bool:
+        return ref in self._row_of
+
+    def row(self, ref: AttributeRef) -> Optional[int]:
+        """Current row of ``ref`` (None when not stored)."""
+        return self._row_of.get(ref)
+
+    def add(self, ref: AttributeRef, values: np.ndarray, degenerate: bool) -> None:
+        """Insert (or overwrite) the signature row of ``ref``."""
+        existing = self._row_of.get(ref)
+        if existing is not None:
+            self._matrix[existing] = values
+            self._flags[existing] = degenerate
+            return
+        count = len(self._refs)
+        if count == self._matrix.shape[0]:
+            capacity = max(8, 2 * count)
+            matrix = np.empty((capacity, self.num_hashes), dtype=self._dtype)
+            matrix[:count] = self._matrix[:count]
+            self._matrix = matrix
+            flags = np.empty(capacity, dtype=bool)
+            flags[:count] = self._flags[:count]
+            self._flags = flags
+        self._matrix[count] = values
+        self._flags[count] = degenerate
+        self._refs.append(ref)
+        self._row_of[ref] = count
+
+    def discard(self, ref: AttributeRef) -> None:
+        """Remove the row of ``ref`` (no-op when absent), keeping rows packed."""
+        row = self._row_of.pop(ref, None)
+        if row is None:
+            return
+        last = len(self._refs) - 1
+        if row != last:
+            self._matrix[row] = self._matrix[last]
+            self._flags[row] = self._flags[last]
+            moved = self._refs[last]
+            self._refs[row] = moved
+            self._row_of[moved] = row
+        self._refs.pop()
+
+    def gather(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Signature rows and degeneracy flags for ``rows``."""
+        return self._matrix[rows], self._flags[rows]
+
+    def resolve(self, refs: Sequence[AttributeRef]) -> Tuple[List[int], List[int]]:
+        """``(positions, rows)`` of the refs present in the registry."""
+        positions: List[int] = []
+        rows: List[int] = []
+        row_of = self._row_of.get
+        for position, ref in enumerate(refs):
+            row = row_of(ref)
+            if row is not None:
+                positions.append(position)
+                rows.append(row)
+        return positions, rows
+
+    def estimated_bytes(self) -> int:
+        """Footprint of the populated rows plus the registry references."""
+        count = len(self._refs)
+        row_bytes = self.num_hashes * self._dtype.itemsize
+        return int(count * (row_bytes + 1 + 8))
 
 
 class D3LIndexes:
@@ -63,6 +157,13 @@ class D3LIndexes:
         }
         self._signatures: Dict[EvidenceType, Dict[AttributeRef, Signature]] = {
             evidence: {} for evidence in EvidenceType.indexed()
+        }
+        self._matrices: Dict[EvidenceType, SignatureMatrix] = {
+            evidence: SignatureMatrix(
+                cfg.num_hashes,
+                np.dtype(np.uint8 if evidence is EvidenceType.EMBEDDING else np.uint64),
+            )
+            for evidence in EvidenceType.indexed()
         }
         self.profiles: Dict[AttributeRef, AttributeProfile] = {}
         self.table_profiles: Dict[str, TableProfile] = {}
@@ -123,7 +224,9 @@ class D3LIndexes:
                 if signature is None:
                     continue
                 self._signatures[evidence][profile.ref] = signature
-                self._forests[evidence].insert(profile.ref, _raw(signature))
+                raw = _raw(signature)
+                self._forests[evidence].insert(profile.ref, raw)
+                self._matrices[evidence].add(profile.ref, raw, _is_degenerate(signature))
         return table_profile
 
     def add_lake(self, lake: DataLake) -> None:
@@ -147,6 +250,7 @@ class D3LIndexes:
             for evidence in EvidenceType.indexed():
                 if self._signatures[evidence].pop(profile.ref, None) is not None:
                     self._forests[evidence].remove(profile.ref)
+                    self._matrices[evidence].discard(profile.ref)
         return True
 
     # ------------------------------------------------------------------ #
@@ -203,17 +307,18 @@ class D3LIndexes:
         if signature is None:
             return []
         candidates = self._forests[evidence].query(_raw(signature), k)
-        results: List[Tuple[AttributeRef, float]] = []
-        for ref in candidates:
-            if exclude_table is not None and ref.table == exclude_table:
-                continue
-            stored = self._signatures[evidence].get(ref)
-            if stored is None:
-                continue
-            distance = _signature_distance(signature, stored)
-            if max_distance is not None and distance > max_distance:
-                continue
-            results.append((ref, distance))
+        if exclude_table is not None:
+            candidates = [ref for ref in candidates if ref.table != exclude_table]
+        positions, rows = self._matrices[evidence].resolve(candidates)
+        if not rows:
+            return []
+        refs = [candidates[position] for position in positions]
+        distances = self._batch_signature_distances(
+            evidence, signature, np.asarray(rows, dtype=np.intp)
+        )
+        results = list(zip(refs, distances.tolist()))
+        if max_distance is not None:
+            results = [pair for pair in results if pair[1] <= max_distance]
         results.sort(key=lambda pair: (pair[1], pair[0]))
         return results[:k]
 
@@ -234,13 +339,74 @@ class D3LIndexes:
             other = self.profiles.get(ref)
             if other is None or not profile.is_numeric or not other.is_numeric:
                 return 1.0
-            return ks_statistic(profile.numeric_values, other.numeric_values)
+            return ks_statistic_sorted(profile.numeric_sorted, other.numeric_sorted)
         signatures = query_signatures or self.signatures_for(profile)
         signature = signatures[evidence]
         stored = self._signatures[evidence].get(ref)
         if signature is None or stored is None:
             return 1.0
         return _signature_distance(signature, stored)
+
+    def batch_attribute_distances(
+        self,
+        evidence: EvidenceType,
+        profile: AttributeProfile,
+        refs: Sequence[AttributeRef],
+        query_signatures: Optional[Dict[EvidenceType, Optional[Signature]]] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`attribute_distance` over many stored attributes.
+
+        Returns one distance per entry of ``refs`` (1.0 for refs that lack
+        the evidence), computed with a single matrix operation for the
+        signature-backed types.  Values are identical to the scalar path.
+        """
+        refs = list(refs)
+        distances = np.ones(len(refs), dtype=np.float64)
+        if not refs:
+            return distances
+        if evidence is EvidenceType.DISTRIBUTION:
+            if not profile.is_numeric:
+                return distances
+            query_sorted = profile.numeric_sorted
+            for position, ref in enumerate(refs):
+                other = self.profiles.get(ref)
+                if other is None or not other.is_numeric:
+                    continue
+                distances[position] = ks_statistic_sorted(query_sorted, other.numeric_sorted)
+            return distances
+        signatures = query_signatures or self.signatures_for(profile)
+        signature = signatures[evidence]
+        if signature is None:
+            return distances
+        positions, rows = self._matrices[evidence].resolve(refs)
+        if not rows:
+            return distances
+        stored_distances = self._batch_signature_distances(
+            evidence, signature, np.asarray(rows, dtype=np.intp)
+        )
+        distances[np.asarray(positions, dtype=np.intp)] = stored_distances
+        return distances
+
+    def _batch_signature_distances(
+        self, evidence: EvidenceType, signature: Signature, rows: np.ndarray
+    ) -> np.ndarray:
+        """Distances between one query signature and the given matrix rows."""
+        stored, degenerate = self._matrices[evidence].gather(rows)
+        if isinstance(signature, MinHash):
+            return batch_jaccard_distances(
+                signature.hashvalues,
+                stored,
+                query_empty=signature.is_empty(),
+                empty_rows=degenerate,
+            )
+        if isinstance(signature, RandomProjection):
+            return batch_cosine_distances(
+                signature.bits,
+                stored,
+                query_zero=signature.is_zero,
+                zero_rows=degenerate,
+            )
+        raise TypeError(f"unsupported signature type: {type(signature)!r}")
 
     # ------------------------------------------------------------------ #
     # space accounting (Table II)
@@ -249,6 +415,7 @@ class D3LIndexes:
         """Approximate per-index memory footprint."""
         sizes = {
             f"I{evidence.value}": self._forests[evidence].estimated_bytes()
+            + self._matrices[evidence].estimated_bytes()
             for evidence in EvidenceType.indexed()
         }
         sizes["profiles"] = sum(profile.estimated_bytes() for profile in self.profiles.values())
@@ -265,6 +432,15 @@ def _raw(signature: Signature) -> np.ndarray:
         return signature.hashvalues
     if isinstance(signature, RandomProjection):
         return signature.bits
+    raise TypeError(f"unsupported signature type: {type(signature)!r}")
+
+
+def _is_degenerate(signature: Signature) -> bool:
+    """True for signatures whose pairwise distance is pinned at 1.0."""
+    if isinstance(signature, MinHash):
+        return signature.is_empty()
+    if isinstance(signature, RandomProjection):
+        return signature.is_zero
     raise TypeError(f"unsupported signature type: {type(signature)!r}")
 
 

@@ -13,10 +13,10 @@ from __future__ import annotations
 from typing import Dict, Optional, Set
 
 from repro.core.evidence import EvidenceType
-from repro.core.indexes import D3LIndexes
+from repro.core.indexes import D3LIndexes, Signature
 from repro.core.profiles import AttributeProfile, TableProfile
 from repro.lake.datalake import AttributeRef
-from repro.stats.ks import ks_statistic
+from repro.stats.ks import ks_statistic_sorted
 
 #: Number of candidates retrieved for the subject-attribute guard lookups.
 _GUARD_POOL = 50
@@ -27,6 +27,7 @@ def _lookup_refs(
     evidence: EvidenceType,
     profile: AttributeProfile,
     exclude_table: Optional[str],
+    query_signatures: Optional[Dict[EvidenceType, Optional[Signature]]] = None,
 ) -> Set[AttributeRef]:
     return {
         ref
@@ -35,6 +36,7 @@ def _lookup_refs(
             profile,
             k=_GUARD_POOL,
             exclude_table=exclude_table,
+            query_signatures=query_signatures,
             max_distance=indexes.threshold_distance(),
         )
     }
@@ -51,8 +53,11 @@ def subject_attributes_related(
     subject = target_profile.subject_profile()
     if subject is None:
         return False
+    query_signatures = indexes.signatures_for(subject)
     for evidence in EvidenceType.indexed():
-        for ref in _lookup_refs(indexes, evidence, subject, exclude_table):
+        for ref in _lookup_refs(
+            indexes, evidence, subject, exclude_table, query_signatures
+        ):
             if ref.table == source_table:
                 return True
     return False
@@ -88,12 +93,17 @@ def compute_d_relatedness(
             indexes, target_table_profile, source_ref.table, exclude_table=exclude_table
         )
     if subject_guard:
-        return ks_statistic(target_attribute.numeric_values, source_profile.numeric_values)
+        return ks_statistic_sorted(target_attribute.numeric_sorted, source_profile.numeric_sorted)
 
+    query_signatures = indexes.signatures_for(target_attribute)
     for evidence in (EvidenceType.NAME, EvidenceType.FORMAT):
-        related = _lookup_refs(indexes, evidence, target_attribute, exclude_table)
+        related = _lookup_refs(
+            indexes, evidence, target_attribute, exclude_table, query_signatures
+        )
         if source_ref in related:
-            return ks_statistic(target_attribute.numeric_values, source_profile.numeric_values)
+            return ks_statistic_sorted(
+                target_attribute.numeric_sorted, source_profile.numeric_sorted
+            )
     return 1.0
 
 

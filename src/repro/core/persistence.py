@@ -24,7 +24,9 @@ from repro.core.indexes import D3LIndexes
 PathLike = Union[str, Path]
 
 #: Current on-disk format version; bumped when the persisted layout changes.
-FORMAT_VERSION = 1
+#: Version 2: vectorized LSH backend (sorted-array prefix trees, per-evidence
+#: signature matrices, cached sorted numeric extents).
+FORMAT_VERSION = 2
 
 
 class PersistenceError(RuntimeError):

@@ -49,6 +49,23 @@ class AttributeProfile:
     cardinality: int
     distinct_count: int
     value_sample: Set[str] = field(default_factory=set)
+    _numeric_sorted: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def numeric_sorted(self) -> np.ndarray:
+        """Sorted finite numeric extent, cached for the KS fast path.
+
+        One sort per attribute replaces one sort per candidate pair in
+        Algorithm 2 (``ks_statistic_sorted`` consumes this directly).
+        """
+        if self._numeric_sorted is None:
+            values = np.asarray(self.numeric_values, dtype=np.float64)
+            values = values[np.isfinite(values)]
+            values.sort()
+            self._numeric_sorted = values
+        return self._numeric_sorted
 
     @classmethod
     def build(
@@ -125,7 +142,13 @@ class AttributeProfile:
         text_bytes += sum(len(item) for item in self.tokens)
         text_bytes += sum(len(item) for item in self.formats)
         text_bytes += sum(len(item) for item in self.value_sample)
-        return int(text_bytes + self.embedding.nbytes + 8 * len(self.numeric_values))
+        cached_sorted = 0 if self._numeric_sorted is None else self._numeric_sorted.nbytes
+        return int(
+            text_bytes
+            + self.embedding.nbytes
+            + 8 * len(self.numeric_values)
+            + cached_sorted
+        )
 
 
 @dataclass

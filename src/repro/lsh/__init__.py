@@ -17,12 +17,16 @@ The paper's discovery engine (and both baselines) are built on LSH:
   improvement and used by the join-path machinery for containment search.
 """
 
-from repro.lsh.hashing import HashFamily, hash_token
+from repro.lsh.hashing import HashFamily, hash_token, hash_tokens
 from repro.lsh.lsh_ensemble import LSHEnsemble
 from repro.lsh.lsh_forest import LSHForest
 from repro.lsh.lsh_index import LSHIndex, optimal_bands
-from repro.lsh.minhash import MinHash, MinHashFactory
-from repro.lsh.random_projection import RandomProjection, RandomProjectionFactory
+from repro.lsh.minhash import MinHash, MinHashFactory, batch_jaccard_distances
+from repro.lsh.random_projection import (
+    RandomProjection,
+    RandomProjectionFactory,
+    batch_cosine_distances,
+)
 
 __all__ = [
     "HashFamily",
@@ -33,6 +37,9 @@ __all__ = [
     "MinHashFactory",
     "RandomProjection",
     "RandomProjectionFactory",
+    "batch_cosine_distances",
+    "batch_jaccard_distances",
     "hash_token",
+    "hash_tokens",
     "optimal_bands",
 ]

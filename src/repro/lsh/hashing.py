@@ -13,7 +13,7 @@ Two ingredients are needed:
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Sequence
+from typing import Dict, Iterable, Sequence
 
 import numpy as np
 
@@ -21,6 +21,13 @@ import numpy as np
 MERSENNE_PRIME = np.uint64((1 << 61) - 1)
 #: Maximum hash value produced for tokens.
 MAX_HASH = np.uint64((1 << 32) - 1)
+
+#: Upper bound on cached token hashes per seed.  Token vocabularies repeat
+#: heavily across the columns of a lake, so a shared bounded cache turns most
+#: ``hash_tokens`` work into dictionary lookups.
+TOKEN_HASH_CACHE_LIMIT = 1 << 20
+
+_token_hash_cache: Dict[int, Dict[str, int]] = {}
 
 
 def hash_token(token: str, seed: int = 0) -> int:
@@ -37,16 +44,36 @@ def hash_token(token: str, seed: int = 0) -> int:
     return int.from_bytes(digest[:4], "little")
 
 
+def clear_token_hash_cache() -> None:
+    """Drop every cached token hash (exposed for tests and benchmarks)."""
+    _token_hash_cache.clear()
+
+
 def hash_tokens(tokens: Iterable[str], seed: int = 0) -> np.ndarray:
-    """Vector of stable hashes for ``tokens`` (deduplicated, order-free)."""
+    """Vector of stable hashes for ``tokens`` (deduplicated, order-free).
+
+    The whole token set is hashed in one pass through a tight local-binding
+    loop; hits come from an LRU cache shared across columns (hits refresh
+    recency via dict ordering).  Values are identical to per-token
+    :func:`hash_token` calls — misses delegate to it.
+    """
     unique = set(tokens)
     if not unique:
         return np.empty(0, dtype=np.uint64)
-    return np.fromiter(
-        (hash_token(token, seed=seed) for token in unique),
-        dtype=np.uint64,
-        count=len(unique),
-    )
+    cache = _token_hash_cache.setdefault(seed, {})
+    cache_pop = cache.pop
+    hasher = hash_token
+    out = np.empty(len(unique), dtype=np.uint64)
+    for position, token in enumerate(unique):
+        hashed = cache_pop(token, None)
+        if hashed is None:
+            hashed = hasher(token, seed=seed)
+            if len(cache) >= TOKEN_HASH_CACHE_LIMIT:
+                # Evict the least recently used entry (dict order = recency).
+                cache_pop(next(iter(cache)))
+        cache[token] = hashed
+        out[position] = hashed
+    return out
 
 
 class HashFamily:

@@ -8,6 +8,7 @@ positions instead of comparing the sets directly.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Optional
 
 import numpy as np
@@ -116,6 +117,47 @@ class MinHashFactory:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"MinHashFactory(num_perm={self.num_perm}, seed={self.seed})"
+
+
+@lru_cache(maxsize=None)
+def _jaccard_distance_table(num_perm: int) -> np.ndarray:
+    """``table[a]`` = the distance for ``a`` agreeing positions.
+
+    Indexing a precomputed table makes the batched path bit-identical to the
+    scalar ``jaccard_distance`` expression for every possible agreement count.
+    """
+    table = np.empty(num_perm + 1, dtype=np.float64)
+    for agreements in range(num_perm + 1):
+        jaccard = float(agreements / num_perm)
+        table[agreements] = min(1.0, max(0.0, 1.0 - jaccard))
+    table.setflags(write=False)
+    return table
+
+
+def batch_jaccard_distances(
+    query: np.ndarray,
+    matrix: np.ndarray,
+    query_empty: bool = False,
+    empty_rows: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Estimated Jaccard distances between one signature and a signature matrix.
+
+    ``matrix`` has shape ``(n, num_perm)``; one vectorized agreement count
+    replaces ``n`` pairwise ``jaccard_distance`` calls.  Rows flagged in
+    ``empty_rows`` (and every row when ``query_empty``) get the maximal
+    distance 1.0, matching the scalar empty-signature convention.
+    """
+    count = matrix.shape[0]
+    if count == 0:
+        return np.empty(0, dtype=np.float64)
+    if query_empty:
+        return np.ones(count, dtype=np.float64)
+    num_perm = int(query.shape[0])
+    agreements = np.count_nonzero(matrix == query[np.newaxis, :], axis=1)
+    distances = _jaccard_distance_table(num_perm)[agreements]
+    if empty_rows is not None:
+        distances[empty_rows] = 1.0
+    return distances
 
 
 def exact_jaccard(first: Iterable[str], second: Iterable[str]) -> float:

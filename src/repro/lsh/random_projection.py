@@ -9,6 +9,7 @@ hyperplane is ``1 - theta / pi`` where ``theta`` is the angle between them.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Optional, Sequence
 
 import numpy as np
@@ -118,6 +119,47 @@ class RandomProjectionFactory:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"RandomProjectionFactory(num_bits={self.num_bits}, seed={self.seed})"
+
+
+@lru_cache(maxsize=None)
+def _cosine_distance_table(num_bits: int) -> np.ndarray:
+    """``table[d]`` = the cosine distance for ``d`` differing bit positions.
+
+    Built with ``math.cos`` — the same libm call the scalar path makes — so
+    the batched path is bit-identical to pairwise ``cosine_distance``.
+    """
+    table = np.empty(num_bits + 1, dtype=np.float64)
+    for differing in range(num_bits + 1):
+        similarity = math.cos(float(differing / num_bits) * math.pi)
+        table[differing] = min(1.0, max(0.0, 1.0 - similarity))
+    table.setflags(write=False)
+    return table
+
+
+def batch_cosine_distances(
+    query_bits: np.ndarray,
+    matrix: np.ndarray,
+    query_zero: bool = False,
+    zero_rows: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Estimated cosine distances between one bit signature and a bit matrix.
+
+    ``matrix`` has shape ``(n, num_bits)``; one vectorized XOR-style popcount
+    (a boolean-difference row sum) replaces ``n`` pairwise
+    ``cosine_distance`` calls.  Zero-vector rows (and every row when
+    ``query_zero``) get the maximal distance 1.0, as in the scalar path.
+    """
+    count = matrix.shape[0]
+    if count == 0:
+        return np.empty(0, dtype=np.float64)
+    if query_zero:
+        return np.ones(count, dtype=np.float64)
+    num_bits = int(query_bits.shape[0])
+    differing = np.count_nonzero(matrix != query_bits[np.newaxis, :], axis=1)
+    distances = _cosine_distance_table(num_bits)[differing]
+    if zero_rows is not None:
+        distances[zero_rows] = 1.0
+    return distances
 
 
 def exact_cosine_similarity(first: Sequence[float], second: Sequence[float]) -> float:

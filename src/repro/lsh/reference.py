@@ -1,0 +1,196 @@
+"""Scalar reference implementations of the LSH hot paths.
+
+These mirror the seed implementation — list-of-tuples prefix trees rebuilt
+with ``bisect``, one-pair-at-a-time signature distances, per-token hashing
+without a cache — and serve as the correctness oracle for the vectorized
+engine: equivalence tests assert that the NumPy-backed
+:class:`~repro.lsh.lsh_forest.LSHForest` and the batched distance paths
+return byte-identical signatures and identical ``(key, distance)`` rankings,
+and ``benchmarks/bench_perf_hot_paths.py`` times the two against each other.
+
+:meth:`ScalarLSHForest.query` follows the same candidate-collection policy
+as the vectorized forest (descend prefix levels, stop as soon as ``k``
+candidates are found) so the two are directly comparable; only the storage
+layout and the per-call work differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left, bisect_right
+from typing import Hashable, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.lsh.minhash import MinHash
+from repro.lsh.random_projection import RandomProjection
+
+
+class ScalarPrefixTree:
+    """Seed layout: a sorted Python list of (key tuple, item) pairs.
+
+    ``query_prefix`` rebuilds the key list on every call — the O(n) hot-path
+    cost the vectorized tree eliminates.
+    """
+
+    def __init__(self, key_length: int) -> None:
+        self.key_length = key_length
+        self._entries: List[Tuple[Tuple[int, ...], Hashable]] = []
+        self._sorted = True
+
+    def insert(self, key: Tuple[int, ...], item: Hashable) -> None:
+        self._entries.append((key, item))
+        self._sorted = False
+
+    def remove(self, item: Hashable) -> None:
+        self._entries = [(key, entry) for key, entry in self._entries if entry != item]
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._entries.sort(key=lambda pair: pair[0])
+            self._sorted = True
+
+    def query_prefix(self, key: Tuple[int, ...], prefix_length: int) -> List[Hashable]:
+        """All items whose key agrees with ``key`` on the first ``prefix_length`` positions."""
+        self._ensure_sorted()
+        if prefix_length <= 0 or not self._entries:
+            return []
+        prefix = key[:prefix_length]
+        low_key = prefix
+        high_key = prefix + ((np.iinfo(np.int64).max,) * (self.key_length - prefix_length))
+        keys = [entry[0] for entry in self._entries]
+        low = bisect_left(keys, low_key)
+        high = bisect_right(keys, high_key)
+        return [self._entries[i][1] for i in range(low, high)]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ScalarLSHForest:
+    """Seed-layout LSH Forest with the same query policy as the NumPy one."""
+
+    def __init__(self, num_hashes: int = 256, num_trees: int = 8, seed: int = 11) -> None:
+        if num_trees <= 0 or num_hashes <= 0:
+            raise ValueError("num_hashes and num_trees must be positive")
+        if num_hashes < num_trees:
+            raise ValueError("num_hashes must be at least num_trees")
+        self.num_hashes = num_hashes
+        self.num_trees = num_trees
+        self.key_length = num_hashes // num_trees
+        self.seed = seed
+        self._trees = [ScalarPrefixTree(self.key_length) for _ in range(num_trees)]
+        self._signatures: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._signatures
+
+    def _tree_keys(self, signature: np.ndarray) -> List[Tuple[int, ...]]:
+        keys = []
+        for tree_index in range(self.num_trees):
+            start = tree_index * self.key_length
+            chunk = signature[start : start + self.key_length]
+            keys.append(tuple(int(value) for value in chunk))
+        return keys
+
+    def insert(self, key: Hashable, signature: np.ndarray) -> None:
+        signature = np.asarray(signature)
+        if signature.shape[0] < self.num_hashes:
+            raise ValueError(
+                f"signature of length {signature.shape[0]} is shorter than num_hashes={self.num_hashes}"
+            )
+        if key in self._signatures:
+            self.remove(key)
+        self._signatures[key] = signature
+        for tree, tree_key in zip(self._trees, self._tree_keys(signature)):
+            tree.insert(tree_key, key)
+
+    def remove(self, key: Hashable) -> None:
+        if key not in self._signatures:
+            return
+        del self._signatures[key]
+        for tree in self._trees:
+            tree.remove(key)
+
+    def signature(self, key: Hashable) -> np.ndarray:
+        return self._signatures[key]
+
+    def query(
+        self,
+        signature: np.ndarray,
+        k: int,
+        exclude: Optional[Hashable] = None,
+    ) -> List[Hashable]:
+        if k <= 0:
+            return []
+        signature = np.asarray(signature)
+        tree_keys = self._tree_keys(signature)
+        seen: Set[Hashable] = set()
+        results: List[Hashable] = []
+        for prefix_length in range(self.key_length, 0, -1):
+            for tree, tree_key in zip(self._trees, tree_keys):
+                for item in tree.query_prefix(tree_key, prefix_length):
+                    if item == exclude or item in seen:
+                        continue
+                    seen.add(item)
+                    results.append(item)
+                if len(results) >= k:
+                    return results[:k]
+        return results
+
+    def query_all(self, signature: np.ndarray, exclude: Optional[Hashable] = None) -> List[Hashable]:
+        return self.query(signature, k=len(self._signatures) + 1, exclude=exclude)
+
+    def keys(self) -> List[Hashable]:
+        return list(self._signatures)
+
+
+def scalar_signature_distance(first: object, second: object) -> float:
+    """Seed distance path: one pair at a time, via the signature objects."""
+    if isinstance(first, MinHash) and isinstance(second, MinHash):
+        if first.is_empty() or second.is_empty():
+            return 1.0
+        return first.jaccard_distance(second)
+    if isinstance(first, RandomProjection) and isinstance(second, RandomProjection):
+        return first.cosine_distance(second)
+    raise TypeError("cannot compare signatures of different kinds")
+
+
+def scalar_hash_tokens(tokens: Iterable[str], seed: int = 0) -> np.ndarray:
+    """Seed token hashing: a fresh keyed blake2b per token, no cache."""
+    unique = set(tokens)
+    if not unique:
+        return np.empty(0, dtype=np.uint64)
+    key = seed.to_bytes(8, "little", signed=False)
+    return np.fromiter(
+        (
+            int.from_bytes(
+                hashlib.blake2b(
+                    token.encode("utf-8", errors="replace"), digest_size=8, key=key
+                ).digest()[:4],
+                "little",
+            )
+            for token in unique
+        ),
+        dtype=np.uint64,
+        count=len(unique),
+    )
+
+
+def scalar_ks_statistic(first, second) -> float:
+    """Seed KS path: re-sorts both samples on every call."""
+    a = np.asarray(list(first), dtype=np.float64)
+    b = np.asarray(list(second), dtype=np.float64)
+    a = a[np.isfinite(a)]
+    b = b[np.isfinite(b)]
+    if a.size == 0 or b.size == 0:
+        return 1.0
+    a.sort()
+    b.sort()
+    pooled = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, pooled, side="right") / a.size
+    cdf_b = np.searchsorted(b, pooled, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())

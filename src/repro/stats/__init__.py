@@ -1,11 +1,12 @@
 """Statistical primitives: KS statistic and empirical distributions."""
 
 from repro.stats.distributions import EmpiricalDistribution, ccdf_weight
-from repro.stats.ks import ks_distance, ks_statistic
+from repro.stats.ks import ks_distance, ks_statistic, ks_statistic_sorted
 
 __all__ = [
     "EmpiricalDistribution",
     "ccdf_weight",
     "ks_distance",
     "ks_statistic",
+    "ks_statistic_sorted",
 ]

@@ -35,6 +35,24 @@ def ks_statistic(first: Sequence[float], second: Sequence[float]) -> float:
     return float(np.abs(cdf_a - cdf_b).max())
 
 
+def ks_statistic_sorted(first_sorted: np.ndarray, second_sorted: np.ndarray) -> float:
+    """KS statistic over two *pre-sorted, finite* float64 samples.
+
+    Algorithm 2 evaluates one target attribute against many candidates;
+    callers that cache each side's sorted extent (see
+    ``AttributeProfile.numeric_sorted``) skip the per-pair re-sorting of
+    :func:`ks_statistic` while producing the identical value.
+    """
+    a = np.asarray(first_sorted, dtype=np.float64)
+    b = np.asarray(second_sorted, dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        return 1.0
+    pooled = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, pooled, side="right") / a.size
+    cdf_b = np.searchsorted(b, pooled, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
 def ks_distance(first: Sequence[float], second: Sequence[float]) -> float:
     """Alias of :func:`ks_statistic`; the statistic *is* the distance."""
     return ks_statistic(first, second)

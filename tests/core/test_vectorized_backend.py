@@ -1,0 +1,123 @@
+"""End-to-end equivalence of the vectorized index backend on a generated lake.
+
+``D3LIndexes.lookup`` and ``batch_attribute_distances`` run over the
+signature matrices; these tests recompute their outputs through the scalar
+reference paths (``ScalarLSHForest`` + one-pair-at-a-time distances) and
+assert identical ``(ref, distance)`` rankings, as the tentpole requires.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import D3LConfig
+from repro.core.evidence import EvidenceType
+from repro.core.indexes import D3LIndexes
+from repro.datagen.synthetic_benchmark import (
+    SyntheticBenchmarkConfig,
+    generate_synthetic_benchmark,
+)
+from repro.lsh.reference import ScalarLSHForest, scalar_signature_distance
+
+
+@pytest.fixture(scope="module")
+def indexed():
+    corpus = generate_synthetic_benchmark(
+        SyntheticBenchmarkConfig(
+            num_base_tables=4,
+            tables_per_base=4,
+            base_rows=60,
+            min_rows=20,
+            max_rows=50,
+            seed=41,
+        )
+    )
+    indexes = D3LIndexes(
+        config=D3LConfig(num_hashes=128, num_trees=8, embedding_dimension=24)
+    )
+    indexes.add_lake(corpus.lake)
+    return indexes
+
+
+def _scalar_lookup(indexes, evidence, profile, k, exclude_table=None):
+    """Recompute a lookup through the scalar reference paths."""
+    forest = indexes.forest(evidence)
+    scalar_forest = ScalarLSHForest(
+        num_hashes=forest.num_hashes, num_trees=forest.num_trees, seed=forest.seed
+    )
+    for key in forest.keys():
+        scalar_forest.insert(key, forest.signature(key))
+    signature = indexes.signatures_for(profile)[evidence]
+    if signature is None:
+        return []
+    candidates = scalar_forest.query(forest.signature(profile.ref), k)
+    results = []
+    for ref in candidates:
+        if exclude_table is not None and ref.table == exclude_table:
+            continue
+        stored = indexes.signature(evidence, ref)
+        if stored is None:
+            continue
+        results.append((ref, scalar_signature_distance(signature, stored)))
+    results.sort(key=lambda pair: (pair[1], pair[0]))
+    return results[:k]
+
+
+class TestLookupEquivalence:
+    @pytest.mark.parametrize("evidence", list(EvidenceType.indexed()))
+    def test_rankings_match_scalar_reference(self, indexed, evidence):
+        checked = 0
+        for ref, profile in list(indexed.profiles.items())[::7]:
+            if indexed.signature(evidence, ref) is None:
+                continue
+            vectorized = indexed.lookup(evidence, profile, k=15)
+            reference = _scalar_lookup(indexed, evidence, profile, k=15)
+            assert vectorized == reference
+            checked += 1
+        assert checked > 0
+
+    @pytest.mark.parametrize("evidence", list(EvidenceType.indexed()))
+    def test_rankings_match_with_exclusion(self, indexed, evidence):
+        for ref, profile in list(indexed.profiles.items())[::11]:
+            if indexed.signature(evidence, ref) is None:
+                continue
+            vectorized = indexed.lookup(evidence, profile, k=10, exclude_table=ref.table)
+            reference = _scalar_lookup(
+                indexed, evidence, profile, k=10, exclude_table=ref.table
+            )
+            assert vectorized == reference
+
+
+class TestBatchDistanceEquivalence:
+    @pytest.mark.parametrize("evidence", list(EvidenceType.all()))
+    def test_batch_matches_scalar_attribute_distance(self, indexed, evidence):
+        refs = sorted(indexed.profiles)
+        some_profile = next(iter(indexed.profiles.values()))
+        batched = indexed.batch_attribute_distances(evidence, some_profile, refs)
+        for position, ref in enumerate(refs):
+            scalar = indexed.attribute_distance(evidence, some_profile, ref)
+            assert batched[position] == scalar
+
+    def test_batch_with_unindexed_refs_is_maximal(self, indexed):
+        from repro.lake.datalake import AttributeRef
+
+        profile = next(iter(indexed.profiles.values()))
+        ghost = AttributeRef("no_such_table", "no_such_column")
+        distances = indexed.batch_attribute_distances(
+            EvidenceType.NAME, profile, [ghost]
+        )
+        assert distances.tolist() == [1.0]
+
+
+class TestIncrementalMaintenance:
+    def test_remove_table_clears_matrices_and_lookup(self, indexed):
+        table_name = indexed.table_names[0]
+        victim_refs = [ref for ref in indexed.profiles if ref.table == table_name]
+        assert victim_refs
+        assert indexed.remove_table(table_name)
+        for evidence in EvidenceType.indexed():
+            for ref in victim_refs:
+                assert indexed.signature(evidence, ref) is None
+        remaining_profile = next(iter(indexed.profiles.values()))
+        for evidence in EvidenceType.indexed():
+            for ref, _ in indexed.lookup(evidence, remaining_profile, k=50):
+                assert ref.table != table_name
