@@ -7,18 +7,32 @@ the scalar reference (:mod:`repro.lsh.reference`, the seed implementation's
 layout), and verifies the two produce identical top-k rankings before any
 timing is trusted.
 
+An index-construction section additionally times
+
+* per-attribute ``D3LIndexes.signatures_for`` vs the lake-level
+  ``batch_signatures`` — the signature-generation unit ``add_lake`` actually
+  runs, covering all three MinHash evidence types plus the random
+  projections (tracked floor: >= 3x at 1000 attributes), and
+* a full ``D3LIndexes.add_lake`` (profile + sign + insert) with one worker
+  vs ``PARALLEL_WORKERS`` processes, reported in attributes/second.  The
+  parallel number is informational: it only beats serial when real cores
+  are available (``available_cpus`` is recorded alongside), and the
+  sharded-vs-serial *equivalence* is locked down by
+  ``tests/core/test_parallel_build.py`` rather than by this timing.
+
 Run directly (writes ``BENCH_hot_paths.json`` at the repository root)::
 
     PYTHONPATH=src python benchmarks/bench_perf_hot_paths.py
 
 The JSON records one entry per lake size with index/query wall-clock for
-both backends, the speedup ratios, and the ranking-equivalence flag, so the
-perf trajectory of the hot path can be tracked PR over PR.
+both backends, the speedup ratios, and the equivalence flags, so the perf
+trajectory of the hot paths can be tracked PR over PR.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
 import sys
 import time
@@ -48,6 +62,14 @@ LAKE_SIZES = (100, 500, 1000)
 #: Queries timed per lake size and the answer size requested.
 NUM_QUERIES = 30
 TOP_K = 10
+#: Worker processes used by the sharded end-to-end construction timing.
+PARALLEL_WORKERS = 4
+#: Columns per synthetic table in the end-to-end construction timing.
+COLUMNS_PER_TABLE = 8
+#: Tracked floor: table-level signature batching at 1000 attributes.
+BATCHING_SPEEDUP_FLOOR = 3.0
+#: Tracked floor: vectorized top-k query speedup at 1000 attributes.
+QUERY_SPEEDUP_FLOOR = 5.0
 
 RESULT_PATH = REPO_ROOT / "BENCH_hot_paths.json"
 
@@ -141,6 +163,124 @@ def _bench_token_hashing(attributes, seed: int) -> Dict[str, float]:
     }
 
 
+def _synthetic_lake(num_attributes: int, seed: int):
+    """A DataLake of small textual tables totalling ``num_attributes`` columns."""
+    from repro.lake.datalake import DataLake
+    from repro.tables.table import Table
+
+    rng = random.Random(seed)
+    cities = ["belfast", "salford", "manchester", "bolton", "leeds", "york"]
+    streets = ["church", "chapel", "station", "victoria", "market", "mill", "park"]
+    tables = []
+    num_tables = max(1, num_attributes // COLUMNS_PER_TABLE)
+    for table_index in range(num_tables):
+        columns = {}
+        for column_index in range(COLUMNS_PER_TABLE):
+            columns[f"col{column_index}_{rng.randrange(8)}"] = [
+                f"{rng.randrange(99)} {rng.choice(streets)} st {rng.choice(cities)} {rng.randrange(200)}"
+                for _ in range(80)
+            ]
+        tables.append(Table.from_dict(f"table{table_index:04d}", columns))
+    return DataLake(f"bench{num_attributes}", tables)
+
+
+def _bench_signature_batching(profiles, indexes) -> Dict[str, object]:
+    """Per-attribute ``signatures_for`` vs lake-level ``batch_signatures``.
+
+    This is the unit ``add_lake`` actually runs per build: all MinHash
+    evidence types plus the random projections for every attribute of the
+    lake.  Both paths run once to warm the shared token-hash cache, then the
+    best of three timed repeats is kept; the signatures are compared for
+    bit-identity before the timings are trusted.
+    """
+    from repro.core.evidence import EvidenceType
+
+    def run_scalar():
+        return {
+            (table_profile.table_name, name): indexes.signatures_for(attribute_profile)
+            for table_profile in profiles
+            for name, attribute_profile in table_profile.attributes.items()
+        }
+
+    def run_batched():
+        return indexes.batch_signatures(profiles)
+
+    scalar_signatures = run_scalar()
+    batched_signatures = run_batched()
+    scalar_seconds = min(
+        _timed(run_scalar) for _ in range(3)
+    )
+    batched_seconds = min(
+        _timed(run_batched) for _ in range(3)
+    )
+
+    identical = True
+    for (table_name, name), scalar in scalar_signatures.items():
+        batched = batched_signatures[table_name][name]
+        for evidence in EvidenceType.indexed():
+            left, right = scalar[evidence], batched[evidence]
+            if (left is None) != (right is None) or (left is not None and left != right):
+                identical = False
+    attributes = len(scalar_signatures)
+    return {
+        "num_attributes": attributes,
+        "scalar_seconds": scalar_seconds,
+        "batched_seconds": batched_seconds,
+        "scalar_attrs_per_second": attributes / max(scalar_seconds, 1e-12),
+        "batched_attrs_per_second": attributes / max(batched_seconds, 1e-12),
+        "speedup": scalar_seconds / max(batched_seconds, 1e-12),
+        "signatures_identical": identical,
+    }
+
+
+def _timed(callable_) -> float:
+    start = time.perf_counter()
+    callable_()
+    return time.perf_counter() - start
+
+
+def _bench_end_to_end_construction(lake, config) -> Dict[str, object]:
+    """Full ``add_lake`` (profile + sign + insert) with 1 vs N worker processes."""
+    from repro.core.indexes import D3LIndexes
+
+    timings = {}
+    for workers in (1, PARALLEL_WORKERS):
+        clear_token_hash_cache()
+        indexes = D3LIndexes(config=config)
+        start = time.perf_counter()
+        indexes.add_lake(lake, workers=workers)
+        elapsed = time.perf_counter() - start
+        timings[workers] = (elapsed, indexes.attribute_count)
+    serial_seconds, attributes = timings[1]
+    parallel_seconds, _ = timings[PARALLEL_WORKERS]
+    return {
+        "num_tables": len(lake),
+        "num_attributes": attributes,
+        "available_cpus": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "parallel_workers": PARALLEL_WORKERS,
+        "serial_attrs_per_second": attributes / max(serial_seconds, 1e-12),
+        "parallel_attrs_per_second": attributes / max(parallel_seconds, 1e-12),
+        "parallel_speedup": serial_seconds / max(parallel_seconds, 1e-12),
+    }
+
+
+def _bench_index_construction(count: int, seed: int) -> Dict[str, object]:
+    """Signature batching plus end-to-end sharded construction on one lake."""
+    from repro.core.config import D3LConfig
+    from repro.core.indexes import D3LIndexes
+
+    lake = _synthetic_lake(count, seed)
+    config = D3LConfig(num_hashes=NUM_HASHES, num_trees=NUM_TREES, embedding_dimension=32)
+    indexes = D3LIndexes(config=config)
+    profiles = [indexes.profile_table(table) for table in lake]
+    return {
+        "signature_batching": _bench_signature_batching(profiles, indexes),
+        "end_to_end": _bench_end_to_end_construction(lake, config),
+    }
+
+
 def bench_lake_size(count: int, seed: int = 7) -> Dict[str, object]:
     factory = MinHashFactory(num_perm=NUM_HASHES, seed=3)
     attributes = _synthetic_attributes(count, seed)
@@ -185,6 +325,7 @@ def bench_lake_size(count: int, seed: int = 7) -> Dict[str, object]:
             "speedup": scalar_query_seconds / max(vec_query_seconds, 1e-12),
         },
         "token_hashing": _bench_token_hashing(attributes, seed=3),
+        "index_construction": _bench_index_construction(count, seed + 2),
         "rankings_identical": rankings_identical,
     }
 
@@ -210,18 +351,41 @@ def main() -> int:
     payload = run()
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     for entry in payload["results"]:
+        construction = entry["index_construction"]
+        batching = construction["signature_batching"]
+        end_to_end = construction["end_to_end"]
         print(
             f"n={entry['num_attributes']:>5}  "
             f"index: {entry['index_seconds']['speedup']:.1f}x  "
             f"query: {entry['query_seconds_per_query']['speedup']:.1f}x  "
-            f"identical rankings: {entry['rankings_identical']}"
+            f"sig-batch: {batching['speedup']:.1f}x  "
+            f"e2e: {end_to_end['serial_attrs_per_second']:.0f} attrs/s serial, "
+            f"{end_to_end['parallel_attrs_per_second']:.0f} attrs/s "
+            f"x{end_to_end['parallel_workers']}  "
+            f"identical: {entry['rankings_identical'] and batching['signatures_identical']}"
         )
     print(f"wrote {RESULT_PATH}")
     failures = [
         entry["num_attributes"]
         for entry in payload["results"]
         if not entry["rankings_identical"]
+        or not entry["index_construction"]["signature_batching"]["signatures_identical"]
     ]
+    largest = payload["results"][-1]
+    batching_speedup = largest["index_construction"]["signature_batching"]["speedup"]
+    if batching_speedup < BATCHING_SPEEDUP_FLOOR:
+        print(
+            f"FLOOR VIOLATION: signature batching {batching_speedup:.1f}x "
+            f"< {BATCHING_SPEEDUP_FLOOR}x at {largest['num_attributes']} attributes"
+        )
+        failures.append(largest["num_attributes"])
+    query_speedup = largest["query_seconds_per_query"]["speedup"]
+    if query_speedup < QUERY_SPEEDUP_FLOOR:
+        print(
+            f"FLOOR VIOLATION: query speedup {query_speedup:.1f}x "
+            f"< {QUERY_SPEEDUP_FLOOR}x at {largest['num_attributes']} attributes"
+        )
+        failures.append(largest["num_attributes"])
     return 1 if failures else 0
 
 

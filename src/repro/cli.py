@@ -65,6 +65,8 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("--embedding-dimension", type=int, default=64)
     index.add_argument("--max-rows", type=int, default=None,
                        help="cap on rows read per CSV file")
+    index.add_argument("--workers", type=int, default=1,
+                       help="worker processes for sharded index construction")
 
     query = subparsers.add_parser("query", help="query a persisted engine with a target CSV")
     query.add_argument("--engine", required=True, help="path of the persisted engine")
@@ -129,7 +131,7 @@ def _command_index(args: argparse.Namespace) -> int:
         embedding_dimension=args.embedding_dimension,
     )
     engine = D3L(config=config)
-    engine.index_lake(lake)
+    engine.index_lake(lake, workers=args.workers)
     path = save_engine(engine, args.output)
     sizes = engine.indexes.index_bytes()
     print(f"Indexed {len(lake)} tables ({lake.attribute_count} attributes)")

@@ -147,9 +147,14 @@ class D3L:
     # ------------------------------------------------------------------ #
     # indexing
     # ------------------------------------------------------------------ #
-    def index_lake(self, lake: DataLake) -> None:
-        """Profile and index every table of ``lake`` (Algorithm 1)."""
-        self.indexes.add_lake(lake)
+    def index_lake(self, lake: DataLake, workers: Optional[int] = None) -> None:
+        """Profile and index every table of ``lake`` (Algorithm 1).
+
+        ``workers > 1`` shards the lake across that many worker processes
+        (:class:`~repro.core.parallel.ParallelIndexBuilder`); the resulting
+        indexes are identical to a single-process build.
+        """
+        self.indexes.add_lake(lake, workers=workers)
         self._join_graph = None
 
     def index_table(self, table: Table) -> None:

@@ -92,6 +92,51 @@ class SignatureMatrix:
         self._refs.append(ref)
         self._row_of[ref] = count
 
+    def add_batch(
+        self, refs: Sequence[AttributeRef], values: np.ndarray, degenerate: np.ndarray
+    ) -> None:
+        """Insert many signature rows with one capacity grow and one copy.
+
+        Equivalent to calling :meth:`add` once per ref in order (including
+        the overwrite semantics for refs already stored), but appends all the
+        genuinely new rows as a single block.
+        """
+        refs = list(refs)
+        values = np.asarray(values)
+        degenerate = np.asarray(degenerate, dtype=bool)
+        fresh_positions: List[int] = []
+        fresh_of: Dict[AttributeRef, int] = {}
+        for position, ref in enumerate(refs):
+            existing = self._row_of.get(ref)
+            if existing is not None:
+                self._matrix[existing] = values[position]
+                self._flags[existing] = degenerate[position]
+            elif ref in fresh_of:
+                # Duplicate within the batch: later occurrence overwrites.
+                fresh_positions[fresh_of[ref]] = position
+            else:
+                fresh_of[ref] = len(fresh_positions)
+                fresh_positions.append(position)
+        if not fresh_positions:
+            return
+        count = len(self._refs)
+        needed = count + len(fresh_positions)
+        if needed > self._matrix.shape[0]:
+            capacity = max(8, 2 * count, needed)
+            matrix = np.empty((capacity, self.num_hashes), dtype=self._dtype)
+            matrix[:count] = self._matrix[:count]
+            self._matrix = matrix
+            flags = np.empty(capacity, dtype=bool)
+            flags[:count] = self._flags[:count]
+            self._flags = flags
+        fresh = np.asarray(fresh_positions, dtype=np.intp)
+        self._matrix[count:needed] = values[fresh]
+        self._flags[count:needed] = degenerate[fresh]
+        for offset, position in enumerate(fresh_positions):
+            ref = refs[position]
+            self._refs.append(ref)
+            self._row_of[ref] = count + offset
+
     def discard(self, ref: AttributeRef) -> None:
         """Remove the row of ``ref`` (no-op when absent), keeping rows packed."""
         row = self._row_of.pop(ref, None)
@@ -121,6 +166,46 @@ class SignatureMatrix:
                 positions.append(position)
                 rows.append(row)
         return positions, rows
+
+    def compact(self) -> None:
+        """Trim the backing arrays to exactly the populated rows.
+
+        Rows, the registry, and all distances are unchanged; only the spare
+        growth capacity is released — useful for long-lived engines after
+        bulk removals.  (Persistence does not need it: ``export_state``
+        slices exactly the populated rows.)
+        """
+        count = len(self._refs)
+        if self._matrix.shape[0] != count:
+            self._matrix = np.ascontiguousarray(self._matrix[:count])
+            self._flags = np.ascontiguousarray(self._flags[:count])
+
+    @property
+    def refs(self) -> List[AttributeRef]:
+        """Stored refs in row order (row ``i`` belongs to ``refs[i]``)."""
+        return list(self._refs)
+
+    def export_state(self) -> Tuple[List[AttributeRef], np.ndarray, np.ndarray]:
+        """``(refs, matrix, flags)`` copies covering exactly the populated rows."""
+        count = len(self._refs)
+        return list(self._refs), self._matrix[:count].copy(), self._flags[:count].copy()
+
+    def import_state(
+        self, refs: Sequence[AttributeRef], matrix: np.ndarray, flags: np.ndarray
+    ) -> None:
+        """Restore a state produced by :meth:`export_state` (replaces contents)."""
+        matrix = np.ascontiguousarray(matrix, dtype=self._dtype)
+        flags = np.ascontiguousarray(flags, dtype=bool)
+        refs = list(refs)
+        if matrix.shape != (len(refs), self.num_hashes) or flags.shape != (len(refs),):
+            raise ValueError(
+                f"inconsistent signature-matrix state: {len(refs)} refs, "
+                f"matrix {matrix.shape}, flags {flags.shape}"
+            )
+        self._matrix = matrix
+        self._flags = flags
+        self._refs = refs
+        self._row_of = {ref: row for row, ref in enumerate(refs)}
 
     def estimated_bytes(self) -> int:
         """Footprint of the populated rows plus the registry references."""
@@ -209,30 +294,123 @@ class D3LIndexes:
             signatures[EvidenceType.EMBEDDING] = None
         return signatures
 
+    def batch_signatures(
+        self, table_profiles: Sequence[TableProfile]
+    ) -> Dict[str, Dict[str, Dict[EvidenceType, Optional[Signature]]]]:
+        """Per-attribute signatures of many tables, computed in batched passes.
+
+        One :meth:`MinHashFactory.from_tokens_batch` call per set-backed
+        evidence type and one :meth:`RandomProjectionFactory.from_vectors`
+        call cover every attribute of every table, so the batch pays for each
+        *distinct* token hash once across the whole group instead of once per
+        attribute.  The wider the batch, the more vocabulary sharing the
+        MinHash kernel can exploit — ``add_lake`` batches the entire lake and
+        shard workers batch their whole shard.  Values are bit-identical to
+        per-attribute :meth:`signatures_for`.
+
+        Returns ``{table name: {attribute name: {evidence: signature}}}``.
+        """
+        keys: List[Tuple[str, str]] = []
+        profiles: List[AttributeProfile] = []
+        signatures: Dict[str, Dict[str, Dict[EvidenceType, Optional[Signature]]]] = {}
+        for table_profile in table_profiles:
+            per_table: Dict[str, Dict[EvidenceType, Optional[Signature]]] = {}
+            signatures[table_profile.table_name] = per_table
+            for name, profile in table_profile.attributes.items():
+                per_table[name] = dict.fromkeys(EvidenceType.indexed())
+                keys.append((table_profile.table_name, name))
+                profiles.append(profile)
+        for evidence in (EvidenceType.NAME, EvidenceType.VALUE, EvidenceType.FORMAT):
+            token_sets = [profile.set_representation(evidence) for profile in profiles]
+            populated = [index for index, tokens in enumerate(token_sets) if tokens]
+            batch = self._minhash_factory.from_tokens_batch(
+                [token_sets[index] for index in populated]
+            )
+            for position, index in enumerate(populated):
+                table_name, name = keys[index]
+                signatures[table_name][name][evidence] = batch[position]
+        embedded = [index for index, profile in enumerate(profiles) if profile.has_embedding()]
+        projections = self._projection_factory.from_vectors(
+            [profiles[index].embedding for index in embedded]
+        )
+        for position, index in enumerate(embedded):
+            table_name, name = keys[index]
+            signatures[table_name][name][EvidenceType.EMBEDDING] = projections[position]
+        return signatures
+
+    def table_signatures(
+        self, table_profile: TableProfile
+    ) -> Dict[str, Dict[EvidenceType, Optional[Signature]]]:
+        """Per-attribute signatures of one table (a one-table batch)."""
+        return self.batch_signatures([table_profile])[table_profile.table_name]
+
     # ------------------------------------------------------------------ #
     # index construction (Algorithm 1)
     # ------------------------------------------------------------------ #
     def add_table(self, table: Table) -> TableProfile:
         """Profile ``table`` and insert its attributes into the four indexes."""
         table_profile = self.profile_table(table)
-        self.table_profiles[table.name] = table_profile
-        for profile in table_profile.attributes.values():
-            self.profiles[profile.ref] = profile
-            signatures = self.signatures_for(profile)
-            for evidence in EvidenceType.indexed():
-                signature = signatures[evidence]
-                if signature is None:
-                    continue
-                self._signatures[evidence][profile.ref] = signature
-                raw = _raw(signature)
-                self._forests[evidence].insert(profile.ref, raw)
-                self._matrices[evidence].add(profile.ref, raw, _is_degenerate(signature))
+        self.add_profiled_table(table_profile)
         return table_profile
 
-    def add_lake(self, lake: DataLake) -> None:
-        """Index every table of ``lake``."""
-        for table in lake:
-            self.add_table(table)
+    def add_profiled_table(
+        self,
+        table_profile: TableProfile,
+        signatures_by_attribute: Optional[Dict[str, Dict[EvidenceType, Optional[Signature]]]] = None,
+    ) -> None:
+        """Insert an already profiled table into the four indexes.
+
+        ``signatures_by_attribute`` (as produced by :meth:`table_signatures`)
+        lets callers that computed signatures elsewhere — notably the shard
+        workers of :class:`~repro.core.parallel.ParallelIndexBuilder` — feed
+        them straight into the buffered forest inserts and one batched
+        signature-matrix append per evidence type.
+        """
+        if signatures_by_attribute is None:
+            signatures_by_attribute = self.table_signatures(table_profile)
+        self.table_profiles[table_profile.table_name] = table_profile
+        for name, profile in table_profile.attributes.items():
+            self.profiles[profile.ref] = profile
+        for evidence in EvidenceType.indexed():
+            refs: List[AttributeRef] = []
+            raws: List[np.ndarray] = []
+            flags: List[bool] = []
+            forest = self._forests[evidence]
+            stored = self._signatures[evidence]
+            for name, profile in table_profile.attributes.items():
+                signature = signatures_by_attribute[name][evidence]
+                if signature is None:
+                    continue
+                raw = _raw(signature)
+                stored[profile.ref] = signature
+                forest.insert(profile.ref, raw)
+                refs.append(profile.ref)
+                raws.append(raw)
+                flags.append(_is_degenerate(signature))
+            if refs:
+                self._matrices[evidence].add_batch(
+                    refs, np.vstack(raws), np.asarray(flags, dtype=bool)
+                )
+
+    def add_lake(self, lake: DataLake, workers: Optional[int] = None) -> None:
+        """Index every table of ``lake``, in sorted table-name order.
+
+        The sorted order makes index construction independent of lake
+        insertion order, so serial and sharded builds (``workers > 1``, via
+        :class:`~repro.core.parallel.ParallelIndexBuilder`) produce identical
+        index contents.
+        """
+        if workers is not None and workers > 1:
+            from repro.core.parallel import ParallelIndexBuilder
+
+            ParallelIndexBuilder(self, workers=workers).build(lake)
+            return
+        table_profiles = [
+            self.profile_table(lake.table(name)) for name in sorted(lake.table_names)
+        ]
+        signatures = self.batch_signatures(table_profiles)
+        for table_profile in table_profiles:
+            self.add_profiled_table(table_profile, signatures[table_profile.table_name])
 
     def remove_table(self, table_name: str) -> bool:
         """Remove a table's attributes from every index (incremental maintenance).

@@ -1,4 +1,4 @@
-"""Saving and loading indexed engines.
+"""Saving and loading indexed engines (versioned multi-section format, v3).
 
 Index construction is the expensive part of dataset discovery (Figure 6a of
 the paper); a deployment indexes the lake once and answers many queries.
@@ -6,27 +6,46 @@ These helpers persist a fully indexed :class:`~repro.core.discovery.D3L`
 engine (or just its :class:`~repro.core.indexes.D3LIndexes`) to disk and load
 it back, so the indexing cost is paid once per lake snapshot.
 
-Pickle is used deliberately: the persisted objects are plain data (numpy
-arrays, dictionaries of set representations, LSH tables) produced by this
-library itself.  Files should be treated like any other binary cache — do
-not load engines from untrusted sources.
+Format version 3 no longer pickles the engine object graph.  The payload is
+a dictionary of explicit sections:
+
+* ``config`` / ``weights`` / ``embedding_model`` / ``subject_classifier`` —
+  the small configuration objects, pickled as-is;
+* ``profiles`` / ``table_profiles`` — the attribute and table profiles;
+* ``evidence`` — per indexed evidence type, the **raw NumPy buffers** of the
+  index: the signature matrix (rows, degeneracy flags, row-order refs) and
+  the forest's per-tree sorted key arrays with their item lists.
+
+Loading reconstructs the signature matrices, signature registries, and
+forests directly from those buffers — no signature is recomputed, no tree is
+re-sorted — so a load costs array reshapes plus dictionary builds rather than
+re-derivation.  Older payloads (v2 pickled whole engine objects, whose layout
+this version abandons) are rejected with a clear :class:`PersistenceError`
+telling the caller to re-index.
+
+Pickle remains the container serialisation: the sections are plain data
+(numpy arrays, dataclasses, dictionaries of set representations) produced by
+this library itself.  Files should be treated like any other binary cache —
+do not load engines from untrusted sources.
 """
 
 from __future__ import annotations
 
 import pickle
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 from repro.core.discovery import D3L
+from repro.core.evidence import EvidenceType
 from repro.core.indexes import D3LIndexes
 
 PathLike = Union[str, Path]
 
 #: Current on-disk format version; bumped when the persisted layout changes.
-#: Version 2: vectorized LSH backend (sorted-array prefix trees, per-evidence
-#: signature matrices, cached sorted numeric extents).
-FORMAT_VERSION = 2
+#: Version 3: multi-section payloads storing signature matrices and forest
+#: key arrays as raw NumPy buffers (loads skip all re-derivation).
+#: Version 2 (whole-engine pickles) and older are rejected.
+FORMAT_VERSION = 3
 
 
 class PersistenceError(RuntimeError):
@@ -48,15 +67,101 @@ def _read(path: PathLike, expected_kind: str) -> dict:
     with path.open("rb") as handle:
         try:
             payload = pickle.load(handle)
-        except (pickle.UnpicklingError, EOFError) as error:
+        except (pickle.UnpicklingError, EOFError, AttributeError) as error:
             raise PersistenceError(f"cannot unpickle {path}: {error}") from error
     if not isinstance(payload, dict) or payload.get("kind") != expected_kind:
         raise PersistenceError(f"{path} does not contain a persisted {expected_kind}")
-    if payload.get("version") != FORMAT_VERSION:
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
         raise PersistenceError(
-            f"{path} uses format version {payload.get('version')}, expected {FORMAT_VERSION}"
+            f"{path} uses persisted format version {version}, expected {FORMAT_VERSION}; "
+            "versions before 3 pickled whole engine objects and cannot be migrated — "
+            "re-index the lake and save it again"
         )
+    if "sections" not in payload:
+        raise PersistenceError(f"{path} is missing the v{FORMAT_VERSION} payload sections")
     return payload
+
+
+# --------------------------------------------------------------------------- #
+# section (de)construction
+# --------------------------------------------------------------------------- #
+
+
+def _indexes_sections(indexes: D3LIndexes) -> Dict[str, object]:
+    """Explicit sections of one ``D3LIndexes``, with raw-array index state."""
+    evidence_sections = {}
+    for evidence in EvidenceType.indexed():
+        refs, matrix, flags = indexes._matrices[evidence].export_state()
+        evidence_sections[evidence.value] = {
+            "refs": refs,
+            "matrix": matrix,
+            "flags": flags,
+            "forest": indexes._forests[evidence].export_state(),
+        }
+    return {
+        "config": indexes.config,
+        "embedding_model": indexes.embedding_model,
+        "subject_classifier": indexes.subject_classifier,
+        "profiles": indexes.profiles,
+        "table_profiles": indexes.table_profiles,
+        "evidence": evidence_sections,
+    }
+
+
+def _restore_indexes(sections: Dict[str, object]) -> D3LIndexes:
+    """Rebuild a ``D3LIndexes`` from its sections without re-deriving anything."""
+    indexes = D3LIndexes(
+        config=sections["config"],
+        embedding_model=sections["embedding_model"],
+        subject_classifier=sections["subject_classifier"],
+    )
+    indexes.profiles = sections["profiles"]
+    indexes.table_profiles = sections["table_profiles"]
+    for evidence in EvidenceType.indexed():
+        section = sections["evidence"][evidence.value]
+        refs, matrix, flags = section["refs"], section["matrix"], section["flags"]
+        indexes._matrices[evidence].import_state(refs, matrix, flags)
+        stored = indexes._signatures[evidence]
+        signature_rows = {}
+        if evidence is EvidenceType.EMBEDDING:
+            for row, ref in enumerate(refs):
+                signature = indexes._projection_factory.from_bits(
+                    matrix[row], is_zero=bool(flags[row])
+                )
+                stored[ref] = signature
+                signature_rows[ref] = signature.bits
+        else:
+            for row, ref in enumerate(refs):
+                signature = indexes._minhash_factory.from_hashvalues(matrix[row])
+                stored[ref] = signature
+                signature_rows[ref] = signature.hashvalues
+        indexes._forests[evidence].import_state(section["forest"], signature_rows)
+    return indexes
+
+
+def _engine_sections(engine: D3L) -> Dict[str, object]:
+    return {
+        "weights": engine.weights,
+        "indexes": _indexes_sections(engine.indexes),
+    }
+
+
+def _restore_engine(sections: Dict[str, object]) -> D3L:
+    indexes = _restore_indexes(sections["indexes"])
+    engine = D3L(
+        config=indexes.config,
+        embedding_model=indexes.embedding_model,
+        weights=sections["weights"],
+        subject_classifier=indexes.subject_classifier,
+    )
+    engine.indexes = indexes
+    return engine
+
+
+# --------------------------------------------------------------------------- #
+# public API
+# --------------------------------------------------------------------------- #
 
 
 def save_engine(engine: D3L, path: PathLike) -> Path:
@@ -64,7 +169,7 @@ def save_engine(engine: D3L, path: PathLike) -> Path:
     payload = {
         "kind": "d3l_engine",
         "version": FORMAT_VERSION,
-        "engine": engine,
+        "sections": _engine_sections(engine),
     }
     return _write(payload, path)
 
@@ -72,10 +177,10 @@ def save_engine(engine: D3L, path: PathLike) -> Path:
 def load_engine(path: PathLike) -> D3L:
     """Load an engine previously saved with :func:`save_engine`."""
     payload = _read(path, "d3l_engine")
-    engine = payload["engine"]
-    if not isinstance(engine, D3L):
-        raise PersistenceError(f"{path} does not contain a D3L engine")
-    return engine
+    try:
+        return _restore_engine(payload["sections"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise PersistenceError(f"{path} holds a malformed engine payload: {error}") from error
 
 
 def save_indexes(indexes: D3LIndexes, path: PathLike) -> Path:
@@ -83,7 +188,7 @@ def save_indexes(indexes: D3LIndexes, path: PathLike) -> Path:
     payload = {
         "kind": "d3l_indexes",
         "version": FORMAT_VERSION,
-        "indexes": indexes,
+        "sections": _indexes_sections(indexes),
     }
     return _write(payload, path)
 
@@ -91,7 +196,7 @@ def save_indexes(indexes: D3LIndexes, path: PathLike) -> Path:
 def load_indexes(path: PathLike) -> D3LIndexes:
     """Load indexes previously saved with :func:`save_indexes`."""
     payload = _read(path, "d3l_indexes")
-    indexes = payload["indexes"]
-    if not isinstance(indexes, D3LIndexes):
-        raise PersistenceError(f"{path} does not contain D3L indexes")
-    return indexes
+    try:
+        return _restore_indexes(payload["sections"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise PersistenceError(f"{path} holds a malformed indexes payload: {error}") from error

@@ -119,8 +119,15 @@ class DataLake:
         return self.table(ref.table).column(ref.column)
 
     def attributes(self) -> Iterator[Tuple[AttributeRef, Column]]:
-        """Iterate over every (attribute reference, column) pair in the lake."""
-        for table in self._tables.values():
+        """Iterate over every (attribute reference, column) pair in the lake.
+
+        Tables are visited in sorted-name order (columns in table order) so
+        the enumeration is independent of lake insertion order — the same
+        stable ordering contract index construction uses (``add_lake`` and
+        ``parallel.partition_tables`` sort table names themselves).
+        """
+        for name in sorted(self._tables):
+            table = self._tables[name]
             for column in table.columns:
                 yield AttributeRef(table.name, column.name), column
 

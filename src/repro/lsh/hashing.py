@@ -13,7 +13,7 @@ Two ingredients are needed:
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
@@ -26,6 +26,18 @@ MAX_HASH = np.uint64((1 << 32) - 1)
 #: heavily across the columns of a lake, so a shared bounded cache turns most
 #: ``hash_tokens`` work into dictionary lookups.
 TOKEN_HASH_CACHE_LIMIT = 1 << 20
+
+#: Row granularity of the batched MinHash path: distinct hash values are
+#: permuted in slices of this many rows, and signatures are reduced in blocks
+#: of this many sets, so every transient stays a few hundred KB — small
+#: enough to live in L2 cache, which is where the batched path wins over one
+#: huge bandwidth-bound matrix pass.
+MINHASH_BATCH_BLOCK_ROWS = 256
+
+#: Below this many non-empty sets a batch falls back to the per-set path:
+#: the dedup + sort setup of the batched kernel only pays for itself once a
+#: batch spans enough columns to share vocabulary.
+MINHASH_BATCH_MIN_SETS = 32
 
 _token_hash_cache: Dict[int, Dict[str, int]] = {}
 
@@ -110,6 +122,83 @@ class HashFamily:
         if hashed_values.size == 0:
             return np.full(self.size, MAX_HASH, dtype=np.uint64)
         return self.permute(hashed_values).min(axis=0)
+
+    def minhash_values_batch(
+        self,
+        hashed_value_arrays: Sequence[np.ndarray],
+        block_rows: int = MINHASH_BATCH_BLOCK_ROWS,
+    ) -> np.ndarray:
+        """MinHash signatures of many token-hash sets in one shared pass.
+
+        Returns an array of shape ``(len(hashed_value_arrays), size)`` whose
+        row ``i`` equals ``minhash_values(hashed_value_arrays[i])`` bit for
+        bit.  Three exact transformations make the batch faster than one
+        :meth:`minhash_values` call per set:
+
+        * **sharing** — the sets of one table overlap heavily (q-gram,
+          token, and format vocabularies repeat across columns), so every
+          *distinct* hash value is permuted exactly once; ``(a * x + b) % p``
+          is by far the hot arithmetic;
+        * **narrowing** — permuted values are masked to 32 bits, so the
+          permutation table is stored as uint32 (half the memory traffic of
+          the scalar path's uint64 intermediates) and only the final
+          signature is widened back;
+        * **cache blocking** — values are permuted in ``block_rows`` slices
+          and signatures reduced over blocks of ``block_rows`` sets, sorted
+          by descending size, sweeping one value column at a time over the
+          still-active prefix (``minima[:active]``), so every transient
+          stays L2-resident instead of streaming one huge matrix.
+
+        Minimum over unsigned integers is associative and commutative and the
+        32-bit narrowing is lossless, so the result is the scalar one, bit
+        for bit — which ``tests/core/test_batched_indexing.py`` locks down.
+        """
+        count = len(hashed_value_arrays)
+        signatures = np.full((count, self.size), MAX_HASH, dtype=np.uint64)
+        arrays = []
+        populated = []
+        for index in range(count):
+            values = np.asarray(hashed_value_arrays[index], dtype=np.uint64)
+            if values.size:
+                arrays.append(values)
+                populated.append(index)
+        if not arrays:
+            return signatures
+        if len(arrays) < MINHASH_BATCH_MIN_SETS:
+            # Tiny batches (a narrow table) cannot amortise the dedup + sort
+            # setup; the per-set path is faster and trivially identical.
+            for index, values in zip(populated, arrays):
+                signatures[index] = self.minhash_values(values)
+            return signatures
+        sizes = np.fromiter((array.size for array in arrays), dtype=np.intp, count=len(arrays))
+        order = np.argsort(-sizes, kind="stable")
+        arrays = [arrays[position] for position in order]
+        positions = np.asarray(populated, dtype=np.intp)[order]
+        sizes = sizes[order]
+        unique, inverse = np.unique(np.concatenate(arrays), return_inverse=True)
+        permuted = np.empty((unique.size, self.size), dtype=np.uint32)
+        for start in range(0, unique.size, block_rows):
+            stop = min(start + block_rows, unique.size)
+            permuted[start:stop] = self.permute(unique[start:stop])
+        starts = np.zeros(len(arrays) + 1, dtype=np.intp)
+        np.cumsum(sizes, out=starts[1:])
+        for low in range(0, len(arrays), block_rows):
+            high = min(low + block_rows, len(arrays))
+            block_sizes = sizes[low:high]
+            longest = int(block_sizes[0])
+            padded = np.zeros((high - low, longest), dtype=np.intp)
+            padded[np.arange(longest) < block_sizes[:, None]] = inverse[
+                starts[low] : starts[high]
+            ]
+            columns = np.ascontiguousarray(padded.T)
+            minima = permuted[columns[0]].copy()
+            for depth in range(1, longest):
+                active = int(np.searchsorted(-block_sizes, -(depth + 1), side="right"))
+                np.minimum(
+                    minima[:active], permuted[columns[depth, :active]], out=minima[:active]
+                )
+            signatures[positions[low:high]] = minima
+        return signatures
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, HashFamily):

@@ -141,6 +141,36 @@ class _PrefixTree:
         if self._pending:
             self._rebuild()
 
+    def compact(self) -> None:
+        """Merge pending inserts and drop tombstones (sorted state, no dead rows)."""
+        if self._pending or self._dead:
+            self._rebuild()
+
+    def export_state(self) -> Tuple[np.ndarray, List[Hashable]]:
+        """``(keys, items)`` of the compacted tree, in sorted key order."""
+        self.compact()
+        return self._keys.copy(), list(self._items)
+
+    def import_state(self, keys: np.ndarray, items: List[Hashable]) -> None:
+        """Restore a state produced by :meth:`export_state` (replaces contents).
+
+        ``keys`` must already be in lexicographic order (as exported); the
+        rank keys are re-materialised from them, which is a cheap vectorized
+        byte view rather than a re-sort.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        if keys.ndim != 2 or keys.shape != (len(items), self.key_length):
+            raise ValueError(
+                f"inconsistent prefix-tree state: keys {keys.shape}, {len(items)} items"
+            )
+        self._keys = keys
+        self._ranks = self._rank_keys(keys)
+        self._items = list(items)
+        self._alive = np.ones(len(self._items), dtype=bool)
+        self._dead = 0
+        self._pending = []
+        self._row_of = {item: row for row, item in enumerate(self._items)}
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
@@ -301,6 +331,43 @@ class LSHForest:
     def keys(self) -> List[Hashable]:
         """All inserted keys."""
         return list(self._signatures)
+
+    def export_state(self) -> Dict[str, object]:
+        """Raw-array state of the forest, suitable for persistence.
+
+        Per-item signatures are deliberately *not* included: every D3L forest
+        shares them with the evidence type's signature matrix, so the caller
+        persists them once and passes them back to :meth:`import_state`.
+        """
+        trees = []
+        for tree in self._trees:
+            keys, items = tree.export_state()
+            trees.append({"keys": keys, "items": items})
+        return {
+            "num_hashes": self.num_hashes,
+            "num_trees": self.num_trees,
+            "seed": self.seed,
+            "trees": trees,
+        }
+
+    def import_state(
+        self, state: Dict[str, object], signatures: Dict[Hashable, np.ndarray]
+    ) -> None:
+        """Restore a state produced by :meth:`export_state` (replaces contents)."""
+        if (
+            state.get("num_hashes") != self.num_hashes
+            or state.get("num_trees") != self.num_trees
+        ):
+            raise ValueError(
+                "forest state was exported with a different (num_hashes, num_trees) "
+                f"configuration: {state.get('num_hashes')}, {state.get('num_trees')}"
+            )
+        trees = state["trees"]
+        if len(trees) != self.num_trees:
+            raise ValueError(f"expected {self.num_trees} tree states, got {len(trees)}")
+        self._signatures = dict(signatures)
+        for tree, tree_state in zip(self._trees, trees):
+            tree.import_state(tree_state["keys"], tree_state["items"])
 
     def estimated_bytes(self) -> int:
         """Approximate memory footprint (signatures plus tree entries)."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from functools import lru_cache
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -116,6 +116,47 @@ class RandomProjectionFactory:
         projections = hyperplanes @ array
         bits = (projections >= 0.0).astype(np.uint8)
         return RandomProjection(bits, self.num_bits, self.seed)
+
+    def from_vectors(self, vectors: Sequence[Sequence[float]]) -> List[RandomProjection]:
+        """Build the signatures of many dense vectors (table-level batch).
+
+        Signature ``i`` is bit-identical to ``from_vector(vectors[i])``.  The
+        zero checks and bit thresholding are batched; the projection itself
+        stays one matrix-vector product per vector because a batched
+        matrix-matrix product uses a different BLAS reduction order, and the
+        resulting last-ulp drift could flip a sign bit of a projection that
+        lands exactly on a hyperplane.
+        """
+        if not len(vectors):
+            return []
+        stacked = np.asarray(vectors, dtype=np.float64)
+        if stacked.ndim != 2:
+            raise ValueError("random projections expect a batch of 1-dimensional vectors")
+        hyperplanes = self._ensure_hyperplanes(stacked.shape[1])
+        # norm == 0.0 exactly when every component is zero, for any float norm.
+        zero = ~np.any(stacked, axis=1)
+        projections = np.zeros((stacked.shape[0], self.num_bits), dtype=np.float64)
+        for index in range(stacked.shape[0]):
+            if not zero[index]:
+                projections[index] = hyperplanes @ stacked[index]
+        bits = (projections >= 0.0).astype(np.uint8)
+        return [
+            RandomProjection(
+                np.zeros(self.num_bits, dtype=np.uint8), self.num_bits, self.seed, is_zero=True
+            )
+            if zero[index]
+            else RandomProjection(bits[index], self.num_bits, self.seed)
+            for index in range(stacked.shape[0])
+        ]
+
+    def from_bits(self, bits: np.ndarray, is_zero: bool = False) -> RandomProjection:
+        """Wrap an existing bit signature (e.g. loaded from disk)."""
+        array = np.asarray(bits, dtype=np.uint8)
+        if array.shape != (self.num_bits,):
+            raise ValueError(
+                f"expected signature of shape ({self.num_bits},), got {array.shape}"
+            )
+        return RandomProjection(array, self.num_bits, self.seed, is_zero=is_zero)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"RandomProjectionFactory(num_bits={self.num_bits}, seed={self.seed})"

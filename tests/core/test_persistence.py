@@ -1,12 +1,15 @@
-"""Tests for engine/index persistence."""
+"""Tests for engine/index persistence (v3 multi-section format)."""
 
 import pickle
 
+import numpy as np
 import pytest
 
 from repro.core.discovery import D3L
+from repro.core.evidence import EvidenceType
 from repro.core.indexes import D3LIndexes
 from repro.core.persistence import (
+    FORMAT_VERSION,
     PersistenceError,
     load_engine,
     load_indexes,
@@ -88,3 +91,99 @@ class TestErrorHandling:
             )
         with pytest.raises(PersistenceError):
             load_engine(path)
+
+    def test_v2_payload_rejected_with_clear_message(self, figure1_engine, tmp_path):
+        """v2 pickled whole engine objects; loading one must say so and how to recover."""
+        path = tmp_path / "v2.pkl"
+        with path.open("wb") as handle:
+            pickle.dump(
+                {"kind": "d3l_engine", "version": 2, "engine": figure1_engine}, handle
+            )
+        with pytest.raises(PersistenceError) as excinfo:
+            load_engine(path)
+        message = str(excinfo.value)
+        assert "version 2" in message
+        assert f"expected {FORMAT_VERSION}" in message
+        assert "re-index" in message
+
+    def test_v2_indexes_payload_rejected(self, figure1_engine, tmp_path):
+        path = tmp_path / "v2_indexes.pkl"
+        with path.open("wb") as handle:
+            pickle.dump(
+                {"kind": "d3l_indexes", "version": 2, "indexes": figure1_engine.indexes},
+                handle,
+            )
+        with pytest.raises(PersistenceError, match="version 2"):
+            load_indexes(path)
+
+    def test_current_version_without_sections_rejected(self, tmp_path):
+        path = tmp_path / "hollow.pkl"
+        with path.open("wb") as handle:
+            pickle.dump({"kind": "d3l_engine", "version": FORMAT_VERSION}, handle)
+        with pytest.raises(PersistenceError, match="sections"):
+            load_engine(path)
+
+
+class TestRawBufferRoundTrip:
+    """v3 regression: signature matrices and forest arrays survive byte for byte."""
+
+    def test_signature_matrices_byte_equal(self, figure1_engine, tmp_path):
+        path = save_engine(figure1_engine, tmp_path / "engine.pkl")
+        loaded = load_engine(path)
+        for evidence in EvidenceType.indexed():
+            refs, matrix, flags = figure1_engine.indexes._matrices[evidence].export_state()
+            loaded_refs, loaded_matrix, loaded_flags = loaded.indexes._matrices[
+                evidence
+            ].export_state()
+            assert refs == loaded_refs
+            assert matrix.dtype == loaded_matrix.dtype
+            assert matrix.tobytes() == loaded_matrix.tobytes()
+            assert flags.tobytes() == loaded_flags.tobytes()
+
+    def test_forest_arrays_byte_equal(self, figure1_engine, tmp_path):
+        path = save_indexes(figure1_engine.indexes, tmp_path / "indexes.pkl")
+        loaded = load_indexes(path)
+        for evidence in EvidenceType.indexed():
+            original = figure1_engine.indexes.forest(evidence).export_state()
+            restored = loaded.forest(evidence).export_state()
+            assert len(original["trees"]) == len(restored["trees"])
+            for tree_a, tree_b in zip(original["trees"], restored["trees"]):
+                assert tree_a["keys"].tobytes() == tree_b["keys"].tobytes()
+                assert tree_a["items"] == tree_b["items"]
+
+    def test_loaded_indexes_signatures_match_matrix_rows(self, figure1_engine, tmp_path):
+        path = save_indexes(figure1_engine.indexes, tmp_path / "indexes.pkl")
+        loaded = load_indexes(path)
+        for evidence in EvidenceType.indexed():
+            refs, matrix, flags = loaded._matrices[evidence].export_state()
+            for row, ref in enumerate(refs):
+                signature = loaded.signature(evidence, ref)
+                assert signature is not None
+                raw = (
+                    signature.bits
+                    if evidence is EvidenceType.EMBEDDING
+                    else signature.hashvalues
+                )
+                assert np.array_equal(raw, matrix[row])
+                assert np.array_equal(loaded.forest(evidence).signature(ref), matrix[row])
+
+    def test_round_trip_twice_is_stable(self, figure1_engine, tmp_path):
+        first = load_engine(save_engine(figure1_engine, tmp_path / "first.pkl"))
+        second = load_engine(save_engine(first, tmp_path / "second.pkl"))
+        for evidence in EvidenceType.indexed():
+            refs_a, matrix_a, flags_a = first.indexes._matrices[evidence].export_state()
+            refs_b, matrix_b, flags_b = second.indexes._matrices[evidence].export_state()
+            assert refs_a == refs_b
+            assert matrix_a.tobytes() == matrix_b.tobytes()
+            assert flags_a.tobytes() == flags_b.tobytes()
+
+    def test_loaded_engine_supports_incremental_updates(
+        self, figure1_engine, figure1_tables, tmp_path
+    ):
+        path = save_engine(figure1_engine, tmp_path / "engine.pkl")
+        loaded = load_engine(path)
+        victim = loaded.indexes.table_names[0]
+        assert loaded.remove_table(victim)
+        loaded.index_table(figure1_tables["target"])
+        result = loaded.query(figure1_tables["target"], k=2, exclude_self=True)
+        assert victim not in result.table_names(2)

@@ -78,6 +78,22 @@ class TestDataLake:
         assert AttributeRef("gp", "Practice") in refs
         assert len(refs) == lake.attribute_count == 4
 
+    def test_attributes_order_is_stable_under_insertion_order(self):
+        """Sharded index builds rely on a sorted, insertion-order-free enumeration."""
+        tables = [
+            Table.from_dict("zebra", {"Z1": ["a"], "Z2": ["b"]}),
+            Table.from_dict("alpha", {"A1": ["c"]}),
+            Table.from_dict("mango", {"M1": ["d"]}),
+        ]
+        forward = DataLake("forward", tables)
+        backward = DataLake("backward", list(reversed(tables)))
+        forward_refs = [ref for ref, _ in forward.attributes()]
+        backward_refs = [ref for ref, _ in backward.attributes()]
+        assert forward_refs == backward_refs
+        assert [ref.table for ref in forward_refs] == ["alpha", "mango", "zebra", "zebra"]
+        # Within a table, columns keep their table order (Z1 before Z2).
+        assert forward_refs[-2:] == [AttributeRef("zebra", "Z1"), AttributeRef("zebra", "Z2")]
+
     def test_estimated_bytes_positive(self, lake):
         assert lake.estimated_bytes() > 0
 
