@@ -20,6 +20,14 @@ An index-construction section additionally times
   sharded-vs-serial *equivalence* is locked down by
   ``tests/core/test_parallel_build.py`` rather than by this timing.
 
+A batched-query section times the full query engine — ``D3L.query`` (the
+sequential per-attribute oracle) vs ``D3L.query_batch`` (per-evidence
+sweeps, vectorized Algorithm 2 KS pass) — on pre-profiled targets over a
+mixed numeric/text lake, verifying identical full rankings before trusting
+the timings (tracked floor: >= 3x at 1000 attributes), and checks that the
+``workers=PARALLEL_WORKERS`` process fan-out answers exactly like
+``workers=1``.
+
 Run directly (writes ``BENCH_hot_paths.json`` at the repository root)::
 
     PYTHONPATH=src python benchmarks/bench_perf_hot_paths.py
@@ -70,6 +78,15 @@ COLUMNS_PER_TABLE = 8
 BATCHING_SPEEDUP_FLOOR = 3.0
 #: Tracked floor: vectorized top-k query speedup at 1000 attributes.
 QUERY_SPEEDUP_FLOOR = 5.0
+#: Tracked floor: batched query engine vs sequential per-attribute querying
+#: at 1000 attributes (rankings verified identical; sequential is the oracle).
+BATCHED_QUERY_SPEEDUP_FLOOR = 3.0
+#: Batched-query workload: answer size, candidate pool, table shape, targets.
+BATCH_QUERY_TOP_K = 25
+BATCH_QUERY_MIN_CANDIDATES = 300
+BATCH_QUERY_ROWS = 200
+BATCH_QUERY_NUMERIC_COLUMNS = 2
+BATCH_QUERY_TARGETS = 6
 
 RESULT_PATH = REPO_ROOT / "BENCH_hot_paths.json"
 
@@ -266,6 +283,106 @@ def _bench_end_to_end_construction(lake, config) -> Dict[str, object]:
     }
 
 
+def _mixed_query_lake(num_attributes: int, seed: int):
+    """A lake mixing family-correlated numeric columns with textual columns.
+
+    Shaped to stress the query fan-out the way the paper's lakes do: shared
+    attribute names link tables across the lake (so candidate pools are
+    large) and the numeric columns of a family share a distribution (so the
+    Algorithm 2 guard passes and the KS pass has real work per candidate).
+    """
+    from repro.lake.datalake import DataLake
+    from repro.tables.table import Table
+
+    rng = random.Random(seed)
+    numeric_names = ["amount", "price", "total", "score", "count", "rate"]
+    text_names = ["address", "venue", "location", "site", "region", "name"]
+    cities = ["belfast", "salford", "manchester", "bolton", "leeds", "york"]
+    streets = ["church", "chapel", "station", "victoria", "market", "mill", "park"]
+    tables = []
+    for table_index in range(max(1, num_attributes // COLUMNS_PER_TABLE)):
+        family = table_index % 7
+        columns = {}
+        for column_index in range(BATCH_QUERY_NUMERIC_COLUMNS):
+            columns[numeric_names[column_index]] = [
+                round(rng.gauss(10 * family + column_index, 3.0), 3)
+                for _ in range(BATCH_QUERY_ROWS)
+            ]
+        for column_index in range(COLUMNS_PER_TABLE - BATCH_QUERY_NUMERIC_COLUMNS):
+            columns[text_names[column_index]] = [
+                f"{rng.randrange(99)} {rng.choice(streets)} st {rng.choice(cities)}"
+                for _ in range(BATCH_QUERY_ROWS)
+            ]
+        tables.append(Table.from_dict(f"table{table_index:04d}", columns))
+    return DataLake(f"query_bench{num_attributes}", tables)
+
+
+def _rankings(answer) -> List[Tuple[str, float]]:
+    return [(result.table_name, result.distance) for result in answer.results]
+
+
+def _bench_batched_query(count: int, seed: int) -> Dict[str, object]:
+    """Sequential per-attribute querying (the oracle) vs the batched engine.
+
+    Both paths receive pre-profiled targets, so the timing isolates the
+    query fan-out: candidate collection, distance computation, the Algorithm
+    2 KS pass, Equation 2 weighting, and ranking.  Full rankings (names and
+    combined distances) are verified identical before any timing is trusted,
+    and the process-parallel fan-out (``workers=PARALLEL_WORKERS``) is
+    checked against ``workers=1`` the same way.
+    """
+    from repro.core.config import D3LConfig
+    from repro.core.discovery import D3L
+
+    lake = _mixed_query_lake(count, seed)
+    config = D3LConfig(
+        num_hashes=NUM_HASHES,
+        num_trees=NUM_TREES,
+        embedding_dimension=32,
+        min_candidates=BATCH_QUERY_MIN_CANDIDATES,
+    )
+    engine = D3L(config=config)
+    engine.index_lake(lake)
+    rng = random.Random(seed + 1)
+    target_names = rng.sample(
+        sorted(lake.table_names), k=min(BATCH_QUERY_TARGETS, len(lake))
+    )
+    profiles = [engine.profile_target(lake.table(name)) for name in target_names]
+
+    k = BATCH_QUERY_TOP_K
+    engine.query(profiles[0], k=k)
+    engine.query_batch(profiles[0], k=k)
+
+    start = time.perf_counter()
+    sequential = [engine.query(profile, k=k) for profile in profiles]
+    sequential_seconds = (time.perf_counter() - start) / len(profiles)
+    start = time.perf_counter()
+    batched = [engine.query_batch(profile, k=k) for profile in profiles]
+    batched_seconds = (time.perf_counter() - start) / len(profiles)
+
+    rankings_identical = all(
+        _rankings(first) == _rankings(second)
+        for first, second in zip(sequential, batched)
+    )
+    workers_identical = all(
+        _rankings(engine.query_batch(profile, k=k, workers=PARALLEL_WORKERS))
+        == _rankings(answer)
+        for profile, answer in zip(profiles[:2], batched[:2])
+    )
+    return {
+        "num_attributes": engine.indexes.attribute_count,
+        "num_targets": len(profiles),
+        "top_k": k,
+        "candidate_pool": config.candidate_pool_size(k),
+        "sequential_seconds_per_query": sequential_seconds,
+        "batched_seconds_per_query": batched_seconds,
+        "speedup": sequential_seconds / max(batched_seconds, 1e-12),
+        "rankings_identical": rankings_identical,
+        "parallel_workers": PARALLEL_WORKERS,
+        "workers_rankings_identical": workers_identical,
+    }
+
+
 def _bench_index_construction(count: int, seed: int) -> Dict[str, object]:
     """Signature batching plus end-to-end sharded construction on one lake."""
     from repro.core.config import D3LConfig
@@ -326,6 +443,7 @@ def bench_lake_size(count: int, seed: int = 7) -> Dict[str, object]:
         },
         "token_hashing": _bench_token_hashing(attributes, seed=3),
         "index_construction": _bench_index_construction(count, seed + 2),
+        "batched_query": _bench_batched_query(count, seed + 3),
         "rankings_identical": rankings_identical,
     }
 
@@ -354,15 +472,18 @@ def main() -> int:
         construction = entry["index_construction"]
         batching = construction["signature_batching"]
         end_to_end = construction["end_to_end"]
+        batched_query = entry["batched_query"]
         print(
             f"n={entry['num_attributes']:>5}  "
             f"index: {entry['index_seconds']['speedup']:.1f}x  "
             f"query: {entry['query_seconds_per_query']['speedup']:.1f}x  "
             f"sig-batch: {batching['speedup']:.1f}x  "
+            f"batch-query: {batched_query['speedup']:.1f}x  "
             f"e2e: {end_to_end['serial_attrs_per_second']:.0f} attrs/s serial, "
             f"{end_to_end['parallel_attrs_per_second']:.0f} attrs/s "
             f"x{end_to_end['parallel_workers']}  "
-            f"identical: {entry['rankings_identical'] and batching['signatures_identical']}"
+            f"identical: "
+            f"{entry['rankings_identical'] and batching['signatures_identical'] and batched_query['rankings_identical'] and batched_query['workers_rankings_identical']}"
         )
     print(f"wrote {RESULT_PATH}")
     failures = [
@@ -370,6 +491,8 @@ def main() -> int:
         for entry in payload["results"]
         if not entry["rankings_identical"]
         or not entry["index_construction"]["signature_batching"]["signatures_identical"]
+        or not entry["batched_query"]["rankings_identical"]
+        or not entry["batched_query"]["workers_rankings_identical"]
     ]
     largest = payload["results"][-1]
     batching_speedup = largest["index_construction"]["signature_batching"]["speedup"]
@@ -384,6 +507,13 @@ def main() -> int:
         print(
             f"FLOOR VIOLATION: query speedup {query_speedup:.1f}x "
             f"< {QUERY_SPEEDUP_FLOOR}x at {largest['num_attributes']} attributes"
+        )
+        failures.append(largest["num_attributes"])
+    batched_query_speedup = largest["batched_query"]["speedup"]
+    if batched_query_speedup < BATCHED_QUERY_SPEEDUP_FLOOR:
+        print(
+            f"FLOOR VIOLATION: batched query speedup {batched_query_speedup:.1f}x "
+            f"< {BATCHED_QUERY_SPEEDUP_FLOOR}x at {largest['num_attributes']} attributes"
         )
         failures.append(largest["num_attributes"])
     return 1 if failures else 0

@@ -1,0 +1,220 @@
+"""Benchmark smoke checks: fast guards over the perf-tracking contract.
+
+The full hot-path benchmark (``bench_perf_hot_paths.py``) takes minutes; its
+regressions used to surface only when someone ran it by hand.  This script is
+the piece small enough to wire into tier-1 (see
+``tests/integration/test_bench_smoke.py``): in ``--quick`` mode it
+
+* imports the tracked floors from ``bench_perf_hot_paths`` and checks they
+  are sane positive ratios,
+* validates that the committed ``BENCH_hot_paths.json`` parses and still has
+  the schema the benchmark writes (so a bench refactor cannot silently stop
+  recording a tracked series), and
+* builds a tiny lake and asserts the batched query engine answers exactly
+  like the sequential oracle — the equivalence the floors depend on —
+  including the bulk ``related_attributes`` path.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py --quick
+
+Exit status 0 means every check passed; failures are printed one per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+RESULT_PATH = REPO_ROOT / "BENCH_hot_paths.json"
+
+#: Required keys of the BENCH_hot_paths.json payload, by section.  Keeping
+#: this list in a tier-1-checked file makes the JSON schema part of the
+#: repository contract: removing a tracked series fails tests, not just the
+#: manual bench run.
+TOP_LEVEL_KEYS = ("benchmark", "generated_by", "config", "lake_sizes", "results")
+RESULT_KEYS = (
+    "num_attributes",
+    "num_queries",
+    "top_k",
+    "index_seconds",
+    "query_seconds_per_query",
+    "token_hashing",
+    "index_construction",
+    "batched_query",
+    "rankings_identical",
+)
+SPEEDUP_SECTION_KEYS = ("vectorized", "scalar", "speedup")
+SIGNATURE_BATCHING_KEYS = (
+    "num_attributes",
+    "scalar_seconds",
+    "batched_seconds",
+    "speedup",
+    "signatures_identical",
+)
+END_TO_END_KEYS = (
+    "num_tables",
+    "num_attributes",
+    "available_cpus",
+    "serial_seconds",
+    "parallel_seconds",
+    "parallel_workers",
+    "parallel_speedup",
+)
+BATCHED_QUERY_KEYS = (
+    "num_attributes",
+    "num_targets",
+    "top_k",
+    "candidate_pool",
+    "sequential_seconds_per_query",
+    "batched_seconds_per_query",
+    "speedup",
+    "rankings_identical",
+    "parallel_workers",
+    "workers_rankings_identical",
+)
+
+
+def validate_hot_paths_payload(payload: Dict[str, object]) -> List[str]:
+    """Problems with the structure of a ``BENCH_hot_paths.json`` payload."""
+    problems: List[str] = []
+    for key in TOP_LEVEL_KEYS:
+        if key not in payload:
+            problems.append(f"missing top-level key {key!r}")
+    results = payload.get("results")
+    if not isinstance(results, list) or not results:
+        problems.append("results must be a non-empty list")
+        return problems
+    for entry in results:
+        size = entry.get("num_attributes", "?")
+        for key in RESULT_KEYS:
+            if key not in entry:
+                problems.append(f"result n={size}: missing key {key!r}")
+        for section in ("index_seconds", "query_seconds_per_query"):
+            for key in SPEEDUP_SECTION_KEYS:
+                if key not in entry.get(section, {}):
+                    problems.append(f"result n={size}: {section} missing {key!r}")
+        construction = entry.get("index_construction", {})
+        for key in SIGNATURE_BATCHING_KEYS:
+            if key not in construction.get("signature_batching", {}):
+                problems.append(f"result n={size}: signature_batching missing {key!r}")
+        for key in END_TO_END_KEYS:
+            if key not in construction.get("end_to_end", {}):
+                problems.append(f"result n={size}: end_to_end missing {key!r}")
+        for key in BATCHED_QUERY_KEYS:
+            if key not in entry.get("batched_query", {}):
+                problems.append(f"result n={size}: batched_query missing {key!r}")
+    return problems
+
+
+def _check_floors() -> List[str]:
+    """The tracked floors import and are sane positive ratios."""
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        import bench_perf_hot_paths as hot_paths
+    except Exception as error:  # pragma: no cover - import failure is the finding
+        return [f"cannot import bench_perf_hot_paths: {error}"]
+    problems = []
+    for name in (
+        "BATCHING_SPEEDUP_FLOOR",
+        "QUERY_SPEEDUP_FLOOR",
+        "BATCHED_QUERY_SPEEDUP_FLOOR",
+    ):
+        floor = getattr(hot_paths, name, None)
+        if not isinstance(floor, (int, float)) or floor < 1.0:
+            problems.append(f"{name} should be a ratio >= 1.0, found {floor!r}")
+    return problems
+
+
+def _check_recorded_payload() -> List[str]:
+    """The committed benchmark JSON parses and keeps its schema."""
+    if not RESULT_PATH.exists():
+        return [f"{RESULT_PATH.name} not found at the repository root"]
+    try:
+        payload = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        return [f"{RESULT_PATH.name} is not valid JSON: {error}"]
+    return validate_hot_paths_payload(payload)
+
+
+def _check_tiny_lake_equivalence() -> List[str]:
+    """The batched engine equals the sequential oracle on a tiny lake."""
+    from repro.core.config import D3LConfig
+    from repro.core.discovery import D3L
+    from repro.datagen.synthetic_benchmark import (
+        SyntheticBenchmarkConfig,
+        generate_synthetic_benchmark,
+    )
+
+    corpus = generate_synthetic_benchmark(
+        SyntheticBenchmarkConfig(
+            num_base_tables=3,
+            tables_per_base=3,
+            base_rows=40,
+            min_rows=15,
+            max_rows=30,
+            seed=5,
+        )
+    )
+    engine = D3L(
+        config=D3LConfig(
+            num_hashes=64, num_trees=8, min_candidates=15, embedding_dimension=16
+        )
+    )
+    engine.index_lake(corpus.lake)
+    problems: List[str] = []
+    for name in corpus.lake.table_names[::2]:
+        target = corpus.lake.table(name)
+        sequential = engine.query(target, k=5)
+        batched = engine.query_batch(target, k=5)
+        if [(r.table_name, r.distance) for r in sequential.results] != [
+            (r.table_name, r.distance) for r in batched.results
+        ]:
+            problems.append(f"query_batch diverges from query on target {name!r}")
+    target = corpus.lake.tables[0]
+    bulk = engine.related_attributes_bulk(target, k=5)
+    for column in target.columns:
+        sequential = engine.related_attributes(target, column.name, k=5)
+        if [(r.ref, r.distance) for r in sequential] != [
+            (r.ref, r.distance) for r in bulk[column.name]
+        ]:
+            problems.append(
+                f"related_attributes_bulk diverges on {target.name}.{column.name}"
+            )
+    return problems
+
+
+def run_quick() -> List[str]:
+    """Every quick check; returns the list of problems found."""
+    problems = _check_floors()
+    problems += _check_recorded_payload()
+    problems += _check_tiny_lake_equivalence()
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Benchmark smoke checks")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the fast tier-1 checks (floors, JSON schema, tiny-lake "
+        "equivalence); currently the only mode",
+    )
+    parser.parse_args(argv)
+    problems = run_quick()
+    for problem in problems:
+        print(f"SMOKE FAILURE: {problem}")
+    if not problems:
+        print("benchmark smoke checks passed")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

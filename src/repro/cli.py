@@ -75,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--joins", action="store_true", help="also report SA-join paths")
     query.add_argument("--include-self", action="store_true",
                        help="keep a lake table with the target's name in the answer")
+    query.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the batched query fan-out "
+                            "across target attributes (1 = in-process)")
 
     return parser
 
@@ -141,9 +144,16 @@ def _command_index(args: argparse.Namespace) -> int:
 
 
 def _command_query(args: argparse.Namespace) -> int:
+    if args.workers <= 0:
+        print("--workers must be positive", file=sys.stderr)
+        return 1
     engine = load_engine(args.engine)
     target = read_csv(args.target)
-    answer = engine.query(target, k=args.k, exclude_self=not args.include_self)
+    # The batched engine produces rankings identical to the sequential path
+    # (its oracle) while scoring candidate pools in per-evidence sweeps.
+    answer = engine.query_batch(
+        target, k=args.k, exclude_self=not args.include_self, workers=args.workers
+    )
     rows: List[dict] = []
     for rank, result in enumerate(answer.top(), start=1):
         rows.append(

@@ -19,7 +19,9 @@ Querying proceeds exactly as the paper describes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from repro.core.aggregation import combined_distance, evidence_vector
 from repro.core.config import D3LConfig
@@ -30,10 +32,16 @@ from repro.core.profiles import AttributeMatch, AttributeProfile, TableProfile
 from repro.core.weights import EvidenceWeights
 from repro.lake.datalake import AttributeRef, DataLake
 from repro.ml.subject_attribute import SubjectAttributeClassifier
-from repro.stats.distributions import ccdf_weight
-from repro.stats.ks import ks_statistic_sorted
+from repro.stats.distributions import ccdf_weight, ccdf_weights_many
+from repro.stats.ks import ks_statistic_sorted, ks_statistic_sorted_many
 from repro.tables.table import Table
 from repro.text.embeddings import WordEmbeddingModel
+
+#: A query target: either a raw table (profiled on the fly) or a profile
+#: prepared earlier with :meth:`D3L.profile_target` — repeated queries against
+#: the same target (k sweeps, evidence ablations, sequential-vs-batched
+#: comparisons) skip re-profiling this way.
+QueryTarget = Union[Table, TableProfile]
 
 
 @dataclass
@@ -70,8 +78,15 @@ class QueryResult:
     results: List[TableResult]
 
     def top(self, k: Optional[int] = None) -> List[TableResult]:
-        """The ``k`` most related tables (default: the requested k)."""
+        """The ``k`` most related tables (default: the requested k).
+
+        ``k = 0`` yields an empty answer and any ``k`` beyond the ranking
+        yields the whole ranking; negative values are rejected rather than
+        silently truncating from the tail the way a raw slice would.
+        """
         k = self.requested_k if k is None else k
+        if k < 0:
+            raise ValueError("k must be non-negative")
         return self.results[:k]
 
     def table_names(self, k: Optional[int] = None) -> List[str]:
@@ -143,6 +158,11 @@ class D3L:
             subject_classifier=subject_classifier,
         )
         self._join_graph: Optional[SAJoinGraph] = None
+        # Lazily created query-fan-out executors, keyed by worker count.
+        # Each keeps a live worker pool holding a snapshot of the indexes,
+        # so repeated queries do not re-ship the index state; any lake
+        # mutation discards them (see _invalidate_query_executors).
+        self._query_executors: Dict[int, "ParallelQueryExecutor"] = {}
 
     # ------------------------------------------------------------------ #
     # indexing
@@ -156,18 +176,27 @@ class D3L:
         """
         self.indexes.add_lake(lake, workers=workers)
         self._join_graph = None
+        self._invalidate_query_executors()
 
     def index_table(self, table: Table) -> None:
         """Profile and index a single table."""
         self.indexes.add_table(table)
         self._join_graph = None
+        self._invalidate_query_executors()
 
     def remove_table(self, table_name: str) -> bool:
         """Remove a table from the indexes (incremental lake maintenance)."""
         removed = self.indexes.remove_table(table_name)
         if removed:
             self._join_graph = None
+            self._invalidate_query_executors()
         return removed
+
+    def _invalidate_query_executors(self) -> None:
+        """Discard fan-out worker pools holding a now-stale index snapshot."""
+        for executor in self._query_executors.values():
+            executor.close()
+        self._query_executors = {}
 
     @property
     def join_graph(self) -> SAJoinGraph:
@@ -183,9 +212,20 @@ class D3L:
     # ------------------------------------------------------------------ #
     # querying
     # ------------------------------------------------------------------ #
+    def profile_target(self, target: Table) -> TableProfile:
+        """Profile a query target once, for reuse across many queries.
+
+        The returned profile can be passed wherever :meth:`query`,
+        :meth:`query_batch` or :meth:`query_with_joins` accept a target, so
+        answer-size sweeps and sequential-vs-batched comparisons do not pay
+        the Algorithm 1 feature extraction repeatedly.  Nothing is inserted
+        into the indexes.
+        """
+        return self.indexes.profile_table(target)
+
     def query(
         self,
-        target: Table,
+        target: QueryTarget,
         k: int,
         evidence_types: Optional[Sequence[EvidenceType]] = None,
         exclude_self: bool = True,
@@ -198,46 +238,73 @@ class D3L:
         by default all five are used.  ``exclude_self`` removes the target's
         own lake entry from the answer, which is how the evaluation queries
         targets drawn from the lake.
-        """
-        if k <= 0:
-            raise ValueError("k must be positive")
-        active = tuple(evidence_types) if evidence_types else EvidenceType.all()
-        active_indexed = [evidence for evidence in active if evidence.is_indexed]
-        use_distribution = EvidenceType.DISTRIBUTION in active
-        ranking_weights = weights or (
-            self.weights
-            if evidence_types is None
-            else EvidenceWeights(
-                {evidence: (1.0 if evidence in active else 0.0) for evidence in EvidenceType.all()}
-            )
-        )
 
-        exclude_table = target.name if exclude_self else None
-        target_profile = self.indexes.profile_table(target)
+        This is the sequential per-attribute engine — each target attribute
+        fans out on its own and Algorithm 2 scores candidates pair by pair.
+        It is kept as the oracle for :meth:`query_batch`, which produces the
+        identical answer through batched sweeps.
+        """
+        target_profile, active_indexed, use_distribution, ranking_weights = (
+            self._prepare_query(target, k, evidence_types, weights)
+        )
+        exclude_table = target_profile.table_name if exclude_self else None
         pool = self.config.candidate_pool_size(k)
 
         matches = self._collect_matches(
             target_profile, active_indexed, use_distribution, pool, exclude_table
         )
-
-        results: List[TableResult] = []
-        for table_name, table_matches in matches.items():
-            vector = evidence_vector(table_matches)
-            distance = combined_distance(vector, ranking_weights)
-            results.append(
-                TableResult(
-                    table_name=table_name,
-                    distance=distance,
-                    evidence_distances=vector,
-                    matches=table_matches,
-                )
-            )
-        results.sort(key=lambda result: (result.distance, result.table_name))
         return QueryResult(
-            target_name=target.name,
-            target_arity=target.arity,
+            target_name=target_profile.table_name,
+            target_arity=target_profile.arity,
             requested_k=k,
-            results=results,
+            results=self._rank_tables(matches, ranking_weights),
+        )
+
+    def query_batch(
+        self,
+        target: QueryTarget,
+        k: int,
+        evidence_types: Optional[Sequence[EvidenceType]] = None,
+        exclude_self: bool = True,
+        weights: Optional[EvidenceWeights] = None,
+        workers: Optional[int] = None,
+    ) -> QueryResult:
+        """The batched query engine: :meth:`query`'s answer, computed in sweeps.
+
+        Every target attribute's forest candidates are collected in one pass,
+        distance computations are grouped by evidence type into single matrix
+        kernels (:meth:`~repro.core.indexes.D3LIndexes.multi_lookup` /
+        ``multi_batch_attribute_distances``), the Algorithm 2 KS loop runs as
+        one vectorized sweep per attribute over the candidates sharing its
+        cached sorted extent, and the Equation 2 weights are assigned per
+        candidate pool instead of per pair.  ``workers > 1`` additionally
+        fans the target attributes out across worker processes
+        (:class:`~repro.core.parallel.ParallelQueryExecutor`).
+
+        Rankings, scores, and tie order are identical to :meth:`query` by
+        construction: the same exact lookup tables score the signatures, the
+        same counts feed every CDF, and the same sort keys break ties — which
+        ``tests/core/test_batched_query.py`` locks down.
+        """
+        target_profile, active_indexed, use_distribution, ranking_weights = (
+            self._prepare_query(target, k, evidence_types, weights)
+        )
+        exclude_table = target_profile.table_name if exclude_self else None
+        pool = self.config.candidate_pool_size(k)
+
+        matches = self._collect_matches_batched(
+            target_profile,
+            active_indexed,
+            use_distribution,
+            pool,
+            exclude_table,
+            workers=workers,
+        )
+        return QueryResult(
+            target_name=target_profile.table_name,
+            target_arity=target_profile.arity,
+            requested_k=k,
+            results=self._rank_tables(matches, ranking_weights),
         )
 
     def query_with_joins(
@@ -332,9 +399,147 @@ class D3L:
         results.sort(key=lambda result: (result.distance, result.ref))
         return results[:k]
 
+    def related_attributes_bulk(
+        self,
+        target: Table,
+        attribute_names: Optional[Sequence[str]] = None,
+        k: int = 10,
+        exclude_self: bool = True,
+        weights: Optional[EvidenceWeights] = None,
+    ) -> Dict[str, List[AttributeSearchResult]]:
+        """Bulk :meth:`related_attributes`: many target attributes, one pass.
+
+        All requested attributes (default: every column of ``target``) are
+        profiled and signed together, their forest candidates are collected
+        through one multi-query lookup per evidence type, and the distance
+        columns of the whole group — including the KS distances of every
+        numeric attribute — are computed as per-evidence sweeps.  The entry
+        of each attribute equals ``related_attributes(target, name, ...)``
+        exactly (same refs, distances, scores, and tie order).
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        names = (
+            list(dict.fromkeys(attribute_names))
+            if attribute_names is not None
+            else [column.name for column in target.columns]
+        )
+        for name in names:
+            if not target.has_column(name):
+                raise KeyError(f"target {target.name!r} has no attribute {name!r}")
+        ranking_weights = weights or self.weights
+        exclude_table = target.name if exclude_self else None
+        pool = self.config.candidate_pool_size(k)
+
+        profiles = [
+            AttributeProfile.build(
+                target.name,
+                target.column(name),
+                self.indexes.embedding_model,
+                self.config,
+            )
+            for name in names
+        ]
+        signature_maps = _attribute_signature_maps(
+            self.indexes, target.name, list(zip(names, profiles))
+        )
+
+        candidate_sets: List[Set[AttributeRef]] = [set() for _ in names]
+        for evidence in EvidenceType.indexed():
+            per_query = self.indexes.multi_lookup(
+                evidence,
+                [signature_maps[name][evidence] for name in names],
+                k=pool,
+                exclude_table=exclude_table,
+            )
+            for candidates, pairs in zip(candidate_sets, per_query):
+                candidates.update(ref for ref, _ in pairs)
+
+        refs_per_attribute = [sorted(candidates) for candidates in candidate_sets]
+        distance_columns = {
+            evidence: self.indexes.multi_batch_attribute_distances(
+                evidence,
+                profiles,
+                refs_per_attribute,
+                signatures=(
+                    [signature_maps[name][evidence] for name in names]
+                    if evidence.is_indexed
+                    else None
+                ),
+            )
+            for evidence in EvidenceType.all()
+        }
+
+        answers: Dict[str, List[AttributeSearchResult]] = {}
+        for position, name in enumerate(names):
+            results: List[AttributeSearchResult] = []
+            for index, ref in enumerate(refs_per_attribute[position]):
+                distances = {
+                    evidence: float(distance_columns[evidence][position][index])
+                    for evidence in EvidenceType.all()
+                }
+                results.append(
+                    AttributeSearchResult(
+                        ref=ref,
+                        distances=distances,
+                        distance=combined_distance(distances, ranking_weights),
+                    )
+                )
+            results.sort(key=lambda result: (result.distance, result.ref))
+            answers[name] = results[:k]
+        return answers
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _prepare_query(
+        self,
+        target: QueryTarget,
+        k: int,
+        evidence_types: Optional[Sequence[EvidenceType]],
+        weights: Optional[EvidenceWeights],
+    ) -> Tuple[TableProfile, List[EvidenceType], bool, EvidenceWeights]:
+        """Shared query preamble: profile the target and resolve the setup."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        active = tuple(evidence_types) if evidence_types else EvidenceType.all()
+        active_indexed = [evidence for evidence in active if evidence.is_indexed]
+        use_distribution = EvidenceType.DISTRIBUTION in active
+        ranking_weights = weights or (
+            self.weights
+            if evidence_types is None
+            else EvidenceWeights(
+                {evidence: (1.0 if evidence in active else 0.0) for evidence in EvidenceType.all()}
+            )
+        )
+        target_profile = (
+            target
+            if isinstance(target, TableProfile)
+            else self.indexes.profile_table(target)
+        )
+        return target_profile, active_indexed, use_distribution, ranking_weights
+
+    def _rank_tables(
+        self,
+        matches: Dict[str, List[AttributeMatch]],
+        ranking_weights: EvidenceWeights,
+    ) -> List[TableResult]:
+        """Aggregate per-table matches (Eq. 1) and rank them (Eq. 3)."""
+        results: List[TableResult] = []
+        for table_name, table_matches in matches.items():
+            vector = evidence_vector(table_matches)
+            distance = combined_distance(vector, ranking_weights)
+            results.append(
+                TableResult(
+                    table_name=table_name,
+                    distance=distance,
+                    evidence_distances=vector,
+                    matches=table_matches,
+                )
+            )
+        results.sort(key=lambda result: (result.distance, result.table_name))
+        return results
+
     def _collect_matches(
         self,
         target_profile: TableProfile,
@@ -433,6 +638,69 @@ class D3L:
             table_name: list(matches.values()) for table_name, matches in per_table.items()
         }
 
+    def _collect_matches_batched(
+        self,
+        target_profile: TableProfile,
+        active_indexed: Sequence[EvidenceType],
+        use_distribution: bool,
+        pool: int,
+        exclude_table: Optional[str],
+        workers: Optional[int] = None,
+    ) -> Dict[str, List[AttributeMatch]]:
+        """Batched counterpart of :meth:`_collect_matches`.
+
+        Candidate collection and distance computation run as per-evidence
+        sweeps over every target attribute at once
+        (:func:`collect_attribute_candidate_distances`); ``workers > 1``
+        shards the target attributes across worker processes with the same
+        partition/merge discipline index construction uses.  The merge runs
+        in the target profile's attribute order — the order the sequential
+        engine iterates — so the resulting matches are identical.
+        """
+        subject_related_tables = self._subject_related_tables(
+            target_profile, pool, exclude_table
+        )
+        entries = list(target_profile.attributes.items())
+        if workers is not None and workers > 1:
+            from repro.core.parallel import ParallelQueryExecutor
+
+            executor = self._query_executors.get(workers)
+            if executor is None or executor.indexes is not self.indexes:
+                # The indexes object is only rebound on engine restore (when
+                # the cache is empty), but close any displaced executor so a
+                # rebind can never strand a live worker pool.
+                if executor is not None:
+                    executor.close()
+                executor = ParallelQueryExecutor(self.indexes, workers)
+                self._query_executors[workers] = executor
+            attribute_distances = executor.collect(
+                target_profile.table_name,
+                entries,
+                active_indexed=tuple(active_indexed),
+                use_distribution=use_distribution,
+                pool=pool,
+                exclude_table=exclude_table,
+                subject_related_tables=subject_related_tables,
+            )
+        else:
+            attribute_distances = collect_attribute_candidate_distances(
+                self.indexes,
+                target_profile.table_name,
+                entries,
+                active_indexed=tuple(active_indexed),
+                use_distribution=use_distribution,
+                pool=pool,
+                exclude_table=exclude_table,
+                subject_related_tables=subject_related_tables,
+            )
+
+        per_table: Dict[str, Dict[str, AttributeMatch]] = {}
+        for attribute_name, refs, columns in attribute_distances:
+            _merge_attribute_matches_batched(per_table, attribute_name, refs, columns)
+        return {
+            table_name: list(matches.values()) for table_name, matches in per_table.items()
+        }
+
     def _subject_related_tables(
         self,
         target_profile: TableProfile,
@@ -481,3 +749,222 @@ class D3L:
         if not guard:
             return 1.0
         return ks_statistic_sorted(attribute_profile.numeric_sorted, other.numeric_sorted)
+
+
+# --------------------------------------------------------------------------- #
+# batched candidate collection (shared by query_batch and its shard workers)
+# --------------------------------------------------------------------------- #
+
+
+def _attribute_signature_maps(
+    indexes: D3LIndexes,
+    table_name: str,
+    entries: Sequence[Tuple[str, AttributeProfile]],
+) -> Dict[str, Dict[EvidenceType, object]]:
+    """Per-evidence query signatures of many target attributes, batched.
+
+    Wraps the attributes in a synthetic :class:`TableProfile` so the
+    lake-construction batching (one MinHash pass per evidence type, one
+    projection pass) signs the whole group; values are bit-identical to
+    per-attribute ``signatures_for``.
+    """
+    pseudo = TableProfile(
+        table_name=table_name,
+        attributes=dict(entries),
+        subject_attribute=None,
+        arity=len(entries),
+        cardinality=0,
+    )
+    return indexes.batch_signatures([pseudo])[table_name]
+
+
+#: One batched attribute's collected candidates: ``(attribute name, sorted
+#: candidate refs, {evidence: distance column aligned with the refs})``.
+AttributeCandidates = Tuple[str, List[AttributeRef], Dict[EvidenceType, np.ndarray]]
+
+
+def collect_attribute_candidate_distances(
+    indexes: D3LIndexes,
+    table_name: str,
+    entries: Sequence[Tuple[str, AttributeProfile]],
+    active_indexed: Sequence[EvidenceType],
+    use_distribution: bool,
+    pool: int,
+    exclude_table: Optional[str],
+    subject_related_tables: Set[str],
+) -> List[AttributeCandidates]:
+    """Full candidate distance columns of many target attributes, batched.
+
+    The batched engine's per-attribute unit of work, and the function
+    :class:`~repro.core.parallel.ParallelQueryExecutor` ships to its shard
+    workers: signatures are computed in one batched pass, candidates are
+    retrieved with one multi-query lookup per active evidence type, the
+    signature-backed distance columns come from one row-aligned kernel per
+    evidence type, and Algorithm 2 runs as one KS sweep per numeric
+    attribute.  Distances stay in per-evidence NumPy columns — per-candidate
+    Python structures are deferred to the merge, which only materialises the
+    winning alignments.  Column values are identical to what the sequential
+    ``_collect_matches`` computes per attribute; attributes without
+    candidates are omitted, as the sequential loop omits them.
+    """
+    entries = list(entries)
+    if not entries:
+        return []
+    names = [name for name, _ in entries]
+    profiles = [profile for _, profile in entries]
+    signature_maps = _attribute_signature_maps(indexes, table_name, entries)
+    cutoff = indexes.threshold_distance()
+
+    candidate_sets: List[Set[AttributeRef]] = [set() for _ in entries]
+    # The Algorithm 2 guard consults the name/format lookups of *numeric*
+    # target attributes; every other (evidence, attribute) lookup only
+    # contributes its candidates to the union.
+    guard_lookups: List[Dict[EvidenceType, Dict[AttributeRef, float]]] = [
+        {} for _ in entries
+    ]
+    for evidence in active_indexed:
+        per_query = indexes.multi_lookup(
+            evidence,
+            [signature_maps[name][evidence] for name in names],
+            k=pool,
+            exclude_table=exclude_table,
+        )
+        keep_guard = use_distribution and evidence in (
+            EvidenceType.NAME,
+            EvidenceType.FORMAT,
+        )
+        for position, pairs in enumerate(per_query):
+            candidate_sets[position].update(ref for ref, _ in pairs)
+            if keep_guard and profiles[position].is_numeric:
+                guard_lookups[position][evidence] = dict(pairs)
+
+    refs_per_attribute = [sorted(candidates) for candidates in candidate_sets]
+    distance_columns = {
+        evidence: indexes.multi_batch_attribute_distances(
+            evidence,
+            profiles,
+            refs_per_attribute,
+            signatures=[signature_maps[name][evidence] for name in names],
+        )
+        for evidence in EvidenceType.indexed()
+    }
+
+    results: List[AttributeCandidates] = []
+    for position, (name, profile) in enumerate(entries):
+        refs = refs_per_attribute[position]
+        if not refs:
+            continue
+        columns = {
+            evidence: distance_columns[evidence][position]
+            for evidence in EvidenceType.indexed()
+        }
+        columns[EvidenceType.DISTRIBUTION] = (
+            _batched_distribution_distances(
+                indexes,
+                profile,
+                refs,
+                guard_lookups[position],
+                subject_related_tables,
+                cutoff,
+            )
+            if use_distribution
+            else np.ones(len(refs), dtype=np.float64)
+        )
+        results.append((name, refs, columns))
+    return results
+
+
+def _batched_distribution_distances(
+    indexes: D3LIndexes,
+    profile: AttributeProfile,
+    refs: Sequence[AttributeRef],
+    lookups: Mapping[EvidenceType, Mapping[AttributeRef, float]],
+    subject_related_tables: Set[str],
+    cutoff: float,
+) -> np.ndarray:
+    """Algorithm 2 for one target attribute as a single vectorized KS sweep.
+
+    Applies the same per-candidate guard as ``_distribution_distance`` (the
+    oracle), then evaluates every surviving candidate against the target's
+    cached sorted extent in one :func:`ks_statistic_sorted_many` call.
+    """
+    distances = np.ones(len(refs), dtype=np.float64)
+    if not profile.is_numeric:
+        return distances
+    name_lookup = lookups.get(EvidenceType.NAME, {})
+    format_lookup = lookups.get(EvidenceType.FORMAT, {})
+    positions: List[int] = []
+    extents: List[np.ndarray] = []
+    for position, ref in enumerate(refs):
+        other = indexes.profiles.get(ref)
+        if other is None or not other.is_numeric:
+            continue
+        guard = (
+            ref.table in subject_related_tables
+            or name_lookup.get(ref, 1.0) <= cutoff
+            or format_lookup.get(ref, 1.0) <= cutoff
+        )
+        if not guard:
+            continue
+        positions.append(position)
+        extents.append(other.numeric_sorted)
+    if positions:
+        distances[np.asarray(positions, dtype=np.intp)] = ks_statistic_sorted_many(
+            profile.numeric_sorted, extents
+        )
+    return distances
+
+
+def _merge_attribute_matches_batched(
+    per_table: Dict[str, Dict[str, AttributeMatch]],
+    attribute_name: str,
+    refs: Sequence[AttributeRef],
+    columns: Dict[EvidenceType, np.ndarray],
+) -> None:
+    """Fold one attribute's candidate distance columns into the alignments.
+
+    The batched counterpart of the merge inside ``_collect_matches``: the
+    Equation 2 populations are weighted per candidate pool with one sorted
+    pass per evidence type (:func:`ccdf_weights_many`, bit-identical to the
+    scalar ``ccdf_weight`` loop), the best-alignment rule scans the
+    candidates in the same sorted-ref order with the same strict-improvement
+    tie rule, and only the winning alignment of each source table is
+    materialised as an :class:`AttributeMatch` — losers never leave the
+    arrays.
+    """
+    weight_columns: Dict[EvidenceType, np.ndarray] = {}
+    means: Optional[np.ndarray] = None
+    for evidence in EvidenceType.all():
+        column = columns[evidence]
+        observed = column < 1.0
+        weights = ccdf_weights_many(column, column[observed])
+        weights[~observed] = 0.0
+        weight_columns[evidence] = weights
+        # Accumulating in EvidenceType.all() order reproduces the float
+        # addition sequence of AttributeMatch.mean_distance exactly.
+        means = column.copy() if means is None else means + column
+    means /= len(EvidenceType.all())
+
+    best: Dict[str, Tuple[float, int]] = {}
+    mean_list = means.tolist()
+    for index, ref in enumerate(refs):
+        mean = mean_list[index]
+        current = best.get(ref.table)
+        if current is None or mean < current[0]:
+            best[ref.table] = (mean, index)
+
+    for table, (_, index) in best.items():
+        ref = refs[index]
+        match = AttributeMatch(
+            target_attribute=attribute_name,
+            source=ref,
+            distances={
+                evidence: float(columns[evidence][index])
+                for evidence in EvidenceType.all()
+            },
+            weights={
+                evidence: float(weight_columns[evidence][index])
+                for evidence in EvidenceType.all()
+            },
+        )
+        per_table.setdefault(table, {})[attribute_name] = match

@@ -24,14 +24,20 @@ from repro.core.evidence import EvidenceType
 from repro.core.profiles import AttributeProfile, TableProfile
 from repro.lake.datalake import AttributeRef, DataLake
 from repro.lsh.lsh_forest import LSHForest
-from repro.lsh.minhash import MinHash, MinHashFactory, batch_jaccard_distances
+from repro.lsh.minhash import (
+    MinHash,
+    MinHashFactory,
+    batch_jaccard_distances,
+    pairwise_jaccard_distances,
+)
 from repro.lsh.random_projection import (
     RandomProjection,
     RandomProjectionFactory,
     batch_cosine_distances,
+    pairwise_cosine_distances,
 )
 from repro.ml.subject_attribute import SubjectAttributeClassifier, heuristic_subject_attribute
-from repro.stats.ks import ks_statistic_sorted
+from repro.stats.ks import ks_statistic_sorted, ks_statistic_sorted_many
 from repro.tables.table import Table
 from repro.text.embeddings import HashingSubwordEmbedding, WordEmbeddingModel
 
@@ -60,6 +66,7 @@ class SignatureMatrix:
         self._flags = np.empty(0, dtype=bool)
         self._refs: List[AttributeRef] = []
         self._row_of: Dict[AttributeRef, int] = {}
+        self._ref_ranks: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self._refs)
@@ -91,6 +98,7 @@ class SignatureMatrix:
         self._flags[count] = degenerate
         self._refs.append(ref)
         self._row_of[ref] = count
+        self._ref_ranks = None
 
     def add_batch(
         self, refs: Sequence[AttributeRef], values: np.ndarray, degenerate: np.ndarray
@@ -136,6 +144,7 @@ class SignatureMatrix:
             ref = refs[position]
             self._refs.append(ref)
             self._row_of[ref] = count + offset
+        self._ref_ranks = None
 
     def discard(self, ref: AttributeRef) -> None:
         """Remove the row of ``ref`` (no-op when absent), keeping rows packed."""
@@ -150,10 +159,27 @@ class SignatureMatrix:
             self._refs[row] = moved
             self._row_of[moved] = row
         self._refs.pop()
+        self._ref_ranks = None
 
     def gather(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Signature rows and degeneracy flags for ``rows``."""
         return self._matrix[rows], self._flags[rows]
+
+    def ref_ranks(self) -> np.ndarray:
+        """Rank of each row's ref in sorted-ref order (cached between mutations).
+
+        Because the rank is a strictly monotone function of the ref, sorting
+        candidate rows by ``(distance, rank)`` — one ``np.lexsort`` — yields
+        exactly the ``(distance, ref)`` tie order of the scalar lookup path
+        without any per-pair Python comparisons.
+        """
+        count = len(self._refs)
+        if self._ref_ranks is None or self._ref_ranks.shape[0] != count:
+            order = sorted(range(count), key=self._refs.__getitem__)
+            ranks = np.empty(count, dtype=np.intp)
+            ranks[order] = np.arange(count, dtype=np.intp)
+            self._ref_ranks = ranks
+        return self._ref_ranks
 
     def resolve(self, refs: Sequence[AttributeRef]) -> Tuple[List[int], List[int]]:
         """``(positions, rows)`` of the refs present in the registry."""
@@ -206,6 +232,7 @@ class SignatureMatrix:
         self._flags = flags
         self._refs = refs
         self._row_of = {ref: row for row, ref in enumerate(refs)}
+        self._ref_ranks = None
 
     def estimated_bytes(self) -> int:
         """Footprint of the populated rows plus the registry references."""
@@ -564,6 +591,174 @@ class D3LIndexes:
         )
         distances[np.asarray(positions, dtype=np.intp)] = stored_distances
         return distances
+
+    def multi_lookup(
+        self,
+        evidence: EvidenceType,
+        signatures: Sequence[Optional[Signature]],
+        k: int,
+        exclude_table: Optional[str] = None,
+        max_distance: Optional[float] = None,
+    ) -> List[List[Tuple[AttributeRef, float]]]:
+        """:meth:`lookup` for many query signatures of one evidence type.
+
+        Forest descents still happen per signature (each query has its own
+        prefix keys), but every retrieved candidate row of every query is
+        resolved against the :class:`SignatureMatrix` and scored in a single
+        gather plus one row-aligned distance kernel — the multi-query
+        batching the batched query engine fans out over.  Entry ``i`` of the
+        result equals ``lookup(evidence, ..., query_signatures={...})`` for
+        signature ``i`` exactly (same candidates, distances, and tie order);
+        ``None`` signatures yield empty answers.
+        """
+        if not evidence.is_indexed:
+            raise ValueError("distribution evidence has no LSH index to look up")
+        forest = self._forests[evidence]
+        matrix = self._matrices[evidence]
+        refs_per_query: List[List[AttributeRef]] = []
+        rows_per_query: List[List[int]] = []
+        for signature in signatures:
+            if signature is None:
+                refs_per_query.append([])
+                rows_per_query.append([])
+                continue
+            candidates = forest.query(_raw(signature), k)
+            if exclude_table is not None:
+                candidates = [ref for ref in candidates if ref.table != exclude_table]
+            positions, rows = matrix.resolve(candidates)
+            refs_per_query.append([candidates[position] for position in positions])
+            rows_per_query.append(rows)
+        distance_blocks = self._pairwise_signature_distances(
+            evidence, signatures, rows_per_query
+        )
+        ranks = matrix.ref_ranks()
+        results: List[List[Tuple[AttributeRef, float]]] = []
+        for refs, rows, distances in zip(
+            refs_per_query, rows_per_query, distance_blocks
+        ):
+            if not rows:
+                results.append([])
+                continue
+            row_ranks = ranks[np.asarray(rows, dtype=np.intp)]
+            if max_distance is not None:
+                keep = np.flatnonzero(distances <= max_distance)
+                distances = distances[keep]
+                row_ranks = row_ranks[keep]
+                refs = [refs[index] for index in keep.tolist()]
+            # (distance, ref rank) == (distance, ref): the scalar tie order,
+            # without per-pair Python comparisons.
+            order = np.lexsort((row_ranks, distances))[:k].tolist()
+            values = distances.tolist()
+            results.append([(refs[index], values[index]) for index in order])
+        return results
+
+    def multi_batch_attribute_distances(
+        self,
+        evidence: EvidenceType,
+        profiles: Sequence[AttributeProfile],
+        refs_per_profile: Sequence[Sequence[AttributeRef]],
+        signatures: Optional[Sequence[Optional[Signature]]] = None,
+    ) -> List[np.ndarray]:
+        """:meth:`batch_attribute_distances` for many query profiles at once.
+
+        Signature-backed evidence types gather every (profile, candidate)
+        pair's matrix row in one pass and score them with a single
+        row-aligned kernel call; the distribution type runs the Algorithm 2
+        KS loop of each profile as one vectorized sweep over the candidates
+        sharing its cached sorted extent
+        (:func:`~repro.stats.ks.ks_statistic_sorted_many`).  Entry ``i``
+        equals ``batch_attribute_distances(evidence, profiles[i],
+        refs_per_profile[i], ...)`` exactly.
+        """
+        profiles = list(profiles)
+        if evidence is EvidenceType.DISTRIBUTION:
+            outputs: List[np.ndarray] = []
+            for profile, refs in zip(profiles, refs_per_profile):
+                distances = np.ones(len(refs), dtype=np.float64)
+                if profile.is_numeric and len(refs):
+                    extents: List[np.ndarray] = []
+                    positions: List[int] = []
+                    for position, ref in enumerate(refs):
+                        other = self.profiles.get(ref)
+                        if other is None or not other.is_numeric:
+                            continue
+                        positions.append(position)
+                        extents.append(other.numeric_sorted)
+                    if positions:
+                        distances[np.asarray(positions, dtype=np.intp)] = (
+                            ks_statistic_sorted_many(profile.numeric_sorted, extents)
+                        )
+                outputs.append(distances)
+            return outputs
+        if signatures is None:
+            signatures = [self.signatures_for(profile)[evidence] for profile in profiles]
+        matrix = self._matrices[evidence]
+        outputs = [
+            np.ones(len(refs), dtype=np.float64) for refs in refs_per_profile
+        ]
+        positions_per_profile: List[List[int]] = []
+        rows_per_profile: List[List[int]] = []
+        for signature, refs in zip(signatures, refs_per_profile):
+            if signature is None:
+                positions_per_profile.append([])
+                rows_per_profile.append([])
+                continue
+            positions, rows = matrix.resolve(refs)
+            positions_per_profile.append(positions)
+            rows_per_profile.append(rows)
+        distance_blocks = self._pairwise_signature_distances(
+            evidence, signatures, rows_per_profile
+        )
+        for output, positions, distances in zip(
+            outputs, positions_per_profile, distance_blocks
+        ):
+            if positions:
+                output[np.asarray(positions, dtype=np.intp)] = distances
+        return outputs
+
+    def _pairwise_signature_distances(
+        self,
+        evidence: EvidenceType,
+        signatures: Sequence[Optional[Signature]],
+        rows_per_query: Sequence[Sequence[int]],
+    ) -> List[np.ndarray]:
+        """Distances of many (query signature, matrix row) pair groups.
+
+        All pair groups are concatenated and scored with one gather and one
+        row-aligned kernel call, then split back per query.  Values are
+        identical to one :meth:`_batch_signature_distances` call per query.
+        """
+        counts = [len(rows) for rows in rows_per_query]
+        total = sum(counts)
+        if total == 0:
+            return [np.empty(0, dtype=np.float64) for _ in counts]
+        all_rows = np.concatenate(
+            [np.asarray(rows, dtype=np.intp) for rows in rows_per_query if rows]
+        )
+        populated = [index for index, count in enumerate(counts) if count]
+        raws = np.vstack([_raw(signatures[index]) for index in populated])
+        degenerate_queries = np.array(
+            [_is_degenerate(signatures[index]) for index in populated], dtype=bool
+        )
+        group_sizes = [counts[index] for index in populated]
+        group_of_pair = np.repeat(np.arange(len(populated), dtype=np.intp), group_sizes)
+        queries = raws[group_of_pair]
+        query_flags = degenerate_queries[group_of_pair]
+        stored, degenerate_rows = self._matrices[evidence].gather(all_rows)
+        if evidence is EvidenceType.EMBEDDING:
+            flat = pairwise_cosine_distances(
+                queries, stored, query_zero=query_flags, zero_rows=degenerate_rows
+            )
+        else:
+            flat = pairwise_jaccard_distances(
+                queries, stored, query_empty=query_flags, empty_rows=degenerate_rows
+            )
+        blocks = [np.empty(0, dtype=np.float64) for _ in counts]
+        offset = 0
+        for index, size in zip(populated, group_sizes):
+            blocks[index] = flat[offset : offset + size]
+            offset += size
+        return blocks
 
     def _batch_signature_distances(
         self, evidence: EvidenceType, signature: Signature, rows: np.ndarray

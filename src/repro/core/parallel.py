@@ -1,9 +1,14 @@
-"""Sharded, multi-process index construction.
+"""Sharded, multi-process index construction and query fan-out.
 
 Figure 6a of the paper shows index construction dominating end-to-end cost:
 a deployment indexes the lake once and answers many queries afterwards.
 :class:`ParallelIndexBuilder` splits that one expensive pass across worker
-processes:
+processes; :class:`ParallelQueryExecutor` applies the same shard/merge
+discipline to the query side, fanning one target's attributes out across
+workers for the batched query engine
+(:meth:`~repro.core.discovery.D3L.query_batch`).
+
+:class:`ParallelIndexBuilder` works as follows:
 
 1. the lake's table names are sorted and dealt round-robin into one shard
    per worker (deterministic for a given lake and worker count);
@@ -24,8 +29,9 @@ locks down.
 
 from __future__ import annotations
 
+import weakref
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.lake.datalake import DataLake
 from repro.tables.table import Table
@@ -118,3 +124,140 @@ class ParallelIndexBuilder:
             table_profile, signatures = by_table[name]
             self.indexes.add_profiled_table(table_profile, signatures)
         return self.indexes
+
+
+#: One query shard worker's result: per target attribute, the sorted
+#: candidate refs plus the per-evidence distance columns aligned with them
+#: (``[(attribute name, refs, {evidence: column})]``).
+QueryShardResult = List[Tuple[str, List, Dict]]
+
+
+#: The query-worker process's resident copy of the indexes, pinned once by
+#: the pool initializer so repeated queries do not re-ship the (potentially
+#: very large) index state per query.
+_QUERY_WORKER_INDEXES: Optional["D3LIndexes"] = None
+
+
+def _init_query_worker(indexes: "D3LIndexes") -> None:
+    """Pool initializer: pin this worker process's copy of the indexes."""
+    global _QUERY_WORKER_INDEXES
+    _QUERY_WORKER_INDEXES = indexes
+
+
+def _collect_shard_candidate_distances(payload) -> QueryShardResult:
+    """Worker entry point: batched candidate collection for one shard.
+
+    ``payload`` is ``(table_name, entries, context)``: the target's name,
+    this shard's ``(attribute name, profile)`` pairs, and the shared query
+    context (active evidence, pool, exclusions, subject-related tables).
+    The indexes are the worker-resident copy installed by
+    :func:`_init_query_worker`; the worker runs exactly the same batched
+    sweeps the single-process engine runs on its shard.
+    """
+    table_name, entries, context = payload
+    from repro.core.discovery import collect_attribute_candidate_distances
+
+    return collect_attribute_candidate_distances(
+        _QUERY_WORKER_INDEXES, table_name, entries, **context
+    )
+
+
+class ParallelQueryExecutor:
+    """Fans one query's target attributes out across worker processes.
+
+    The sorted attribute names are dealt round-robin into one shard per
+    worker (:func:`partition_tables` — the partition is a pure function of
+    the attribute-name set), each worker collects its shard's candidate
+    distance vectors through the batched sweeps of
+    :func:`~repro.core.discovery.collect_attribute_candidate_distances`, and
+    the merge re-emits the results in the target profile's original
+    attribute order — the order the sequential engine iterates.  Because
+    every per-attribute result is a pure function of the (read-only) indexes
+    and the shared query context, ``workers=1`` and ``workers=N`` answers
+    are identical, which ``tests/core/test_parallel_query.py`` locks down.
+
+    The worker pool is created lazily on the first fanned-out query and
+    kept alive (with its resident copy of the indexes) for the executor's
+    lifetime, so a serving workload ships the index state to each worker
+    once rather than once per query.  The executor therefore snapshots the
+    indexes at pool creation: the owning engine must :meth:`close` it when
+    the lake changes (``D3L`` does).
+    """
+
+    def __init__(self, indexes: "D3LIndexes", workers: int) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.indexes = indexes
+        self.workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    def close(self) -> None:
+        """Shut the worker pool down (the executor can be reused afterwards)."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_query_worker,
+                initargs=(self.indexes,),
+            )
+            # Shut the pool down when the executor is dropped without an
+            # explicit close(), so abandoned engines do not leak worker
+            # processes or trip the interpreter-exit wakeup of
+            # concurrent.futures on an already-collected pipe.
+            self._finalizer = weakref.finalize(
+                self, ProcessPoolExecutor.shutdown, self._pool, False
+            )
+        return self._pool
+
+    def collect(
+        self,
+        table_name: str,
+        entries: Sequence[Tuple[str, object]],
+        **context,
+    ) -> QueryShardResult:
+        """Collect every attribute's candidate distances across the shards."""
+        entries = list(entries)
+        profile_of = dict(entries)
+        shards = [
+            names
+            for names in partition_tables([name for name, _ in entries], self.workers)
+            if names
+        ]
+        shard_entries = [
+            [(name, profile_of[name]) for name in names] for names in shards
+        ]
+        if len(shard_entries) <= 1:
+            from repro.core.discovery import collect_attribute_candidate_distances
+
+            shard_results = [
+                collect_attribute_candidate_distances(
+                    self.indexes, table_name, entries_for_shard, **context
+                )
+                for entries_for_shard in shard_entries
+            ]
+        else:
+            payloads = [
+                (table_name, entries_for_shard, context)
+                for entries_for_shard in shard_entries
+            ]
+            shard_results = list(
+                self._ensure_pool().map(_collect_shard_candidate_distances, payloads)
+            )
+        by_attribute = {
+            name: (refs, columns)
+            for result in shard_results
+            for name, refs, columns in result
+        }
+        return [
+            (name, *by_attribute[name])
+            for name, _ in entries
+            if name in by_attribute
+        ]

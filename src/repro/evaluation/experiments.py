@@ -419,12 +419,17 @@ def experiment_search_time(
     ks: Sequence[int],
     num_targets: int = 10,
     seed: int = 0,
+    query_workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Average per-query search time as the answer size grows.
 
     D3L and TUS are parameterised by k (every query is an index lookup task);
     Aurum's query model is not, so — as in the paper — its average search
     time is reported once per corpus (attached to every row for convenience).
+    D3L is additionally timed through its batched engine
+    (``d3l_batch_seconds``; rankings identical to the sequential timing);
+    ``query_workers > 1`` fans the batched queries out over that many worker
+    processes.
     """
     benchmark = suite.benchmark
     targets = benchmark.pick_targets(num_targets, seed=seed)
@@ -443,6 +448,10 @@ def experiment_search_time(
         for target in targets:
             suite.d3l.query(target, k=k)
         row["d3l_seconds"] = (time.perf_counter() - start) / max(len(targets), 1)
+        start = time.perf_counter()
+        for target in targets:
+            suite.d3l.query_batch(target, k=k, workers=query_workers)
+        row["d3l_batch_seconds"] = (time.perf_counter() - start) / max(len(targets), 1)
         if suite.tus is not None:
             start = time.perf_counter()
             for target in targets:

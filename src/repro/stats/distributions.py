@@ -72,3 +72,22 @@ def ccdf_weight(distance: float, population: Sequence[float]) -> float:
         return 1.0
     greater = sum(1 for v in values if v > distance)
     return greater / len(values)
+
+
+def ccdf_weights_many(
+    distances: Sequence[float], population: Sequence[float]
+) -> np.ndarray:
+    """Equation 2 weights of many observed distances at once.
+
+    Bit-identical to calling :func:`ccdf_weight` per distance — the count of
+    population members strictly greater than each distance becomes one sorted
+    ``searchsorted`` pass instead of a linear scan per call — which is what
+    lets the batched query engine weight whole candidate pools per sweep.
+    """
+    query = np.asarray(distances, dtype=np.float64)
+    size = len(population)
+    if size <= 1:
+        return np.ones(query.shape[0], dtype=np.float64)
+    ordered = np.sort(np.asarray(population, dtype=np.float64))
+    greater = size - np.searchsorted(ordered, query, side="right")
+    return greater / size

@@ -9,9 +9,20 @@ uniform distance space used by the framework.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
+
+#: Upper bound on the cells of the candidate-by-support histogram built by
+#: :func:`ks_statistic_sorted_many`; candidate batches whose histogram would
+#: exceed it are processed in blocks so memory stays bounded for very long
+#: query extents.
+_MANY_HISTOGRAM_CELL_BUDGET = 8_000_000
+#: Upper bound on the summed candidate-extent elements concatenated per
+#: block, bounding the flat arrays of the first pass the same way the cell
+#: budget bounds the histogram (very long *candidate* extents otherwise
+#: concatenate without limit when the query extent is short).
+_MANY_FLAT_ELEMENT_BUDGET = 8_000_000
 
 
 def ks_statistic(first: Sequence[float], second: Sequence[float]) -> float:
@@ -51,6 +62,108 @@ def ks_statistic_sorted(first_sorted: np.ndarray, second_sorted: np.ndarray) -> 
     cdf_a = np.searchsorted(a, pooled, side="right") / a.size
     cdf_b = np.searchsorted(b, pooled, side="right") / b.size
     return float(np.abs(cdf_a - cdf_b).max())
+
+
+def ks_statistic_sorted_many(
+    query_sorted: np.ndarray, candidates_sorted: Sequence[np.ndarray]
+) -> np.ndarray:
+    """KS statistics between one pre-sorted sample and many pre-sorted samples.
+
+    Algorithm 2 evaluates one target attribute against every candidate that
+    passed its guard; this is that whole loop as one vectorized sweep.  All
+    candidate extents are concatenated and both empirical CDFs are evaluated
+    over every pooled support point with a constant number of NumPy passes,
+    instead of one :func:`ks_statistic_sorted` call per pair.
+
+    Inputs follow the same contract as :func:`ks_statistic_sorted`: each
+    array is sorted, finite, float64 (``AttributeProfile.numeric_sorted``).
+    Returns one statistic per candidate — bit-identical to the looped scalar
+    path, because every CDF value is the same ``searchsorted`` count divided
+    by the same sample size and the supremum is taken over the same support
+    set.  Empty samples (either side) yield the maximal distance 1.0.
+    """
+    results = np.ones(len(candidates_sorted), dtype=np.float64)
+    a = np.asarray(query_sorted, dtype=np.float64)
+    if a.size == 0 or not len(candidates_sorted):
+        return results
+    sizes = np.array([np.asarray(c).shape[0] for c in candidates_sorted], dtype=np.intp)
+    populated = np.flatnonzero(sizes > 0)
+    if populated.size == 0:
+        return results
+    # Bound both passes' memory: each block holds at most
+    # _MANY_HISTOGRAM_CELL_BUDGET histogram cells (candidates x query
+    # support) and at most _MANY_FLAT_ELEMENT_BUDGET concatenated candidate
+    # elements, whichever limit bites first.
+    max_count = max(1, _MANY_HISTOGRAM_CELL_BUDGET // (a.size + 1))
+    for chunk in _blocks_within_budget(populated, sizes, max_count):
+        results[chunk] = _ks_sorted_many_block(
+            a, [np.asarray(candidates_sorted[i], dtype=np.float64) for i in chunk]
+        )
+    return results
+
+
+def _blocks_within_budget(
+    populated: np.ndarray, sizes: np.ndarray, max_count: int
+) -> List[np.ndarray]:
+    """Split the candidate indices into budget-respecting blocks, in order."""
+    blocks: List[np.ndarray] = []
+    start = 0
+    elements = 0
+    for position, index in enumerate(populated):
+        size = int(sizes[index])
+        over_elements = elements + size > _MANY_FLAT_ELEMENT_BUDGET and position > start
+        over_count = position - start >= max_count
+        if over_elements or over_count:
+            blocks.append(populated[start:position])
+            start = position
+            elements = 0
+        elements += size
+    blocks.append(populated[start:])
+    return blocks
+
+
+def _ks_sorted_many_block(a: np.ndarray, arrays: List[np.ndarray]) -> np.ndarray:
+    """The vectorized sweep over one block of non-empty candidate extents."""
+    m = a.size
+    sizes = np.array([b.shape[0] for b in arrays], dtype=np.intp)
+    flat = np.concatenate(arrays)
+    offsets = np.zeros(len(arrays) + 1, dtype=np.intp)
+    np.cumsum(sizes, out=offsets[1:])
+    segment_ids = np.repeat(np.arange(len(arrays), dtype=np.intp), sizes)
+
+    # Pass 1 — evaluate both CDFs at every candidate element.  F_a is one
+    # batched searchsorted; F_b at a sorted segment's own elements is the
+    # right-rank inside the segment, i.e. the index of the end of each
+    # equal-value run (computed with a reversed running minimum).
+    total = flat.shape[0]
+    cdf_a_at_b = np.searchsorted(a, flat, side="right") / m
+    is_run_end = np.empty(total, dtype=bool)
+    is_run_end[:-1] = (segment_ids[:-1] != segment_ids[1:]) | (flat[:-1] != flat[1:])
+    is_run_end[-1] = True
+    end_index = np.where(is_run_end, np.arange(total, dtype=np.intp), total)
+    run_end = np.minimum.accumulate(end_index[::-1])[::-1]
+    right_rank = run_end - offsets[segment_ids] + 1
+    cdf_b_at_b = right_rank / sizes[segment_ids]
+    sup_at_b = np.maximum.reduceat(np.abs(cdf_a_at_b - cdf_b_at_b), offsets[:-1])
+
+    # Pass 2 — evaluate both CDFs at every query element.  The count of a
+    # segment's elements <= a[j] is a cumulative histogram of each element's
+    # left insertion point into ``a`` (elements beyond every a[j] land in the
+    # overflow column and are dropped).
+    cdf_a_at_a = np.searchsorted(a, a, side="right") / m
+    left_rank = np.searchsorted(a, flat, side="left")
+    histogram = np.bincount(
+        segment_ids * (m + 1) + left_rank, minlength=len(arrays) * (m + 1)
+    ).reshape(len(arrays), m + 1)
+    # Exact: the counts are small integers, so accumulating the CDF in
+    # float64 and normalising in place loses nothing.
+    counts = np.cumsum(histogram[:, :m], axis=1, dtype=np.float64)
+    counts /= sizes[:, np.newaxis]
+    counts -= cdf_a_at_a[np.newaxis, :]
+    np.abs(counts, out=counts)
+    sup_at_a = counts.max(axis=1)
+
+    return np.maximum(sup_at_b, sup_at_a)
 
 
 def ks_distance(first: Sequence[float], second: Sequence[float]) -> float:

@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.core.discovery import D3L
+from repro.core.discovery import D3L, QueryResult, TableResult
 from repro.core.evidence import EvidenceType
 from repro.core.weights import EvidenceWeights
+from repro.lake.datalake import DataLake
 
 
 class TestFigure1Example:
@@ -102,6 +103,67 @@ class TestQueryOptions:
         assert answer.target_name == "gps_target"
         assert answer.target_arity == 5
         assert answer.requested_k == 2
+
+
+class TestResultSlicing:
+    """Edge cases of QueryResult.top / table_names: k=0, k>len, ties."""
+
+    @pytest.fixture(scope="class")
+    def answer(self, figure1_engine, figure1_tables):
+        return figure1_engine.query(figure1_tables["target"], k=2)
+
+    def test_top_zero_is_empty(self, answer):
+        assert answer.top(0) == []
+        assert answer.table_names(0) == []
+
+    def test_top_beyond_length_returns_whole_ranking(self, answer):
+        assert answer.top(len(answer.results) + 100) == answer.results
+        assert answer.table_names(len(answer.results) + 100) == [
+            result.table_name for result in answer.results
+        ]
+
+    def test_negative_k_rejected(self, answer):
+        with pytest.raises(ValueError):
+            answer.top(-1)
+        with pytest.raises(ValueError):
+            answer.table_names(-3)
+
+    def test_default_k_is_requested_k(self, answer):
+        assert len(answer.top()) == min(answer.requested_k, len(answer.results))
+
+    def test_score_ties_ordered_by_table_name(self):
+        # A hand-built ranking with tied scores must expose a deterministic,
+        # name-sorted order through top()/table_names().
+        tied = [
+            TableResult(table_name=name, distance=0.25, evidence_distances={}, matches=[])
+            for name in ("delta", "alpha", "charlie")
+        ]
+        tied.sort(key=lambda result: (result.distance, result.table_name))
+        answer = QueryResult(
+            target_name="t", target_arity=1, requested_k=3, results=tied
+        )
+        assert answer.table_names() == ["alpha", "charlie", "delta"]
+
+    def test_tied_duplicate_tables_rank_deterministically(
+        self, fast_config, figure1_tables
+    ):
+        # Two byte-identical lake tables produce identical distances; the
+        # ranking must break the tie by table name, on both query engines.
+        base = figure1_tables["sources"][0]
+        lake = DataLake(
+            "dupes", [base.with_name("zz_copy"), base.with_name("aa_copy")]
+        )
+        engine = D3L(config=fast_config)
+        engine.index_lake(lake)
+        for query in (engine.query, engine.query_batch):
+            answer = query(figure1_tables["target"], k=2)
+            tied = [
+                result.table_name
+                for result in answer.results
+                if result.distance == answer.results[0].distance
+            ]
+            assert tied == sorted(tied)
+            assert {"aa_copy", "zz_copy"} <= set(answer.table_names(2))
 
 
 class TestOnGeneratedCorpus:

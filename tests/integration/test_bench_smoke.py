@@ -1,0 +1,67 @@
+"""Tier-1 wiring of the benchmark smoke checks (``benchmarks/bench_smoke.py``).
+
+Benchmark regressions — a refactor dropping a tracked series from
+``BENCH_hot_paths.json``, a floor constant vanishing, the batched query
+engine diverging from its oracle — should fail the test suite, not wait for
+the next manual benchmark run.
+"""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SMOKE_PATH = REPO_ROOT / "benchmarks" / "bench_smoke.py"
+
+
+@pytest.fixture(scope="module")
+def bench_smoke():
+    spec = importlib.util.spec_from_file_location("bench_smoke", SMOKE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickMode:
+    def test_quick_mode_passes(self, bench_smoke):
+        assert bench_smoke.run_quick() == []
+
+    def test_cli_entry_point_passes(self):
+        result = subprocess.run(
+            [sys.executable, str(SMOKE_PATH), "--quick"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "passed" in result.stdout
+
+
+class TestSchemaValidation:
+    def test_recorded_payload_is_valid(self, bench_smoke):
+        payload = json.loads(
+            (REPO_ROOT / "BENCH_hot_paths.json").read_text(encoding="utf-8")
+        )
+        assert bench_smoke.validate_hot_paths_payload(payload) == []
+
+    def test_missing_tracked_series_is_detected(self, bench_smoke):
+        payload = json.loads(
+            (REPO_ROOT / "BENCH_hot_paths.json").read_text(encoding="utf-8")
+        )
+        del payload["results"][-1]["batched_query"]
+        problems = bench_smoke.validate_hot_paths_payload(payload)
+        assert any("batched_query" in problem for problem in problems)
+
+    def test_empty_results_are_detected(self, bench_smoke):
+        problems = bench_smoke.validate_hot_paths_payload(
+            {key: None for key in bench_smoke.TOP_LEVEL_KEYS} | {"results": []}
+        )
+        assert problems
+
+    def test_floors_are_tracked(self, bench_smoke):
+        assert bench_smoke._check_floors() == []

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.stats.distributions import EmpiricalDistribution, ccdf_weight
+from repro.stats.distributions import (
+    EmpiricalDistribution,
+    ccdf_weight,
+    ccdf_weights_many,
+)
 
 
 class TestEmpiricalDistribution:
@@ -69,3 +73,39 @@ class TestCcdfWeight:
         population = [0.1, 0.2, 0.3, 0.7, 0.95]
         for distance in population:
             assert 0.0 <= ccdf_weight(distance, population) <= 1.0
+
+
+class TestCcdfWeightsMany:
+    """The batched Equation 2 weights must be bit-identical to the scalar loop."""
+
+    def _oracle(self, distances, population):
+        return [ccdf_weight(distance, population) for distance in distances]
+
+    def test_randomized_batches_identical(self):
+        import random
+
+        rng = random.Random(17)
+        for _ in range(60):
+            population = [round(rng.random(), 3) for _ in range(rng.randrange(0, 40))]
+            distances = [round(rng.random(), 3) for _ in range(rng.randrange(0, 25))]
+            # Mix members of the population into the queried distances, as the
+            # discovery engine does (every observed distance is a member).
+            distances += rng.sample(population, k=min(5, len(population)))
+            batched = ccdf_weights_many(distances, population)
+            assert batched.tolist() == self._oracle(distances, population)
+
+    def test_empty_population_yields_ones(self):
+        assert ccdf_weights_many([0.1, 0.9], []).tolist() == [1.0, 1.0]
+
+    def test_singleton_population_yields_ones(self):
+        assert ccdf_weights_many([0.1, 0.9], [0.5]).tolist() == [1.0, 1.0]
+
+    def test_empty_distances(self):
+        assert ccdf_weights_many([], [0.1, 0.2]).shape == (0,)
+
+    def test_duplicates_and_extremes(self):
+        population = [0.2, 0.2, 0.2, 0.8]
+        distances = [0.0, 0.2, 0.5, 0.8, 1.0]
+        assert ccdf_weights_many(distances, population).tolist() == self._oracle(
+            distances, population
+        )
