@@ -28,6 +28,12 @@ the timings (tracked floor: >= 3x at 1000 attributes), and checks that the
 ``workers=PARALLEL_WORKERS`` process fan-out answers exactly like
 ``workers=1``.
 
+A session-cache section times repeated-target serving through
+:class:`~repro.core.api.DiscoverySession` against the uncached
+``query_batch`` path on raw tables: the cache-warm second sweep of the same
+targets skips re-profiling/re-signing and must beat the uncached path
+(tracked floor: >= 2x at 1000 attributes) with bit-identical rankings.
+
 Run directly (writes ``BENCH_hot_paths.json`` at the repository root)::
 
     PYTHONPATH=src python benchmarks/bench_perf_hot_paths.py
@@ -81,12 +87,22 @@ QUERY_SPEEDUP_FLOOR = 5.0
 #: Tracked floor: batched query engine vs sequential per-attribute querying
 #: at 1000 attributes (rankings verified identical; sequential is the oracle).
 BATCHED_QUERY_SPEEDUP_FLOOR = 3.0
+#: Tracked floor: repeated-target querying through DiscoverySession (cache-warm
+#: second sweep of the same targets) vs uncached query_batch on raw tables,
+#: at 1000 attributes.  The session memoizes each target's Algorithm 1 profile
+#: and query signatures, so the warm sweep skips re-profiling entirely.
+SESSION_CACHE_SPEEDUP_FLOOR = 2.0
 #: Batched-query workload: answer size, candidate pool, table shape, targets.
 BATCH_QUERY_TOP_K = 25
 BATCH_QUERY_MIN_CANDIDATES = 300
 BATCH_QUERY_ROWS = 200
 BATCH_QUERY_NUMERIC_COLUMNS = 2
 BATCH_QUERY_TARGETS = 6
+#: Rows per serving target in the session-cache benchmark.  Serving targets
+#: are user tables, not lake tables; their Algorithm 1 profiling cost scales
+#: with height while the per-query candidate work does not, so the session's
+#: profile cache is exercised at a realistic serving-table size.
+SESSION_TARGET_ROWS = 2000
 
 RESULT_PATH = REPO_ROOT / "BENCH_hot_paths.json"
 
@@ -383,6 +399,107 @@ def _bench_batched_query(count: int, seed: int) -> Dict[str, object]:
     }
 
 
+def _serving_targets(num_targets: int, seed: int):
+    """User-style serving targets: the lake's column vocabulary, more rows.
+
+    Shaped like the tables of :func:`_mixed_query_lake` (shared attribute
+    names, family-correlated numeric columns) but ``SESSION_TARGET_ROWS``
+    tall, the way analyst-supplied targets are: profiling cost grows with
+    height, candidate pools do not.
+    """
+    from repro.tables.table import Table
+
+    rng = random.Random(seed)
+    numeric_names = ["amount", "price", "total", "score", "count", "rate"]
+    text_names = ["address", "venue", "location", "site", "region", "name"]
+    cities = ["belfast", "salford", "manchester", "bolton", "leeds", "york"]
+    streets = ["church", "chapel", "station", "victoria", "market", "mill", "park"]
+    targets = []
+    for target_index in range(num_targets):
+        family = target_index % 7
+        columns = {}
+        for column_index in range(BATCH_QUERY_NUMERIC_COLUMNS):
+            columns[numeric_names[column_index]] = [
+                round(rng.gauss(10 * family + column_index, 3.0), 3)
+                for _ in range(SESSION_TARGET_ROWS)
+            ]
+        for column_index in range(COLUMNS_PER_TABLE - BATCH_QUERY_NUMERIC_COLUMNS):
+            columns[text_names[column_index]] = [
+                f"{rng.randrange(99)} {rng.choice(streets)} st {rng.choice(cities)}"
+                for _ in range(SESSION_TARGET_ROWS)
+            ]
+        targets.append(Table.from_dict(f"serving_target{target_index:02d}", columns))
+    return targets
+
+
+def _bench_session_cache(count: int, seed: int) -> Dict[str, object]:
+    """Repeated-target serving: DiscoverySession vs uncached ``query_batch``.
+
+    A serving tier answers the same targets over and over (dashboards,
+    answer-size sweeps, evidence ablations).  Serving-sized target tables
+    are queried through the deprecated uncached path — which re-profiles and
+    re-signs the target on every call — and through a
+    :class:`DiscoverySession`, twice; the second (cache-warm) sweep must
+    beat the uncached path by ``SESSION_CACHE_SPEEDUP_FLOOR`` and produce
+    bit-identical rankings.
+    """
+    import warnings
+
+    from repro.core.api import DiscoverySession, QueryRequest
+    from repro.core.config import D3LConfig
+    from repro.core.discovery import D3L
+
+    lake = _mixed_query_lake(count, seed)
+    config = D3LConfig(
+        num_hashes=NUM_HASHES,
+        num_trees=NUM_TREES,
+        embedding_dimension=32,
+        min_candidates=BATCH_QUERY_MIN_CANDIDATES,
+    )
+    engine = D3L(config=config)
+    engine.index_lake(lake)
+    targets = _serving_targets(BATCH_QUERY_TARGETS, seed + 1)
+    k = BATCH_QUERY_TOP_K
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        engine.query_batch(targets[0], k=k)  # warm code paths + token caches
+
+        start = time.perf_counter()
+        uncached = [engine.query_batch(target, k=k) for target in targets]
+        uncached_seconds = (time.perf_counter() - start) / len(targets)
+
+    session = DiscoverySession(engine)
+    start = time.perf_counter()
+    first = [session.submit(QueryRequest(target=target, k=k)) for target in targets]
+    first_seconds = (time.perf_counter() - start) / len(targets)
+    start = time.perf_counter()
+    second = [session.submit(QueryRequest(target=target, k=k)) for target in targets]
+    second_seconds = (time.perf_counter() - start) / len(targets)
+
+    identical = all(
+        _rankings(answer) == [(r.table_name, r.distance) for r in response.results]
+        for answer, response in zip(uncached, second)
+    ) and all(
+        [(r.table_name, r.distance) for r in cold.results]
+        == [(r.table_name, r.distance) for r in warm.results]
+        for cold, warm in zip(first, second)
+    )
+    cache = session.cache_info()
+    return {
+        "num_attributes": engine.indexes.attribute_count,
+        "num_targets": len(targets),
+        "top_k": k,
+        "uncached_seconds_per_query": uncached_seconds,
+        "session_cold_seconds_per_query": first_seconds,
+        "session_warm_seconds_per_query": second_seconds,
+        "cache_speedup": uncached_seconds / max(second_seconds, 1e-12),
+        "cache_hits": cache["hits"],
+        "cache_misses": cache["misses"],
+        "rankings_identical": identical,
+    }
+
+
 def _bench_index_construction(count: int, seed: int) -> Dict[str, object]:
     """Signature batching plus end-to-end sharded construction on one lake."""
     from repro.core.config import D3LConfig
@@ -444,6 +561,7 @@ def bench_lake_size(count: int, seed: int = 7) -> Dict[str, object]:
         "token_hashing": _bench_token_hashing(attributes, seed=3),
         "index_construction": _bench_index_construction(count, seed + 2),
         "batched_query": _bench_batched_query(count, seed + 3),
+        "session_cache": _bench_session_cache(count, seed + 4),
         "rankings_identical": rankings_identical,
     }
 
@@ -473,17 +591,19 @@ def main() -> int:
         batching = construction["signature_batching"]
         end_to_end = construction["end_to_end"]
         batched_query = entry["batched_query"]
+        session_cache = entry["session_cache"]
         print(
             f"n={entry['num_attributes']:>5}  "
             f"index: {entry['index_seconds']['speedup']:.1f}x  "
             f"query: {entry['query_seconds_per_query']['speedup']:.1f}x  "
             f"sig-batch: {batching['speedup']:.1f}x  "
             f"batch-query: {batched_query['speedup']:.1f}x  "
+            f"session-cache: {session_cache['cache_speedup']:.1f}x  "
             f"e2e: {end_to_end['serial_attrs_per_second']:.0f} attrs/s serial, "
             f"{end_to_end['parallel_attrs_per_second']:.0f} attrs/s "
             f"x{end_to_end['parallel_workers']}  "
             f"identical: "
-            f"{entry['rankings_identical'] and batching['signatures_identical'] and batched_query['rankings_identical'] and batched_query['workers_rankings_identical']}"
+            f"{entry['rankings_identical'] and batching['signatures_identical'] and batched_query['rankings_identical'] and batched_query['workers_rankings_identical'] and session_cache['rankings_identical']}"
         )
     print(f"wrote {RESULT_PATH}")
     failures = [
@@ -493,6 +613,7 @@ def main() -> int:
         or not entry["index_construction"]["signature_batching"]["signatures_identical"]
         or not entry["batched_query"]["rankings_identical"]
         or not entry["batched_query"]["workers_rankings_identical"]
+        or not entry["session_cache"]["rankings_identical"]
     ]
     largest = payload["results"][-1]
     batching_speedup = largest["index_construction"]["signature_batching"]["speedup"]
@@ -514,6 +635,13 @@ def main() -> int:
         print(
             f"FLOOR VIOLATION: batched query speedup {batched_query_speedup:.1f}x "
             f"< {BATCHED_QUERY_SPEEDUP_FLOOR}x at {largest['num_attributes']} attributes"
+        )
+        failures.append(largest["num_attributes"])
+    session_speedup = largest["session_cache"]["cache_speedup"]
+    if session_speedup < SESSION_CACHE_SPEEDUP_FLOOR:
+        print(
+            f"FLOOR VIOLATION: session cache speedup {session_speedup:.1f}x "
+            f"< {SESSION_CACHE_SPEEDUP_FLOOR}x at {largest['num_attributes']} attributes"
         )
         failures.append(largest["num_attributes"])
     return 1 if failures else 0

@@ -12,7 +12,10 @@ the piece small enough to wire into tier-1 (see
   recording a tracked series), and
 * builds a tiny lake and asserts the batched query engine answers exactly
   like the sequential oracle — the equivalence the floors depend on —
-  including the bulk ``related_attributes`` path.
+  including the bulk ``related_attributes`` path, and
+* exercises the serving API on the same lake: ``DiscoverySession`` answers
+  must match the deprecated shims and the oracle, and ``QueryResponse``
+  must survive a ``to_dict`` → JSON → ``from_dict`` round trip losslessly.
 
 Run directly::
 
@@ -49,6 +52,7 @@ RESULT_KEYS = (
     "token_hashing",
     "index_construction",
     "batched_query",
+    "session_cache",
     "rankings_identical",
 )
 SPEEDUP_SECTION_KEYS = ("vectorized", "scalar", "speedup")
@@ -79,6 +83,18 @@ BATCHED_QUERY_KEYS = (
     "rankings_identical",
     "parallel_workers",
     "workers_rankings_identical",
+)
+SESSION_CACHE_KEYS = (
+    "num_attributes",
+    "num_targets",
+    "top_k",
+    "uncached_seconds_per_query",
+    "session_cold_seconds_per_query",
+    "session_warm_seconds_per_query",
+    "cache_speedup",
+    "cache_hits",
+    "cache_misses",
+    "rankings_identical",
 )
 
 
@@ -111,6 +127,9 @@ def validate_hot_paths_payload(payload: Dict[str, object]) -> List[str]:
         for key in BATCHED_QUERY_KEYS:
             if key not in entry.get("batched_query", {}):
                 problems.append(f"result n={size}: batched_query missing {key!r}")
+        for key in SESSION_CACHE_KEYS:
+            if key not in entry.get("session_cache", {}):
+                problems.append(f"result n={size}: session_cache missing {key!r}")
     return problems
 
 
@@ -126,6 +145,7 @@ def _check_floors() -> List[str]:
         "BATCHING_SPEEDUP_FLOOR",
         "QUERY_SPEEDUP_FLOOR",
         "BATCHED_QUERY_SPEEDUP_FLOOR",
+        "SESSION_CACHE_SPEEDUP_FLOOR",
     ):
         floor = getattr(hot_paths, name, None)
         if not isinstance(floor, (int, float)) or floor < 1.0:
@@ -144,8 +164,8 @@ def _check_recorded_payload() -> List[str]:
     return validate_hot_paths_payload(payload)
 
 
-def _check_tiny_lake_equivalence() -> List[str]:
-    """The batched engine equals the sequential oracle on a tiny lake."""
+def _tiny_engine():
+    """A tiny indexed corpus/engine pair shared by the quick checks."""
     from repro.core.config import D3LConfig
     from repro.core.discovery import D3L
     from repro.datagen.synthetic_benchmark import (
@@ -169,6 +189,11 @@ def _check_tiny_lake_equivalence() -> List[str]:
         )
     )
     engine.index_lake(corpus.lake)
+    return corpus, engine
+
+
+def _check_tiny_lake_equivalence(corpus, engine) -> List[str]:
+    """The batched engine equals the sequential oracle on a tiny lake."""
     problems: List[str] = []
     for name in corpus.lake.table_names[::2]:
         target = corpus.lake.table(name)
@@ -191,11 +216,64 @@ def _check_tiny_lake_equivalence() -> List[str]:
     return problems
 
 
+def _check_api_roundtrip(corpus, engine) -> List[str]:
+    """The serving API: shim-vs-session equivalence + lossless JSON wire format.
+
+    Guards the QueryRequest/QueryResponse protocol contract at tier-1 speed:
+    a DiscoverySession must answer exactly like the deprecated shims (which
+    share its planner) and the sequential oracle, and ``to_dict`` →
+    ``json`` → ``from_dict`` must reproduce the response exactly.
+    """
+    from repro.core.api import DiscoverySession, QueryRequest, QueryResponse
+
+    problems: List[str] = []
+    session = DiscoverySession(engine)
+    target = corpus.lake.tables[1]
+    for explain in (False, True):
+        response = session.submit(QueryRequest(target=target, k=5, explain=explain))
+        wire = json.loads(json.dumps(response.to_dict()))
+        restored = QueryResponse.from_dict(wire)
+        if restored != response:
+            problems.append(
+                f"QueryResponse JSON round trip is lossy (explain={explain})"
+            )
+        if restored.to_dict() != response.to_dict():
+            problems.append(
+                f"QueryResponse re-serialisation diverges (explain={explain})"
+            )
+    response = session.submit(QueryRequest(target=target, k=5))
+    shim = engine.query_batch(target, k=5)
+    oracle = engine.query(target, k=5)
+    session_ranking = [(r.table_name, r.distance) for r in response.results]
+    if session_ranking != [(r.table_name, r.distance) for r in shim.results]:
+        problems.append("DiscoverySession diverges from the query_batch shim")
+    if session_ranking != [(r.table_name, r.distance) for r in oracle.results]:
+        problems.append("DiscoverySession diverges from the sequential oracle")
+    attr_response = session.related_attributes(target, k=5, explain=True)
+    wire = json.loads(json.dumps(attr_response.to_dict()))
+    if QueryResponse.from_dict(wire) != attr_response:
+        problems.append("attribute-level QueryResponse JSON round trip is lossy")
+    bulk = engine.related_attributes_bulk(target, k=5)
+    for name, entries in bulk.items():
+        rankings = attr_response.attribute_results.get(name, [])
+        if [(entry.ref, entry.distance) for entry in entries] != [
+            (entry.source, entry.distance) for entry in rankings
+        ]:
+            problems.append(f"session attribute ranking diverges on {name!r}")
+    return problems
+
+
 def run_quick() -> List[str]:
     """Every quick check; returns the list of problems found."""
+    import warnings
+
     problems = _check_floors()
     problems += _check_recorded_payload()
-    problems += _check_tiny_lake_equivalence()
+    corpus, engine = _tiny_engine()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        problems += _check_tiny_lake_equivalence(corpus, engine)
+        problems += _check_api_roundtrip(corpus, engine)
     return problems
 
 

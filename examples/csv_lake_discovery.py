@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import sys
 import tempfile
+import warnings
 from pathlib import Path
 
-from repro import D3L, D3LConfig, DataLake, Table
+from repro import D3L, D3LConfig, DataLake, DiscoverySession, QueryRequest, Table
 from repro.datagen.real_benchmark import RealBenchmarkConfig, generate_real_benchmark
 
 
@@ -68,7 +69,10 @@ def main() -> None:
     print("Index sizes (bytes):", engine.indexes.index_bytes())
 
     target = build_target()
-    answer = engine.query(target, k=5, exclude_self=False)
+    session = DiscoverySession(engine)
+    answer = session.submit(
+        QueryRequest(target=target, k=5, exclude_self=False, explain=True)
+    )
     print(f"\nTop datasets related to '{target.name}':")
     for rank, result in enumerate(answer.top(), start=1):
         covered = ", ".join(sorted(result.covered_target_attributes()))
@@ -76,6 +80,20 @@ def main() -> None:
             f"  {rank}. {result.table_name:<35s} distance={result.distance:.3f} "
             f"covers: {covered}"
         )
+
+    # Repeated requests hit the session's profile cache; the deprecated
+    # query_batch shim must still produce the identical ranking.
+    repeat = session.submit(
+        QueryRequest(target=target, k=5, exclude_self=False, explain=True)
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = engine.query_batch(target, k=5, exclude_self=False)
+    assert [(entry.table_name, entry.distance) for entry in legacy.results] == [
+        (entry.table_name, entry.distance) for entry in repeat.results
+    ], "deprecated D3L.query_batch diverged from the DiscoverySession answer"
+    info = session.cache_info()
+    print(f"\nSession cache: {info['hits']} hits / {info['misses']} misses")
 
 
 if __name__ == "__main__":

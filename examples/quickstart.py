@@ -13,7 +13,9 @@ Run with::
 
 from __future__ import annotations
 
-from repro import D3L, D3LConfig, DataLake, Table
+import warnings
+
+from repro import D3L, D3LConfig, DataLake, DiscoverySession, QueryRequest, Table
 
 
 def build_lake() -> DataLake:
@@ -72,7 +74,11 @@ def main() -> None:
     print(f"Lake: {len(lake)} tables, {lake.attribute_count} attributes")
     print(f"Target: {target.name} with attributes {target.column_names}\n")
 
-    answer = engine.query(target, k=2)
+    # The serving API: submit an explicit request through a session (which
+    # caches the target's profile across repeated queries) and read the
+    # machine-readable response, including the per-evidence decomposition.
+    session = DiscoverySession(engine)
+    answer = session.submit(QueryRequest(target=target, k=2, explain=True))
     print("Top related datasets (ascending combined distance):")
     for rank, result in enumerate(answer.top(), start=1):
         evidence = ", ".join(
@@ -85,6 +91,15 @@ def main() -> None:
                 f"       {match.target_attribute:<10s} <- {match.source}"
                 f"  (best evidence: {match.best_evidence().value})"
             )
+
+    # The deprecated shim produces the identical ranking (it funnels through
+    # the same planner); keep the assertion so the example doubles as a check.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = engine.query(target, k=2)
+    assert [(entry.table_name, entry.distance) for entry in legacy.results] == [
+        (entry.table_name, entry.distance) for entry in answer.results
+    ], "deprecated D3L.query diverged from the DiscoverySession answer"
 
     augmented = engine.query_with_joins(target, k=2)
     print("\nJoin paths from the top-k into the rest of the lake:")

@@ -19,6 +19,7 @@ Run with::
 
 from __future__ import annotations
 
+from repro.core.api import DiscoverySession, QueryRequest
 from repro.core.config import D3LConfig
 from repro.datagen.real_benchmark import RealBenchmarkConfig, generate_real_benchmark
 from repro.evaluation.experiments import build_engine_suite
@@ -55,7 +56,8 @@ def main() -> None:
     target = corpus.pick_targets(1, seed=5)[0]
     k = 5
     print(f"\nTarget: {target.name}  (attributes: {target.column_names})")
-    answer = engine.query(target, k=k)
+    session = DiscoverySession(engine)
+    answer = session.submit(QueryRequest(target=target, k=k, explain=True))
 
     precision, recall = precision_recall_at_k(answer, corpus.ground_truth, target.name, k)
     print(f"\nTop-{k} related datasets (precision={precision:.2f}, recall={recall:.2f}):")

@@ -7,21 +7,29 @@ every table and figure of the paper.
 
 Quickstart::
 
-    from repro import D3L, DataLake
+    from repro import D3L, DataLake, DiscoverySession, QueryRequest
 
     lake = DataLake("my-lake", tables)
     engine = D3L()
     engine.index_lake(lake)
-    answer = engine.query(target_table, k=10)
+    session = DiscoverySession(engine)
+    answer = session.submit(QueryRequest(target=target_table, k=10))
     for entry in answer.top():
         print(entry.table_name, entry.distance)
 """
 
+from repro.core.api import (
+    AttributeRanking,
+    DiscoverySession,
+    QueryRequest,
+    QueryResponse,
+    TableRanking,
+)
 from repro.core.config import D3LConfig
 from repro.core.discovery import D3L, JoinAugmentedResult, QueryResult, TableResult
 from repro.core.evidence import EvidenceType
 from repro.core.indexes import D3LIndexes
-from repro.core.persistence import load_engine, save_engine
+from repro.core.persistence import load_engine, load_session, save_engine, save_session
 from repro.core.weights import EvidenceWeights, train_evidence_weights
 from repro.lake.datalake import AttributeRef, DataLake
 from repro.tables.column import Column
@@ -30,20 +38,27 @@ from repro.tables.table import Table
 __version__ = "1.0.0"
 
 __all__ = [
+    "AttributeRanking",
     "AttributeRef",
     "Column",
     "D3L",
     "D3LConfig",
     "D3LIndexes",
     "DataLake",
+    "DiscoverySession",
     "EvidenceType",
     "EvidenceWeights",
     "JoinAugmentedResult",
+    "QueryRequest",
+    "QueryResponse",
     "QueryResult",
     "Table",
+    "TableRanking",
     "TableResult",
     "load_engine",
+    "load_session",
     "save_engine",
+    "save_session",
     "train_evidence_weights",
     "__version__",
 ]

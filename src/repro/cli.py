@@ -19,10 +19,12 @@ Example session::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.core.api import DiscoverySession, QueryRequest
 from repro.core.config import D3LConfig
 from repro.core.discovery import D3L
 from repro.core.persistence import load_engine, save_engine
@@ -78,6 +80,15 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--workers", type=int, default=1,
                        help="worker processes for the batched query fan-out "
                             "across target attributes (1 = in-process)")
+    query.add_argument("--evidence", default=None,
+                       help="comma-separated evidence subset (codes N,V,F,E,D "
+                            "or names like name,value); default: all five")
+    query.add_argument("--explain", action="store_true",
+                       help="include the per-evidence distance decomposition "
+                            "(Equation 2) in the answer")
+    query.add_argument("--json", action="store_true",
+                       help="emit the answer as QueryResponse JSON instead of "
+                            "a rendered table")
 
     return parser
 
@@ -147,23 +158,57 @@ def _command_query(args: argparse.Namespace) -> int:
     if args.workers <= 0:
         print("--workers must be positive", file=sys.stderr)
         return 1
+    if args.json and args.joins:
+        print("--json and --joins cannot be combined (join paths are not part "
+              "of the QueryResponse wire format)", file=sys.stderr)
+        return 1
     engine = load_engine(args.engine)
     target = read_csv(args.target)
-    # The batched engine produces rankings identical to the sequential path
-    # (its oracle) while scoring candidate pools in per-evidence sweeps.
-    answer = engine.query_batch(
-        target, k=args.k, exclude_self=not args.include_self, workers=args.workers
+    evidence = (
+        [code.strip() for code in args.evidence.split(",") if code.strip()]
+        if args.evidence
+        else None
     )
-    rows: List[dict] = []
-    for rank, result in enumerate(answer.top(), start=1):
-        rows.append(
-            {
-                "rank": rank,
-                "table": result.table_name,
-                "distance": round(result.distance, 4),
-                "covered_attributes": ", ".join(sorted(result.covered_target_attributes())),
-            }
+    session = DiscoverySession(engine)
+    # The session dispatches to the batched engine, whose rankings are
+    # identical to the sequential path (its oracle) while scoring candidate
+    # pools in per-evidence sweeps.
+    try:
+        request = QueryRequest(
+            target=target,
+            k=args.k,
+            evidence=evidence,
+            # The rendered table always lists covered attributes (which live
+            # in the explain payload); the JSON wire output honours --explain.
+            explain=args.explain if args.json else True,
+            exclude_self=not args.include_self,
+            workers=args.workers,
         )
+    except (ValueError, KeyError) as error:
+        print(error, file=sys.stderr)
+        return 1
+    response = session.submit(request)
+    if args.json:
+        # Emit the requested answer, not the whole candidate ranking the
+        # response keeps for k sweeps (pool-sized on large lakes).
+        print(json.dumps(response.truncated().to_dict(), indent=2))
+        return 0
+    rows: List[dict] = []
+    for rank, result in enumerate(response.top(), start=1):
+        row = {
+            "rank": rank,
+            "table": result.table_name,
+            "distance": round(result.distance, 4),
+        }
+        if args.explain:
+            row["evidence"] = ", ".join(
+                f"D{evidence_type.value}={distance:.2f}"
+                for evidence_type, distance in (result.evidence_distances or {}).items()
+            )
+        row["covered_attributes"] = ", ".join(
+            sorted(result.covered_target_attributes())
+        )
+        rows.append(row)
     if not rows:
         print("No related datasets found.")
         return 0
@@ -171,7 +216,10 @@ def _command_query(args: argparse.Namespace) -> int:
 
     if args.joins:
         augmented = engine.query_with_joins(
-            target, k=args.k, exclude_self=not args.include_self
+            target,
+            k=args.k,
+            evidence_types=request.evidence,
+            exclude_self=not args.include_self,
         )
         print(f"\nJoin paths found: {len(augmented.join_paths)}")
         for path in augmented.join_paths[:20]:

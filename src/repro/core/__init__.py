@@ -19,6 +19,13 @@ from repro.core.aggregation import (
     combined_distance,
     evidence_vector,
 )
+from repro.core.api import (
+    AttributeRanking,
+    DiscoverySession,
+    QueryRequest,
+    QueryResponse,
+    TableRanking,
+)
 from repro.core.config import D3LConfig
 from repro.core.discovery import (
     AttributeSearchResult,
@@ -30,15 +37,24 @@ from repro.core.discovery import (
 from repro.core.evidence import EvidenceType
 from repro.core.indexes import D3LIndexes
 from repro.core.joins import JoinEdge, JoinPath, SAJoinGraph, find_join_paths
-from repro.core.persistence import load_engine, load_indexes, save_engine, save_indexes
+from repro.core.persistence import (
+    load_engine,
+    load_indexes,
+    load_session,
+    save_engine,
+    save_indexes,
+    save_session,
+)
 from repro.core.profiles import AttributeMatch, AttributeProfile, TableProfile
 from repro.core.weights import EvidenceWeights, train_evidence_weights
 
 __all__ = [
     "AttributeMatch",
     "AttributeProfile",
+    "AttributeRanking",
     "AttributeSearchResult",
     "D3L",
+    "DiscoverySession",
     "JoinAugmentedResult",
     "D3LConfig",
     "D3LIndexes",
@@ -46,9 +62,12 @@ __all__ = [
     "EvidenceWeights",
     "JoinEdge",
     "JoinPath",
+    "QueryRequest",
+    "QueryResponse",
     "QueryResult",
     "SAJoinGraph",
     "TableProfile",
+    "TableRanking",
     "TableResult",
     "aggregate_column",
     "build_distance_table",
@@ -57,7 +76,9 @@ __all__ = [
     "find_join_paths",
     "load_engine",
     "load_indexes",
+    "load_session",
     "save_engine",
     "save_indexes",
+    "save_session",
     "train_evidence_weights",
 ]

@@ -1,0 +1,834 @@
+"""The unified discovery-service API: request/response protocol + session.
+
+The D3L engine is a *service*: Algorithm 1 indexes a lake once, then answers
+many top-k related-dataset queries over the five evidence types.  This module
+is the stable serving surface over that engine:
+
+* :class:`QueryRequest` — a frozen, validated description of one discovery
+  query: the target (a raw :class:`~repro.tables.table.Table` or a
+  pre-profiled :class:`~repro.core.profiles.TableProfile`), the answer size
+  ``k``, an optional evidence-type subset, optional Equation 3 weight
+  overrides, the ``explain`` flag, and the fan-out ``workers``.  Requests
+  with ``attributes`` ask for attribute-level rankings instead of table
+  rankings.
+* :class:`QueryResponse` — the machine-readable answer: ranked tables (or
+  attributes) with, under ``explain``, the per-evidence distance
+  decomposition of Equation 2 — including the CCDF aggregation weights of
+  every alignment — plus the Equation 3 ranking weights that produced the
+  combined distances.  ``to_dict()``/``from_dict()`` round-trip losslessly
+  through JSON.
+* :func:`execute` — the single execution planner every entry point funnels
+  through.  It dispatches to the batched/parallel kernels by default and to
+  the sequential oracle on request (``engine="sequential"``); the legacy
+  ``D3L.query`` / ``query_batch`` / ``related_attributes`` /
+  ``related_attributes_bulk`` methods are deprecation shims over it.
+* :class:`DiscoverySession` — the serving façade: wraps a loaded engine,
+  memoizes target profiles *and* their query signatures across repeated
+  requests (LRU, invalidated when the lake mutates, exactly like the query
+  executors), and submits requests through the planner.  Rankings are
+  bit-identical to the sequential oracle by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+import numbers
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.config import require_positive
+from repro.core.discovery import (
+    D3L,
+    AttributeSearchResult,
+    QueryResult,
+    QueryTarget,
+    attribute_signature_maps,
+)
+from repro.core.evidence import EvidenceType
+from repro.core.profiles import AttributeMatch, TableProfile
+from repro.core.weights import EvidenceWeights
+from repro.lake.datalake import AttributeRef
+from repro.tables.table import Table
+
+#: Wire-format identifier embedded in every serialized response, so readers
+#: can reject payloads from a different protocol revision.
+WIRE_FORMAT = "d3l.query_response/v1"
+
+#: The two execution engines a request may select.  ``batched`` is the
+#: default serving path (per-evidence sweeps, optional process fan-out);
+#: ``sequential`` is the per-attribute oracle the batched path is verified
+#: against — answers are identical either way.
+ENGINES = ("batched", "sequential")
+
+
+# --------------------------------------------------------------------------- #
+# request
+# --------------------------------------------------------------------------- #
+
+
+def _coerce_evidence(values: Sequence[object]) -> Tuple[EvidenceType, ...]:
+    """Normalise an evidence subset to EvidenceType members, order-preserving.
+
+    Accepts enum members, single-letter codes (``"N"``) and names
+    (``"name"``); unknown entries are rejected with the full list of valid
+    codes, so a typo in a wire request fails loudly instead of silently
+    querying nothing.
+    """
+    coerced: List[EvidenceType] = []
+    for value in values:
+        if isinstance(value, EvidenceType):
+            coerced.append(value)
+            continue
+        text = str(value)
+        member = None
+        for lookup in (
+            lambda: EvidenceType(text),
+            lambda: EvidenceType(text.upper()),
+            lambda: EvidenceType[text.upper()],
+        ):
+            try:
+                member = lookup()
+                break
+            except (ValueError, KeyError):
+                continue
+        if member is None:
+            valid = ", ".join(
+                f"{evidence.value} ({evidence.name.lower()})"
+                for evidence in EvidenceType.all()
+            )
+            raise ValueError(
+                f"unknown evidence type {value!r}; valid types: {valid}"
+            ) from None
+        coerced.append(member)
+    subset = tuple(dict.fromkeys(coerced))
+    if not subset:
+        raise ValueError("evidence subset must not be empty")
+    return subset
+
+
+def _coerce_weights(
+    weights: Union[EvidenceWeights, Mapping[object, float]],
+) -> EvidenceWeights:
+    """Normalise weight overrides to :class:`EvidenceWeights` and validate.
+
+    Mappings may be keyed by enum members or codes/names; values must be
+    finite and non-negative (Equation 3 takes a weighted l2 norm — a negative
+    weight would be silently meaningless).
+    """
+    if isinstance(weights, EvidenceWeights):
+        values = weights.as_dict()
+    else:
+        values = {
+            _coerce_evidence([key])[0]: float(value) for key, value in weights.items()
+        }
+    for evidence, value in values.items():
+        if not math.isfinite(value) or value < 0.0:
+            raise ValueError(
+                f"weight for evidence type {evidence.value!r} must be finite and "
+                f"non-negative, got {value!r}"
+            )
+    return weights if isinstance(weights, EvidenceWeights) else EvidenceWeights(values)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One validated discovery query against an indexed engine.
+
+    ``attributes`` switches the request to attribute-level discovery (the
+    lake attributes most related to each named target column); otherwise the
+    request asks for table-level rankings.  Validation happens at
+    construction, with the same error messages the legacy entry points and
+    :class:`~repro.core.config.D3LConfig` use, so malformed requests never
+    reach an engine.
+    """
+
+    target: QueryTarget
+    k: int = 10
+    evidence: Optional[Sequence[object]] = None
+    attributes: Optional[Sequence[str]] = None
+    weights: Optional[Union[EvidenceWeights, Mapping[object, float]]] = None
+    exclude_self: bool = True
+    explain: bool = False
+    workers: int = 1
+    engine: str = "batched"
+
+    def __post_init__(self) -> None:
+        # Duck-typed table targets (anything exposing name/columns, as the
+        # legacy engines accepted) pass; plainly wrong inputs fail fast.
+        if not isinstance(self.target, TableProfile) and not (
+            hasattr(self.target, "name") and hasattr(self.target, "columns")
+        ):
+            raise TypeError(
+                "target must be a Table or a TableProfile, "
+                f"got {type(self.target).__name__}"
+            )
+        # Integral (not int) so numpy integers from array sweeps keep working
+        # through the deprecated shims; normalised to plain int for the wire.
+        if isinstance(self.k, bool) or not isinstance(self.k, numbers.Integral):
+            raise ValueError("k must be an integer")
+        require_positive("k", self.k)
+        object.__setattr__(self, "k", int(self.k))
+        if isinstance(self.workers, bool) or not isinstance(
+            self.workers, numbers.Integral
+        ):
+            raise ValueError("workers must be an integer")
+        require_positive("workers", self.workers)
+        object.__setattr__(self, "workers", int(self.workers))
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; valid engines: {', '.join(ENGINES)}"
+            )
+        if self.evidence is not None:
+            object.__setattr__(self, "evidence", _coerce_evidence(self.evidence))
+        if self.weights is not None:
+            object.__setattr__(self, "weights", _coerce_weights(self.weights))
+        if self.attributes is not None:
+            if self.evidence is not None:
+                raise ValueError(
+                    "evidence subsets are not supported for attribute-level requests"
+                )
+            if self.workers > 1:
+                raise ValueError(
+                    "workers are not supported for attribute-level requests"
+                )
+            if isinstance(self.target, TableProfile):
+                raise ValueError(
+                    "attribute-level requests need a raw Table target "
+                    "(profiles do not carry the columns to re-profile)"
+                )
+            names = tuple(dict.fromkeys(self.attributes))
+            if not names:
+                raise ValueError("attributes must not be empty when provided")
+            for name in names:
+                if not self.target.has_column(name):
+                    raise KeyError(
+                        f"target {self.target.name!r} has no attribute {name!r}"
+                    )
+            object.__setattr__(self, "attributes", names)
+
+    @property
+    def target_name(self) -> str:
+        """Name of the query target (table or profile)."""
+        return (
+            self.target.table_name
+            if isinstance(self.target, TableProfile)
+            else self.target.name
+        )
+
+    @property
+    def mode(self) -> str:
+        """``"attributes"`` for attribute-level requests, else ``"table"``."""
+        return "attributes" if self.attributes is not None else "table"
+
+
+# --------------------------------------------------------------------------- #
+# response
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class TableRanking:
+    """One ranked source table of a table-level response.
+
+    ``evidence_distances`` (the Equation 1 vector) and ``matches`` (the
+    winning attribute alignments with their Equation 2 weights) are only
+    populated when the request asked for ``explain``.
+    """
+
+    table_name: str
+    distance: float
+    evidence_distances: Optional[Dict[EvidenceType, float]] = None
+    matches: Optional[List[AttributeMatch]] = None
+
+    def covered_target_attributes(self) -> set:
+        """Target attributes aligned with this table (explain mode only)."""
+        if not self.matches:
+            return set()
+        return {match.target_attribute for match in self.matches}
+
+
+@dataclass
+class AttributeRanking:
+    """One ranked lake attribute of an attribute-level response."""
+
+    source: AttributeRef
+    distance: float
+    distances: Optional[Dict[EvidenceType, float]] = None
+
+
+@dataclass
+class QueryResponse:
+    """The machine-readable answer to one :class:`QueryRequest`.
+
+    ``results`` holds the full table ranking (ascending combined distance —
+    slicing with :meth:`top` answers the requested k, keeping sweeps over k
+    cheap); ``attribute_results`` holds per-attribute rankings for
+    attribute-level requests.  Exactly one of the two is populated.
+    """
+
+    target_name: str
+    target_arity: int
+    k: int
+    mode: str
+    engine: str
+    explain: bool
+    evidence: Optional[Tuple[EvidenceType, ...]]
+    ranking_weights: Dict[EvidenceType, float]
+    results: Optional[List[TableRanking]] = None
+    attribute_results: Optional[Dict[str, List[AttributeRanking]]] = None
+
+    # ------------------------------------------------------------------ #
+    # convenience accessors
+    # ------------------------------------------------------------------ #
+    def top(self, k: Optional[int] = None) -> List[TableRanking]:
+        """The ``k`` most related tables (default: the requested k)."""
+        k = self.k if k is None else k
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return (self.results or [])[:k]
+
+    def table_names(self, k: Optional[int] = None) -> List[str]:
+        """Names of the top-k tables."""
+        return [ranking.table_name for ranking in self.top(k)]
+
+    def result_for(self, table_name: str) -> Optional[TableRanking]:
+        """The ranking entry of a specific table, when present."""
+        for ranking in self.results or []:
+            if ranking.table_name == table_name:
+                return ranking
+        return None
+
+    def truncated(self, k: Optional[int] = None) -> "QueryResponse":
+        """A copy keeping only the top-``k`` rankings (default: requested k).
+
+        The response itself carries the full candidate ranking so k sweeps
+        stay cheap; wire emitters that only want the answer (the CLI's
+        ``--json`` mode) slice it here before serialising.
+        """
+        k = self.k if k is None else k
+        return dataclasses.replace(
+            self,
+            results=None if self.results is None else self.top(k),
+            attribute_results=(
+                None
+                if self.attribute_results is None
+                else {
+                    name: entries[:k]
+                    for name, entries in self.attribute_results.items()
+                }
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # wire format
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dictionary carrying everything the response holds."""
+        return {
+            "format": WIRE_FORMAT,
+            "target": {"name": self.target_name, "arity": self.target_arity},
+            "k": self.k,
+            "mode": self.mode,
+            "engine": self.engine,
+            "explain": self.explain,
+            "evidence": (
+                None
+                if self.evidence is None
+                else [evidence.value for evidence in self.evidence]
+            ),
+            "ranking_weights": {
+                evidence.value: float(weight)
+                for evidence, weight in self.ranking_weights.items()
+            },
+            "results": (
+                None
+                if self.results is None
+                else [_table_ranking_to_dict(ranking) for ranking in self.results]
+            ),
+            "attribute_results": (
+                None
+                if self.attribute_results is None
+                else {
+                    name: [_attribute_ranking_to_dict(entry) for entry in entries]
+                    for name, entries in self.attribute_results.items()
+                }
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "QueryResponse":
+        """Reconstruct a response serialized by :meth:`to_dict` (lossless)."""
+        if payload.get("format") != WIRE_FORMAT:
+            raise ValueError(
+                f"payload format {payload.get('format')!r} is not {WIRE_FORMAT!r}"
+            )
+        target = payload["target"]
+        evidence = payload.get("evidence")
+        results = payload.get("results")
+        attribute_results = payload.get("attribute_results")
+        return cls(
+            target_name=target["name"],
+            target_arity=int(target["arity"]),
+            k=int(payload["k"]),
+            mode=payload["mode"],
+            engine=payload["engine"],
+            explain=bool(payload["explain"]),
+            evidence=(
+                None
+                if evidence is None
+                else tuple(EvidenceType(code) for code in evidence)
+            ),
+            ranking_weights={
+                EvidenceType(code): float(weight)
+                for code, weight in payload["ranking_weights"].items()
+            },
+            results=(
+                None
+                if results is None
+                else [_table_ranking_from_dict(entry) for entry in results]
+            ),
+            attribute_results=(
+                None
+                if attribute_results is None
+                else {
+                    name: [_attribute_ranking_from_dict(entry) for entry in entries]
+                    for name, entries in attribute_results.items()
+                }
+            ),
+        )
+
+
+def _distances_to_dict(distances: Mapping[EvidenceType, float]) -> Dict[str, float]:
+    return {evidence.value: float(value) for evidence, value in distances.items()}
+
+
+def _distances_from_dict(payload: Mapping[str, float]) -> Dict[EvidenceType, float]:
+    return {EvidenceType(code): float(value) for code, value in payload.items()}
+
+
+def _match_to_dict(match: AttributeMatch) -> Dict[str, object]:
+    return {
+        "target_attribute": match.target_attribute,
+        "source": {"table": match.source.table, "column": match.source.column},
+        "distances": _distances_to_dict(match.distances),
+        "weights": _distances_to_dict(match.weights),
+    }
+
+
+def _match_from_dict(payload: Mapping[str, object]) -> AttributeMatch:
+    source = payload["source"]
+    return AttributeMatch(
+        target_attribute=payload["target_attribute"],
+        source=AttributeRef(source["table"], source["column"]),
+        distances=_distances_from_dict(payload["distances"]),
+        weights=_distances_from_dict(payload["weights"]),
+    )
+
+
+def _table_ranking_to_dict(ranking: TableRanking) -> Dict[str, object]:
+    return {
+        "table": ranking.table_name,
+        "distance": float(ranking.distance),
+        "evidence_distances": (
+            None
+            if ranking.evidence_distances is None
+            else _distances_to_dict(ranking.evidence_distances)
+        ),
+        "matches": (
+            None
+            if ranking.matches is None
+            else [_match_to_dict(match) for match in ranking.matches]
+        ),
+    }
+
+
+def _table_ranking_from_dict(payload: Mapping[str, object]) -> TableRanking:
+    evidence_distances = payload.get("evidence_distances")
+    matches = payload.get("matches")
+    return TableRanking(
+        table_name=payload["table"],
+        distance=float(payload["distance"]),
+        evidence_distances=(
+            None if evidence_distances is None else _distances_from_dict(evidence_distances)
+        ),
+        matches=(
+            None if matches is None else [_match_from_dict(match) for match in matches]
+        ),
+    )
+
+
+def _attribute_ranking_to_dict(entry: AttributeRanking) -> Dict[str, object]:
+    return {
+        "source": {"table": entry.source.table, "column": entry.source.column},
+        "distance": float(entry.distance),
+        "distances": (
+            None if entry.distances is None else _distances_to_dict(entry.distances)
+        ),
+    }
+
+
+def _attribute_ranking_from_dict(payload: Mapping[str, object]) -> AttributeRanking:
+    source = payload["source"]
+    distances = payload.get("distances")
+    return AttributeRanking(
+        source=AttributeRef(source["table"], source["column"]),
+        distance=float(payload["distance"]),
+        distances=None if distances is None else _distances_from_dict(distances),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the execution planner
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class QueryExecution:
+    """One planned-and-executed request: the legacy value plus the response.
+
+    ``legacy`` is what the corresponding deprecated entry point used to
+    return (a :class:`~repro.core.discovery.QueryResult` for table-level
+    requests, an ``{attribute: [AttributeSearchResult]}`` mapping for
+    attribute-level ones) — the shims return it unchanged, which is what
+    keeps their behaviour identical.  The :attr:`response` is materialised
+    lazily on first access, so shim callers that only consume ``legacy``
+    never pay for per-candidate protocol objects.
+    """
+
+    request: QueryRequest
+    legacy: object
+    weights_used: EvidenceWeights
+    _response: Optional[QueryResponse] = field(default=None, repr=False)
+
+    @property
+    def response(self) -> QueryResponse:
+        """The protocol response for this execution (built once, cached)."""
+        if self._response is None:
+            if self.request.attributes is not None:
+                self._response = _attribute_response(
+                    self.request, self.legacy, self.weights_used
+                )
+            else:
+                self._response = _table_response(
+                    self.request, self.legacy, self.weights_used
+                )
+        return self._response
+
+
+def _ranking_weights(engine: D3L, request: QueryRequest) -> EvidenceWeights:
+    """The Equation 3 weights a request resolves to (mirrors the engines).
+
+    Explicit overrides win; otherwise an evidence subset implies binary
+    weights over that subset (Experiment 1 mode) and the engine's trained or
+    default weights apply to full-evidence requests.
+    """
+    if request.weights is not None:
+        return request.weights
+    if request.evidence is None or request.attributes is not None:
+        return engine.weights
+    return EvidenceWeights(
+        {
+            evidence: (1.0 if evidence in request.evidence else 0.0)
+            for evidence in EvidenceType.all()
+        }
+    )
+
+
+def execute(
+    engine: D3L,
+    request: QueryRequest,
+    profile: Optional[TableProfile] = None,
+    signature_maps: Optional[Dict[str, Dict[EvidenceType, object]]] = None,
+) -> QueryExecution:
+    """Plan and run one request against ``engine``.
+
+    This is the single funnel underneath every entry point: the deprecated
+    ``D3L`` methods build a request and return the ``legacy`` value, while
+    :meth:`DiscoverySession.submit` returns the ``response`` — both from the
+    same execution.  ``profile``/``signature_maps`` let a session substitute
+    its memoized target state for table-level requests; both are
+    deterministic functions of the target, so answers are unchanged.
+    """
+    weights_used = _ranking_weights(engine, request)
+    if request.attributes is not None:
+        if request.engine == "sequential":
+            legacy = {
+                name: engine._execute_related_attributes(
+                    request.target,
+                    name,
+                    k=request.k,
+                    exclude_self=request.exclude_self,
+                    weights=request.weights,
+                )
+                for name in request.attributes
+            }
+        else:
+            legacy = engine._execute_related_attributes_bulk(
+                request.target,
+                list(request.attributes),
+                k=request.k,
+                exclude_self=request.exclude_self,
+                weights=request.weights,
+            )
+        return QueryExecution(request=request, legacy=legacy, weights_used=weights_used)
+
+    target = profile if profile is not None else request.target
+    if request.engine == "sequential":
+        legacy = engine._execute_query(
+            target,
+            request.k,
+            evidence_types=request.evidence,
+            exclude_self=request.exclude_self,
+            weights=request.weights,
+        )
+    else:
+        legacy = engine._execute_query_batch(
+            target,
+            request.k,
+            evidence_types=request.evidence,
+            exclude_self=request.exclude_self,
+            weights=request.weights,
+            workers=request.workers,
+            signature_maps=signature_maps,
+        )
+    return QueryExecution(request=request, legacy=legacy, weights_used=weights_used)
+
+
+def _float_distances(
+    distances: Mapping[EvidenceType, float],
+) -> Dict[EvidenceType, float]:
+    """A plain-float copy of a per-evidence mapping (drops numpy scalars)."""
+    return {evidence: float(value) for evidence, value in distances.items()}
+
+
+def _ranking_weights_dict(weights_used: EvidenceWeights) -> Dict[EvidenceType, float]:
+    """The Equation 3 weights a response echoes, over all five types."""
+    return {
+        evidence: float(weights_used.get(evidence, 0.0))
+        for evidence in EvidenceType.all()
+    }
+
+
+def _table_response(
+    request: QueryRequest, result: QueryResult, weights_used: EvidenceWeights
+) -> QueryResponse:
+    rankings = []
+    for entry in result.results:
+        if request.explain:
+            rankings.append(
+                TableRanking(
+                    table_name=entry.table_name,
+                    distance=float(entry.distance),
+                    evidence_distances=_float_distances(entry.evidence_distances),
+                    matches=list(entry.matches),
+                )
+            )
+        else:
+            rankings.append(
+                TableRanking(table_name=entry.table_name, distance=float(entry.distance))
+            )
+    return QueryResponse(
+        target_name=result.target_name,
+        target_arity=result.target_arity,
+        k=request.k,
+        mode="table",
+        engine=request.engine,
+        explain=request.explain,
+        evidence=None if request.evidence is None else tuple(request.evidence),
+        ranking_weights=_ranking_weights_dict(weights_used),
+        results=rankings,
+    )
+
+
+def _attribute_response(
+    request: QueryRequest,
+    legacy: Dict[str, List[AttributeSearchResult]],
+    weights_used: EvidenceWeights,
+) -> QueryResponse:
+    attribute_results = {
+        name: [
+            AttributeRanking(
+                source=entry.ref,
+                distance=float(entry.distance),
+                distances=(
+                    _float_distances(entry.distances) if request.explain else None
+                ),
+            )
+            for entry in entries
+        ]
+        for name, entries in legacy.items()
+    }
+    target = request.target
+    return QueryResponse(
+        target_name=target.name,
+        target_arity=target.arity,
+        k=request.k,
+        mode="attributes",
+        engine=request.engine,
+        explain=request.explain,
+        evidence=None,
+        ranking_weights=_ranking_weights_dict(weights_used),
+        attribute_results=attribute_results,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the serving façade
+# --------------------------------------------------------------------------- #
+
+
+class DiscoverySession:
+    """A serving-tier façade over one indexed :class:`~repro.core.discovery.D3L`.
+
+    The session memoizes the expensive per-target state — the Algorithm 1
+    :class:`TableProfile` *and* the per-evidence query signatures — in an LRU
+    keyed by target content, so repeated queries against the same target
+    (k sweeps, evidence ablations, dashboard refreshes) skip straight to
+    candidate collection.  The cache is invalidated whenever the underlying
+    lake mutates, exactly like the engine's fan-out worker pools.
+
+    Typical usage::
+
+        engine = load_engine("engine.pkl")
+        session = DiscoverySession(engine)
+        response = session.submit(QueryRequest(target=table, k=10, explain=True))
+        payload = response.to_dict()          # JSON-safe wire format
+    """
+
+    def __init__(self, engine: D3L, profile_cache_size: int = 64) -> None:
+        require_positive("profile_cache_size", profile_cache_size)
+        self.engine = engine
+        self.profile_cache_size = profile_cache_size
+        self._cache: "OrderedDict[object, Tuple[TableProfile, Dict]]" = OrderedDict()
+        self._cache_version: Optional[int] = None
+        self._cache_indexes: Optional[object] = None
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+    # submitting requests
+    # ------------------------------------------------------------------ #
+    def submit(self, request: QueryRequest) -> QueryResponse:
+        """Execute one request and return its response.
+
+        Table-level requests resolve the target through the profile cache;
+        attribute-level requests re-profile the named columns (their legacy
+        path profiles per column subset, which the cache cannot reuse).
+        """
+        self._check_version()
+        if request.attributes is not None:
+            return execute(self.engine, request).response
+        profile, signature_maps = self._resolve_target(request.target)
+        return execute(
+            self.engine, request, profile=profile, signature_maps=signature_maps
+        ).response
+
+    def query(self, target: QueryTarget, k: int = 10, **options) -> QueryResponse:
+        """Convenience: build and submit a table-level request."""
+        return self.submit(QueryRequest(target=target, k=k, **options))
+
+    def related_attributes(
+        self,
+        target: Table,
+        attributes: Optional[Sequence[str]] = None,
+        k: int = 10,
+        **options,
+    ) -> QueryResponse:
+        """Convenience: build and submit an attribute-level request.
+
+        ``attributes=None`` asks about every column of the target, the way
+        the legacy bulk entry point did.
+        """
+        names = (
+            tuple(attributes)
+            if attributes is not None
+            else tuple(column.name for column in target.columns)
+        )
+        return self.submit(QueryRequest(target=target, k=k, attributes=names, **options))
+
+    # ------------------------------------------------------------------ #
+    # cache management
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters and current occupancy of the profile cache."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._cache),
+            "capacity": self.profile_cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every memoized target profile."""
+        self._cache.clear()
+
+    def close(self) -> None:
+        """Release session state (the engine and its pools stay usable)."""
+        self.clear_cache()
+
+    def save(self, path) -> "object":
+        """Persist the session (engine + session settings) to ``path``."""
+        from repro.core.persistence import save_session
+
+        return save_session(self, path)
+
+    def _check_version(self) -> None:
+        """Invalidate the cache when the underlying indexes have gone stale.
+
+        Both the mutation counter and the indexes' identity are checked —
+        an engine whose ``indexes`` was rebound (e.g. to a restored object,
+        whose counter restarts) must not be served signatures derived from
+        the old object, exactly like the fan-out executor cache.
+        """
+        indexes = self.engine.indexes
+        if indexes is not self._cache_indexes or indexes.version != self._cache_version:
+            self._cache.clear()
+            self._cache_indexes = indexes
+            self._cache_version = indexes.version
+
+    def _resolve_target(self, target: QueryTarget) -> Tuple[TableProfile, Dict]:
+        key = self._fingerprint(target)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self._hits += 1
+            return cached
+        self._misses += 1
+        profile = (
+            target
+            if isinstance(target, TableProfile)
+            else self.engine.indexes.profile_table(target)
+        )
+        entries = list(profile.attributes.items())
+        signature_maps = attribute_signature_maps(
+            self.engine.indexes, profile.table_name, entries
+        )
+        self._cache[key] = (profile, signature_maps)
+        while len(self._cache) > self.profile_cache_size:
+            self._cache.popitem(last=False)
+        return profile, signature_maps
+
+    @staticmethod
+    def _fingerprint(target: QueryTarget) -> object:
+        """A content key for the profile cache.
+
+        Raw tables are fingerprinted over their name, column names, and
+        values — one cheap hashing pass, orders of magnitude cheaper than
+        the Algorithm 1 profiling it saves.  Pre-profiled targets are keyed
+        by identity: the cache entry itself keeps the profile alive, so the
+        id cannot be recycled while the entry exists.
+        """
+        if isinstance(target, TableProfile):
+            return ("profile", id(target))
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(target.name.encode("utf-8", "surrogatepass"))
+        for column in target.columns:
+            digest.update(b"\x00")
+            digest.update(column.name.encode("utf-8", "surrogatepass"))
+            for value in column.values:
+                digest.update(b"\x1f")
+                digest.update(repr(value).encode("utf-8", "surrogatepass"))
+        return ("table", digest.hexdigest())

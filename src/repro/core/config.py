@@ -12,6 +12,24 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 
+def require_positive(name: str, value: float) -> None:
+    """Reject non-positive parameter values with a uniform message.
+
+    Both :class:`D3LConfig` and the query-protocol objects of
+    :mod:`repro.core.api` funnel their scalar checks through these helpers,
+    so the configuration layer and the serving layer report invalid
+    parameters with the same error surface.
+    """
+    if value <= 0:
+        raise ValueError(f"{name} must be positive")
+
+
+def require_open_unit_interval(name: str, value: float) -> None:
+    """Reject values outside the open interval (0, 1)."""
+    if not 0.0 < value < 1.0:
+        raise ValueError(f"{name} must be in (0, 1)")
+
+
 @dataclass
 class D3LConfig:
     """All tunable parameters of the discovery engine.
@@ -57,24 +75,18 @@ class D3LConfig:
     seed: int = 42
 
     def __post_init__(self) -> None:
-        if self.qgram_size <= 0:
-            raise ValueError("qgram_size must be positive")
-        if self.num_hashes <= 0:
-            raise ValueError("num_hashes must be positive")
-        if not 0.0 < self.lsh_threshold < 1.0:
-            raise ValueError("lsh_threshold must be in (0, 1)")
+        require_positive("qgram_size", self.qgram_size)
+        require_positive("num_hashes", self.num_hashes)
+        require_open_unit_interval("lsh_threshold", self.lsh_threshold)
         if self.num_trees <= 0 or self.num_trees > self.num_hashes:
             raise ValueError("num_trees must be in [1, num_hashes]")
-        if self.embedding_dimension <= 0:
-            raise ValueError("embedding_dimension must be positive")
-        if self.candidate_multiplier <= 0 or self.min_candidates <= 0:
-            raise ValueError("candidate pool parameters must be positive")
+        require_positive("embedding_dimension", self.embedding_dimension)
+        require_positive("candidate_multiplier", self.candidate_multiplier)
+        require_positive("min_candidates", self.min_candidates)
         if not 0.0 < self.overlap_threshold <= 1.0:
             raise ValueError("overlap_threshold must be in (0, 1]")
-        if self.max_join_path_length <= 0:
-            raise ValueError("max_join_path_length must be positive")
-        if self.max_join_paths <= 0:
-            raise ValueError("max_join_paths must be positive")
+        require_positive("max_join_path_length", self.max_join_path_length)
+        require_positive("max_join_paths", self.max_join_paths)
 
     def candidate_pool_size(self, k: int) -> int:
         """Number of candidates to retrieve per attribute for an answer size k."""

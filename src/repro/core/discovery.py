@@ -18,6 +18,7 @@ Querying proceeds exactly as the paper describes:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
@@ -42,6 +43,35 @@ from repro.text.embeddings import WordEmbeddingModel
 #: the same target (k sweeps, evidence ablations, sequential-vs-batched
 #: comparisons) skip re-profiling this way.
 QueryTarget = Union[Table, TableProfile]
+
+
+def _shim_evidence(
+    evidence_types: Optional[Sequence[EvidenceType]],
+) -> Optional[Tuple[EvidenceType, ...]]:
+    """Map a legacy ``evidence_types`` argument onto the request protocol.
+
+    The legacy engines treated an *empty* sequence like "all five types with
+    binary (uniform) ranking weights" — distinct from ``None``, which uses
+    the engine's trained weights.  An explicit all-five subset reproduces
+    that exactly through ``QueryRequest``, which rejects empty subsets.
+    """
+    if evidence_types is None:
+        return None
+    return tuple(evidence_types) or EvidenceType.all()
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    """Soft-deprecation notice for the legacy query entry points.
+
+    The legacy methods stay behaviourally identical (they are thin shims over
+    the unified planner in :mod:`repro.core.api`), so the warning is purely a
+    migration signpost.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead (see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -231,7 +261,39 @@ class D3L:
         exclude_self: bool = True,
         weights: Optional[EvidenceWeights] = None,
     ) -> QueryResult:
-        """Return the ranked answer for ``target``.
+        """Return the ranked answer for ``target`` (sequential engine).
+
+        .. deprecated::
+            ``D3L.query`` is a compatibility shim over the unified query
+            protocol; build a :class:`~repro.core.api.QueryRequest` with
+            ``engine="sequential"`` and submit it through a
+            :class:`~repro.core.api.DiscoverySession` instead.  Behaviour
+            (rankings, scores, tie order, error messages) is unchanged.
+        """
+        _warn_deprecated(
+            "D3L.query", "DiscoverySession.submit(QueryRequest(engine='sequential'))"
+        )
+        from repro.core.api import QueryRequest, execute
+
+        request = QueryRequest(
+            target=target,
+            k=k,
+            evidence=_shim_evidence(evidence_types),
+            weights=weights,
+            exclude_self=exclude_self,
+            engine="sequential",
+        )
+        return execute(self, request).legacy
+
+    def _execute_query(
+        self,
+        target: QueryTarget,
+        k: int,
+        evidence_types: Optional[Sequence[EvidenceType]] = None,
+        exclude_self: bool = True,
+        weights: Optional[EvidenceWeights] = None,
+    ) -> QueryResult:
+        """The sequential per-attribute engine (the batched engine's oracle).
 
         ``evidence_types`` restricts both candidate generation and ranking to
         a subset of the evidence (Experiment 1 queries with a single type);
@@ -239,10 +301,9 @@ class D3L:
         own lake entry from the answer, which is how the evaluation queries
         targets drawn from the lake.
 
-        This is the sequential per-attribute engine — each target attribute
-        fans out on its own and Algorithm 2 scores candidates pair by pair.
-        It is kept as the oracle for :meth:`query_batch`, which produces the
-        identical answer through batched sweeps.
+        Each target attribute fans out on its own and Algorithm 2 scores
+        candidates pair by pair.  It is kept as the oracle for the batched
+        engine, which produces the identical answer through batched sweeps.
         """
         target_profile, active_indexed, use_distribution, ranking_weights = (
             self._prepare_query(target, k, evidence_types, weights)
@@ -270,6 +331,40 @@ class D3L:
         workers: Optional[int] = None,
     ) -> QueryResult:
         """The batched query engine: :meth:`query`'s answer, computed in sweeps.
+
+        .. deprecated::
+            ``D3L.query_batch`` is a compatibility shim over the unified
+            query protocol; build a :class:`~repro.core.api.QueryRequest`
+            and submit it through a :class:`~repro.core.api.DiscoverySession`
+            instead (the session additionally caches target profiles across
+            repeated requests).  Behaviour is unchanged.
+        """
+        _warn_deprecated("D3L.query_batch", "DiscoverySession.submit(QueryRequest(...))")
+        from repro.core.api import QueryRequest, execute
+
+        request = QueryRequest(
+            target=target,
+            k=k,
+            evidence=_shim_evidence(evidence_types),
+            weights=weights,
+            exclude_self=exclude_self,
+            # The legacy engine treated any workers <= 1 (including 0) as
+            # "no fan-out"; the request protocol only accepts positive counts.
+            workers=workers if workers is not None and workers > 1 else 1,
+        )
+        return execute(self, request).legacy
+
+    def _execute_query_batch(
+        self,
+        target: QueryTarget,
+        k: int,
+        evidence_types: Optional[Sequence[EvidenceType]] = None,
+        exclude_self: bool = True,
+        weights: Optional[EvidenceWeights] = None,
+        workers: Optional[int] = None,
+        signature_maps: Optional[Dict[str, Dict[EvidenceType, object]]] = None,
+    ) -> QueryResult:
+        """The batched counterpart of :meth:`_execute_query`, in sweeps.
 
         Every target attribute's forest candidates are collected in one pass,
         distance computations are grouped by evidence type into single matrix
@@ -299,6 +394,7 @@ class D3L:
             pool,
             exclude_table,
             workers=workers,
+            signature_maps=signature_maps,
         )
         return QueryResult(
             target_name=target_profile.table_name,
@@ -315,7 +411,9 @@ class D3L:
         exclude_self: bool = True,
     ) -> JoinAugmentedResult:
         """D3L+J: the ranked answer extended with SA-join paths (section IV)."""
-        base = self.query(target, k, evidence_types=evidence_types, exclude_self=exclude_self)
+        base = self._execute_query(
+            target, k, evidence_types=evidence_types, exclude_self=exclude_self
+        )
         top_k_tables = base.table_names(k)
         related = base.candidate_tables()
         paths = find_join_paths(
@@ -342,11 +440,44 @@ class D3L:
         """Attribute-level discovery: the lake attributes most related to one
         target attribute.
 
+        .. deprecated::
+            ``D3L.related_attributes`` is a compatibility shim; build a
+            :class:`~repro.core.api.QueryRequest` with ``attributes=(name,)``
+            and ``engine="sequential"`` and submit it through a
+            :class:`~repro.core.api.DiscoverySession`.  Behaviour is
+            unchanged.
+        """
+        _warn_deprecated(
+            "D3L.related_attributes",
+            "DiscoverySession.submit(QueryRequest(attributes=..., engine='sequential'))",
+        )
+        from repro.core.api import QueryRequest, execute
+
+        request = QueryRequest(
+            target=target,
+            k=k,
+            attributes=(attribute_name,),
+            weights=weights,
+            exclude_self=exclude_self,
+            engine="sequential",
+        )
+        return execute(self, request).legacy[attribute_name]
+
+    def _execute_related_attributes(
+        self,
+        target: Table,
+        attribute_name: str,
+        k: int = 10,
+        exclude_self: bool = True,
+        weights: Optional[EvidenceWeights] = None,
+    ) -> List[AttributeSearchResult]:
+        """The sequential single-attribute engine (the bulk path's oracle).
+
         This exposes the building block underneath table relatedness — useful
         when the caller wants join or union candidates for a single column
         rather than whole-table rankings.  Distances follow the same
-        definitions as :meth:`query`; the combined score is the Equation 3
-        norm restricted to a single attribute pair.
+        definitions as the table-level query; the combined score is the
+        Equation 3 norm restricted to a single attribute pair.
         """
         if k <= 0:
             raise ValueError("k must be positive")
@@ -409,12 +540,55 @@ class D3L:
     ) -> Dict[str, List[AttributeSearchResult]]:
         """Bulk :meth:`related_attributes`: many target attributes, one pass.
 
+        .. deprecated::
+            ``D3L.related_attributes_bulk`` is a compatibility shim; build a
+            :class:`~repro.core.api.QueryRequest` with ``attributes=...`` and
+            submit it through a :class:`~repro.core.api.DiscoverySession`.
+            Behaviour is unchanged.
+        """
+        _warn_deprecated(
+            "D3L.related_attributes_bulk",
+            "DiscoverySession.submit(QueryRequest(attributes=...))",
+        )
+        # k is validated before the empty-names early return so a bad k is
+        # reported even for an empty selection, as the legacy path did;
+        # QueryRequest dedups the names and re-checks everything else.
+        if k <= 0:
+            raise ValueError("k must be positive")
+        names = (
+            tuple(attribute_names)
+            if attribute_names is not None
+            else tuple(column.name for column in target.columns)
+        )
+        if not names:
+            return {}
+        from repro.core.api import QueryRequest, execute
+
+        request = QueryRequest(
+            target=target,
+            k=k,
+            attributes=names,
+            weights=weights,
+            exclude_self=exclude_self,
+        )
+        return execute(self, request).legacy
+
+    def _execute_related_attributes_bulk(
+        self,
+        target: Table,
+        attribute_names: Optional[Sequence[str]] = None,
+        k: int = 10,
+        exclude_self: bool = True,
+        weights: Optional[EvidenceWeights] = None,
+    ) -> Dict[str, List[AttributeSearchResult]]:
+        """The batched attribute-level engine: many target attributes, one pass.
+
         All requested attributes (default: every column of ``target``) are
         profiled and signed together, their forest candidates are collected
         through one multi-query lookup per evidence type, and the distance
         columns of the whole group — including the KS distances of every
         numeric attribute — are computed as per-evidence sweeps.  The entry
-        of each attribute equals ``related_attributes(target, name, ...)``
+        of each attribute equals the single-attribute sequential path
         exactly (same refs, distances, scores, and tie order).
         """
         if k <= 0:
@@ -440,7 +614,7 @@ class D3L:
             )
             for name in names
         ]
-        signature_maps = _attribute_signature_maps(
+        signature_maps = attribute_signature_maps(
             self.indexes, target.name, list(zip(names, profiles))
         )
 
@@ -646,6 +820,7 @@ class D3L:
         pool: int,
         exclude_table: Optional[str],
         workers: Optional[int] = None,
+        signature_maps: Optional[Dict[str, Dict[EvidenceType, object]]] = None,
     ) -> Dict[str, List[AttributeMatch]]:
         """Batched counterpart of :meth:`_collect_matches`.
 
@@ -656,6 +831,12 @@ class D3L:
         partition/merge discipline index construction uses.  The merge runs
         in the target profile's attribute order — the order the sequential
         engine iterates — so the resulting matches are identical.
+
+        ``signature_maps`` (as produced by :func:`attribute_signature_maps`)
+        lets serving tiers that memoized the target's signatures — notably
+        :class:`~repro.core.api.DiscoverySession` — skip re-signing the
+        target on every repeated request; signatures are deterministic, so
+        the answer is unchanged.
         """
         subject_related_tables = self._subject_related_tables(
             target_profile, pool, exclude_table
@@ -681,6 +862,7 @@ class D3L:
                 pool=pool,
                 exclude_table=exclude_table,
                 subject_related_tables=subject_related_tables,
+                signature_maps=signature_maps,
             )
         else:
             attribute_distances = collect_attribute_candidate_distances(
@@ -692,6 +874,7 @@ class D3L:
                 pool=pool,
                 exclude_table=exclude_table,
                 subject_related_tables=subject_related_tables,
+                signature_maps=signature_maps,
             )
 
         per_table: Dict[str, Dict[str, AttributeMatch]] = {}
@@ -756,7 +939,7 @@ class D3L:
 # --------------------------------------------------------------------------- #
 
 
-def _attribute_signature_maps(
+def attribute_signature_maps(
     indexes: D3LIndexes,
     table_name: str,
     entries: Sequence[Tuple[str, AttributeProfile]],
@@ -792,6 +975,7 @@ def collect_attribute_candidate_distances(
     pool: int,
     exclude_table: Optional[str],
     subject_related_tables: Set[str],
+    signature_maps: Optional[Dict[str, Dict[EvidenceType, object]]] = None,
 ) -> List[AttributeCandidates]:
     """Full candidate distance columns of many target attributes, batched.
 
@@ -806,13 +990,20 @@ def collect_attribute_candidate_distances(
     winning alignments.  Column values are identical to what the sequential
     ``_collect_matches`` computes per attribute; attributes without
     candidates are omitted, as the sequential loop omits them.
+
+    ``signature_maps`` may carry precomputed per-attribute query signatures
+    (from :func:`attribute_signature_maps`, possibly memoized by a serving
+    session); when absent they are computed here.  Signatures are a
+    deterministic function of the profile and configuration, so either way
+    the distances are identical.
     """
     entries = list(entries)
     if not entries:
         return []
     names = [name for name, _ in entries]
     profiles = [profile for _, profile in entries]
-    signature_maps = _attribute_signature_maps(indexes, table_name, entries)
+    if signature_maps is None:
+        signature_maps = attribute_signature_maps(indexes, table_name, entries)
     cutoff = indexes.threshold_distance()
 
     candidate_sets: List[Set[AttributeRef]] = [set() for _ in entries]

@@ -279,6 +279,10 @@ class D3LIndexes:
         }
         self.profiles: Dict[AttributeRef, AttributeProfile] = {}
         self.table_profiles: Dict[str, TableProfile] = {}
+        #: Monotonic mutation counter: bumped on every insert/removal so
+        #: serving-tier caches (session profile caches, fan-out worker pools)
+        #: can detect that a snapshot of this object has gone stale.
+        self.version: int = 0
 
     # ------------------------------------------------------------------ #
     # profiling
@@ -418,6 +422,7 @@ class D3LIndexes:
                 self._matrices[evidence].add_batch(
                     refs, np.vstack(raws), np.asarray(flags, dtype=bool)
                 )
+        self.version += 1
 
     def add_lake(self, lake: DataLake, workers: Optional[int] = None) -> None:
         """Index every table of ``lake``, in sorted table-name order.
@@ -456,6 +461,7 @@ class D3LIndexes:
                 if self._signatures[evidence].pop(profile.ref, None) is not None:
                     self._forests[evidence].remove(profile.ref)
                     self._matrices[evidence].discard(profile.ref)
+        self.version += 1
         return True
 
     # ------------------------------------------------------------------ #

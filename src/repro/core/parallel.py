@@ -223,9 +223,17 @@ class ParallelQueryExecutor:
         entries: Sequence[Tuple[str, object]],
         **context,
     ) -> QueryShardResult:
-        """Collect every attribute's candidate distances across the shards."""
+        """Collect every attribute's candidate distances across the shards.
+
+        When the shared query context carries memoized target signatures
+        (``signature_maps``, from a serving session's profile cache), each
+        worker is shipped only its own shard's slice of the map so repeated
+        queries neither re-sign the target nor pay for signatures of
+        attributes another shard owns.
+        """
         entries = list(entries)
         profile_of = dict(entries)
+        signature_maps = context.pop("signature_maps", None)
         shards = [
             names
             for names in partition_tables([name for name, _ in entries], self.workers)
@@ -234,18 +242,37 @@ class ParallelQueryExecutor:
         shard_entries = [
             [(name, profile_of[name]) for name in names] for names in shards
         ]
+
+        def shard_signatures(names):
+            if signature_maps is None:
+                return None
+            return {name: signature_maps[name] for name in names}
+
         if len(shard_entries) <= 1:
             from repro.core.discovery import collect_attribute_candidate_distances
 
             shard_results = [
                 collect_attribute_candidate_distances(
-                    self.indexes, table_name, entries_for_shard, **context
+                    self.indexes,
+                    table_name,
+                    entries_for_shard,
+                    signature_maps=shard_signatures([name for name, _ in entries_for_shard]),
+                    **context,
                 )
                 for entries_for_shard in shard_entries
             ]
         else:
             payloads = [
-                (table_name, entries_for_shard, context)
+                (
+                    table_name,
+                    entries_for_shard,
+                    context
+                    | {
+                        "signature_maps": shard_signatures(
+                            [name for name, _ in entries_for_shard]
+                        )
+                    },
+                )
                 for entries_for_shard in shard_entries
             ]
             shard_results = list(

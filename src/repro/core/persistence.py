@@ -183,6 +183,42 @@ def load_engine(path: PathLike) -> D3L:
         raise PersistenceError(f"{path} holds a malformed engine payload: {error}") from error
 
 
+def save_session(session, path: PathLike) -> Path:
+    """Persist a :class:`~repro.core.api.DiscoverySession` (engine + settings).
+
+    The payload reuses the engine's v3 raw-buffer sections and adds a small
+    ``session`` section with the serving-tier settings (cache capacity).
+    The memoized profiles themselves are deliberately *not* persisted: they
+    are a pure function of targets the next deployment may never see again,
+    and the cache re-fills on first contact.
+    """
+    payload = {
+        "kind": "d3l_session",
+        "version": FORMAT_VERSION,
+        "sections": {
+            "engine": _engine_sections(session.engine),
+            "session": {"profile_cache_size": session.profile_cache_size},
+        },
+    }
+    return _write(payload, path)
+
+
+def load_session(path: PathLike):
+    """Load a serving session previously saved with :func:`save_session`."""
+    from repro.core.api import DiscoverySession
+
+    payload = _read(path, "d3l_session")
+    try:
+        sections = payload["sections"]
+        engine = _restore_engine(sections["engine"])
+        settings = sections["session"]
+        return DiscoverySession(
+            engine, profile_cache_size=int(settings["profile_cache_size"])
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise PersistenceError(f"{path} holds a malformed session payload: {error}") from error
+
+
 def save_indexes(indexes: D3LIndexes, path: PathLike) -> Path:
     """Persist a set of indexes without the surrounding engine."""
     payload = {

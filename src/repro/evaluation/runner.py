@@ -35,6 +35,7 @@ from repro.evaluation.experiments import (
     experiment_join_impact,
     experiment_repository_stats,
     experiment_search_time,
+    experiment_session_serving,
     experiment_space_overhead,
     experiment_subject_attribute_accuracy,
     experiment_weight_training,
@@ -230,6 +231,14 @@ def run_all_experiments(
         num_targets=max(3, sizes.num_targets // 2),
         seed=seed,
         query_workers=query_workers,
+    )
+    timed(
+        "session_serving",
+        experiment_session_serving,
+        real_suite,
+        k=max(sizes.real_ks),
+        num_targets=max(3, sizes.num_targets // 2),
+        seed=seed,
     )
     timed(
         "table2_space_overhead",

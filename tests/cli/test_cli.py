@@ -145,3 +145,97 @@ class TestIndexAndQuery:
         assert exit_code == 0
         assert "Top-3 datasets" in captured
         assert "Join paths found" in captured
+
+
+class TestQueryProtocolFlags:
+    @pytest.fixture()
+    def target_path(self, tmp_path):
+        target = Table.from_dict(
+            "cli_api_target",
+            {
+                "Practice": ["Salford Medical Centre", "Bolton Surgery"],
+                "City": ["Salford", "Bolton"],
+                "Postcode": ["M3 6AF", "BL3 6PY"],
+            },
+        )
+        return write_csv(target, tmp_path / "cli_api_target.csv")
+
+    def _query(self, indexed_engine_path, target_path, *extra):
+        return main(
+            [
+                "query",
+                "--engine",
+                str(indexed_engine_path),
+                "--target",
+                str(target_path),
+                "-k",
+                "3",
+                *extra,
+            ]
+        )
+
+    def test_json_emits_query_response(
+        self, indexed_engine_path, target_path, capsys
+    ):
+        import json as json_module
+
+        from repro.core.api import QueryResponse
+
+        exit_code = self._query(indexed_engine_path, target_path, "--json")
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        payload = json_module.loads(captured)
+        assert payload["format"] == "d3l.query_response/v1"
+        assert payload["mode"] == "table"
+        assert payload["results"]
+        restored = QueryResponse.from_dict(payload)
+        assert restored.to_dict() == payload
+
+    def test_json_honours_explain(self, indexed_engine_path, target_path, capsys):
+        import json as json_module
+
+        exit_code = self._query(
+            indexed_engine_path, target_path, "--json", "--explain"
+        )
+        payload = json_module.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["explain"] is True
+        assert payload["results"][0]["evidence_distances"]
+
+    def test_evidence_subset_accepted(
+        self, indexed_engine_path, target_path, capsys
+    ):
+        exit_code = self._query(
+            indexed_engine_path, target_path, "--evidence", "N,V"
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Top-3 datasets" in captured
+
+    def test_unknown_evidence_rejected(
+        self, indexed_engine_path, target_path, capsys
+    ):
+        exit_code = self._query(
+            indexed_engine_path, target_path, "--evidence", "N,bogus"
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "unknown evidence type" in captured.err
+
+    def test_explain_adds_decomposition_column(
+        self, indexed_engine_path, target_path, capsys
+    ):
+        exit_code = self._query(indexed_engine_path, target_path, "--explain")
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "DN=" in captured or "evidence" in captured
+
+    def test_json_and_joins_conflict(
+        self, indexed_engine_path, target_path, capsys
+    ):
+        exit_code = self._query(
+            indexed_engine_path, target_path, "--json", "--joins"
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "cannot be combined" in captured.err

@@ -1,0 +1,425 @@
+"""Tests for the unified discovery-service API (``repro.core.api``).
+
+The protocol contract: a frozen, validated ``QueryRequest``; a
+``QueryResponse`` that round-trips losslessly through JSON; a planner that
+every entry point funnels through (so the deprecated shims and the session
+answer identically); and a ``DiscoverySession`` whose profile cache is
+invalidated on lake mutation and never changes an answer.
+"""
+
+import dataclasses
+import json
+import warnings
+
+import pytest
+
+from repro.core.api import (
+    DiscoverySession,
+    QueryRequest,
+    QueryResponse,
+    execute,
+)
+from repro.core.config import D3LConfig
+from repro.core.discovery import D3L
+from repro.core.evidence import EvidenceType
+from repro.core.persistence import PersistenceError, load_session, save_session
+from repro.core.weights import EvidenceWeights
+from repro.tables.table import Table
+
+
+@pytest.fixture()
+def mutable_engine(figure1_tables, fast_config):
+    """A small engine private to the test (safe to mutate)."""
+    engine = D3L(config=fast_config)
+    engine.index_lake(figure1_tables["lake"])
+    return engine
+
+
+@pytest.fixture()
+def extra_table():
+    return Table.from_dict(
+        "clinics_extra",
+        {
+            "Clinic": ["Ordsall Health", "Harpurhey Practice"],
+            "City": ["Salford", "Manchester"],
+            "Postcode": ["M5 3EL", "M9 4BP"],
+        },
+    )
+
+
+class TestQueryRequestValidation:
+    def test_rejects_nonpositive_k(self, figure1_tables):
+        target = figure1_tables["target"]
+        with pytest.raises(ValueError, match="^k must be positive$"):
+            QueryRequest(target=target, k=0)
+        with pytest.raises(ValueError, match="^k must be positive$"):
+            QueryRequest(target=target, k=-3)
+
+    def test_rejects_non_integer_k(self, figure1_tables):
+        with pytest.raises(ValueError, match="k must be an integer"):
+            QueryRequest(target=figure1_tables["target"], k=2.5)
+
+    def test_rejects_unknown_evidence(self, figure1_tables):
+        with pytest.raises(ValueError, match="unknown evidence type 'X'"):
+            QueryRequest(target=figure1_tables["target"], evidence=["X"])
+
+    def test_rejects_empty_evidence(self, figure1_tables):
+        with pytest.raises(ValueError, match="evidence subset must not be empty"):
+            QueryRequest(target=figure1_tables["target"], evidence=[])
+
+    def test_accepts_codes_names_and_members(self, figure1_tables):
+        request = QueryRequest(
+            target=figure1_tables["target"],
+            evidence=["N", "value", EvidenceType.FORMAT],
+        )
+        assert request.evidence == (
+            EvidenceType.NAME,
+            EvidenceType.VALUE,
+            EvidenceType.FORMAT,
+        )
+
+    def test_rejects_nonpositive_workers(self, figure1_tables):
+        with pytest.raises(ValueError, match="^workers must be positive$"):
+            QueryRequest(target=figure1_tables["target"], workers=0)
+
+    def test_rejects_unknown_engine(self, figure1_tables):
+        with pytest.raises(ValueError, match="unknown engine"):
+            QueryRequest(target=figure1_tables["target"], engine="quantum")
+
+    def test_rejects_negative_weights(self, figure1_tables):
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            QueryRequest(
+                target=figure1_tables["target"], weights={EvidenceType.NAME: -1.0}
+            )
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            QueryRequest(target=figure1_tables["target"], weights={"V": float("nan")})
+
+    def test_rejects_unknown_attribute(self, figure1_tables):
+        with pytest.raises(KeyError, match="has no attribute 'NotAColumn'"):
+            QueryRequest(target=figure1_tables["target"], attributes=["NotAColumn"])
+
+    def test_rejects_attributes_on_profiles(self, figure1_engine, figure1_tables):
+        profile = figure1_engine.profile_target(figure1_tables["target"])
+        with pytest.raises(ValueError, match="raw Table target"):
+            QueryRequest(target=profile, attributes=["City"])
+
+    def test_rejects_evidence_with_attributes(self, figure1_tables):
+        with pytest.raises(ValueError, match="not supported for attribute-level"):
+            QueryRequest(
+                target=figure1_tables["target"], attributes=["City"], evidence=["N"]
+            )
+
+    def test_rejects_non_table_target(self):
+        with pytest.raises(TypeError, match="Table or a TableProfile"):
+            QueryRequest(target="not a table")
+
+    def test_request_is_frozen(self, figure1_tables):
+        request = QueryRequest(target=figure1_tables["target"])
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.k = 3
+
+    def test_reuses_config_error_message_format(self):
+        """Satellite: QueryRequest and D3LConfig share validation wording."""
+        with pytest.raises(ValueError, match="^num_hashes must be positive$"):
+            D3LConfig(num_hashes=-4)
+        with pytest.raises(ValueError, match="^k must be positive$"):
+            QueryRequest(target=Table.from_dict("t", {"a": ["x"]}), k=0)
+
+
+class TestQueryResponseRoundTrip:
+    @pytest.mark.parametrize("explain", [False, True])
+    def test_table_mode_lossless(self, figure1_engine, figure1_tables, explain):
+        session = DiscoverySession(figure1_engine)
+        response = session.submit(
+            QueryRequest(target=figure1_tables["target"], k=2, explain=explain)
+        )
+        wire = json.loads(json.dumps(response.to_dict()))
+        restored = QueryResponse.from_dict(wire)
+        assert restored == response
+        assert restored.to_dict() == response.to_dict()
+
+    def test_attribute_mode_lossless(self, figure1_engine, figure1_tables):
+        session = DiscoverySession(figure1_engine)
+        response = session.related_attributes(
+            figure1_tables["target"], k=3, explain=True
+        )
+        wire = json.loads(json.dumps(response.to_dict()))
+        assert QueryResponse.from_dict(wire) == response
+
+    def test_rejects_foreign_format(self):
+        with pytest.raises(ValueError, match="is not"):
+            QueryResponse.from_dict({"format": "something/v9"})
+
+    def test_truncated_keeps_only_top_k(self, figure1_engine, figure1_tables):
+        session = DiscoverySession(figure1_engine)
+        response = session.submit(
+            QueryRequest(target=figure1_tables["target"], k=1, exclude_self=False)
+        )
+        assert len(response.results) > 1  # full candidate ranking retained
+        sliced = response.truncated()
+        assert len(sliced.results) == 1
+        assert sliced.results == response.top(1)
+        assert len(response.results) > 1  # original untouched
+        wire = json.loads(json.dumps(sliced.to_dict()))
+        assert QueryResponse.from_dict(wire) == sliced
+
+    def test_explain_carries_decomposition_and_weights(
+        self, figure1_engine, figure1_tables
+    ):
+        session = DiscoverySession(figure1_engine)
+        response = session.submit(
+            QueryRequest(target=figure1_tables["target"], k=2, explain=True)
+        )
+        top = response.top()[0]
+        assert set(top.evidence_distances) == set(EvidenceType.all())
+        assert top.matches, "explain responses carry attribute alignments"
+        match = top.matches[0]
+        assert set(match.distances) == set(EvidenceType.all())
+        assert set(match.weights) == set(EvidenceType.all())
+        plain = session.submit(QueryRequest(target=figure1_tables["target"], k=2))
+        assert plain.top()[0].evidence_distances is None
+        assert plain.top()[0].matches is None
+
+
+class TestPlannerEquivalence:
+    """submit() must be bit-identical to the sequential oracle."""
+
+    EVIDENCE_SUBSETS = [
+        None,
+        (EvidenceType.NAME,),
+        (EvidenceType.VALUE, EvidenceType.FORMAT),
+        (EvidenceType.EMBEDDING,),
+        EvidenceType.all(),
+    ]
+
+    @pytest.mark.parametrize("evidence", EVIDENCE_SUBSETS)
+    def test_session_matches_oracle_per_evidence(
+        self, indexed_d3l, small_synthetic_benchmark, evidence
+    ):
+        target = small_synthetic_benchmark.lake.tables[0]
+        session = DiscoverySession(indexed_d3l)
+        response = session.submit(QueryRequest(target=target, k=5, evidence=evidence))
+        oracle = indexed_d3l._execute_query(target, k=5, evidence_types=evidence)
+        assert [(r.table_name, r.distance) for r in response.results] == [
+            (r.table_name, r.distance) for r in oracle.results
+        ]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_session_matches_oracle_across_workers(
+        self, indexed_d3l, small_synthetic_benchmark, workers
+    ):
+        target = small_synthetic_benchmark.lake.tables[2]
+        session = DiscoverySession(indexed_d3l)
+        response = session.submit(QueryRequest(target=target, k=5, workers=workers))
+        oracle = indexed_d3l._execute_query(target, k=5)
+        assert [(r.table_name, r.distance) for r in response.results] == [
+            (r.table_name, r.distance) for r in oracle.results
+        ]
+
+    def test_sequential_engine_request(self, indexed_d3l, small_synthetic_benchmark):
+        target = small_synthetic_benchmark.lake.tables[1]
+        session = DiscoverySession(indexed_d3l)
+        sequential = session.submit(
+            QueryRequest(target=target, k=5, engine="sequential")
+        )
+        batched = session.submit(QueryRequest(target=target, k=5))
+        assert [(r.table_name, r.distance) for r in sequential.results] == [
+            (r.table_name, r.distance) for r in batched.results
+        ]
+
+    def test_attribute_mode_matches_bulk(self, indexed_d3l, small_synthetic_benchmark):
+        target = small_synthetic_benchmark.lake.tables[0]
+        session = DiscoverySession(indexed_d3l)
+        response = session.related_attributes(target, k=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            bulk = indexed_d3l.related_attributes_bulk(target, k=4)
+        assert set(response.attribute_results) == set(bulk)
+        for name, entries in bulk.items():
+            assert [(entry.ref, entry.distance) for entry in entries] == [
+                (entry.source, entry.distance)
+                for entry in response.attribute_results[name]
+            ]
+
+    def test_cached_submit_is_identical(self, indexed_d3l, small_synthetic_benchmark):
+        target = small_synthetic_benchmark.lake.tables[3]
+        session = DiscoverySession(indexed_d3l)
+        first = session.submit(QueryRequest(target=target, k=5, explain=True))
+        second = session.submit(QueryRequest(target=target, k=5, explain=True))
+        assert session.cache_info()["hits"] == 1
+        assert first == second
+
+    def test_weight_overrides_respected(self, indexed_d3l, small_synthetic_benchmark):
+        target = small_synthetic_benchmark.lake.tables[0]
+        session = DiscoverySession(indexed_d3l)
+        weights = EvidenceWeights.single(EvidenceType.VALUE)
+        response = session.submit(QueryRequest(target=target, k=5, weights=weights))
+        oracle = indexed_d3l._execute_query(target, k=5, weights=weights)
+        assert [(r.table_name, r.distance) for r in response.results] == [
+            (r.table_name, r.distance) for r in oracle.results
+        ]
+        assert response.ranking_weights[EvidenceType.VALUE] == 1.0
+        assert response.ranking_weights[EvidenceType.NAME] == 0.0
+
+
+class TestDeprecatedShims:
+    def test_query_warns_and_matches(self, figure1_engine, figure1_tables):
+        target = figure1_tables["target"]
+        with pytest.warns(DeprecationWarning, match="D3L.query is deprecated"):
+            legacy = figure1_engine.query(target, k=2)
+        oracle = figure1_engine._execute_query(target, k=2)
+        assert [(r.table_name, r.distance) for r in legacy.results] == [
+            (r.table_name, r.distance) for r in oracle.results
+        ]
+
+    def test_query_batch_warns(self, figure1_engine, figure1_tables):
+        with pytest.warns(DeprecationWarning, match="D3L.query_batch is deprecated"):
+            figure1_engine.query_batch(figure1_tables["target"], k=2)
+
+    def test_related_attributes_warns(self, figure1_engine, figure1_tables):
+        with pytest.warns(
+            DeprecationWarning, match="D3L.related_attributes is deprecated"
+        ):
+            figure1_engine.related_attributes(figure1_tables["target"], "City", k=2)
+
+    def test_related_attributes_bulk_warns(self, figure1_engine, figure1_tables):
+        with pytest.warns(
+            DeprecationWarning, match="D3L.related_attributes_bulk is deprecated"
+        ):
+            figure1_engine.related_attributes_bulk(figure1_tables["target"], k=2)
+
+    def test_shim_validation_is_shared(self, figure1_engine, figure1_tables):
+        """Satellite: the shims reject bad k / unknown attributes uniformly."""
+        target = figure1_tables["target"]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="^k must be positive$"):
+                figure1_engine.related_attributes(target, "City", k=0)
+            with pytest.raises(ValueError, match="^k must be positive$"):
+                figure1_engine.related_attributes_bulk(target, k=-1)
+            with pytest.raises(KeyError, match="has no attribute"):
+                figure1_engine.related_attributes(target, "NotAColumn", k=3)
+            with pytest.raises(ValueError, match="^k must be positive$"):
+                figure1_engine.query(target, k=0)
+
+
+class TestSessionCacheLifecycle:
+    def test_cache_invalidated_on_index_table(
+        self, mutable_engine, figure1_tables, extra_table
+    ):
+        target = figure1_tables["target"]
+        session = DiscoverySession(mutable_engine)
+        session.submit(QueryRequest(target=target, k=2))
+        session.submit(QueryRequest(target=target, k=2))
+        assert session.cache_info() == {
+            "hits": 1,
+            "misses": 1,
+            "size": 1,
+            "capacity": 64,
+        }
+        mutable_engine.index_table(extra_table)
+        response = session.submit(QueryRequest(target=target, k=5))
+        assert session.cache_info()["misses"] == 2
+        oracle = mutable_engine._execute_query(target, k=5)
+        assert [(r.table_name, r.distance) for r in response.results] == [
+            (r.table_name, r.distance) for r in oracle.results
+        ]
+        assert "clinics_extra" in {r.table_name for r in response.results}
+
+    def test_cache_invalidated_on_remove_table(self, mutable_engine, figure1_tables):
+        target = figure1_tables["target"]
+        session = DiscoverySession(mutable_engine)
+        session.submit(QueryRequest(target=target, k=2))
+        assert mutable_engine.remove_table("gp_funding_s2")
+        response = session.submit(QueryRequest(target=target, k=5))
+        assert session.cache_info()["misses"] == 2
+        assert "gp_funding_s2" not in {r.table_name for r in response.results}
+
+    def test_lru_eviction(self, mutable_engine, figure1_tables):
+        session = DiscoverySession(mutable_engine, profile_cache_size=1)
+        first = figure1_tables["target"]
+        second = figure1_tables["sources"][0]
+        session.submit(QueryRequest(target=first, k=2, exclude_self=False))
+        session.submit(QueryRequest(target=second, k=2, exclude_self=False))
+        assert session.cache_info()["size"] == 1
+        session.submit(QueryRequest(target=first, k=2, exclude_self=False))
+        assert session.cache_info() == {
+            "hits": 0,
+            "misses": 3,
+            "size": 1,
+            "capacity": 1,
+        }
+
+    def test_rejects_nonpositive_capacity(self, mutable_engine):
+        with pytest.raises(ValueError, match="profile_cache_size must be positive"):
+            DiscoverySession(mutable_engine, profile_cache_size=0)
+
+    def test_cache_invalidated_on_indexes_rebind(
+        self, mutable_engine, figure1_tables, fast_config
+    ):
+        """Rebinding engine.indexes (e.g. after a restore) must drop the cache,
+        even though a fresh indexes object restarts the version counter."""
+        target = figure1_tables["target"]
+        session = DiscoverySession(mutable_engine)
+        session.submit(QueryRequest(target=target, k=2))
+        replacement = D3L(config=fast_config)
+        replacement.index_lake(figure1_tables["lake"])
+        mutable_engine.indexes = replacement.indexes
+        response = session.submit(QueryRequest(target=target, k=2))
+        assert session.cache_info()["misses"] == 2
+        oracle = mutable_engine._execute_query(target, k=2)
+        assert [(r.table_name, r.distance) for r in response.results] == [
+            (r.table_name, r.distance) for r in oracle.results
+        ]
+
+    def test_profile_targets_are_cached_by_identity(
+        self, mutable_engine, figure1_tables
+    ):
+        profile = mutable_engine.profile_target(figure1_tables["target"])
+        session = DiscoverySession(mutable_engine)
+        session.submit(QueryRequest(target=profile, k=2))
+        session.submit(QueryRequest(target=profile, k=2))
+        assert session.cache_info()["hits"] == 1
+
+
+class TestSessionPersistence:
+    def test_round_trip(self, figure1_engine, figure1_tables, tmp_path):
+        session = DiscoverySession(figure1_engine, profile_cache_size=7)
+        target = figure1_tables["target"]
+        before = session.submit(QueryRequest(target=target, k=2, explain=True))
+        path = save_session(session, tmp_path / "session.pkl")
+        restored = load_session(path)
+        assert restored.profile_cache_size == 7
+        after = restored.submit(QueryRequest(target=target, k=2, explain=True))
+        assert after == before
+
+    def test_session_save_method(self, figure1_engine, tmp_path):
+        session = DiscoverySession(figure1_engine)
+        path = session.save(tmp_path / "via_method.pkl")
+        assert load_session(path).profile_cache_size == session.profile_cache_size
+
+    def test_rejects_engine_payloads(self, figure1_engine, tmp_path):
+        from repro.core.persistence import save_engine
+
+        path = save_engine(figure1_engine, tmp_path / "engine.pkl")
+        with pytest.raises(PersistenceError, match="d3l_session"):
+            load_session(path)
+
+
+class TestExecutePlanner:
+    def test_returns_legacy_and_response(self, figure1_engine, figure1_tables):
+        request = QueryRequest(target=figure1_tables["target"], k=2)
+        execution = execute(figure1_engine, request)
+        assert [(r.table_name, r.distance) for r in execution.legacy.results] == [
+            (r.table_name, r.distance) for r in execution.response.results
+        ]
+        assert execution.response.mode == "table"
+        assert execution.response.engine == "batched"
+
+    def test_attribute_mode_legacy_shape(self, figure1_engine, figure1_tables):
+        request = QueryRequest(
+            target=figure1_tables["target"], k=3, attributes=("City", "Postcode")
+        )
+        execution = execute(figure1_engine, request)
+        assert set(execution.legacy) == {"City", "Postcode"}
+        assert execution.response.mode == "attributes"

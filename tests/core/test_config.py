@@ -60,3 +60,38 @@ class TestValidation:
     def test_rejects_bad_join_path_length(self):
         with pytest.raises(ValueError):
             D3LConfig(max_join_path_length=0)
+
+    def test_rejects_negative_hash_counts(self):
+        with pytest.raises(ValueError, match="^num_hashes must be positive$"):
+            D3LConfig(num_hashes=-256)
+        with pytest.raises(ValueError, match="^qgram_size must be positive$"):
+            D3LConfig(qgram_size=-4)
+
+    def test_rejects_out_of_range_thresholds(self):
+        with pytest.raises(ValueError, match=r"^lsh_threshold must be in \(0, 1\)$"):
+            D3LConfig(lsh_threshold=-0.3)
+        with pytest.raises(ValueError, match=r"^lsh_threshold must be in \(0, 1\)$"):
+            D3LConfig(lsh_threshold=1.7)
+        with pytest.raises(ValueError, match=r"^overlap_threshold must be in \(0, 1\]$"):
+            D3LConfig(overlap_threshold=1.2)
+
+
+class TestSharedValidationHelpers:
+    """The config helpers are the validation surface QueryRequest reuses."""
+
+    def test_require_positive_message(self):
+        from repro.core.config import require_positive
+
+        with pytest.raises(ValueError, match="^widgets must be positive$"):
+            require_positive("widgets", 0)
+        require_positive("widgets", 1)  # no raise
+
+    def test_query_request_shares_the_helper(self):
+        from repro.core.api import QueryRequest
+        from repro.tables.table import Table
+
+        target = Table.from_dict("t", {"a": ["x", "y"]})
+        with pytest.raises(ValueError, match="^k must be positive$"):
+            QueryRequest(target=target, k=0)
+        with pytest.raises(ValueError, match="^workers must be positive$"):
+            QueryRequest(target=target, workers=-2)
