@@ -34,6 +34,14 @@ A session-cache section times repeated-target serving through
 targets skips re-profiling/re-signing and must beat the uncached path
 (tracked floor: >= 2x at 1000 attributes) with bit-identical rankings.
 
+A join-graph section times batched SA-join graph construction
+(``SAJoinGraph.build``: stored-signature probes, shared per-tree forest
+descents, vectorized estimated-overlap pre-filter, batched verification)
+against the scalar probe-at-a-time ``build_sequential`` over a lake of
+per-family SA-join cliques, verifying that the two — and the
+``workers=PARALLEL_WORKERS`` sharded verification — produce identical edge
+sets before trusting the timings (tracked floor: >= 3x at 1000 attributes).
+
 Run directly (writes ``BENCH_hot_paths.json`` at the repository root)::
 
     PYTHONPATH=src python benchmarks/bench_perf_hot_paths.py
@@ -92,6 +100,19 @@ BATCHED_QUERY_SPEEDUP_FLOOR = 3.0
 #: at 1000 attributes.  The session memoizes each target's Algorithm 1 profile
 #: and query signatures, so the warm sweep skips re-profiling entirely.
 SESSION_CACHE_SPEEDUP_FLOOR = 2.0
+#: Tracked floor: batched SA-join graph construction (stored-signature probes,
+#: shared per-tree forest passes, vectorized estimated-overlap pre-filter) vs
+#: the scalar probe-at-a-time build, at 1000 attributes, with the edge sets
+#: verified identical before any timing is trusted.
+JOIN_GRAPH_SPEEDUP_FLOOR = 3.0
+#: Join-graph workload shape: entity rows per table and the per-family entity
+#: pool the tables sample them from (value samples near the profile cap, so
+#: exact verification has realistic per-pair cost).
+JOIN_BENCH_ROWS = 420
+JOIN_BENCH_ENTITY_POOL = 520
+#: Tables per subject-entity family in the join-graph workload (each family
+#: becomes a clique of genuinely SA-joinable tables).
+JOIN_BENCH_FAMILY_SIZE = 5
 #: Batched-query workload: answer size, candidate pool, table shape, targets.
 BATCH_QUERY_TOP_K = 25
 BATCH_QUERY_MIN_CANDIDATES = 300
@@ -500,6 +521,107 @@ def _bench_session_cache(count: int, seed: int) -> Dict[str, object]:
     }
 
 
+def _join_lake(num_attributes: int, seed: int):
+    """A lake whose tables form per-family SA-join cliques.
+
+    Every table's leftmost column holds entity names sampled from its
+    family's pool (high distinctness, so the subject-attribute heuristic
+    picks it), making same-family tables genuinely SA-joinable with value
+    overlaps above the default τ = 0.7; entity tokens are family-unique so
+    cross-family candidates are junk the pre-filter must reject.  The
+    remaining columns are the usual mixed numeric/text filler sharing a
+    global vocabulary, which keeps the value index busy with non-subject
+    attributes the way a real lake is.
+    """
+    from repro.lake.datalake import DataLake
+    from repro.tables.table import Table
+
+    rng = random.Random(seed)
+    cities = ["belfast", "salford", "manchester", "bolton", "leeds", "york"]
+    streets = ["church", "chapel", "station", "victoria", "market", "mill", "park"]
+    num_tables = max(1, num_attributes // COLUMNS_PER_TABLE)
+    num_families = max(2, num_tables // JOIN_BENCH_FAMILY_SIZE)
+    pools = [
+        [f"fam{family}x{i:04d} clinic" for i in range(JOIN_BENCH_ENTITY_POOL)]
+        for family in range(num_families)
+    ]
+    tables = []
+    for table_index in range(num_tables):
+        family = table_index % num_families
+        columns = {"entity": rng.sample(pools[family], k=JOIN_BENCH_ROWS)}
+        for column_index in range(2):
+            columns[f"metric{column_index}"] = [
+                round(rng.gauss(10 * family, 3.0), 3) for _ in range(JOIN_BENCH_ROWS)
+            ]
+        for column_index in range(COLUMNS_PER_TABLE - 3):
+            columns[f"text{column_index}"] = [
+                f"{rng.randrange(99)} {rng.choice(streets)} st {rng.choice(cities)}"
+                for _ in range(JOIN_BENCH_ROWS)
+            ]
+        tables.append(Table.from_dict(f"join{table_index:04d}", columns))
+    return DataLake(f"join_bench{num_attributes}", tables)
+
+
+def _join_edge_set(graph) -> Dict[tuple, tuple]:
+    """Canonical edge map of an SA-join graph, for exact set comparison."""
+    return {
+        tuple(sorted(pair)): (
+            graph.edge(*pair).left,
+            graph.edge(*pair).right,
+            graph.edge(*pair).overlap,
+        )
+        for pair in graph.graph.edges
+    }
+
+
+def _bench_join_graph_build(count: int, seed: int) -> Dict[str, object]:
+    """Batched SA-join graph construction vs the scalar probe-at-a-time build.
+
+    Both paths block with the same ``join_candidate_pool`` value-index
+    lookups; the batched path additionally reuses the stored probe
+    signatures, shares the forest descents across probes
+    (``LSHForest.multi_query``), and drops junk pairs with the vectorized
+    estimated-overlap pre-filter before exact verification.  Edge sets are
+    verified identical — batched vs sequential, and ``workers=1`` vs the
+    ``workers=PARALLEL_WORKERS`` sharded verification — before any timing is
+    trusted.
+    """
+    from repro.core.config import D3LConfig
+    from repro.core.discovery import D3L
+    from repro.core.joins import SAJoinGraph
+
+    lake = _join_lake(count, seed)
+    config = D3LConfig(num_hashes=NUM_HASHES, num_trees=NUM_TREES, embedding_dimension=32)
+    engine = D3L(config=config)
+    engine.index_lake(lake)
+    indexes = engine.indexes
+
+    batched = SAJoinGraph.build(indexes, config)
+    sequential = SAJoinGraph.build_sequential(indexes, config)
+    sharded = SAJoinGraph.build(indexes, config, workers=PARALLEL_WORKERS)
+    edges_identical = _join_edge_set(batched) == _join_edge_set(sequential)
+    workers_identical = _join_edge_set(batched) == _join_edge_set(sharded)
+
+    sequential_seconds = min(
+        _timed(lambda: SAJoinGraph.build_sequential(indexes, config)) for _ in range(3)
+    )
+    batched_seconds = min(
+        _timed(lambda: SAJoinGraph.build(indexes, config)) for _ in range(3)
+    )
+    return {
+        "num_tables": len(lake),
+        "num_attributes": indexes.attribute_count,
+        "num_edges": batched.edge_count(),
+        "candidate_pool": config.join_candidate_pool,
+        "sequential_seconds": sequential_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": sequential_seconds / max(batched_seconds, 1e-12),
+        "edges_identical": edges_identical,
+        "parallel_workers": PARALLEL_WORKERS,
+        "workers_edges_identical": workers_identical,
+    }
+
+
 def _bench_index_construction(count: int, seed: int) -> Dict[str, object]:
     """Signature batching plus end-to-end sharded construction on one lake."""
     from repro.core.config import D3LConfig
@@ -562,6 +684,7 @@ def bench_lake_size(count: int, seed: int = 7) -> Dict[str, object]:
         "index_construction": _bench_index_construction(count, seed + 2),
         "batched_query": _bench_batched_query(count, seed + 3),
         "session_cache": _bench_session_cache(count, seed + 4),
+        "join_graph_build": _bench_join_graph_build(count, seed + 5),
         "rankings_identical": rankings_identical,
     }
 
@@ -592,6 +715,7 @@ def main() -> int:
         end_to_end = construction["end_to_end"]
         batched_query = entry["batched_query"]
         session_cache = entry["session_cache"]
+        join_graph = entry["join_graph_build"]
         print(
             f"n={entry['num_attributes']:>5}  "
             f"index: {entry['index_seconds']['speedup']:.1f}x  "
@@ -599,11 +723,12 @@ def main() -> int:
             f"sig-batch: {batching['speedup']:.1f}x  "
             f"batch-query: {batched_query['speedup']:.1f}x  "
             f"session-cache: {session_cache['cache_speedup']:.1f}x  "
+            f"join-graph: {join_graph['speedup']:.1f}x  "
             f"e2e: {end_to_end['serial_attrs_per_second']:.0f} attrs/s serial, "
             f"{end_to_end['parallel_attrs_per_second']:.0f} attrs/s "
             f"x{end_to_end['parallel_workers']}  "
             f"identical: "
-            f"{entry['rankings_identical'] and batching['signatures_identical'] and batched_query['rankings_identical'] and batched_query['workers_rankings_identical'] and session_cache['rankings_identical']}"
+            f"{entry['rankings_identical'] and batching['signatures_identical'] and batched_query['rankings_identical'] and batched_query['workers_rankings_identical'] and session_cache['rankings_identical'] and join_graph['edges_identical'] and join_graph['workers_edges_identical']}"
         )
     print(f"wrote {RESULT_PATH}")
     failures = [
@@ -614,6 +739,8 @@ def main() -> int:
         or not entry["batched_query"]["rankings_identical"]
         or not entry["batched_query"]["workers_rankings_identical"]
         or not entry["session_cache"]["rankings_identical"]
+        or not entry["join_graph_build"]["edges_identical"]
+        or not entry["join_graph_build"]["workers_edges_identical"]
     ]
     largest = payload["results"][-1]
     batching_speedup = largest["index_construction"]["signature_batching"]["speedup"]
@@ -642,6 +769,13 @@ def main() -> int:
         print(
             f"FLOOR VIOLATION: session cache speedup {session_speedup:.1f}x "
             f"< {SESSION_CACHE_SPEEDUP_FLOOR}x at {largest['num_attributes']} attributes"
+        )
+        failures.append(largest["num_attributes"])
+    join_speedup = largest["join_graph_build"]["speedup"]
+    if join_speedup < JOIN_GRAPH_SPEEDUP_FLOOR:
+        print(
+            f"FLOOR VIOLATION: join graph build speedup {join_speedup:.1f}x "
+            f"< {JOIN_GRAPH_SPEEDUP_FLOOR}x at {largest['num_attributes']} attributes"
         )
         failures.append(largest["num_attributes"])
     return 1 if failures else 0

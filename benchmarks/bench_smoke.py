@@ -15,7 +15,10 @@ the piece small enough to wire into tier-1 (see
   including the bulk ``related_attributes`` path, and
 * exercises the serving API on the same lake: ``DiscoverySession`` answers
   must match the deprecated shims and the oracle, and ``QueryResponse``
-  must survive a ``to_dict`` → JSON → ``from_dict`` round trip losslessly.
+  must survive a ``to_dict`` → JSON → ``from_dict`` round trip losslessly, and
+* checks the join-path surface: the batched SA-join graph build must equal
+  the scalar ``build_sequential`` oracle edge for edge, and a ``joins=True``
+  request's ``join_paths`` block must round-trip through the wire format.
 
 Run directly::
 
@@ -53,6 +56,7 @@ RESULT_KEYS = (
     "index_construction",
     "batched_query",
     "session_cache",
+    "join_graph_build",
     "rankings_identical",
 )
 SPEEDUP_SECTION_KEYS = ("vectorized", "scalar", "speedup")
@@ -96,6 +100,18 @@ SESSION_CACHE_KEYS = (
     "cache_misses",
     "rankings_identical",
 )
+JOIN_GRAPH_KEYS = (
+    "num_tables",
+    "num_attributes",
+    "num_edges",
+    "candidate_pool",
+    "sequential_seconds",
+    "batched_seconds",
+    "speedup",
+    "edges_identical",
+    "parallel_workers",
+    "workers_edges_identical",
+)
 
 
 def validate_hot_paths_payload(payload: Dict[str, object]) -> List[str]:
@@ -130,6 +146,9 @@ def validate_hot_paths_payload(payload: Dict[str, object]) -> List[str]:
         for key in SESSION_CACHE_KEYS:
             if key not in entry.get("session_cache", {}):
                 problems.append(f"result n={size}: session_cache missing {key!r}")
+        for key in JOIN_GRAPH_KEYS:
+            if key not in entry.get("join_graph_build", {}):
+                problems.append(f"result n={size}: join_graph_build missing {key!r}")
     return problems
 
 
@@ -146,6 +165,7 @@ def _check_floors() -> List[str]:
         "QUERY_SPEEDUP_FLOOR",
         "BATCHED_QUERY_SPEEDUP_FLOOR",
         "SESSION_CACHE_SPEEDUP_FLOOR",
+        "JOIN_GRAPH_SPEEDUP_FLOOR",
     ):
         floor = getattr(hot_paths, name, None)
         if not isinstance(floor, (int, float)) or floor < 1.0:
@@ -263,6 +283,45 @@ def _check_api_roundtrip(corpus, engine) -> List[str]:
     return problems
 
 
+def _check_join_serving(corpus, engine) -> List[str]:
+    """Join-path serving: batched-vs-sequential build equivalence + the wire.
+
+    Tier-1 guards over the D3L+J surface: the batched SA-join graph build
+    must produce the identical edge set to the scalar probe-at-a-time
+    oracle, and a ``joins=True`` request must put a ``join_paths`` block on
+    the wire that survives ``to_dict`` → JSON → ``from_dict`` losslessly.
+    """
+    from repro.core.api import DiscoverySession, QueryRequest, QueryResponse
+    from repro.core.joins import SAJoinGraph
+
+    problems: List[str] = []
+    batched = SAJoinGraph.build(engine.indexes, engine.config)
+    sequential = SAJoinGraph.build_sequential(engine.indexes, engine.config)
+
+    def edge_map(graph):
+        return {
+            tuple(sorted(pair)): (
+                graph.edge(*pair).left,
+                graph.edge(*pair).right,
+                graph.edge(*pair).overlap,
+            )
+            for pair in graph.graph.edges
+        }
+
+    if edge_map(batched) != edge_map(sequential):
+        problems.append("batched SA-join graph build diverges from build_sequential")
+    session = DiscoverySession(engine)
+    target = corpus.lake.tables[0]
+    response = session.submit(QueryRequest(target=target, k=5, joins=True))
+    if response.join_paths is None:
+        problems.append("joins=True response is missing the join_paths block")
+        return problems
+    wire = json.loads(json.dumps(response.to_dict()))
+    if QueryResponse.from_dict(wire) != response:
+        problems.append("join_paths QueryResponse JSON round trip is lossy")
+    return problems
+
+
 def run_quick() -> List[str]:
     """Every quick check; returns the list of problems found."""
     import warnings
@@ -274,6 +333,7 @@ def run_quick() -> List[str]:
         warnings.simplefilter("ignore", DeprecationWarning)
         problems += _check_tiny_lake_equivalence(corpus, engine)
         problems += _check_api_roundtrip(corpus, engine)
+        problems += _check_join_serving(corpus, engine)
     return problems
 
 

@@ -50,7 +50,9 @@ def main() -> None:
     k = 5
     print(f"Target: {target.name}  ({target.arity} attributes)")
 
-    augmented = engine.query_with_joins(target, k=k)
+    from repro.core.api import QueryRequest, execute
+
+    augmented = execute(engine, QueryRequest(target=target, k=k, joins=True)).legacy
     answer = augmented.base
 
     joined_per_start = {

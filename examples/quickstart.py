@@ -101,19 +101,24 @@ def main() -> None:
         (entry.table_name, entry.distance) for entry in answer.results
     ], "deprecated D3L.query diverged from the DiscoverySession answer"
 
-    augmented = engine.query_with_joins(target, k=2)
+    # joins=True extends the same request with SA-join paths (Algorithm 3);
+    # the join_paths block also travels on the JSON wire format.
+    joined = session.submit(QueryRequest(target=target, k=2, joins=True))
+    block = joined.join_paths
     print("\nJoin paths from the top-k into the rest of the lake:")
-    if not augmented.join_paths:
+    if not block.paths:
         print("  (none found)")
-    for path in augmented.join_paths:
+    for path in block.paths:
         hops = " -> ".join(path.tables)
         via = ", ".join(f"{edge.left.column}~{edge.right.column}" for edge in path.edges)
         print(f"  {hops}   joining on: {via}")
+    if block.truncated:
+        print("  (enumeration capped by max_join_paths)")
 
     covered = set()
     for result in answer.top():
         covered |= result.covered_target_attributes()
-    for table_name in augmented.joined_tables:
+    for table_name in block.joined_tables:
         entry = answer.result_for(table_name)
         if entry is not None:
             covered |= entry.covered_target_attributes()

@@ -21,6 +21,7 @@ Quickstart::
 from repro.core.api import (
     AttributeRanking,
     DiscoverySession,
+    JoinPathsBlock,
     QueryRequest,
     QueryResponse,
     TableRanking,
@@ -49,6 +50,7 @@ __all__ = [
     "EvidenceType",
     "EvidenceWeights",
     "JoinAugmentedResult",
+    "JoinPathsBlock",
     "QueryRequest",
     "QueryResponse",
     "QueryResult",

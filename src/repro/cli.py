@@ -158,10 +158,6 @@ def _command_query(args: argparse.Namespace) -> int:
     if args.workers <= 0:
         print("--workers must be positive", file=sys.stderr)
         return 1
-    if args.json and args.joins:
-        print("--json and --joins cannot be combined (join paths are not part "
-              "of the QueryResponse wire format)", file=sys.stderr)
-        return 1
     engine = load_engine(args.engine)
     target = read_csv(args.target)
     evidence = (
@@ -182,6 +178,7 @@ def _command_query(args: argparse.Namespace) -> int:
             # in the explain payload); the JSON wire output honours --explain.
             explain=args.explain if args.json else True,
             exclude_self=not args.include_self,
+            joins=args.joins,
             workers=args.workers,
         )
     except (ValueError, KeyError) as error:
@@ -214,18 +211,14 @@ def _command_query(args: argparse.Namespace) -> int:
         return 0
     print(render_rows(rows, title=f"Top-{args.k} datasets related to {target.name}"))
 
-    if args.joins:
-        augmented = engine.query_with_joins(
-            target,
-            k=args.k,
-            evidence_types=request.evidence,
-            exclude_self=not args.include_self,
-        )
-        print(f"\nJoin paths found: {len(augmented.join_paths)}")
-        for path in augmented.join_paths[:20]:
+    if args.joins and response.join_paths is not None:
+        block = response.join_paths
+        suffix = " (truncated)" if block.truncated else ""
+        print(f"\nJoin paths found: {len(block.paths)}{suffix}")
+        for path in block.paths[:20]:
             print("  " + " -> ".join(path.tables))
-        if len(augmented.join_paths) > 20:
-            print(f"  ... and {len(augmented.join_paths) - 20} more")
+        if len(block.paths) > 20:
+            print(f"  ... and {len(block.paths) - 20} more")
     return 0
 
 

@@ -22,6 +22,7 @@ from repro.core.aggregation import (
 from repro.core.api import (
     AttributeRanking,
     DiscoverySession,
+    JoinPathsBlock,
     QueryRequest,
     QueryResponse,
     TableRanking,
@@ -36,7 +37,13 @@ from repro.core.discovery import (
 )
 from repro.core.evidence import EvidenceType
 from repro.core.indexes import D3LIndexes
-from repro.core.joins import JoinEdge, JoinPath, SAJoinGraph, find_join_paths
+from repro.core.joins import (
+    JoinEdge,
+    JoinPath,
+    JoinPathSearch,
+    SAJoinGraph,
+    find_join_paths,
+)
 from repro.core.persistence import (
     load_engine,
     load_indexes,
@@ -62,6 +69,8 @@ __all__ = [
     "EvidenceWeights",
     "JoinEdge",
     "JoinPath",
+    "JoinPathSearch",
+    "JoinPathsBlock",
     "QueryRequest",
     "QueryResponse",
     "QueryResult",

@@ -8,14 +8,15 @@ is the stable serving surface over that engine:
   query: the target (a raw :class:`~repro.tables.table.Table` or a
   pre-profiled :class:`~repro.core.profiles.TableProfile`), the answer size
   ``k``, an optional evidence-type subset, optional Equation 3 weight
-  overrides, the ``explain`` flag, and the fan-out ``workers``.  Requests
-  with ``attributes`` ask for attribute-level rankings instead of table
-  rankings.
+  overrides, the ``explain`` flag, the D3L+J ``joins`` flag, and the fan-out
+  ``workers``.  Requests with ``attributes`` ask for attribute-level
+  rankings instead of table rankings.
 * :class:`QueryResponse` — the machine-readable answer: ranked tables (or
   attributes) with, under ``explain``, the per-evidence distance
   decomposition of Equation 2 — including the CCDF aggregation weights of
   every alignment — plus the Equation 3 ranking weights that produced the
-  combined distances.  ``to_dict()``/``from_dict()`` round-trip losslessly
+  combined distances, and, for ``joins`` requests, the Algorithm 3
+  ``join_paths`` block.  ``to_dict()``/``from_dict()`` round-trip losslessly
   through JSON.
 * :func:`execute` — the single execution planner every entry point funnels
   through.  It dispatches to the batched/parallel kernels by default and to
@@ -43,11 +44,13 @@ from repro.core.config import require_positive
 from repro.core.discovery import (
     D3L,
     AttributeSearchResult,
+    JoinAugmentedResult,
     QueryResult,
     QueryTarget,
     attribute_signature_maps,
 )
 from repro.core.evidence import EvidenceType
+from repro.core.joins import JoinEdge, JoinPath
 from repro.core.profiles import AttributeMatch, TableProfile
 from repro.core.weights import EvidenceWeights
 from repro.lake.datalake import AttributeRef
@@ -152,6 +155,7 @@ class QueryRequest:
     weights: Optional[Union[EvidenceWeights, Mapping[object, float]]] = None
     exclude_self: bool = True
     explain: bool = False
+    joins: bool = False
     workers: int = 1
     engine: str = "batched"
 
@@ -189,6 +193,10 @@ class QueryRequest:
             if self.evidence is not None:
                 raise ValueError(
                     "evidence subsets are not supported for attribute-level requests"
+                )
+            if self.joins:
+                raise ValueError(
+                    "join paths are not supported for attribute-level requests"
                 )
             if self.workers > 1:
                 raise ValueError(
@@ -260,6 +268,21 @@ class AttributeRanking:
 
 
 @dataclass
+class JoinPathsBlock:
+    """The SA-join extension of a table-level response (``joins=True``).
+
+    ``paths`` are the Algorithm 3 join paths from the top-k tables,
+    ``joined_tables`` the (sorted) tables reached beyond the starting
+    tables, and ``truncated`` records whether the ``max_join_paths`` cap
+    stopped the enumeration before every start table was fully explored.
+    """
+
+    paths: List[JoinPath]
+    joined_tables: List[str]
+    truncated: bool = False
+
+
+@dataclass
 class QueryResponse:
     """The machine-readable answer to one :class:`QueryRequest`.
 
@@ -267,6 +290,8 @@ class QueryResponse:
     slicing with :meth:`top` answers the requested k, keeping sweeps over k
     cheap); ``attribute_results`` holds per-attribute rankings for
     attribute-level requests.  Exactly one of the two is populated.
+    ``join_paths`` carries the SA-join extension when the request asked for
+    ``joins`` (table-level only).
     """
 
     target_name: str
@@ -279,6 +304,7 @@ class QueryResponse:
     ranking_weights: Dict[EvidenceType, float]
     results: Optional[List[TableRanking]] = None
     attribute_results: Optional[Dict[str, List[AttributeRanking]]] = None
+    join_paths: Optional[JoinPathsBlock] = None
 
     # ------------------------------------------------------------------ #
     # convenience accessors
@@ -356,6 +382,9 @@ class QueryResponse:
                     for name, entries in self.attribute_results.items()
                 }
             ),
+            "join_paths": (
+                None if self.join_paths is None else _join_paths_to_dict(self.join_paths)
+            ),
         }
 
     @classmethod
@@ -369,6 +398,7 @@ class QueryResponse:
         evidence = payload.get("evidence")
         results = payload.get("results")
         attribute_results = payload.get("attribute_results")
+        join_paths = payload.get("join_paths")
         return cls(
             target_name=target["name"],
             target_arity=int(target["arity"]),
@@ -397,6 +427,9 @@ class QueryResponse:
                     name: [_attribute_ranking_from_dict(entry) for entry in entries]
                     for name, entries in attribute_results.items()
                 }
+            ),
+            join_paths=(
+                None if join_paths is None else _join_paths_from_dict(join_paths)
             ),
         )
 
@@ -480,6 +513,51 @@ def _attribute_ranking_from_dict(payload: Mapping[str, object]) -> AttributeRank
     )
 
 
+def _join_edge_to_dict(edge: JoinEdge) -> Dict[str, object]:
+    return {
+        "left": {"table": edge.left.table, "column": edge.left.column},
+        "right": {"table": edge.right.table, "column": edge.right.column},
+        "overlap": float(edge.overlap),
+    }
+
+
+def _join_edge_from_dict(payload: Mapping[str, object]) -> JoinEdge:
+    left, right = payload["left"], payload["right"]
+    return JoinEdge(
+        left=AttributeRef(left["table"], left["column"]),
+        right=AttributeRef(right["table"], right["column"]),
+        overlap=float(payload["overlap"]),
+    )
+
+
+def _join_paths_to_dict(block: JoinPathsBlock) -> Dict[str, object]:
+    return {
+        "paths": [
+            {
+                "tables": list(path.tables),
+                "edges": [_join_edge_to_dict(edge) for edge in path.edges],
+            }
+            for path in block.paths
+        ],
+        "joined_tables": list(block.joined_tables),
+        "truncated": bool(block.truncated),
+    }
+
+
+def _join_paths_from_dict(payload: Mapping[str, object]) -> JoinPathsBlock:
+    return JoinPathsBlock(
+        paths=[
+            JoinPath(
+                tables=list(entry["tables"]),
+                edges=[_join_edge_from_dict(edge) for edge in entry["edges"]],
+            )
+            for entry in payload["paths"]
+        ],
+        joined_tables=list(payload["joined_tables"]),
+        truncated=bool(payload["truncated"]),
+    )
+
+
 # --------------------------------------------------------------------------- #
 # the execution planner
 # --------------------------------------------------------------------------- #
@@ -511,6 +589,16 @@ class QueryExecution:
                 self._response = _attribute_response(
                     self.request, self.legacy, self.weights_used
                 )
+            elif isinstance(self.legacy, JoinAugmentedResult):
+                response = _table_response(
+                    self.request, self.legacy.base, self.weights_used
+                )
+                response.join_paths = JoinPathsBlock(
+                    paths=list(self.legacy.join_paths),
+                    joined_tables=sorted(self.legacy.joined_tables),
+                    truncated=self.legacy.truncated,
+                )
+                self._response = response
             else:
                 self._response = _table_response(
                     self.request, self.legacy, self.weights_used
@@ -594,6 +682,12 @@ def execute(
             workers=request.workers,
             signature_maps=signature_maps,
         )
+    if request.joins:
+        # D3L+J (section IV): walk the engine's cached SA-join graph from
+        # the ranked answer.  The graph is version-invalidated against the
+        # indexes, so repeated joins requests through one engine/session pay
+        # for construction once per lake snapshot.
+        legacy = engine.augment_with_joins(legacy, request.k)
     return QueryExecution(request=request, legacy=legacy, weights_used=weights_used)
 
 

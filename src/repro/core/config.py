@@ -53,6 +53,23 @@ class D3LConfig:
         size the way an LSH Forest's descent does.
     overlap_threshold:
         τ of section IV: minimum value-overlap coefficient for SA-joinability.
+    join_candidate_pool:
+        Candidates retrieved from the value index per subject-attribute probe
+        during SA-join graph construction.  A fixed cap keeps the blocking
+        step at O(|lake| * pool) candidate pairs instead of the O(|lake|²)
+        the seed's ``2 × |lake|`` per-probe pool produced.
+    join_prefilter_margin:
+        Fraction of ``overlap_threshold`` the *estimated* overlap coefficient
+        (section IV's inclusion–exclusion identity over the MinHash Jaccard
+        estimate) must reach for a candidate pair to proceed to exact
+        value-sample verification.  The estimate lives on the token sets the
+        value index is built from while verification compares distinct-value
+        samples, so the filter is a heuristic: the default 0.5 margin leaves
+        generous room for MinHash noise and the token/value mismatch
+        (admissibility on a given lake is what the equivalence tests and the
+        tracked benchmark assert against the unfiltered oracle), and 0.0
+        disables the pre-filter entirely, guaranteeing the
+        ``build_sequential`` edge set on any lake.
     max_join_path_length:
         Maximum number of hops Algorithm 3 will follow from a top-k table.
     max_join_paths:
@@ -70,6 +87,8 @@ class D3LConfig:
     candidate_multiplier: int = 5
     min_candidates: int = 50
     overlap_threshold: float = 0.7
+    join_candidate_pool: int = 128
+    join_prefilter_margin: float = 0.5
     max_join_path_length: int = 3
     max_join_paths: int = 20000
     seed: int = 42
@@ -85,6 +104,9 @@ class D3LConfig:
         require_positive("min_candidates", self.min_candidates)
         if not 0.0 < self.overlap_threshold <= 1.0:
             raise ValueError("overlap_threshold must be in (0, 1]")
+        require_positive("join_candidate_pool", self.join_candidate_pool)
+        if not 0.0 <= self.join_prefilter_margin <= 1.0:
+            raise ValueError("join_prefilter_margin must be in [0, 1]")
         require_positive("max_join_path_length", self.max_join_path_length)
         require_positive("max_join_paths", self.max_join_paths)
 

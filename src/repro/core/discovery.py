@@ -146,11 +146,17 @@ class AttributeSearchResult:
 
 @dataclass
 class JoinAugmentedResult:
-    """A query result extended with SA-join paths (``D3L+J``)."""
+    """A query result extended with SA-join paths (``D3L+J``).
+
+    ``truncated`` is True when the ``max_join_paths`` cap stopped Algorithm 3
+    before every top-k start table was fully explored, so callers can tell a
+    complete path enumeration from a capped one.
+    """
 
     base: QueryResult
     join_paths: List[JoinPath]
     joined_tables: Set[str]
+    truncated: bool = False
 
     def tables_for(self, start: str) -> Set[str]:
         """Tables reachable through join paths starting at ``start``."""
@@ -188,6 +194,10 @@ class D3L:
             subject_classifier=subject_classifier,
         )
         self._join_graph: Optional[SAJoinGraph] = None
+        # Indexes version the cached join graph was built against; a stale
+        # version (or a restored graph riding a persisted engine) is detected
+        # against D3LIndexes.version exactly like the serving-tier caches.
+        self._join_graph_version: Optional[int] = None
         # Lazily created query-fan-out executors, keyed by worker count.
         # Each keeps a live worker pool holding a snapshot of the indexes,
         # so repeated queries do not re-ship the index state; any lake
@@ -230,10 +240,44 @@ class D3L:
 
     @property
     def join_graph(self) -> SAJoinGraph:
-        """The SA-join graph, built lazily and cached until the lake changes."""
-        if self._join_graph is None:
-            self._join_graph = SAJoinGraph.build(self.indexes, self.config)
+        """The SA-join graph, built lazily and cached until the lake changes.
+
+        The cache is keyed by :attr:`~repro.core.indexes.D3LIndexes.version`,
+        so graphs restored by :func:`~repro.core.persistence.load_engine` /
+        ``load_session`` are served without recomputation while any lake
+        mutation forces a rebuild.
+        """
+        return self.build_join_graph()
+
+    def build_join_graph(self, workers: Optional[int] = None) -> SAJoinGraph:
+        """Build (or return the cached) SA-join graph for the current lake.
+
+        ``workers > 1`` shards the exact value-overlap verification across
+        worker processes; the resulting edge set is identical to a
+        single-process build, so the cache does not key on the worker count.
+        """
+        if self._join_graph is None or self._join_graph_version != self.indexes.version:
+            self._join_graph = SAJoinGraph.build(
+                self.indexes, self.config, workers=workers
+            )
+            self._join_graph_version = self.indexes.version
         return self._join_graph
+
+    @property
+    def cached_join_graph(self) -> Optional[SAJoinGraph]:
+        """The cached SA-join graph when fresh, else None (never builds).
+
+        Persistence uses this to decide whether an engine payload should
+        carry a join-graph section.
+        """
+        if self._join_graph_version != self.indexes.version:
+            return None
+        return self._join_graph
+
+    def restore_join_graph(self, graph: SAJoinGraph) -> None:
+        """Adopt a previously persisted join graph for the current lake state."""
+        self._join_graph = graph
+        self._join_graph_version = self.indexes.version
 
     def set_weights(self, weights: EvidenceWeights) -> None:
         """Replace the Equation 3 evidence weights."""
@@ -405,28 +449,56 @@ class D3L:
 
     def query_with_joins(
         self,
-        target: Table,
+        target: QueryTarget,
         k: int,
         evidence_types: Optional[Sequence[EvidenceType]] = None,
         exclude_self: bool = True,
     ) -> JoinAugmentedResult:
-        """D3L+J: the ranked answer extended with SA-join paths (section IV)."""
-        base = self._execute_query(
-            target, k, evidence_types=evidence_types, exclude_self=exclude_self
+        """D3L+J: the ranked answer extended with SA-join paths (section IV).
+
+        .. deprecated::
+            ``D3L.query_with_joins`` is a compatibility shim over the unified
+            query protocol; build a :class:`~repro.core.api.QueryRequest`
+            with ``joins=True`` and submit it through a
+            :class:`~repro.core.api.DiscoverySession` (join paths then also
+            travel on the ``QueryResponse`` wire format).  Behaviour is
+            unchanged.
+        """
+        _warn_deprecated(
+            "D3L.query_with_joins", "DiscoverySession.submit(QueryRequest(joins=True))"
         )
-        top_k_tables = base.table_names(k)
-        related = base.candidate_tables()
-        paths = find_join_paths(
+        from repro.core.api import QueryRequest, execute
+
+        request = QueryRequest(
+            target=target,
+            k=k,
+            evidence=_shim_evidence(evidence_types),
+            exclude_self=exclude_self,
+            engine="sequential",
+            joins=True,
+        )
+        return execute(self, request).legacy
+
+    def augment_with_joins(self, base: QueryResult, k: int) -> JoinAugmentedResult:
+        """Extend a ranked answer with SA-join paths (Algorithm 3).
+
+        The join-path building block underneath every ``joins=True`` request:
+        walks the (cached) SA-join graph from the top-``k`` tables of
+        ``base`` through the tables related to the target by at least one
+        index, honouring the configured length and path-count caps.
+        """
+        search = find_join_paths(
             self.join_graph,
-            top_k_tables,
-            related_tables=related,
+            base.table_names(k),
+            related_tables=base.candidate_tables(),
             max_length=self.config.max_join_path_length,
             max_paths=self.config.max_join_paths,
         )
         return JoinAugmentedResult(
             base=base,
-            join_paths=paths,
-            joined_tables=tables_reached(paths),
+            join_paths=list(search.paths),
+            joined_tables=tables_reached(search.paths),
+            truncated=search.truncated,
         )
 
     def related_attributes(

@@ -325,6 +325,22 @@ class D3LIndexes:
             signatures[EvidenceType.EMBEDDING] = None
         return signatures
 
+    def signature_of(
+        self, evidence: EvidenceType, profile: AttributeProfile
+    ) -> Optional[Signature]:
+        """The signature of one evidence type only (None without features).
+
+        Cheaper than :meth:`signatures_for` when the caller needs a single
+        index — e.g. the SA-join graph build signing a subject attribute
+        whose stored value signature is missing.
+        """
+        if evidence is EvidenceType.EMBEDDING:
+            if not profile.has_embedding():
+                return None
+            return self._projection_factory.from_vector(profile.embedding)
+        tokens = profile.set_representation(evidence)
+        return self._minhash_factory.from_tokens(tokens) if tokens else None
+
     def batch_signatures(
         self, table_profiles: Sequence[TableProfile]
     ) -> Dict[str, Dict[str, Dict[EvidenceType, Optional[Signature]]]]:
@@ -605,6 +621,7 @@ class D3LIndexes:
         k: int,
         exclude_table: Optional[str] = None,
         max_distance: Optional[float] = None,
+        exclude_tables: Optional[Sequence[Optional[str]]] = None,
     ) -> List[List[Tuple[AttributeRef, float]]]:
         """:meth:`lookup` for many query signatures of one evidence type.
 
@@ -616,21 +633,38 @@ class D3LIndexes:
         result equals ``lookup(evidence, ..., query_signatures={...})`` for
         signature ``i`` exactly (same candidates, distances, and tie order);
         ``None`` signatures yield empty answers.
+
+        ``exclude_tables`` gives each query its own exclusion (entry ``i``
+        applies to signature ``i``), which is how the SA-join graph build
+        batches one probe per lake table while every probe still excludes
+        its own table; it overrides ``exclude_table`` when provided.
         """
         if not evidence.is_indexed:
             raise ValueError("distribution evidence has no LSH index to look up")
+        if exclude_tables is not None and len(exclude_tables) != len(signatures):
+            raise ValueError("exclude_tables must align with signatures")
         forest = self._forests[evidence]
         matrix = self._matrices[evidence]
+        # One shared per-tree pass covers every query's forest descent; the
+        # candidate order may differ from per-query descents, which the
+        # (distance, ref rank) re-ranking below makes irrelevant.
+        candidates_per_query = forest.multi_query(
+            [None if signature is None else _raw(signature) for signature in signatures],
+            k,
+        )
         refs_per_query: List[List[AttributeRef]] = []
         rows_per_query: List[List[int]] = []
-        for signature in signatures:
+        for position, signature in enumerate(signatures):
             if signature is None:
                 refs_per_query.append([])
                 rows_per_query.append([])
                 continue
-            candidates = forest.query(_raw(signature), k)
-            if exclude_table is not None:
-                candidates = [ref for ref in candidates if ref.table != exclude_table]
+            excluded = (
+                exclude_tables[position] if exclude_tables is not None else exclude_table
+            )
+            candidates = candidates_per_query[position]
+            if excluded is not None:
+                candidates = [ref for ref in candidates if ref.table != excluded]
             positions, rows = matrix.resolve(candidates)
             refs_per_query.append([candidates[position] for position in positions])
             rows_per_query.append(rows)

@@ -7,18 +7,30 @@ SA-joinable tables; Algorithm 3 walks it depth-first from every top-k table,
 collecting acyclic paths whose intermediate tables are outside the top-k but
 still related to the target by at least one index.  Tables reached this way
 can contribute values to target attributes the top-k left uncovered.
+
+Graph construction is batched: every table's subject-attribute probe runs
+through one multi-query value-index lookup (the same kernels the batched
+query engine uses), the paper's estimated overlap coefficient — computed
+vectorized from the MinHash Jaccard estimates the lookup already produced —
+pre-filters the candidate pairs, and only the survivors pay for exact
+value-sample verification, optionally sharded across worker processes
+(:func:`~repro.core.parallel.verify_value_overlaps`).  The scalar
+probe-at-a-time construction lives on as :meth:`SAJoinGraph.build_sequential`,
+the equivalence oracle the batched build is verified against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.core.config import D3LConfig
 from repro.core.evidence import EvidenceType
 from repro.core.indexes import D3LIndexes
+from repro.core.profiles import AttributeProfile
 from repro.lake.datalake import AttributeRef
 from repro.lsh.lsh_ensemble import LSHEnsemble
 from repro.lsh.minhash import MinHashFactory
@@ -58,6 +70,29 @@ class JoinPath:
         return len(self.tables)
 
 
+@dataclass
+class JoinPathSearch:
+    """The result of one Algorithm 3 enumeration.
+
+    ``truncated`` is True when the ``max_paths`` cap stopped the walk before
+    every start table was fully explored, so callers can tell a complete
+    enumeration from a capped one.  The object behaves like the sequence of
+    its paths, so existing iteration/len/slicing call sites keep working.
+    """
+
+    paths: List[JoinPath]
+    truncated: bool = False
+
+    def __iter__(self):
+        return iter(self.paths)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __getitem__(self, index):
+        return self.paths[index]
+
+
 def estimated_overlap(jaccard: float, size_a: int, size_b: int) -> float:
     """Overlap coefficient estimated from a Jaccard estimate and set sizes.
 
@@ -69,6 +104,55 @@ def estimated_overlap(jaccard: float, size_a: int, size_b: int) -> float:
         return 0.0
     value = jaccard * (size_a + size_b) / ((1.0 + jaccard) * smaller)
     return min(1.0, value)
+
+
+def estimated_overlaps(
+    jaccard: np.ndarray, size_a: int, sizes_b: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`estimated_overlap` of one probe against many candidates.
+
+    Entry ``i`` equals ``estimated_overlap(jaccard[i], size_a, sizes_b[i])``
+    exactly; this is the pre-filter arithmetic of the batched SA-join graph
+    build, evaluated once per candidate pool instead of once per pair.
+    """
+    jaccard = np.asarray(jaccard, dtype=np.float64)
+    sizes_b = np.asarray(sizes_b, dtype=np.float64)
+    values = np.zeros_like(jaccard)
+    smaller = np.minimum(float(size_a), sizes_b)
+    valid = (smaller > 0) & (jaccard > 0.0)
+    values[valid] = (
+        jaccard[valid]
+        * (size_a + sizes_b[valid])
+        / ((1.0 + jaccard[valid]) * smaller[valid])
+    )
+    return np.minimum(values, 1.0)
+
+
+def _subject_probes(indexes: D3LIndexes) -> List[Tuple[str, AttributeProfile]]:
+    """The usable subject-attribute probes, in sorted table order.
+
+    Sorted order makes graph construction independent of lake insertion
+    order, so serial, batched, and sharded builds resolve best-edge ties
+    identically.
+    """
+    probes: List[Tuple[str, AttributeProfile]] = []
+    for table_name in sorted(indexes.table_profiles):
+        subject = indexes.table_profiles[table_name].subject_profile()
+        if subject is None or not subject.tokens:
+            continue
+        probes.append((table_name, subject))
+    return probes
+
+
+def _apply_edge(
+    graph: nx.Graph, table_name: str, subject_ref: AttributeRef, ref: AttributeRef,
+    overlap: float,
+) -> None:
+    """Record one verified SA-join edge, keeping the best overlap per pair."""
+    existing = graph.get_edge_data(table_name, ref.table)
+    edge = JoinEdge(left=subject_ref, right=ref, overlap=overlap)
+    if existing is None or existing["join"].overlap < overlap:
+        graph.add_edge(table_name, ref.table, join=edge)
 
 
 class SAJoinGraph:
@@ -104,35 +188,149 @@ class SAJoinGraph:
         """Number of SA-join edges in the graph."""
         return self._graph.number_of_edges()
 
+    def edges(self) -> List[JoinEdge]:
+        """Every SA-join edge, sorted by the (left, right) attribute refs."""
+        return sorted(
+            (self._graph.get_edge_data(first, second)["join"]
+             for first, second in self._graph.edges),
+            key=lambda edge: (edge.left, edge.right),
+        )
+
     def connected_component(self, table_name: str) -> Set[str]:
         """Tables reachable from ``table_name`` through SA-join edges."""
         if table_name not in self._graph:
             return set()
         return set(nx.node_connected_component(self._graph, table_name))
 
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
     @classmethod
-    def build(cls, indexes: D3LIndexes, config: Optional[D3LConfig] = None) -> "SAJoinGraph":
-        """Build the SA-join graph from an indexed lake.
+    def build(
+        cls,
+        indexes: D3LIndexes,
+        config: Optional[D3LConfig] = None,
+        workers: Optional[int] = None,
+    ) -> "SAJoinGraph":
+        """Build the SA-join graph from an indexed lake, in batched sweeps.
+
+        Every table's subject-attribute probe reuses the value-index MinHash
+        signature the lake build already stored, all probes run through one
+        multi-query lookup (``config.join_candidate_pool`` candidates per
+        probe), and the estimated overlap coefficient — computed vectorized
+        from the Jaccard estimates the lookup produced — drops candidate
+        pairs that cannot clear ``config.overlap_threshold`` before any
+        Python-level set intersection happens.  Surviving pairs are verified
+        with the exact value-sample overlap coefficient, sharded across
+        ``workers`` processes when requested
+        (:func:`~repro.core.parallel.verify_value_overlaps`); verification is
+        a pure per-pair function and edges are applied in sorted probe order,
+        so ``workers=1`` and ``workers=N`` produce the identical edge set.
+
+        The pre-filter estimates overlap from the *token sets* the value
+        index is built from, while verification compares distinct-value
+        samples, so the cut is heuristic: the
+        ``config.join_prefilter_margin`` slack leaves room for both MinHash
+        noise and the token/value mismatch, equivalence against the
+        unfiltered scalar oracle (:meth:`build_sequential`) is asserted by
+        the tests and the tracked benchmark on their lakes, and a margin of
+        0.0 disables the cut for callers that need the oracle's edge set
+        guaranteed on arbitrary data.
+
+        Because the probe attribute is always a subject attribute, the
+        SA-joinability condition (at least one side is a subject attribute)
+        holds by construction.
+        """
+        from repro.core.parallel import verify_value_overlaps
+
+        config = config or indexes.config
+        graph = nx.Graph()
+        graph.add_nodes_from(indexes.table_names)
+        probes = _subject_probes(indexes)
+        if not probes:
+            return cls(graph)
+
+        signatures = []
+        for _, subject in probes:
+            signature = indexes.signature(EvidenceType.VALUE, subject.ref)
+            if signature is None:
+                signature = indexes.signature_of(EvidenceType.VALUE, subject)
+            signatures.append(signature)
+        per_probe = indexes.multi_lookup(
+            EvidenceType.VALUE,
+            signatures,
+            k=config.join_candidate_pool,
+            exclude_tables=[table_name for table_name, _ in probes],
+        )
+
+        margin = config.join_prefilter_margin
+        prefilter_cutoff = config.overlap_threshold * margin
+        kept_per_probe: List[List[AttributeRef]] = []
+        pairs: List[Tuple[AttributeRef, AttributeRef]] = []
+        samples: Dict[AttributeRef, Set[str]] = {}
+        for (table_name, subject), candidates in zip(probes, per_probe):
+            refs: List[AttributeRef] = []
+            distances: List[float] = []
+            for ref, distance in candidates:
+                other = indexes.profiles.get(ref)
+                if other is None or not other.tokens:
+                    continue
+                refs.append(ref)
+                distances.append(distance)
+            if refs and margin > 0.0:
+                estimates = estimated_overlaps(
+                    1.0 - np.asarray(distances, dtype=np.float64),
+                    len(subject.tokens),
+                    np.asarray(
+                        [len(indexes.profiles[ref].tokens) for ref in refs],
+                        dtype=np.float64,
+                    ),
+                )
+                refs = [
+                    refs[index]
+                    for index in np.flatnonzero(estimates >= prefilter_cutoff)
+                ]
+            kept_per_probe.append(refs)
+            if refs:
+                samples[subject.ref] = subject.value_sample
+                for ref in refs:
+                    samples[ref] = indexes.profiles[ref].value_sample
+                pairs.extend((subject.ref, ref) for ref in refs)
+
+        overlaps = verify_value_overlaps(samples, pairs, workers=workers)
+        for (table_name, subject), refs in zip(probes, kept_per_probe):
+            for ref in refs:
+                overlap = overlaps[(subject.ref, ref)]
+                if overlap < config.overlap_threshold:
+                    continue
+                _apply_edge(graph, table_name, subject.ref, ref, overlap)
+        return cls(graph)
+
+    @classmethod
+    def build_sequential(
+        cls, indexes: D3LIndexes, config: Optional[D3LConfig] = None
+    ) -> "SAJoinGraph":
+        """The scalar probe-at-a-time construction (the batched build's oracle).
 
         For every table's subject attribute the value index is queried as a
         blocking step; each candidate pair is then verified against the
         postulated inclusion dependency by computing the overlap coefficient
         of the two attributes' distinct-value samples, and pairs clearing the
-        configured threshold become edges.  Because the probe attribute is
-        always a subject attribute, the SA-joinability condition (at least
-        one side is a subject attribute) holds by construction.
+        configured threshold become edges.  No estimated-overlap pre-filter
+        runs, so every blocked pair pays for exact verification — which is
+        exactly what makes this path the admissibility oracle for
+        :meth:`build`.
         """
         config = config or indexes.config
         graph = nx.Graph()
         graph.add_nodes_from(indexes.table_names)
 
-        pool = max(config.min_candidates, 2 * len(indexes.table_names))
-        for table_name, table_profile in indexes.table_profiles.items():
-            subject = table_profile.subject_profile()
-            if subject is None or not subject.tokens:
-                continue
+        for table_name, subject in _subject_probes(indexes):
             candidates = indexes.lookup(
-                EvidenceType.VALUE, subject, k=pool, exclude_table=table_name
+                EvidenceType.VALUE,
+                subject,
+                k=config.join_candidate_pool,
+                exclude_table=table_name,
             )
             for ref, _distance in candidates:
                 other_profile = indexes.profiles.get(ref)
@@ -141,10 +339,7 @@ class SAJoinGraph:
                 overlap = subject.value_overlap(other_profile)
                 if overlap < config.overlap_threshold:
                     continue
-                existing = graph.get_edge_data(table_name, ref.table)
-                edge = JoinEdge(left=subject.ref, right=ref, overlap=overlap)
-                if existing is None or existing["join"].overlap < overlap:
-                    graph.add_edge(table_name, ref.table, join=edge)
+                _apply_edge(graph, table_name, subject.ref, ref, overlap)
         return cls(graph)
 
     @classmethod
@@ -181,13 +376,10 @@ class SAJoinGraph:
             ensemble.insert(ref, signature, len(profile.tokens))
         ensemble.index()
 
-        for table_name, table_profile in indexes.table_profiles.items():
-            subject = table_profile.subject_profile()
-            if subject is None or not subject.tokens:
-                continue
+        for table_name, subject in _subject_probes(indexes):
             probe = factory.from_tokens(subject.tokens)
             candidates = ensemble.query(probe, len(subject.tokens))
-            for ref in candidates:
+            for ref in sorted(candidates):
                 if ref.table == table_name:
                     continue
                 other_profile = indexes.profiles.get(ref)
@@ -196,10 +388,7 @@ class SAJoinGraph:
                 overlap = subject.value_overlap(other_profile)
                 if overlap < config.overlap_threshold:
                     continue
-                existing = graph.get_edge_data(table_name, ref.table)
-                edge = JoinEdge(left=subject.ref, right=ref, overlap=overlap)
-                if existing is None or existing["join"].overlap < overlap:
-                    graph.add_edge(table_name, ref.table, join=edge)
+                _apply_edge(graph, table_name, subject.ref, ref, overlap)
         return cls(graph)
 
 
@@ -209,7 +398,7 @@ def find_join_paths(
     related_tables: Iterable[str],
     max_length: int = 3,
     max_paths: Optional[int] = None,
-) -> List[JoinPath]:
+) -> JoinPathSearch:
     """Algorithm 3: SA-join paths from every top-k table into the rest of the lake.
 
     ``related_tables`` is the set of tables for which at least one index
@@ -219,7 +408,10 @@ def find_join_paths(
 
     ``max_paths`` bounds the enumeration: dense join graphs have
     combinatorially many acyclic paths, and the coverage computation only
-    needs the reachable tables, so the walk stops once the cap is reached.
+    needs the reachable tables, so the walk stops once the cap is reached —
+    and the returned :class:`JoinPathSearch` carries ``truncated=True`` so
+    callers can tell a complete enumeration from a capped one (the cap can
+    hit mid-walk, leaving later start tables unexplored).
     """
     top_k_set = set(top_k_tables)
     related = set(related_tables)
@@ -245,13 +437,15 @@ def find_join_paths(
                 return False
         return True
 
+    truncated = False
     for start in top_k_tables:
         if not _walk(start, [start], []):
+            truncated = True
             break
-    return paths
+    return JoinPathSearch(paths=paths, truncated=truncated)
 
 
-def tables_reached(paths: Sequence[JoinPath]) -> Set[str]:
+def tables_reached(paths: Iterable[JoinPath]) -> Set[str]:
     """All tables reached by at least one join path (excluding starts)."""
     reached: Set[str] = set()
     for path in paths:
@@ -259,6 +453,6 @@ def tables_reached(paths: Sequence[JoinPath]) -> Set[str]:
     return reached
 
 
-def paths_from(paths: Sequence[JoinPath], start: str) -> List[JoinPath]:
+def paths_from(paths: Iterable[JoinPath], start: str) -> List[JoinPath]:
     """The join paths starting from a given top-k table."""
     return [path for path in paths if path.start == start]

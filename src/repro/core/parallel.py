@@ -38,6 +38,7 @@ from repro.tables.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.indexes import D3LIndexes
+    from repro.lake.datalake import AttributeRef
 
 #: One shard worker's result: per table, the profile plus the per-attribute
 #: signatures (``{attribute name: {evidence: signature or None}}``).
@@ -124,6 +125,71 @@ class ParallelIndexBuilder:
             table_profile, signatures = by_table[name]
             self.indexes.add_profiled_table(table_profile, signatures)
         return self.indexes
+
+
+# --------------------------------------------------------------------------- #
+# SA-join verification fan-out
+# --------------------------------------------------------------------------- #
+
+
+def _verify_join_shard(payload) -> List[Tuple["AttributeRef", "AttributeRef", float]]:
+    """Worker entry point: exact value-overlap of one shard's candidate pairs.
+
+    ``payload`` is ``(samples, pairs)``: the value samples of exactly the
+    refs this shard touches, plus the ``(left, right)`` ref pairs to verify.
+    """
+    from repro.core.profiles import sample_overlap
+
+    samples, pairs = payload
+    return [
+        (left, right, sample_overlap(samples[left], samples[right]))
+        for left, right in pairs
+    ]
+
+
+def verify_value_overlaps(
+    samples: Dict["AttributeRef", frozenset],
+    pairs: Sequence[Tuple["AttributeRef", "AttributeRef"]],
+    workers: Optional[int] = None,
+) -> Dict[Tuple["AttributeRef", "AttributeRef"], float]:
+    """Exact overlap coefficients of many candidate pairs, optionally sharded.
+
+    The verification step of SA-join graph construction: every blocked
+    ``(subject attribute, candidate attribute)`` pair surviving the
+    estimated-overlap pre-filter is scored with the same overlap coefficient
+    as :meth:`~repro.core.profiles.AttributeProfile.value_overlap`.
+    ``workers > 1`` deals the deduplicated pairs round-robin across worker
+    processes, shipping each shard only the value samples its pairs touch.
+    Because the overlap of a pair is a pure function of the two samples and
+    the merge is keyed by pair, ``workers=1`` and ``workers=N`` return the
+    identical mapping.
+    """
+    from repro.core.profiles import sample_overlap
+
+    ordered = list(dict.fromkeys(pairs))
+    if workers is None or workers <= 1 or len(ordered) <= 1:
+        return {
+            (left, right): sample_overlap(samples[left], samples[right])
+            for left, right in ordered
+        }
+    shards = [shard for shard in (ordered[index::workers] for index in range(workers)) if shard]
+    payloads = [
+        (
+            {ref: samples[ref] for pair in shard for ref in pair},
+            shard,
+        )
+        for shard in shards
+    ]
+    if len(payloads) <= 1:
+        shard_results = [_verify_join_shard(payload) for payload in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            shard_results = list(pool.map(_verify_join_shard, payloads))
+    return {
+        (left, right): overlap
+        for result in shard_results
+        for left, right, overlap in result
+    }
 
 
 #: One query shard worker's result: per target attribute, the sorted

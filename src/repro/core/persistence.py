@@ -14,7 +14,12 @@ a dictionary of explicit sections:
 * ``profiles`` / ``table_profiles`` — the attribute and table profiles;
 * ``evidence`` — per indexed evidence type, the **raw NumPy buffers** of the
   index: the signature matrix (rows, degeneracy flags, row-order refs) and
-  the forest's per-tree sorted key arrays with their item lists.
+  the forest's per-tree sorted key arrays with their item lists;
+* ``join_graph`` (engine payloads, optional) — the SA-join graph of section
+  IV as plain node/edge records (table pairs, joined attribute refs, exact
+  overlap coefficients), persisted whenever the engine had built it for the
+  current lake snapshot, so a restored engine or serving session answers
+  ``joins=True`` requests without re-running graph construction.
 
 Loading reconstructs the signature matrices, signature registries, and
 forests directly from those buffers — no signature is recomputed, no tree is
@@ -35,9 +40,13 @@ import pickle
 from pathlib import Path
 from typing import Dict, Union
 
+import networkx as nx
+
 from repro.core.discovery import D3L
 from repro.core.evidence import EvidenceType
 from repro.core.indexes import D3LIndexes
+from repro.core.joins import JoinEdge, SAJoinGraph
+from repro.lake.datalake import AttributeRef
 
 PathLike = Union[str, Path]
 
@@ -140,10 +149,46 @@ def _restore_indexes(sections: Dict[str, object]) -> D3LIndexes:
     return indexes
 
 
+def _join_graph_section(graph) -> Dict[str, object]:
+    """Plain node/edge records of a built SA-join graph (nodes, edges, overlaps)."""
+    edges = []
+    for first, second in graph.graph.edges:
+        edge = graph.edge(first, second)
+        edges.append(
+            {
+                "first": first,
+                "second": second,
+                "left": (edge.left.table, edge.left.column),
+                "right": (edge.right.table, edge.right.column),
+                "overlap": float(edge.overlap),
+            }
+        )
+    return {"nodes": list(graph.graph.nodes), "edges": edges}
+
+
+def _restore_join_graph(section: Dict[str, object]) -> SAJoinGraph:
+    """Rebuild a persisted SA-join graph without re-running construction."""
+    graph = nx.Graph()
+    graph.add_nodes_from(section["nodes"])
+    for entry in section["edges"]:
+        graph.add_edge(
+            entry["first"],
+            entry["second"],
+            join=JoinEdge(
+                left=AttributeRef(*entry["left"]),
+                right=AttributeRef(*entry["right"]),
+                overlap=entry["overlap"],
+            ),
+        )
+    return SAJoinGraph(graph)
+
+
 def _engine_sections(engine: D3L) -> Dict[str, object]:
+    join_graph = engine.cached_join_graph
     return {
         "weights": engine.weights,
         "indexes": _indexes_sections(engine.indexes),
+        "join_graph": None if join_graph is None else _join_graph_section(join_graph),
     }
 
 
@@ -156,6 +201,11 @@ def _restore_engine(sections: Dict[str, object]) -> D3L:
         subject_classifier=indexes.subject_classifier,
     )
     engine.indexes = indexes
+    # Older v3 payloads predate the join-graph section; absent or None just
+    # means the graph is rebuilt lazily on first use.
+    join_graph = sections.get("join_graph")
+    if join_graph is not None:
+        engine.restore_join_graph(_restore_join_graph(join_graph))
     return engine
 
 

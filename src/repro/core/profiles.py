@@ -35,6 +35,20 @@ from repro.text.token_stats import informative_and_frequent_tokens
 VALUE_SAMPLE_LIMIT = 512
 
 
+def sample_overlap(left: Set[str], right: Set[str]) -> float:
+    """Overlap coefficient ``|A ∩ B| / min(|A|, |B|)`` of two value samples.
+
+    The single definition of the section IV SA-joinability metric: both
+    :meth:`AttributeProfile.value_overlap` and the sharded join-graph
+    verification (:func:`~repro.core.parallel.verify_value_overlaps`) funnel
+    through it, so the sequential oracle and the worker shards can never
+    disagree on the formula.
+    """
+    if not left or not right:
+        return 0.0
+    return len(left & right) / min(len(left), len(right))
+
+
 @dataclass
 class AttributeProfile:
     """The extracted features of one attribute."""
@@ -131,10 +145,7 @@ class AttributeProfile:
         ``|A ∩ B| / min(|A|, |B|)`` over distinct case-folded values — the
         postulated (possibly partial) inclusion dependency of section IV.
         """
-        if not self.value_sample or not other.value_sample:
-            return 0.0
-        intersection = len(self.value_sample & other.value_sample)
-        return intersection / min(len(self.value_sample), len(other.value_sample))
+        return sample_overlap(self.value_sample, other.value_sample)
 
     def estimated_bytes(self) -> int:
         """Approximate size of the profile (used in space-overhead accounting)."""

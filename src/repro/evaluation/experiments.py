@@ -562,7 +562,11 @@ def experiment_space_overhead(suites: Mapping[str, EngineSuite]) -> List[Dict[st
 
 
 def _d3l_joined_tables(suite: EngineSuite, target: Table, k: int) -> Tuple[object, Dict[str, Set[str]]]:
-    augmented = suite.d3l.query_with_joins(target, k=k)
+    from repro.core.api import QueryRequest, execute
+
+    # The planner path of the deprecated D3L.query_with_joins shim: identical
+    # answer (the batched engine equals the sequential oracle), no warning.
+    augmented = execute(suite.d3l, QueryRequest(target=target, k=k, joins=True)).legacy
     per_start: Dict[str, Set[str]] = {}
     top_k = set(augmented.base.table_names(k))
     for start in top_k:

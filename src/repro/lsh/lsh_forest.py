@@ -328,6 +328,78 @@ class LSHForest:
         """Return every key sharing at least the length-1 prefix in some tree."""
         return self.query(signature, k=len(self._signatures) + 1, exclude=exclude)
 
+    def multi_query(
+        self, signatures: List[Optional[np.ndarray]], k: int
+    ) -> List[List[Hashable]]:
+        """Candidate keys of many queries through shared per-tree passes.
+
+        The candidate *set* of a full descent is the union, over the trees,
+        of the rows matching the length-1 prefix (every longer prefix matches
+        a nested subrange), so one batched ``searchsorted`` pair per tree
+        covers every query at once — instead of one descent per query — and
+        only the matched rows are ever enumerated, as in the scalar descent.
+        The descent's item order and its stop-at-k truncation only matter
+        when a query matches more than ``k`` distinct items, so exactly
+        those queries fall back to the scalar :meth:`query`; every other
+        entry contains the same candidates as ``query(signature, k)`` in
+        unspecified order.  Callers that re-rank candidates (as all D3L
+        lookups do) therefore observe identical answers.
+
+        ``None`` signatures yield empty candidate lists.
+        """
+        results: List[List[Hashable]] = [[] for _ in signatures]
+        if k <= 0:
+            return results
+        populated = [
+            index for index, signature in enumerate(signatures) if signature is not None
+        ]
+        if not populated or not self._signatures:
+            return results
+        # Row t holds each query's first key position of tree t (the trees key
+        # on consecutive signature slices, so tree t starts at t*key_length).
+        first_keys = np.array(
+            [
+                [
+                    np.asarray(signatures[index])[tree_index * self.key_length]
+                    for index in populated
+                ]
+                for tree_index in range(self.num_trees)
+            ],
+            dtype=np.uint64,
+        )
+        matched_per_query: List[List[Hashable]] = [[] for _ in populated]
+        for tree_index, tree in enumerate(self._trees):
+            tree._ensure_flushed()
+            if not tree._items:
+                continue
+            # The length-1 prefix range of every query in two searches: the
+            # lower bound pads the first signature position with zeros, the
+            # upper bound with the all-ones key-suffix sentinel.
+            lows = np.zeros((len(populated), tree.key_length), dtype=np.uint64)
+            lows[:, 0] = first_keys[tree_index]
+            highs = np.full((len(populated), tree.key_length), _KEY_MAX, dtype=np.uint64)
+            highs[:, 0] = first_keys[tree_index]
+            low = np.searchsorted(tree._ranks, tree._rank_keys(lows), side="left")
+            high = np.searchsorted(tree._ranks, tree._rank_keys(highs), side="right")
+            for position in range(len(populated)):
+                matched_per_query[position].extend(
+                    tree.items_between(int(low[position]), int(high[position]))
+                )
+        for position, index in enumerate(populated):
+            matched = matched_per_query[position]
+            if not matched:
+                continue
+            # First-seen dedup keeps the enumeration deterministic (tree
+            # order, then row order) without per-item hashing tricks.
+            unique = list(dict.fromkeys(matched))
+            if len(unique) > k:
+                # More matches than the answer size: the scalar descent's
+                # most-specific-prefix-first truncation decides which k win.
+                results[index] = self.query(signatures[index], k)
+            else:
+                results[index] = unique
+        return results
+
     def keys(self) -> List[Hashable]:
         """All inserted keys."""
         return list(self._signatures)

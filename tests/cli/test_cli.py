@@ -230,12 +230,35 @@ class TestQueryProtocolFlags:
         assert exit_code == 0
         assert "DN=" in captured or "evidence" in captured
 
-    def test_json_and_joins_conflict(
+    def test_json_with_joins_emits_join_paths(
         self, indexed_engine_path, target_path, capsys
     ):
+        """Regression: --json --joins used to be a hard error; now the JSON
+        payload carries the join_paths block and round-trips losslessly."""
+        import json as json_module
+
+        from repro.core.api import QueryResponse
+
         exit_code = self._query(
             indexed_engine_path, target_path, "--json", "--joins"
         )
         captured = capsys.readouterr()
-        assert exit_code == 1
-        assert "cannot be combined" in captured.err
+        assert exit_code == 0
+        assert "cannot be combined" not in captured.err
+        payload = json_module.loads(captured.out)
+        assert payload["format"] == "d3l.query_response/v1"
+        block = payload["join_paths"]
+        assert block is not None
+        assert isinstance(block["paths"], list)
+        assert isinstance(block["truncated"], bool)
+        assert isinstance(block["joined_tables"], list)
+        restored = QueryResponse.from_dict(payload)
+        assert restored.to_dict() == payload
+
+    def test_joins_text_report_from_single_query(
+        self, indexed_engine_path, target_path, capsys
+    ):
+        exit_code = self._query(indexed_engine_path, target_path, "--joins")
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Join paths found" in captured

@@ -423,3 +423,100 @@ class TestExecutePlanner:
         execution = execute(figure1_engine, request)
         assert set(execution.legacy) == {"City", "Postcode"}
         assert execution.response.mode == "attributes"
+
+
+class TestJoinRequests:
+    """joins=True: the D3L+J answer on the wire (QueryResponse.join_paths)."""
+
+    def test_joins_rejected_for_attribute_requests(self, figure1_tables):
+        with pytest.raises(ValueError, match="join paths are not supported"):
+            QueryRequest(
+                target=figure1_tables["target"], k=2, attributes=("City",), joins=True
+            )
+
+    def test_response_carries_join_block(self, mutable_engine, figure1_tables):
+        session = DiscoverySession(mutable_engine)
+        response = session.submit(
+            QueryRequest(target=figure1_tables["target"], k=2, joins=True)
+        )
+        block = response.join_paths
+        assert block is not None
+        assert isinstance(block.truncated, bool)
+        assert block.joined_tables == sorted(block.joined_tables)
+        for path in block.paths:
+            assert len(path.edges) == len(path.tables) - 1
+
+    def test_plain_requests_have_no_join_block(self, mutable_engine, figure1_tables):
+        session = DiscoverySession(mutable_engine)
+        response = session.submit(QueryRequest(target=figure1_tables["target"], k=2))
+        assert response.join_paths is None
+
+    def test_join_block_round_trips_through_json(self, mutable_engine, figure1_tables):
+        session = DiscoverySession(mutable_engine)
+        for explain in (False, True):
+            response = session.submit(
+                QueryRequest(
+                    target=figure1_tables["target"], k=2, joins=True, explain=explain
+                )
+            )
+            wire = json.loads(json.dumps(response.to_dict()))
+            restored = QueryResponse.from_dict(wire)
+            assert restored == response
+            assert restored.to_dict() == response.to_dict()
+
+    def test_truncated_flag_reaches_the_wire(self, figure1_tables, fast_config):
+        config = dataclasses.replace(fast_config, max_join_paths=1)
+        engine = D3L(config=config)
+        engine.index_lake(figure1_tables["lake"])
+        session = DiscoverySession(engine)
+        response = session.submit(
+            QueryRequest(target=figure1_tables["target"], k=2, joins=True)
+        )
+        block = response.join_paths
+        assert len(block.paths) <= 1
+        payload = json.loads(json.dumps(response.to_dict()))
+        assert payload["join_paths"]["truncated"] == block.truncated
+
+    def test_planner_matches_deprecated_shim(self, mutable_engine, figure1_tables):
+        target = figure1_tables["target"]
+        planned = execute(
+            mutable_engine,
+            QueryRequest(target=target, k=2, joins=True, engine="sequential"),
+        ).legacy
+        with pytest.warns(DeprecationWarning, match="query_with_joins"):
+            shimmed = mutable_engine.query_with_joins(target, k=2)
+        assert [path.tables for path in planned.join_paths] == [
+            path.tables for path in shimmed.join_paths
+        ]
+        assert planned.joined_tables == shimmed.joined_tables
+        assert planned.truncated == shimmed.truncated
+        assert [(r.table_name, r.distance) for r in planned.base.results] == [
+            (r.table_name, r.distance) for r in shimmed.base.results
+        ]
+
+    def test_join_graph_cached_across_session_requests(
+        self, mutable_engine, figure1_tables
+    ):
+        session = DiscoverySession(mutable_engine)
+        first = session.submit(
+            QueryRequest(target=figure1_tables["target"], k=2, joins=True)
+        )
+        graph = mutable_engine.cached_join_graph
+        assert graph is not None
+        second = session.submit(
+            QueryRequest(target=figure1_tables["target"], k=2, joins=True)
+        )
+        assert mutable_engine.cached_join_graph is graph
+        assert second == first
+
+    def test_lake_mutation_invalidates_cached_graph(
+        self, mutable_engine, figure1_tables, extra_table
+    ):
+        session = DiscoverySession(mutable_engine)
+        session.submit(QueryRequest(target=figure1_tables["target"], k=2, joins=True))
+        graph = mutable_engine.cached_join_graph
+        assert graph is not None
+        mutable_engine.index_table(extra_table)
+        assert mutable_engine.cached_join_graph is None
+        session.submit(QueryRequest(target=figure1_tables["target"], k=2, joins=True))
+        assert mutable_engine.cached_join_graph is not graph

@@ -95,3 +95,23 @@ class TestSharedValidationHelpers:
             QueryRequest(target=target, k=0)
         with pytest.raises(ValueError, match="^workers must be positive$"):
             QueryRequest(target=target, workers=-2)
+
+
+class TestJoinConfigValidation:
+    def test_join_candidate_pool_must_be_positive(self):
+        with pytest.raises(ValueError, match="join_candidate_pool must be positive"):
+            D3LConfig(join_candidate_pool=0)
+        with pytest.raises(ValueError, match="join_candidate_pool must be positive"):
+            D3LConfig(join_candidate_pool=-5)
+
+    def test_join_prefilter_margin_range(self):
+        with pytest.raises(ValueError, match="join_prefilter_margin"):
+            D3LConfig(join_prefilter_margin=-0.1)
+        with pytest.raises(ValueError, match="join_prefilter_margin"):
+            D3LConfig(join_prefilter_margin=1.5)
+        assert D3LConfig(join_prefilter_margin=0.0).join_prefilter_margin == 0.0
+        assert D3LConfig(join_prefilter_margin=1.0).join_prefilter_margin == 1.0
+
+    def test_default_pool_is_a_fixed_cap(self):
+        config = D3LConfig()
+        assert config.join_candidate_pool == 128

@@ -1,17 +1,36 @@
 """Tests for SA-joinability and Algorithm 3 join-path discovery."""
 
+import dataclasses
+
+import numpy as np
 import pytest
 
+from repro.core.evidence import EvidenceType
 from repro.core.joins import (
     JoinEdge,
     JoinPath,
+    JoinPathSearch,
     SAJoinGraph,
+    _subject_probes,
     estimated_overlap,
+    estimated_overlaps,
     find_join_paths,
     paths_from,
     tables_reached,
 )
 from repro.lake.datalake import AttributeRef
+
+
+def edge_map(graph: SAJoinGraph) -> dict:
+    """Canonical (table pair) -> (left, right, overlap) map for comparison."""
+    return {
+        tuple(sorted(pair)): (
+            graph.edge(*pair).left,
+            graph.edge(*pair).right,
+            graph.edge(*pair).overlap,
+        )
+        for pair in graph.graph.edges
+    }
 
 
 class TestEstimatedOverlap:
@@ -199,3 +218,164 @@ class TestQueryWithJoins:
         for path in augmented.join_paths:
             assert path.start in augmented.base.table_names(3)
             assert set(path.reached) <= augmented.base.candidate_tables()
+
+
+class TestEstimatedOverlapsVectorized:
+    def test_matches_scalar_elementwise(self):
+        rng = np.random.default_rng(3)
+        jaccard = rng.uniform(-0.1, 1.0, size=50)
+        sizes = rng.integers(0, 200, size=50)
+        vector = estimated_overlaps(jaccard, 120, sizes)
+        for index in range(50):
+            assert vector[index] == pytest.approx(
+                estimated_overlap(float(jaccard[index]), 120, int(sizes[index]))
+            )
+
+    def test_empty_input(self):
+        assert estimated_overlaps(np.empty(0), 10, np.empty(0)).shape == (0,)
+
+
+class TestBatchedBuild:
+    def test_batched_equals_sequential_on_figure1(self, figure1_engine):
+        batched = SAJoinGraph.build(figure1_engine.indexes, figure1_engine.config)
+        sequential = SAJoinGraph.build_sequential(
+            figure1_engine.indexes, figure1_engine.config
+        )
+        assert batched.edge_count() >= 1
+        assert edge_map(batched) == edge_map(sequential)
+
+    def test_batched_equals_sequential_on_synthetic_corpus(self, indexed_d3l):
+        batched = SAJoinGraph.build(indexed_d3l.indexes, indexed_d3l.config)
+        sequential = SAJoinGraph.build_sequential(indexed_d3l.indexes, indexed_d3l.config)
+        assert edge_map(batched) == edge_map(sequential)
+
+    def test_sharded_verification_matches_single_process(self, indexed_d3l):
+        single = SAJoinGraph.build(indexed_d3l.indexes, indexed_d3l.config, workers=1)
+        sharded = SAJoinGraph.build(indexed_d3l.indexes, indexed_d3l.config, workers=2)
+        assert edge_map(single) == edge_map(sharded)
+
+    def test_probes_are_subject_attributes_in_sorted_order(self, figure1_engine):
+        probes = _subject_probes(figure1_engine.indexes)
+        assert [name for name, _ in probes] == sorted(name for name, _ in probes)
+        for table_name, subject in probes:
+            assert subject.ref.column == figure1_engine.indexes.subject_attribute(
+                table_name
+            )
+
+    def test_empty_indexes_build(self, fast_config):
+        from repro.core.indexes import D3LIndexes
+
+        indexes = D3LIndexes(config=fast_config)
+        graph = SAJoinGraph.build(indexes, fast_config)
+        assert graph.table_names == []
+        assert graph.edge_count() == 0
+
+    def test_edges_helper_sorted(self, figure1_engine):
+        edges = figure1_engine.join_graph.edges()
+        assert edges == sorted(edges, key=lambda edge: (edge.left, edge.right))
+        assert len(edges) == figure1_engine.join_graph.edge_count()
+
+
+class TestPrefilterAdmissibility:
+    """The estimated-overlap pre-filter must never drop a verified pair."""
+
+    def test_prefilter_preserves_unfiltered_edge_set(self, indexed_d3l):
+        config = dataclasses.replace(indexed_d3l.config, join_prefilter_margin=0.0)
+        unfiltered = SAJoinGraph.build(indexed_d3l.indexes, config)
+        filtered = SAJoinGraph.build(indexed_d3l.indexes, indexed_d3l.config)
+        assert edge_map(filtered) == edge_map(unfiltered)
+
+    def test_no_verified_pair_falls_below_prefilter_cutoff(self, indexed_d3l):
+        indexes = indexed_d3l.indexes
+        config = indexed_d3l.config
+        cutoff = config.overlap_threshold * config.join_prefilter_margin
+        checked = 0
+        for table_name, subject in _subject_probes(indexes):
+            candidates = indexes.lookup(
+                EvidenceType.VALUE,
+                subject,
+                k=config.join_candidate_pool,
+                exclude_table=table_name,
+            )
+            for ref, distance in candidates:
+                other = indexes.profiles.get(ref)
+                if other is None or not other.tokens:
+                    continue
+                if subject.value_overlap(other) >= config.overlap_threshold:
+                    estimate = estimated_overlap(
+                        1.0 - distance, len(subject.tokens), len(other.tokens)
+                    )
+                    assert estimate >= cutoff, (
+                        f"pre-filter would drop verified pair "
+                        f"{subject.ref} ~ {ref} (estimate {estimate:.3f})"
+                    )
+                    checked += 1
+        assert checked > 0
+
+    def test_zero_margin_disables_prefilter(self, fast_config):
+        config = dataclasses.replace(fast_config, join_prefilter_margin=0.0)
+        assert config.join_prefilter_margin == 0.0
+
+
+class TestTruncatedFlag:
+    @pytest.fixture
+    def chain_graph(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        for first, second in [("a", "b"), ("b", "c"), ("c", "d"), ("x", "y")]:
+            graph.add_edge(
+                first,
+                second,
+                join=JoinEdge(
+                    left=AttributeRef(first, "subject"),
+                    right=AttributeRef(second, "subject"),
+                    overlap=0.8,
+                ),
+            )
+        return SAJoinGraph(graph)
+
+    def test_uncapped_walk_is_not_truncated(self, chain_graph):
+        related = {"a", "b", "c", "d", "x", "y"}
+        search = find_join_paths(chain_graph, ["a", "x"], related)
+        assert isinstance(search, JoinPathSearch)
+        assert not search.truncated
+        assert "y" in tables_reached(search)
+
+    def test_capped_walk_is_truncated_and_flagged(self, chain_graph):
+        related = {"a", "b", "c", "d", "x", "y"}
+        search = find_join_paths(chain_graph, ["a", "x"], related, max_paths=1)
+        assert search.truncated
+        assert len(search) == 1
+        # The flag is what distinguishes this capped answer: without it the
+        # silently-dropped start table "x" would be indistinguishable from
+        # "x has no join paths".
+        assert "y" not in tables_reached(search)
+
+    def test_search_behaves_like_a_sequence(self, chain_graph):
+        related = {"a", "b", "c", "d"}
+        search = find_join_paths(chain_graph, ["a"], related)
+        assert list(search) == search.paths
+        assert search[0] == search.paths[0]
+        assert search[:2] == search.paths[:2]
+        assert len(search) == len(search.paths)
+
+    def test_exact_cap_at_end_is_not_flagged(self, chain_graph):
+        # One start table whose walk finishes exactly when the cap is hit:
+        # nothing was dropped, so the enumeration is complete.
+        search = find_join_paths(chain_graph, ["x"], {"x", "y"}, max_paths=5)
+        assert len(search) == 1
+        assert not search.truncated
+
+
+class TestEnsembleEquivalence:
+    def test_ensemble_matches_batched_build_on_figure1(self, figure1_engine):
+        """On the seeded GP lake both blocking strategies converge to the
+        same verified edges: containment and Jaccard retrieval agree when
+        the subject-attribute overlaps are strong."""
+        ensemble = SAJoinGraph.build_with_ensemble(
+            figure1_engine.indexes, figure1_engine.config
+        )
+        batched = SAJoinGraph.build(figure1_engine.indexes, figure1_engine.config)
+        assert batched.edge_count() >= 1
+        assert edge_map(ensemble) == edge_map(batched)

@@ -187,3 +187,84 @@ class TestRawBufferRoundTrip:
         loaded.index_table(figure1_tables["target"])
         result = loaded.query(figure1_tables["target"], k=2, exclude_self=True)
         assert victim not in result.table_names(2)
+
+
+class TestJoinGraphPersistence:
+    """The v3 join-graph section: save -> load -> identical edges/overlaps."""
+
+    @pytest.fixture()
+    def join_engine(self, figure1_tables, fast_config):
+        engine = D3L(config=fast_config)
+        engine.index_lake(figure1_tables["lake"])
+        return engine
+
+    @staticmethod
+    def _edge_map(graph):
+        return {
+            tuple(sorted(pair)): (
+                graph.edge(*pair).left,
+                graph.edge(*pair).right,
+                graph.edge(*pair).overlap,
+            )
+            for pair in graph.graph.edges
+        }
+
+    def test_built_graph_round_trips(self, join_engine, tmp_path):
+        from repro.core.persistence import save_engine as save
+
+        original = join_engine.join_graph
+        assert original.edge_count() >= 1
+        path = save(join_engine, tmp_path / "engine.pkl")
+        loaded = load_engine(path)
+        restored = loaded.cached_join_graph
+        assert restored is not None
+        assert set(restored.table_names) == set(original.table_names)
+        assert self._edge_map(restored) == self._edge_map(original)
+
+    def test_restored_graph_is_served_without_rebuilding(
+        self, join_engine, tmp_path, monkeypatch
+    ):
+        from repro.core import joins as joins_module
+
+        join_engine.join_graph  # build + cache
+        path = save_engine(join_engine, tmp_path / "engine.pkl")
+        loaded = load_engine(path)
+
+        def _fail(*args, **kwargs):  # pragma: no cover - the assertion is the call
+            raise AssertionError("restored join graph must not be rebuilt")
+
+        monkeypatch.setattr(joins_module.SAJoinGraph, "build", classmethod(_fail))
+        assert loaded.join_graph.edge_count() == join_engine.join_graph.edge_count()
+
+    def test_unbuilt_graph_persists_as_absent(self, join_engine, tmp_path):
+        path = save_engine(join_engine, tmp_path / "engine.pkl")
+        loaded = load_engine(path)
+        assert loaded.cached_join_graph is None
+        # And the lazy build still works on the restored engine.
+        assert loaded.join_graph.edge_count() == join_engine.join_graph.edge_count()
+
+    def test_lake_mutation_invalidates_restored_graph(
+        self, join_engine, tmp_path, figure1_tables
+    ):
+        from repro.tables.table import Table
+
+        join_engine.join_graph
+        path = save_engine(join_engine, tmp_path / "engine.pkl")
+        loaded = load_engine(path)
+        assert loaded.cached_join_graph is not None
+        loaded.index_table(
+            Table.from_dict("new_clinics", {"Clinic": ["Ordsall Health"], "City": ["Salford"]})
+        )
+        assert loaded.cached_join_graph is None
+
+    def test_session_round_trip_restores_graph(self, join_engine, tmp_path):
+        from repro.core.api import DiscoverySession
+        from repro.core.persistence import load_session, save_session
+
+        session = DiscoverySession(join_engine)
+        join_engine.join_graph
+        path = save_session(session, tmp_path / "session.pkl")
+        restored = load_session(path)
+        graph = restored.engine.cached_join_graph
+        assert graph is not None
+        assert self._edge_map(graph) == self._edge_map(join_engine.join_graph)
