@@ -18,7 +18,13 @@ An index-construction section additionally times
   parallel number is informational: it only beats serial when real cores
   are available (``available_cpus`` is recorded alongside), and the
   sharded-vs-serial *equivalence* is locked down by
-  ``tests/core/test_parallel_build.py`` rather than by this timing.
+  ``tests/core/test_parallel_build.py`` rather than by this timing, and
+* the snapshot-ship cost of worker fan-out: bytes serialized per worker and
+  per-worker RSS delta for the pickled-copy path vs the shared-memory
+  attach (:class:`~repro.core.shared.SharedIndexSnapshot`), with the
+  attached state verified bit-identical before the numbers are trusted
+  (tracked floor: the shared descriptor ships >= 10x fewer bytes than the
+  pickled snapshot at 1000 attributes).
 
 A batched-query section times the full query engine — ``D3L.query`` (the
 sequential per-attribute oracle) vs ``D3L.query_batch`` (per-evidence
@@ -105,6 +111,11 @@ SESSION_CACHE_SPEEDUP_FLOOR = 2.0
 #: the scalar probe-at-a-time build, at 1000 attributes, with the edge sets
 #: verified identical before any timing is trusted.
 JOIN_GRAPH_SPEEDUP_FLOOR = 3.0
+#: Tracked floor: fan-out snapshot shipping at 1000 attributes — the
+#: shared-memory descriptor a query-worker pool ships per worker must be at
+#: least this many times smaller than the pickled-index snapshot the old
+#: fan-out shipped, with the attached state verified bit-identical first.
+SNAPSHOT_SHIP_RATIO_FLOOR = 10.0
 #: Join-graph workload shape: entity rows per table and the per-family entity
 #: pool the tables sample them from (value samples near the profile cap, so
 #: exact verification has realistic per-pair cost).
@@ -293,11 +304,122 @@ def _timed(callable_) -> float:
     return time.perf_counter() - start
 
 
+def _rss_bytes() -> int:
+    """Resident set size of this process via ``/proc/self/statm`` (no psutil)."""
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            return int(handle.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return 0
+
+
+def _worker_index_footprint(payload) -> Tuple[int, int]:
+    """Worker entry: materialize an index from ``payload``, report RSS growth.
+
+    ``payload`` is ``("blob", pickled-index bytes)`` — the old fan-out's
+    per-worker copy, unpickled here so the allocation lands inside the
+    measurement — or a shared-snapshot descriptor, attached zero-copy.
+    Returns ``(rss delta in bytes, attribute count)``.
+    """
+    import pickle
+
+    from repro.core.shared import SharedIndexSnapshot
+
+    kind, data = payload
+    before = _rss_bytes()
+    if kind == "blob":
+        indexes = pickle.loads(data)
+    else:
+        indexes = SharedIndexSnapshot.attach((kind, data))
+    return _rss_bytes() - before, indexes.attribute_count
+
+
+def _snapshot_state_identical(indexes, attached) -> bool:
+    """Bit-exact equality of an attached snapshot against the source index."""
+    from repro.core.evidence import EvidenceType
+
+    for evidence in EvidenceType.indexed():
+        refs, matrix, flags = indexes._matrices[evidence].export_state(copy=False)
+        a_refs, a_matrix, a_flags = attached._matrices[evidence].export_state(
+            copy=False
+        )
+        if (
+            refs != a_refs
+            or not np.array_equal(matrix, a_matrix)
+            or not np.array_equal(flags, a_flags)
+        ):
+            return False
+        forest = indexes._forests[evidence].export_state(copy=False)
+        a_forest = attached._forests[evidence].export_state(copy=False)
+        for tree, a_tree in zip(forest["trees"], a_forest["trees"]):
+            if (
+                not np.array_equal(tree["keys"], a_tree["keys"])
+                or tree["items"] != a_tree["items"]
+            ):
+                return False
+    return True
+
+
+def _bench_snapshot_shipping(indexes) -> Dict[str, object]:
+    """Fan-out snapshot cost: pickled per-worker copies vs shared-memory attach.
+
+    Measures what one worker costs under each shipping strategy — bytes
+    serialized into the pool initializer and the worker's RSS growth while
+    materializing its index — plus the one-time snapshot create/attach
+    wall-clock, with the attached state verified bit-identical to the source
+    before any number is trusted.  The worker footprints run in fresh
+    single-worker pools *before* the in-process attach so the fork cannot
+    inherit an already-attached mapping.
+    """
+    import pickle
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.core.shared import SharedIndexSnapshot
+
+    start = time.perf_counter()
+    blob = pickle.dumps(indexes, protocol=pickle.HIGHEST_PROTOCOL)
+    pickle_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    snapshot = SharedIndexSnapshot.create(indexes)
+    create_seconds = time.perf_counter() - start
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            rss_pickled, _ = pool.submit(
+                _worker_index_footprint, ("blob", blob)
+            ).result()
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            rss_shared, _ = pool.submit(
+                _worker_index_footprint, snapshot.descriptor
+            ).result()
+
+        start = time.perf_counter()
+        attached = SharedIndexSnapshot.attach(snapshot.descriptor)
+        attach_seconds = time.perf_counter() - start
+        state_identical = _snapshot_state_identical(indexes, attached)
+
+        shipped = snapshot.shipped_bytes()
+        return {
+            "snapshot_pickled_bytes": len(blob),
+            "snapshot_shipped_bytes": shipped,
+            "snapshot_ship_ratio": len(blob) / max(shipped, 1),
+            "snapshot_pickle_seconds": pickle_seconds,
+            "snapshot_create_seconds": create_seconds,
+            "snapshot_attach_seconds": attach_seconds,
+            "worker_rss_delta_pickled_bytes": rss_pickled,
+            "worker_rss_delta_shared_bytes": rss_shared,
+            "snapshot_state_identical": state_identical,
+        }
+    finally:
+        snapshot.close()
+
+
 def _bench_end_to_end_construction(lake, config) -> Dict[str, object]:
     """Full ``add_lake`` (profile + sign + insert) with 1 vs N worker processes."""
     from repro.core.indexes import D3LIndexes
 
     timings = {}
+    serial_indexes = None
     for workers in (1, PARALLEL_WORKERS):
         clear_token_hash_cache()
         indexes = D3LIndexes(config=config)
@@ -305,6 +427,8 @@ def _bench_end_to_end_construction(lake, config) -> Dict[str, object]:
         indexes.add_lake(lake, workers=workers)
         elapsed = time.perf_counter() - start
         timings[workers] = (elapsed, indexes.attribute_count)
+        if workers == 1:
+            serial_indexes = indexes
     serial_seconds, attributes = timings[1]
     parallel_seconds, _ = timings[PARALLEL_WORKERS]
     return {
@@ -317,6 +441,7 @@ def _bench_end_to_end_construction(lake, config) -> Dict[str, object]:
         "serial_attrs_per_second": attributes / max(serial_seconds, 1e-12),
         "parallel_attrs_per_second": attributes / max(parallel_seconds, 1e-12),
         "parallel_speedup": serial_seconds / max(parallel_seconds, 1e-12),
+        **_bench_snapshot_shipping(serial_indexes),
     }
 
 
@@ -727,8 +852,9 @@ def main() -> int:
             f"e2e: {end_to_end['serial_attrs_per_second']:.0f} attrs/s serial, "
             f"{end_to_end['parallel_attrs_per_second']:.0f} attrs/s "
             f"x{end_to_end['parallel_workers']}  "
+            f"snap-ship: {end_to_end['snapshot_ship_ratio']:.0f}x smaller  "
             f"identical: "
-            f"{entry['rankings_identical'] and batching['signatures_identical'] and batched_query['rankings_identical'] and batched_query['workers_rankings_identical'] and session_cache['rankings_identical'] and join_graph['edges_identical'] and join_graph['workers_edges_identical']}"
+            f"{entry['rankings_identical'] and batching['signatures_identical'] and batched_query['rankings_identical'] and batched_query['workers_rankings_identical'] and session_cache['rankings_identical'] and join_graph['edges_identical'] and join_graph['workers_edges_identical'] and end_to_end['snapshot_state_identical']}"
         )
     print(f"wrote {RESULT_PATH}")
     failures = [
@@ -741,6 +867,7 @@ def main() -> int:
         or not entry["session_cache"]["rankings_identical"]
         or not entry["join_graph_build"]["edges_identical"]
         or not entry["join_graph_build"]["workers_edges_identical"]
+        or not entry["index_construction"]["end_to_end"]["snapshot_state_identical"]
     ]
     largest = payload["results"][-1]
     batching_speedup = largest["index_construction"]["signature_batching"]["speedup"]
@@ -776,6 +903,14 @@ def main() -> int:
         print(
             f"FLOOR VIOLATION: join graph build speedup {join_speedup:.1f}x "
             f"< {JOIN_GRAPH_SPEEDUP_FLOOR}x at {largest['num_attributes']} attributes"
+        )
+        failures.append(largest["num_attributes"])
+    ship_ratio = largest["index_construction"]["end_to_end"]["snapshot_ship_ratio"]
+    if ship_ratio < SNAPSHOT_SHIP_RATIO_FLOOR:
+        print(
+            f"FLOOR VIOLATION: shared snapshot ships only {ship_ratio:.1f}x "
+            f"fewer bytes than the pickled snapshot "
+            f"(< {SNAPSHOT_SHIP_RATIO_FLOOR}x) at {largest['num_attributes']} attributes"
         )
         failures.append(largest["num_attributes"])
     return 1 if failures else 0

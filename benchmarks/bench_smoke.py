@@ -18,7 +18,13 @@ the piece small enough to wire into tier-1 (see
   must survive a ``to_dict`` → JSON → ``from_dict`` round trip losslessly, and
 * checks the join-path surface: the batched SA-join graph build must equal
   the scalar ``build_sequential`` oracle edge for edge, and a ``joins=True``
-  request's ``join_paths`` block must round-trip through the wire format.
+  request's ``join_paths`` block must round-trip through the wire format, and
+* exercises the zero-copy fan-out path: an in-process shared-snapshot attach
+  and a ``workers=2`` pooled query must answer bit-identically to the
+  sequential oracle, the executor-verified join graph must equal the scalar
+  build, the committed bench run must clear the snapshot-ship floor
+  (``SNAPSHOT_SHIP_RATIO_FLOOR``) at the largest lake, and closing the
+  engine must leave no stray ``/dev/shm`` segments.
 
 Run directly::
 
@@ -75,6 +81,15 @@ END_TO_END_KEYS = (
     "parallel_seconds",
     "parallel_workers",
     "parallel_speedup",
+    "snapshot_pickled_bytes",
+    "snapshot_shipped_bytes",
+    "snapshot_ship_ratio",
+    "snapshot_pickle_seconds",
+    "snapshot_create_seconds",
+    "snapshot_attach_seconds",
+    "worker_rss_delta_pickled_bytes",
+    "worker_rss_delta_shared_bytes",
+    "snapshot_state_identical",
 )
 BATCHED_QUERY_KEYS = (
     "num_attributes",
@@ -166,6 +181,7 @@ def _check_floors() -> List[str]:
         "BATCHED_QUERY_SPEEDUP_FLOOR",
         "SESSION_CACHE_SPEEDUP_FLOOR",
         "JOIN_GRAPH_SPEEDUP_FLOOR",
+        "SNAPSHOT_SHIP_RATIO_FLOOR",
     ):
         floor = getattr(hot_paths, name, None)
         if not isinstance(floor, (int, float)) or floor < 1.0:
@@ -181,7 +197,33 @@ def _check_recorded_payload() -> List[str]:
         payload = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
     except json.JSONDecodeError as error:
         return [f"{RESULT_PATH.name} is not valid JSON: {error}"]
-    return validate_hot_paths_payload(payload)
+    problems = validate_hot_paths_payload(payload)
+    if problems:
+        return problems
+    return _check_recorded_ship_floor(payload)
+
+
+def _check_recorded_ship_floor(payload: Dict[str, object]) -> List[str]:
+    """The committed bench run clears the snapshot-ship floor at the largest lake."""
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    import bench_perf_hot_paths as hot_paths
+
+    largest = payload["results"][-1]
+    end_to_end = largest["index_construction"]["end_to_end"]
+    problems: List[str] = []
+    if not end_to_end.get("snapshot_state_identical", False):
+        problems.append(
+            f"recorded n={largest['num_attributes']}: shared snapshot state was "
+            "not verified identical to the source index"
+        )
+    ratio = end_to_end.get("snapshot_ship_ratio", 0.0)
+    if ratio < hot_paths.SNAPSHOT_SHIP_RATIO_FLOOR:
+        problems.append(
+            f"recorded n={largest['num_attributes']}: shared snapshot ships only "
+            f"{ratio:.1f}x fewer bytes than the pickled snapshot "
+            f"(floor {hot_paths.SNAPSHOT_SHIP_RATIO_FLOOR}x)"
+        )
+    return problems
 
 
 def _tiny_engine():
@@ -322,6 +364,73 @@ def _check_join_serving(corpus, engine) -> List[str]:
     return problems
 
 
+def _check_shared_memory_path(corpus, engine) -> List[str]:
+    """The zero-copy fan-out path answers exactly like the sequential oracle.
+
+    Exercises the real shared-memory machinery on the tiny lake: an
+    in-process snapshot attach must reproduce query rankings bit-identically,
+    a ``workers=2`` fanned-out query (worker pool attached to a shared
+    segment) must equal ``workers=1``, the join graph verified over the
+    executor pool must equal the scalar oracle's edge set, and closing the
+    engine must leave no stray segments behind.
+    """
+    from repro.core.discovery import D3L
+    from repro.core.joins import SAJoinGraph
+    from repro.core.shared import SharedIndexSnapshot, stray_segments
+
+    problems: List[str] = []
+    before = set(stray_segments())
+    target = corpus.lake.tables[0]
+    oracle = [(r.table_name, r.distance) for r in engine.query(target, k=5).results]
+
+    snapshot = SharedIndexSnapshot.create(engine.indexes)
+    try:
+        attached = SharedIndexSnapshot.attach(snapshot.descriptor)
+        mirror = D3L(
+            config=attached.config,
+            embedding_model=attached.embedding_model,
+            weights=engine.weights,
+            subject_classifier=attached.subject_classifier,
+        )
+        mirror.indexes = attached
+        over_attached = [
+            (r.table_name, r.distance)
+            for r in mirror.query_batch(target, k=5).results
+        ]
+        if over_attached != oracle:
+            problems.append("query over the attached shared index diverges")
+    finally:
+        snapshot.close()
+
+    fanned = [
+        (r.table_name, r.distance)
+        for r in engine.query_batch(target, k=5, workers=2).results
+    ]
+    if fanned != oracle:
+        problems.append("workers=2 shared-path query diverges from the oracle")
+
+    def edge_map(graph):
+        return {
+            tuple(sorted(pair)): (
+                graph.edge(*pair).left,
+                graph.edge(*pair).right,
+                graph.edge(*pair).overlap,
+            )
+            for pair in graph.graph.edges
+        }
+
+    shared_graph = engine.build_join_graph(workers=2)
+    sequential_graph = SAJoinGraph.build_sequential(engine.indexes, engine.config)
+    if edge_map(shared_graph) != edge_map(sequential_graph):
+        problems.append("executor-verified join graph diverges from the oracle")
+
+    engine.close()
+    leaked = set(stray_segments()) - before
+    if leaked:
+        problems.append(f"shared-memory segments leaked: {sorted(leaked)}")
+    return problems
+
+
 def run_quick() -> List[str]:
     """Every quick check; returns the list of problems found."""
     import warnings
@@ -334,6 +443,7 @@ def run_quick() -> List[str]:
         problems += _check_tiny_lake_equivalence(corpus, engine)
         problems += _check_api_roundtrip(corpus, engine)
         problems += _check_join_serving(corpus, engine)
+        problems += _check_shared_memory_path(corpus, engine)
     return problems
 
 

@@ -860,8 +860,15 @@ class DiscoverySession:
         self._cache.clear()
 
     def close(self) -> None:
-        """Release session state (the engine and its pools stay usable)."""
+        """Release session state, worker pools, and shared-memory snapshots.
+
+        Clears the profile cache and closes the engine's fan-out executors
+        (reaping worker processes and unlinking ``/dev/shm`` segments).  The
+        session and engine stay usable — pools and snapshots are re-created
+        lazily on the next fanned-out request.
+        """
         self.clear_cache()
+        self.engine.close()
 
     def save(self, path) -> "object":
         """Persist the session (engine + session settings) to ``path``."""

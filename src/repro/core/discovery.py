@@ -238,6 +238,37 @@ class D3L:
             executor.close()
         self._query_executors = {}
 
+    def close(self) -> None:
+        """Release every fan-out worker pool and shared-memory snapshot.
+
+        The engine stays fully usable — pools and snapshots are re-created
+        lazily on the next fanned-out request.  Call this (or
+        :meth:`~repro.core.api.DiscoverySession.close`) when done serving so
+        worker processes and ``/dev/shm`` segments are reclaimed promptly
+        rather than by the garbage-collection backstop.
+        """
+        self._invalidate_query_executors()
+
+    def _fanout_executor(self, workers: int) -> "ParallelQueryExecutor":
+        """The cached fan-out executor for ``workers``, created on demand.
+
+        One executor (and thus one worker pool attached to one shared index
+        snapshot) exists per requested worker count; any lake mutation
+        discards the cache (see :meth:`_invalidate_query_executors`).
+        """
+        from repro.core.parallel import ParallelQueryExecutor
+
+        executor = self._query_executors.get(workers)
+        if executor is None or executor.indexes is not self.indexes:
+            # The indexes object is only rebound on engine restore (when
+            # the cache is empty), but close any displaced executor so a
+            # rebind can never strand a live worker pool.
+            if executor is not None:
+                executor.close()
+            executor = ParallelQueryExecutor(self.indexes, workers)
+            self._query_executors[workers] = executor
+        return executor
+
     @property
     def join_graph(self) -> SAJoinGraph:
         """The SA-join graph, built lazily and cached until the lake changes.
@@ -253,12 +284,19 @@ class D3L:
         """Build (or return the cached) SA-join graph for the current lake.
 
         ``workers > 1`` shards the exact value-overlap verification across
-        worker processes; the resulting edge set is identical to a
-        single-process build, so the cache does not key on the worker count.
+        the engine's persistent fan-out pool for that worker count (the same
+        shared-memory-attached pool the batched query engine uses, created
+        on demand); the resulting edge set is identical to a single-process
+        build, so the cache does not key on the worker count.
         """
         if self._join_graph is None or self._join_graph_version != self.indexes.version:
+            executor = (
+                self._fanout_executor(workers)
+                if workers is not None and workers > 1
+                else None
+            )
             self._join_graph = SAJoinGraph.build(
-                self.indexes, self.config, workers=workers
+                self.indexes, self.config, workers=workers, executor=executor
             )
             self._join_graph_version = self.indexes.version
         return self._join_graph
@@ -915,17 +953,7 @@ class D3L:
         )
         entries = list(target_profile.attributes.items())
         if workers is not None and workers > 1:
-            from repro.core.parallel import ParallelQueryExecutor
-
-            executor = self._query_executors.get(workers)
-            if executor is None or executor.indexes is not self.indexes:
-                # The indexes object is only rebound on engine restore (when
-                # the cache is empty), but close any displaced executor so a
-                # rebind can never strand a live worker pool.
-                if executor is not None:
-                    executor.close()
-                executor = ParallelQueryExecutor(self.indexes, workers)
-                self._query_executors[workers] = executor
+            executor = self._fanout_executor(workers)
             attribute_distances = executor.collect(
                 target_profile.table_name,
                 entries,

@@ -211,15 +211,31 @@ class SignatureMatrix:
         """Stored refs in row order (row ``i`` belongs to ``refs[i]``)."""
         return list(self._refs)
 
-    def export_state(self) -> Tuple[List[AttributeRef], np.ndarray, np.ndarray]:
-        """``(refs, matrix, flags)`` copies covering exactly the populated rows."""
+    def export_state(
+        self, copy: bool = True
+    ) -> Tuple[List[AttributeRef], np.ndarray, np.ndarray]:
+        """``(refs, matrix, flags)`` covering exactly the populated rows.
+
+        ``copy=False`` returns trimmed *views* of the live arrays instead of
+        copies — for callers that only read them once into another buffer
+        (the shared-memory snapshot writer); the views must not be mutated.
+        """
         count = len(self._refs)
-        return list(self._refs), self._matrix[:count].copy(), self._flags[:count].copy()
+        matrix, flags = self._matrix[:count], self._flags[:count]
+        if copy:
+            matrix, flags = matrix.copy(), flags.copy()
+        return list(self._refs), matrix, flags
 
     def import_state(
         self, refs: Sequence[AttributeRef], matrix: np.ndarray, flags: np.ndarray
     ) -> None:
-        """Restore a state produced by :meth:`export_state` (replaces contents)."""
+        """Restore a state produced by :meth:`export_state` (replaces contents).
+
+        Arrays that are already contiguous with the right dtype — including
+        read-only views over a shared-memory segment — are adopted as-is
+        (no copy); the matrix then stays a view for the lifetime of the
+        restored object, which is what makes worker-side attaches zero-copy.
+        """
         matrix = np.ascontiguousarray(matrix, dtype=self._dtype)
         flags = np.ascontiguousarray(flags, dtype=bool)
         refs = list(refs)

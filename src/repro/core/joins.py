@@ -211,6 +211,7 @@ class SAJoinGraph:
         indexes: D3LIndexes,
         config: Optional[D3LConfig] = None,
         workers: Optional[int] = None,
+        executor=None,
     ) -> "SAJoinGraph":
         """Build the SA-join graph from an indexed lake, in batched sweeps.
 
@@ -223,9 +224,14 @@ class SAJoinGraph:
         Python-level set intersection happens.  Surviving pairs are verified
         with the exact value-sample overlap coefficient, sharded across
         ``workers`` processes when requested
-        (:func:`~repro.core.parallel.verify_value_overlaps`); verification is
-        a pure per-pair function and edges are applied in sorted probe order,
-        so ``workers=1`` and ``workers=N`` produce the identical edge set.
+        (:func:`~repro.core.parallel.verify_value_overlaps`) — or, when the
+        owning engine passes a live
+        :class:`~repro.core.parallel.ParallelQueryExecutor` as ``executor``,
+        over that executor's persistent shared-memory worker pool with no
+        sample shipping at all; verification is a pure per-pair function and
+        edges are applied in sorted probe order, so every routing
+        (``workers=1``, ``workers=N``, executor pool) produces the identical
+        edge set.
 
         The pre-filter estimates overlap from the *token sets* the value
         index is built from, while verification compares distinct-value
@@ -292,12 +298,18 @@ class SAJoinGraph:
                 ]
             kept_per_probe.append(refs)
             if refs:
-                samples[subject.ref] = subject.value_sample
-                for ref in refs:
-                    samples[ref] = indexes.profiles[ref].value_sample
+                if executor is None:
+                    # The executor routing resolves samples worker-side from
+                    # the attached shared index; only the sample-shipping
+                    # paths need the dictionary built at all.
+                    samples[subject.ref] = subject.value_sample
+                    for ref in refs:
+                        samples[ref] = indexes.profiles[ref].value_sample
                 pairs.extend((subject.ref, ref) for ref in refs)
 
-        overlaps = verify_value_overlaps(samples, pairs, workers=workers)
+        overlaps = verify_value_overlaps(
+            samples, pairs, workers=workers, executor=executor
+        )
         for (table_name, subject), refs in zip(probes, kept_per_probe):
             for ref in refs:
                 overlap = overlaps[(subject.ref, ref)]

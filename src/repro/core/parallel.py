@@ -29,20 +29,75 @@ locks down.
 
 from __future__ import annotations
 
+import os
 import weakref
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.lake.datalake import DataLake
 from repro.tables.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.indexes import D3LIndexes
+    from repro.core.shared import Descriptor, SharedIndexSnapshot
     from repro.lake.datalake import AttributeRef
 
 #: One shard worker's result: per table, the profile plus the per-attribute
 #: signatures (``{attribute name: {evidence: signature or None}}``).
 ShardResult = List[Tuple[object, Dict[str, dict]]]
+
+#: Every live :class:`ParallelQueryExecutor` of this process, for the
+#: leak-audit helpers (:func:`live_worker_pids`).  Weak so dropped executors
+#: vanish from the audit once their finalizer has run.
+_LIVE_EXECUTORS: "weakref.WeakSet[ParallelQueryExecutor]" = weakref.WeakSet()
+
+
+def _pool_size(requested: int) -> int:
+    """Worker-process count for a pool: the request clamped to the host CPUs.
+
+    Only the *pool* is clamped — shard partitioning stays a pure function of
+    the requested worker count, so ``workers=N`` produces identical shards
+    (and therefore identical merged results) on any host size.
+    """
+    return max(1, min(requested, os.cpu_count() or 1))
+
+
+def live_worker_pids() -> Set[int]:
+    """PIDs of worker processes owned by live query-executor pools."""
+    pids: Set[int] = set()
+    for executor in list(_LIVE_EXECUTORS):
+        pool = executor._pool
+        processes = getattr(pool, "_processes", None) if pool is not None else None
+        if processes:
+            pids.update(processes.keys())
+    return pids
+
+
+def _snapshot_descriptor(
+    indexes: "D3LIndexes",
+) -> Tuple["Descriptor", Optional["SharedIndexSnapshot"]]:
+    """A shared snapshot of ``indexes`` plus the descriptor workers attach.
+
+    Falls back to the degraded ``("pickle", indexes)`` descriptor — the old
+    ship-a-copy-per-worker behavior — when no shared backing can be created,
+    so fan-out keeps working (at the old cost) on hosts without ``/dev/shm``
+    or a writable temp directory.
+    """
+    from repro.core.shared import SharedIndexSnapshot, SharedSnapshotError
+
+    try:
+        snapshot = SharedIndexSnapshot.create(indexes)
+    except SharedSnapshotError:
+        return ("pickle", indexes), None
+    return snapshot.descriptor, snapshot
+
+
+def _finalize_fanout(pool: ProcessPoolExecutor, snapshot) -> None:
+    """Backstop for executors dropped without ``close()``: reap pool, unlink
+    segment (worker mappings stay valid through their own exit)."""
+    pool.shutdown(wait=False)
+    if snapshot is not None:
+        snapshot.close()
 
 
 def partition_tables(table_names: Sequence[str], shards: int) -> List[List[str]]:
@@ -58,16 +113,34 @@ def partition_tables(table_names: Sequence[str], shards: int) -> List[List[str]]
     return [ordered[index::shards] for index in range(shards)]
 
 
-def _profile_and_sign_shard(payload: Tuple["D3LIndexes", List[Table]]) -> ShardResult:
+#: The build-worker process's profiling clone (an empty ``D3LIndexes``
+#: carrying the configuration, embedding model, and subject classifier),
+#: installed once by the pool initializer so per-shard payloads are bare
+#: table lists instead of re-shipping the models per shard.
+_BUILD_WORKER_INDEXES: Optional["D3LIndexes"] = None
+
+
+def _init_build_worker(indexes: "D3LIndexes") -> None:
+    """Pool initializer: pin this build worker's profiling clone."""
+    global _BUILD_WORKER_INDEXES
+    _BUILD_WORKER_INDEXES = indexes
+
+
+def _profile_and_sign_shard(
+    tables: List[Table], indexes: Optional["D3LIndexes"] = None
+) -> ShardResult:
     """Worker entry point: profile and sign every table of one shard.
 
-    ``payload`` carries a fresh (empty) ``D3LIndexes`` so the worker uses
-    exactly the same configuration, embedding model, and subject classifier
-    as the merging process; nothing is inserted into the carried indexes.
-    Signatures are batched across the whole shard, so every worker exploits
-    the same cross-table vocabulary sharing a serial ``add_lake`` does.
+    The profiling clone — a fresh (empty) ``D3LIndexes`` with exactly the
+    same configuration, embedding model, and subject classifier as the
+    merging process — is the worker-resident one installed by
+    :func:`_init_build_worker` unless passed explicitly (the inline
+    single-shard path); nothing is inserted into it.  Signatures are batched
+    across the whole shard, so every worker exploits the same cross-table
+    vocabulary sharing a serial ``add_lake`` does.
     """
-    indexes, tables = payload
+    if indexes is None:
+        indexes = _BUILD_WORKER_INDEXES
     table_profiles = [indexes.profile_table(table) for table in tables]
     signatures = indexes.batch_signatures(table_profiles)
     return [
@@ -103,18 +176,29 @@ class ParallelIndexBuilder:
         )
 
     def build(self, lake: DataLake) -> "D3LIndexes":
-        """Profile and sign ``lake`` across the shards, then merge in order."""
+        """Profile and sign ``lake`` across the shards, then merge in order.
+
+        The profiling clone is shipped once per worker process through the
+        pool initializer; per-shard payloads carry only the shard's tables.
+        The pool itself is clamped to the host CPU count — sharding is not,
+        so the merged result is a function of the requested worker count
+        alone.
+        """
         shards = [
             names for names in partition_tables(lake.table_names, self.workers) if names
         ]
-        payloads = [
-            (self._worker_clone(), [lake.table(name) for name in names])
-            for names in shards
-        ]
+        payloads = [[lake.table(name) for name in names] for names in shards]
         if len(payloads) <= 1:
-            shard_results = [_profile_and_sign_shard(payload) for payload in payloads]
+            clone = self._worker_clone()
+            shard_results = [
+                _profile_and_sign_shard(payload, clone) for payload in payloads
+            ]
         else:
-            with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            with ProcessPoolExecutor(
+                max_workers=_pool_size(len(payloads)),
+                initializer=_init_build_worker,
+                initargs=(self._worker_clone(),),
+            ) as pool:
                 shard_results = list(pool.map(_profile_and_sign_shard, payloads))
 
         by_table: Dict[str, Tuple[object, Dict[str, dict]]] = {}
@@ -147,10 +231,35 @@ def _verify_join_shard(payload) -> List[Tuple["AttributeRef", "AttributeRef", fl
     ]
 
 
+def _verify_join_shard_attached(
+    pairs: List[Tuple["AttributeRef", "AttributeRef"]]
+) -> List[Tuple["AttributeRef", "AttributeRef", float]]:
+    """Worker entry point: overlaps of one shard's pairs over the attached index.
+
+    Runs in a query-worker pool (:func:`_init_query_worker`): the value
+    samples are read from the worker-resident shared index's profiles, so
+    the payload is the bare pair list — no samples are shipped at all.
+    """
+    from repro.core.profiles import sample_overlap
+
+    profiles = _QUERY_WORKER_INDEXES.profiles
+    return [
+        (
+            left,
+            right,
+            sample_overlap(
+                profiles[left].value_sample, profiles[right].value_sample
+            ),
+        )
+        for left, right in pairs
+    ]
+
+
 def verify_value_overlaps(
     samples: Dict["AttributeRef", frozenset],
     pairs: Sequence[Tuple["AttributeRef", "AttributeRef"]],
     workers: Optional[int] = None,
+    executor: Optional["ParallelQueryExecutor"] = None,
 ) -> Dict[Tuple["AttributeRef", "AttributeRef"], float]:
     """Exact overlap coefficients of many candidate pairs, optionally sharded.
 
@@ -158,14 +267,21 @@ def verify_value_overlaps(
     ``(subject attribute, candidate attribute)`` pair surviving the
     estimated-overlap pre-filter is scored with the same overlap coefficient
     as :meth:`~repro.core.profiles.AttributeProfile.value_overlap`.
-    ``workers > 1`` deals the deduplicated pairs round-robin across worker
-    processes, shipping each shard only the value samples its pairs touch.
-    Because the overlap of a pair is a pure function of the two samples and
-    the merge is keyed by pair, ``workers=1`` and ``workers=N`` return the
-    identical mapping.
+
+    With ``executor`` (a live :class:`ParallelQueryExecutor` over the same
+    indexes), the pairs are verified on the executor's persistent worker
+    pool against the shared attached index — no per-call pool spin-up and no
+    sample shipping; ``samples`` may then be empty.  Otherwise ``workers >
+    1`` deals the deduplicated pairs round-robin across a transient pool
+    (clamped to the host CPU count), shipping each shard only the value
+    samples its pairs touch.  Because the overlap of a pair is a pure
+    function of the two samples and the merge is keyed by pair, every
+    routing returns the identical mapping.
     """
     from repro.core.profiles import sample_overlap
 
+    if executor is not None:
+        return executor.verify_overlaps(pairs)
     ordered = list(dict.fromkeys(pairs))
     if workers is None or workers <= 1 or len(ordered) <= 1:
         return {
@@ -183,7 +299,7 @@ def verify_value_overlaps(
     if len(payloads) <= 1:
         shard_results = [_verify_join_shard(payload) for payload in payloads]
     else:
-        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+        with ProcessPoolExecutor(max_workers=_pool_size(len(payloads))) as pool:
             shard_results = list(pool.map(_verify_join_shard, payloads))
     return {
         (left, right): overlap
@@ -198,16 +314,19 @@ def verify_value_overlaps(
 QueryShardResult = List[Tuple[str, List, Dict]]
 
 
-#: The query-worker process's resident copy of the indexes, pinned once by
-#: the pool initializer so repeated queries do not re-ship the (potentially
-#: very large) index state per query.
+#: The query-worker process's resident view of the indexes, attached once by
+#: the pool initializer.  Over the shared-memory path this is a read-only
+#: reconstruction whose arrays are views into the host's one segment; only
+#: under the degraded ``("pickle", ...)`` descriptor is it a private copy.
 _QUERY_WORKER_INDEXES: Optional["D3LIndexes"] = None
 
 
-def _init_query_worker(indexes: "D3LIndexes") -> None:
-    """Pool initializer: pin this worker process's copy of the indexes."""
+def _init_query_worker(descriptor: "Descriptor") -> None:
+    """Pool initializer: attach this worker process to the shared snapshot."""
     global _QUERY_WORKER_INDEXES
-    _QUERY_WORKER_INDEXES = indexes
+    from repro.core.shared import SharedIndexSnapshot
+
+    _QUERY_WORKER_INDEXES = SharedIndexSnapshot.attach(descriptor)
 
 
 def _collect_shard_candidate_distances(payload) -> QueryShardResult:
@@ -242,12 +361,16 @@ class ParallelQueryExecutor:
     and the shared query context, ``workers=1`` and ``workers=N`` answers
     are identical, which ``tests/core/test_parallel_query.py`` locks down.
 
-    The worker pool is created lazily on the first fanned-out query and
-    kept alive (with its resident copy of the indexes) for the executor's
-    lifetime, so a serving workload ships the index state to each worker
-    once rather than once per query.  The executor therefore snapshots the
-    indexes at pool creation: the owning engine must :meth:`close` it when
-    the lake changes (``D3L`` does).
+    The worker pool is created lazily on the first fanned-out query and kept
+    alive for the executor's lifetime.  Pool spin-up exports one
+    :class:`~repro.core.shared.SharedIndexSnapshot` of the indexes and ships
+    each worker only the segment descriptor (~50 bytes); workers attach
+    read-only array views over the one host-resident segment, so N workers
+    no longer cost N× index memory or per-pool pickling.  The snapshot is
+    taken at pool creation: the owning engine must :meth:`close` the
+    executor when the lake changes (``D3L`` does), and ``_ensure_pool``
+    additionally self-heals by recreating pool and snapshot whenever the
+    index version has moved past the snapshotted one.
     """
 
     def __init__(self, indexes: "D3LIndexes", workers: int) -> None:
@@ -256,32 +379,91 @@ class ParallelQueryExecutor:
         self.indexes = indexes
         self.workers = workers
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._snapshot: Optional["SharedIndexSnapshot"] = None
+        self._pool_version: Optional[int] = None
         self._finalizer: Optional[weakref.finalize] = None
+        _LIVE_EXECUTORS.add(self)
+
+    @property
+    def snapshot(self) -> Optional["SharedIndexSnapshot"]:
+        """The live shared snapshot backing the pool (None before spin-up or
+        under the degraded pickle descriptor)."""
+        return self._snapshot
 
     def close(self) -> None:
-        """Shut the worker pool down (the executor can be reused afterwards)."""
+        """Shut the pool down and unlink its snapshot (the executor can be
+        reused afterwards — the next fan-out re-creates both)."""
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._snapshot is not None:
+            self._snapshot.close()
+            self._snapshot = None
+        self._pool_version = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is not None and self._pool_version != self.indexes.version:
+            # The indexes moved past the snapshot the workers attached —
+            # tear both down and re-export the current state.
+            self.close()
         if self._pool is None:
+            descriptor, self._snapshot = _snapshot_descriptor(self.indexes)
+            self._pool_version = self.indexes.version
             self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
+                max_workers=_pool_size(self.workers),
                 initializer=_init_query_worker,
-                initargs=(self.indexes,),
+                initargs=(descriptor,),
             )
-            # Shut the pool down when the executor is dropped without an
-            # explicit close(), so abandoned engines do not leak worker
-            # processes or trip the interpreter-exit wakeup of
-            # concurrent.futures on an already-collected pipe.
+            # Reap the pool and unlink the segment when the executor is
+            # dropped without an explicit close(), so abandoned engines leak
+            # neither worker processes nor /dev/shm segments (and do not
+            # trip the interpreter-exit wakeup of concurrent.futures on an
+            # already-collected pipe).
             self._finalizer = weakref.finalize(
-                self, ProcessPoolExecutor.shutdown, self._pool, False
+                self, _finalize_fanout, self._pool, self._snapshot
             )
         return self._pool
+
+    def verify_overlaps(
+        self, pairs: Sequence[Tuple["AttributeRef", "AttributeRef"]]
+    ) -> Dict[Tuple["AttributeRef", "AttributeRef"], float]:
+        """Exact value overlaps of candidate pairs over the attached index.
+
+        Shards the deduplicated pairs round-robin across this executor's
+        persistent worker pool; each worker resolves value samples from its
+        attached shared index, so payloads are bare pair lists.  Single-pair
+        (or single-worker) calls short-circuit in-process over the same
+        profiles — the result is routing-independent either way.
+        """
+        from repro.core.profiles import sample_overlap
+
+        ordered = list(dict.fromkeys(pairs))
+        if not ordered:
+            return {}
+        shards = [
+            shard
+            for shard in (ordered[index :: self.workers] for index in range(self.workers))
+            if shard
+        ]
+        if self.workers <= 1 or len(shards) <= 1 or len(ordered) <= 1:
+            profiles = self.indexes.profiles
+            return {
+                (left, right): sample_overlap(
+                    profiles[left].value_sample, profiles[right].value_sample
+                )
+                for left, right in ordered
+            }
+        shard_results = list(
+            self._ensure_pool().map(_verify_join_shard_attached, shards)
+        )
+        return {
+            (left, right): overlap
+            for result in shard_results
+            for left, right, overlap in result
+        }
 
     def collect(
         self,

@@ -97,16 +97,23 @@ def _read(path: PathLike, expected_kind: str) -> dict:
 # --------------------------------------------------------------------------- #
 
 
-def _indexes_sections(indexes: D3LIndexes) -> Dict[str, object]:
-    """Explicit sections of one ``D3LIndexes``, with raw-array index state."""
+def _indexes_sections(indexes: D3LIndexes, copy: bool = True) -> Dict[str, object]:
+    """Explicit sections of one ``D3LIndexes``, with raw-array index state.
+
+    ``copy=False`` exposes the live arrays as trimmed views instead of
+    copies — used by the shared-memory snapshot writer
+    (:mod:`repro.core.shared`), which reads each array exactly once while
+    streaming it into a segment; such sections must not outlive the next
+    mutation of ``indexes``.
+    """
     evidence_sections = {}
     for evidence in EvidenceType.indexed():
-        refs, matrix, flags = indexes._matrices[evidence].export_state()
+        refs, matrix, flags = indexes._matrices[evidence].export_state(copy=copy)
         evidence_sections[evidence.value] = {
             "refs": refs,
             "matrix": matrix,
             "flags": flags,
-            "forest": indexes._forests[evidence].export_state(),
+            "forest": indexes._forests[evidence].export_state(copy=copy),
         }
     return {
         "config": indexes.config,
@@ -147,6 +154,28 @@ def _restore_indexes(sections: Dict[str, object]) -> D3LIndexes:
                 signature_rows[ref] = signature.hashvalues
         indexes._forests[evidence].import_state(section["forest"], signature_rows)
     return indexes
+
+
+def indexes_sections(indexes: D3LIndexes, copy: bool = True) -> Dict[str, object]:
+    """Public v3 section writer (see :func:`_indexes_sections`).
+
+    The shared-memory snapshot layer (:mod:`repro.core.shared`) uses this to
+    split an index into picklable metadata and the raw NumPy buffers it
+    places into a segment; the on-disk format and the in-memory segment
+    layout stay two serialisations of the same sections.
+    """
+    return _indexes_sections(indexes, copy=copy)
+
+
+def restore_indexes_from_sections(sections: Dict[str, object]) -> D3LIndexes:
+    """Public v3 section reader (see :func:`_restore_indexes`).
+
+    Array-valued section entries are adopted view-preserving: sections whose
+    matrices, flags, and forest key/rank arrays are views over a shared
+    buffer produce an index whose state *is* those views — the zero-copy
+    attach path of :class:`repro.core.shared.SharedIndexSnapshot`.
+    """
+    return _restore_indexes(sections)
 
 
 def _join_graph_section(graph) -> Dict[str, object]:

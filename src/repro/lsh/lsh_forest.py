@@ -59,6 +59,24 @@ def _prefix_mask(key_length: int) -> np.ndarray:
     return mask
 
 
+def rank_key_bytes(keys: np.ndarray) -> np.ndarray:
+    """Big-endian rank-key bytes of sorted key rows: ``(n, key_length * 8)`` uint8.
+
+    The byte layout matches the void-dtype rank keys a :class:`_PrefixTree`
+    materialises internally, so a tree state exported together with these
+    bytes can be re-imported without recomputing the ranks — the shared-memory
+    snapshot layer (:mod:`repro.core.shared`) stores them next to the key
+    arrays and workers adopt both as views.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    if keys.ndim != 2:
+        raise ValueError(f"expected a 2D key array, got shape {keys.shape}")
+    rows, key_length = keys.shape
+    return np.ascontiguousarray(keys.astype(">u8")).view(np.uint8).reshape(
+        rows, key_length * 8
+    )
+
+
 class _PrefixTree:
     """One tree of the forest: keys in a sorted column-major NumPy array.
 
@@ -146,17 +164,31 @@ class _PrefixTree:
         if self._pending or self._dead:
             self._rebuild()
 
-    def export_state(self) -> Tuple[np.ndarray, List[Hashable]]:
-        """``(keys, items)`` of the compacted tree, in sorted key order."""
-        self.compact()
-        return self._keys.copy(), list(self._items)
+    def export_state(self, copy: bool = True) -> Tuple[np.ndarray, List[Hashable]]:
+        """``(keys, items)`` of the compacted tree, in sorted key order.
 
-    def import_state(self, keys: np.ndarray, items: List[Hashable]) -> None:
+        ``copy=False`` returns the live key array instead of a copy — for
+        callers that only read it once into another buffer (the shared-memory
+        snapshot writer); the array must not be mutated.
+        """
+        self.compact()
+        return (self._keys.copy() if copy else self._keys), list(self._items)
+
+    def import_state(
+        self,
+        keys: np.ndarray,
+        items: List[Hashable],
+        ranks: Optional[np.ndarray] = None,
+    ) -> None:
         """Restore a state produced by :meth:`export_state` (replaces contents).
 
-        ``keys`` must already be in lexicographic order (as exported); the
-        rank keys are re-materialised from them, which is a cheap vectorized
-        byte view rather than a re-sort.
+        ``keys`` must already be in lexicographic order (as exported).  When
+        ``ranks`` (the :func:`rank_key_bytes` of the keys) is provided it is
+        adopted as a view; otherwise the rank keys are re-materialised, which
+        is a cheap vectorized byte conversion rather than a re-sort.  Both
+        paths preserve array views: a contiguous ``keys`` array of the right
+        dtype — e.g. a read-only view over a shared-memory segment — is
+        adopted without copying.
         """
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         if keys.ndim != 2 or keys.shape != (len(items), self.key_length):
@@ -164,7 +196,16 @@ class _PrefixTree:
                 f"inconsistent prefix-tree state: keys {keys.shape}, {len(items)} items"
             )
         self._keys = keys
-        self._ranks = self._rank_keys(keys)
+        if ranks is None:
+            self._ranks = self._rank_keys(keys)
+        else:
+            ranks = np.ascontiguousarray(ranks, dtype=np.uint8)
+            if ranks.shape != (len(items), self.key_length * 8):
+                raise ValueError(
+                    f"inconsistent prefix-tree rank state: ranks {ranks.shape}, "
+                    f"{len(items)} items of key length {self.key_length}"
+                )
+            self._ranks = ranks.view(self._rank_dtype).reshape(len(items))
         self._items = list(items)
         self._alive = np.ones(len(self._items), dtype=bool)
         self._dead = 0
@@ -404,16 +445,17 @@ class LSHForest:
         """All inserted keys."""
         return list(self._signatures)
 
-    def export_state(self) -> Dict[str, object]:
+    def export_state(self, copy: bool = True) -> Dict[str, object]:
         """Raw-array state of the forest, suitable for persistence.
 
         Per-item signatures are deliberately *not* included: every D3L forest
         shares them with the evidence type's signature matrix, so the caller
         persists them once and passes them back to :meth:`import_state`.
+        ``copy=False`` exposes the live key arrays (read-once callers only).
         """
         trees = []
         for tree in self._trees:
-            keys, items = tree.export_state()
+            keys, items = tree.export_state(copy=copy)
             trees.append({"keys": keys, "items": items})
         return {
             "num_hashes": self.num_hashes,
@@ -439,7 +481,9 @@ class LSHForest:
             raise ValueError(f"expected {self.num_trees} tree states, got {len(trees)}")
         self._signatures = dict(signatures)
         for tree, tree_state in zip(self._trees, trees):
-            tree.import_state(tree_state["keys"], tree_state["items"])
+            tree.import_state(
+                tree_state["keys"], tree_state["items"], tree_state.get("ranks")
+            )
 
     def estimated_bytes(self) -> int:
         """Approximate memory footprint (signatures plus tree entries)."""
