@@ -833,6 +833,15 @@ def run(sizes=LAKE_SIZES) -> Dict[str, object]:
 
 def main() -> int:
     payload = run()
+    # The serving-tier section is written by bench_serving.py; keep it when
+    # rewriting the file so the two benchmarks can re-run independently.
+    if RESULT_PATH.exists():
+        try:
+            previous = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            previous = {}
+        if "serving" in previous:
+            payload["serving"] = previous["serving"]
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     for entry in payload["results"]:
         construction = entry["index_construction"]

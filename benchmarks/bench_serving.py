@@ -1,0 +1,365 @@
+"""Load benchmark for the ``repro serve`` discovery service.
+
+Stands a real :class:`~repro.core.server.DiscoveryServer` up over an indexed
+lake (the same mixed numeric/text workload the hot-path benchmarks use) and
+drives it over HTTP with concurrent clients under two traffic models:
+
+* **closed loop** — ``CLIENT_WORKERS`` clients each issue requests
+  back-to-back over a keep-alive connection; measures the server's saturated
+  throughput and the per-request service latency, and
+* **open loop** — requests arrive on a fixed schedule at ``OPEN_LOOP_QPS``
+  regardless of how fast earlier ones complete; latency is measured from the
+  *scheduled* arrival time, so queueing delay (the number a client actually
+  experiences under load) is included rather than hidden by client
+  back-pressure.
+
+Before any traffic is timed, every distinct target is served once and the
+payload checked byte-for-byte against an in-process
+:class:`~repro.core.api.DiscoverySession` answering the identical request —
+and round-tripped through ``QueryResponse.from_dict`` — so the recorded
+throughput belongs to a server that provably answers correctly
+(``responses_identical`` in the output).  The warmup doubles as cache
+priming: the timed sweeps run against warm session profile caches, which is
+the steady state a serving tier lives in.
+
+Results land in a top-level ``"serving"`` section of the repository's
+``BENCH_hot_paths.json`` — the rest of the payload is preserved, and
+``bench_perf_hot_paths.py`` preserves this section symmetrically — with
+p50/p90/p99 latency (milliseconds) and queries/second per traffic model.
+The warm-cache closed-loop throughput is a tracked floor
+(``SERVING_WARM_QPS_FLOOR``), guarded at tier-1 speed by
+``bench_smoke.py --quick`` against the committed record.
+
+Run directly (updates ``BENCH_hot_paths.json`` at the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_perf_hot_paths import (  # noqa: E402
+    BATCH_QUERY_MIN_CANDIDATES,
+    NUM_HASHES,
+    NUM_TREES,
+    _mixed_query_lake,
+    _serving_targets,
+)
+
+RESULT_PATH = REPO_ROOT / "BENCH_hot_paths.json"
+
+#: Attributes in the served lake (the hot-path benchmarks' middle size —
+#: large enough for real candidate pools, small enough to index in seconds).
+SERVING_LAKE_ATTRIBUTES = 500
+#: Distinct serving targets cycled by the clients (each warms one
+#: profile-cache entry; the steady state re-serves known targets).
+NUM_TARGETS = 6
+#: Sessions in the server's pool — the bound on concurrent query execution.
+SERVER_WORKERS = 4
+#: Concurrent client threads (closed loop keeps all of them busy, so the
+#: server's session pool saturates and the measured qps is a ceiling).
+CLIENT_WORKERS = 8
+#: Back-to-back requests per closed-loop client.
+CLOSED_LOOP_REQUESTS_PER_CLIENT = 25
+#: Offered load and duration of the open-loop schedule.  Kept below the
+#: measured closed-loop ceiling so the open loop records latency under a
+#: feasible load rather than unbounded backlog growth.
+OPEN_LOOP_QPS = 8.0
+OPEN_LOOP_SECONDS = 5.0
+#: Answer size requested per query.
+TOP_K = 10
+#: Tracked floor: warm-cache closed-loop throughput of the served engine.
+#: Deliberately conservative — the floor guards against the serving tier
+#: losing an order of magnitude (a forgotten cache, a per-request re-profile,
+#: accidental connection-per-request), not against machine-to-machine noise.
+#: Serving-sized targets (2000 rows) are parsed off the wire and queried per
+#: request; the GIL serialises the CPU-bound work across the session pool,
+#: so the ceiling is single-core query throughput, ~10 qps on the recording
+#: machine.
+SERVING_WARM_QPS_FLOOR = 5.0
+
+
+def _percentiles_ms(latencies: List[float]) -> Dict[str, float]:
+    values = np.asarray(latencies) * 1000.0
+    return {
+        "p50": float(np.percentile(values, 50)),
+        "p90": float(np.percentile(values, 90)),
+        "p99": float(np.percentile(values, 99)),
+    }
+
+
+def _post_query(
+    connection: http.client.HTTPConnection, body: bytes
+) -> Dict[str, object]:
+    connection.request(
+        "POST", "/query", body=body, headers={"Content-Type": "application/json"}
+    )
+    response = connection.getresponse()
+    payload = json.loads(response.read())
+    if response.status != 200:
+        raise RuntimeError(f"server answered {response.status}: {payload}")
+    return payload
+
+
+def _verify_served_responses(server, requests) -> Tuple[bool, List[str]]:
+    """Every target's served payload equals the in-process session's, exactly.
+
+    Also primes the server's session caches: after this pass each session in
+    the pool has seen every target at least once under round-robin checkout,
+    so the timed sweeps measure warm-cache serving.
+    """
+    from repro.core.api import (
+        DiscoverySession,
+        QueryResponse,
+        query_request_to_wire,
+    )
+
+    problems: List[str] = []
+    with DiscoverySession(server.engine) as oracle:
+        expected = [
+            oracle.submit(request).truncated().to_dict() for request in requests
+        ]
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=60)
+    try:
+        # len(sessions) passes per target: round-robin checkout lands every
+        # target in every session's cache, whatever the interleaving.
+        for _ in range(len(server.sessions)):
+            for index, request in enumerate(requests):
+                body = json.dumps(query_request_to_wire(request)).encode("utf-8")
+                payload = _post_query(connection, body)
+                if payload != expected[index]:
+                    problems.append(
+                        f"served response for target {index} diverges from the "
+                        "in-process session"
+                    )
+                restored = QueryResponse.from_dict(payload)
+                if restored.to_dict() != payload:
+                    problems.append(
+                        f"served response for target {index} does not round-trip "
+                        "from_dict losslessly"
+                    )
+    finally:
+        connection.close()
+    return not problems, problems
+
+
+def _closed_loop(server, bodies: List[bytes]) -> Dict[str, object]:
+    """``CLIENT_WORKERS`` clients hammer the server back-to-back."""
+    latencies: List[List[float]] = [[] for _ in range(CLIENT_WORKERS)]
+    errors: List[str] = []
+    barrier = threading.Barrier(CLIENT_WORKERS + 1)
+
+    def client(worker: int) -> None:
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=60
+        )
+        try:
+            barrier.wait()
+            for index in range(CLOSED_LOOP_REQUESTS_PER_CLIENT):
+                body = bodies[(worker + index) % len(bodies)]
+                start = time.perf_counter()
+                _post_query(connection, body)
+                latencies[worker].append(time.perf_counter() - start)
+        except Exception as error:  # noqa: BLE001 - surfaced in the payload
+            errors.append(f"closed-loop client {worker}: {error}")
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=client, args=(worker,))
+        for worker in range(CLIENT_WORKERS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    flat = [latency for per_client in latencies for latency in per_client]
+    return {
+        "client_workers": CLIENT_WORKERS,
+        "requests": len(flat),
+        "seconds": elapsed,
+        "qps": len(flat) / max(elapsed, 1e-12),
+        "latency_ms": _percentiles_ms(flat),
+        "errors": errors,
+    }
+
+
+def _open_loop(server, bodies: List[bytes]) -> Dict[str, object]:
+    """Requests arrive on a fixed schedule; latency includes queueing delay.
+
+    Each scheduled arrival is pre-assigned round-robin to a client thread;
+    the thread sleeps until the arrival time, fires, and measures from the
+    *schedule*, not from when it got around to sending — so a slow server
+    shows up as growing latency instead of silently thinning the load
+    (coordinated omission).
+    """
+    total = int(OPEN_LOOP_QPS * OPEN_LOOP_SECONDS)
+    interval = 1.0 / OPEN_LOOP_QPS
+    latencies: List[List[float]] = [[] for _ in range(CLIENT_WORKERS)]
+    errors: List[str] = []
+    barrier = threading.Barrier(CLIENT_WORKERS + 1)
+    epoch: List[float] = []
+
+    def client(worker: int) -> None:
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=60
+        )
+        try:
+            barrier.wait()
+            for index in range(worker, total, CLIENT_WORKERS):
+                scheduled = epoch[0] + index * interval
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                _post_query(connection, bodies[index % len(bodies)])
+                latencies[worker].append(time.perf_counter() - scheduled)
+        except Exception as error:  # noqa: BLE001 - surfaced in the payload
+            errors.append(f"open-loop client {worker}: {error}")
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=client, args=(worker,))
+        for worker in range(CLIENT_WORKERS)
+    ]
+    for thread in threads:
+        thread.start()
+    epoch.append(time.perf_counter() + 0.05)  # let every client reach the gate
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    flat = [latency for per_client in latencies for latency in per_client]
+    return {
+        "client_workers": CLIENT_WORKERS,
+        "offered_qps": OPEN_LOOP_QPS,
+        "requests": len(flat),
+        "seconds": elapsed,
+        "achieved_qps": len(flat) / max(elapsed, 1e-12),
+        "latency_ms": _percentiles_ms(flat),
+        "errors": errors,
+    }
+
+
+def run(seed: int = 11) -> Dict[str, object]:
+    """Index a lake, serve it, drive it, and return the ``serving`` section."""
+    from repro.core.api import QueryRequest, query_request_to_wire
+    from repro.core.config import D3LConfig
+    from repro.core.discovery import D3L
+    from repro.core.server import DiscoveryServer
+
+    lake = _mixed_query_lake(SERVING_LAKE_ATTRIBUTES, seed)
+    config = D3LConfig(
+        num_hashes=NUM_HASHES,
+        num_trees=NUM_TREES,
+        embedding_dimension=32,
+        min_candidates=BATCH_QUERY_MIN_CANDIDATES,
+    )
+    engine = D3L(config=config)
+    index_start = time.perf_counter()
+    engine.index_lake(lake)
+    index_seconds = time.perf_counter() - index_start
+
+    targets = _serving_targets(NUM_TARGETS, seed + 1)
+    requests = [QueryRequest(target=target, k=TOP_K) for target in targets]
+    bodies = [
+        json.dumps(query_request_to_wire(request)).encode("utf-8")
+        for request in requests
+    ]
+
+    with DiscoveryServer(engine, port=0, workers=SERVER_WORKERS) as server:
+        identical, problems = _verify_served_responses(server, requests)
+        closed = _closed_loop(server, bodies)
+        open_ = _open_loop(server, bodies)
+
+    return {
+        "generated_by": "benchmarks/bench_serving.py",
+        "num_attributes": engine.indexes.attribute_count,
+        "num_tables": len(lake),
+        "index_seconds": index_seconds,
+        "num_targets": NUM_TARGETS,
+        "top_k": TOP_K,
+        "server_workers": SERVER_WORKERS,
+        "responses_identical": identical,
+        "verification_problems": problems,
+        "closed_loop": closed,
+        "open_loop": open_,
+    }
+
+
+def merge_into_result_file(serving: Dict[str, object]) -> None:
+    """Write the ``serving`` section into ``BENCH_hot_paths.json`` in place.
+
+    The rest of the payload — the hot-path sweeps written by
+    ``bench_perf_hot_paths.py`` — is preserved untouched, so the two
+    benchmarks can be re-run independently in any order.
+    """
+    payload: Dict[str, object] = {}
+    if RESULT_PATH.exists():
+        try:
+            payload = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            payload = {}
+    payload["serving"] = serving
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def main() -> int:
+    serving = run()
+    merge_into_result_file(serving)
+    closed = serving["closed_loop"]
+    open_ = serving["open_loop"]
+    print(
+        f"served n={serving['num_attributes']} attrs, "
+        f"{serving['server_workers']} server workers"
+    )
+    print(
+        f"closed loop: {closed['qps']:.1f} qps over {closed['requests']} requests  "
+        f"p50={closed['latency_ms']['p50']:.1f}ms "
+        f"p90={closed['latency_ms']['p90']:.1f}ms "
+        f"p99={closed['latency_ms']['p99']:.1f}ms"
+    )
+    print(
+        f"open loop @ {open_['offered_qps']:.0f} qps offered: "
+        f"{open_['achieved_qps']:.1f} qps achieved  "
+        f"p50={open_['latency_ms']['p50']:.1f}ms "
+        f"p90={open_['latency_ms']['p90']:.1f}ms "
+        f"p99={open_['latency_ms']['p99']:.1f}ms"
+    )
+    print(f"responses identical to in-process session: {serving['responses_identical']}")
+    print(f"wrote {RESULT_PATH}")
+    failures = list(serving["verification_problems"])
+    failures += closed["errors"] + open_["errors"]
+    if closed["qps"] < SERVING_WARM_QPS_FLOOR:
+        message = (
+            f"FLOOR VIOLATION: warm closed-loop throughput {closed['qps']:.1f} qps "
+            f"< {SERVING_WARM_QPS_FLOOR} qps"
+        )
+        print(message)
+        failures.append(message)
+    for problem in serving["verification_problems"]:
+        print(f"VERIFICATION FAILURE: {problem}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

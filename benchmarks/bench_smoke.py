@@ -24,7 +24,13 @@ the piece small enough to wire into tier-1 (see
   sequential oracle, the executor-verified join graph must equal the scalar
   build, the committed bench run must clear the snapshot-ship floor
   (``SNAPSHOT_SHIP_RATIO_FLOOR``) at the largest lake, and closing the
-  engine must leave no stray ``/dev/shm`` segments.
+  engine must leave no stray ``/dev/shm`` segments, and
+* guards the serving tier: the committed ``serving`` section written by
+  ``bench_serving.py`` must keep its schema, record verified-identical
+  responses, and clear the warm-cache throughput floor
+  (``SERVING_WARM_QPS_FLOOR``); a live ``DiscoveryServer`` over the tiny
+  lake must answer one HTTP query exactly like an in-process session and
+  shut down without leaking segments.
 
 Run directly::
 
@@ -127,6 +133,21 @@ JOIN_GRAPH_KEYS = (
     "parallel_workers",
     "workers_edges_identical",
 )
+#: Required keys of the top-level ``serving`` section written by
+#: ``bench_serving.py`` (the serving-tier load benchmark).
+SERVING_KEYS = (
+    "generated_by",
+    "num_attributes",
+    "num_targets",
+    "top_k",
+    "server_workers",
+    "responses_identical",
+    "closed_loop",
+    "open_loop",
+)
+SERVING_LOOP_KEYS = ("client_workers", "requests", "qps", "latency_ms")
+SERVING_OPEN_LOOP_KEYS = ("client_workers", "offered_qps", "requests", "achieved_qps", "latency_ms")
+SERVING_LATENCY_KEYS = ("p50", "p90", "p99")
 
 
 def validate_hot_paths_payload(payload: Dict[str, object]) -> List[str]:
@@ -164,6 +185,30 @@ def validate_hot_paths_payload(payload: Dict[str, object]) -> List[str]:
         for key in JOIN_GRAPH_KEYS:
             if key not in entry.get("join_graph_build", {}):
                 problems.append(f"result n={size}: join_graph_build missing {key!r}")
+    problems += validate_serving_section(payload)
+    return problems
+
+
+def validate_serving_section(payload: Dict[str, object]) -> List[str]:
+    """Problems with the ``serving`` section ``bench_serving.py`` writes."""
+    serving = payload.get("serving")
+    if not isinstance(serving, dict):
+        return ["missing top-level 'serving' section (run bench_serving.py)"]
+    problems: List[str] = []
+    for key in SERVING_KEYS:
+        if key not in serving:
+            problems.append(f"serving: missing key {key!r}")
+    for section, keys in (
+        ("closed_loop", SERVING_LOOP_KEYS),
+        ("open_loop", SERVING_OPEN_LOOP_KEYS),
+    ):
+        block = serving.get(section, {})
+        for key in keys:
+            if key not in block:
+                problems.append(f"serving: {section} missing {key!r}")
+        for key in SERVING_LATENCY_KEYS:
+            if key not in block.get("latency_ms", {}):
+                problems.append(f"serving: {section} latency_ms missing {key!r}")
     return problems
 
 
@@ -186,6 +231,15 @@ def _check_floors() -> List[str]:
         floor = getattr(hot_paths, name, None)
         if not isinstance(floor, (int, float)) or floor < 1.0:
             problems.append(f"{name} should be a ratio >= 1.0, found {floor!r}")
+    try:
+        import bench_serving
+    except Exception as error:  # pragma: no cover - import failure is the finding
+        return problems + [f"cannot import bench_serving: {error}"]
+    qps_floor = getattr(bench_serving, "SERVING_WARM_QPS_FLOOR", None)
+    if not isinstance(qps_floor, (int, float)) or qps_floor <= 0:
+        problems.append(
+            f"SERVING_WARM_QPS_FLOOR should be a positive rate, found {qps_floor!r}"
+        )
     return problems
 
 
@@ -200,7 +254,7 @@ def _check_recorded_payload() -> List[str]:
     problems = validate_hot_paths_payload(payload)
     if problems:
         return problems
-    return _check_recorded_ship_floor(payload)
+    return _check_recorded_ship_floor(payload) + _check_recorded_serving_floor(payload)
 
 
 def _check_recorded_ship_floor(payload: Dict[str, object]) -> List[str]:
@@ -222,6 +276,27 @@ def _check_recorded_ship_floor(payload: Dict[str, object]) -> List[str]:
             f"recorded n={largest['num_attributes']}: shared snapshot ships only "
             f"{ratio:.1f}x fewer bytes than the pickled snapshot "
             f"(floor {hot_paths.SNAPSHOT_SHIP_RATIO_FLOOR}x)"
+        )
+    return problems
+
+
+def _check_recorded_serving_floor(payload: Dict[str, object]) -> List[str]:
+    """The committed serving record was verified correct and clears its floor."""
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    import bench_serving
+
+    serving = payload["serving"]
+    problems: List[str] = []
+    if not serving.get("responses_identical", False):
+        problems.append(
+            "recorded serving run: served responses were not verified identical "
+            "to the in-process session"
+        )
+    qps = serving.get("closed_loop", {}).get("qps", 0.0)
+    if qps < bench_serving.SERVING_WARM_QPS_FLOOR:
+        problems.append(
+            f"recorded serving run: warm closed-loop throughput {qps:.1f} qps "
+            f"below the tracked floor ({bench_serving.SERVING_WARM_QPS_FLOOR} qps)"
         )
     return problems
 
@@ -431,6 +506,59 @@ def _check_shared_memory_path(corpus, engine) -> List[str]:
     return problems
 
 
+def _check_live_serving(corpus, engine) -> List[str]:
+    """A real HTTP server over the tiny engine: serve one query, shut down clean.
+
+    Starts a :class:`~repro.core.server.DiscoveryServer` on a free port,
+    answers ``/healthz`` and one ``POST /query``, checks the served payload
+    byte-for-byte against an in-process :class:`DiscoverySession` answering
+    the identical request, and verifies the shutdown leaves no stray
+    shared-memory segments behind.
+    """
+    import http.client
+
+    from repro.core.api import DiscoverySession, QueryRequest, query_request_to_wire
+    from repro.core.server import DiscoveryServer
+    from repro.core.shared import stray_segments
+
+    problems: List[str] = []
+    before = set(stray_segments())
+    target = corpus.lake.tables[0]
+    request = QueryRequest(target=target, k=5, joins=True)
+    with DiscoverySession(engine) as oracle:
+        expected = oracle.submit(request).truncated().to_dict()
+    with DiscoveryServer(engine, port=0, workers=2) as server:
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=60)
+        try:
+            connection.request("GET", "/healthz")
+            health = connection.getresponse()
+            health_payload = json.loads(health.read())
+            if health.status != 200 or health_payload.get("status") != "ok":
+                problems.append(f"served /healthz answered {health.status}: {health_payload}")
+            connection.request(
+                "POST",
+                "/query",
+                body=json.dumps(query_request_to_wire(request)),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            if response.status != 200:
+                problems.append(f"served /query answered {response.status}: {payload}")
+            elif payload != expected:
+                problems.append(
+                    "served /query payload diverges from the in-process session"
+                )
+        finally:
+            connection.close()
+    if not server.closed:
+        problems.append("DiscoveryServer did not report closed after __exit__")
+    leaked = set(stray_segments()) - before
+    if leaked:
+        problems.append(f"serving smoke leaked shared-memory segments: {sorted(leaked)}")
+    return problems
+
+
 def run_quick() -> List[str]:
     """Every quick check; returns the list of problems found."""
     import warnings
@@ -443,6 +571,7 @@ def run_quick() -> List[str]:
         problems += _check_tiny_lake_equivalence(corpus, engine)
         problems += _check_api_roundtrip(corpus, engine)
         problems += _check_join_serving(corpus, engine)
+        problems += _check_live_serving(corpus, engine)
         problems += _check_shared_memory_path(corpus, engine)
     return problems
 

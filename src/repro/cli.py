@@ -1,19 +1,22 @@
 """Command-line interface for the D3L reproduction.
 
-Four subcommands cover the library's deployment workflow:
+Five subcommands cover the library's deployment workflow:
 
 * ``generate`` — materialise a benchmark corpus (Synthetic or real-style) as
   a directory of CSV files plus a ground-truth JSON file;
 * ``stats``    — print Figure-2-style statistics of a CSV lake;
 * ``index``    — profile and index a CSV lake and persist the engine;
 * ``query``    — load a persisted engine and answer a discovery query for a
-  target CSV, optionally following join paths.
+  target CSV, optionally following join paths;
+* ``serve``    — load a persisted engine and answer ``POST /query`` HTTP
+  traffic over the ``d3l.query_response/v1`` wire format until interrupted.
 
 Example session::
 
     python -m repro.cli generate --kind real --output ./lake --families 10
     python -m repro.cli index --lake ./lake/csv --output ./engine.pkl
     python -m repro.cli query --engine ./engine.pkl --target my_target.csv -k 10 --joins
+    python -m repro.cli serve --engine ./engine.pkl --port 8080 --workers 4
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ from typing import List, Optional, Sequence
 from repro.core.api import DiscoverySession, QueryRequest
 from repro.core.config import D3LConfig
 from repro.core.discovery import D3L
-from repro.core.persistence import load_engine, save_engine
+from repro.core.persistence import PersistenceError, load_engine, save_engine
 from repro.datagen.real_benchmark import RealBenchmarkConfig, generate_real_benchmark
 from repro.datagen.synthetic_benchmark import (
     SyntheticBenchmarkConfig,
@@ -90,7 +93,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the answer as QueryResponse JSON instead of "
                             "a rendered table")
 
+    serve = subparsers.add_parser(
+        "serve", help="serve a persisted engine over HTTP until interrupted"
+    )
+    serve.add_argument("--engine", required=True, help="path of the persisted engine")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="serving sessions answering requests concurrently")
+    serve.add_argument("--cache-size", type=int, default=64,
+                       help="per-session target-profile cache capacity")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
     return parser
+
+
+def _load_engine_or_fail(path: str) -> Optional[D3L]:
+    """Load a persisted engine, printing a message (not a traceback) on failure."""
+    try:
+        return load_engine(path)
+    except (PersistenceError, FileNotFoundError, ValueError, OSError) as error:
+        print(error, file=sys.stderr)
+        return None
 
 
 # --------------------------------------------------------------------------- #
@@ -126,7 +152,11 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_stats(args: argparse.Namespace) -> int:
-    lake = DataLake.from_directory(args.lake)
+    try:
+        lake = DataLake.from_directory(args.lake)
+    except (FileNotFoundError, NotADirectoryError, ValueError, OSError) as error:
+        print(error, file=sys.stderr)
+        return 1
     if len(lake) == 0:
         print(f"No CSV tables found under {args.lake}", file=sys.stderr)
         return 1
@@ -135,7 +165,11 @@ def _command_stats(args: argparse.Namespace) -> int:
 
 
 def _command_index(args: argparse.Namespace) -> int:
-    lake = DataLake.from_directory(args.lake, max_rows=args.max_rows)
+    try:
+        lake = DataLake.from_directory(args.lake, max_rows=args.max_rows)
+    except (FileNotFoundError, NotADirectoryError, ValueError, OSError) as error:
+        print(error, file=sys.stderr)
+        return 1
     if len(lake) == 0:
         print(f"No CSV tables found under {args.lake}", file=sys.stderr)
         return 1
@@ -144,10 +178,13 @@ def _command_index(args: argparse.Namespace) -> int:
         lsh_threshold=args.threshold,
         embedding_dimension=args.embedding_dimension,
     )
-    engine = D3L(config=config)
-    engine.index_lake(lake, workers=args.workers)
-    path = save_engine(engine, args.output)
-    sizes = engine.indexes.index_bytes()
+    # Context-managed so the sharded build's worker pools and shared-memory
+    # segments are reclaimed on every path out, exceptions included, instead
+    # of waiting for the weakref.finalize backstop at interpreter exit.
+    with D3L(config=config) as engine:
+        engine.index_lake(lake, workers=args.workers)
+        path = save_engine(engine, args.output)
+        sizes = engine.indexes.index_bytes()
     print(f"Indexed {len(lake)} tables ({lake.attribute_count} attributes)")
     print(f"Index sizes (bytes): {sizes}")
     print(f"Persisted engine to {path}")
@@ -158,36 +195,46 @@ def _command_query(args: argparse.Namespace) -> int:
     if args.workers <= 0:
         print("--workers must be positive", file=sys.stderr)
         return 1
-    engine = load_engine(args.engine)
-    target = read_csv(args.target)
+    engine = _load_engine_or_fail(args.engine)
+    if engine is None:
+        return 1
+    try:
+        target = read_csv(args.target)
+    except (FileNotFoundError, ValueError, OSError) as error:
+        print(error, file=sys.stderr)
+        return 1
     evidence = (
         [code.strip() for code in args.evidence.split(",") if code.strip()]
         if args.evidence
         else None
     )
-    session = DiscoverySession(engine)
     # The session dispatches to the batched engine, whose rankings are
     # identical to the sequential path (its oracle) while scoring candidate
-    # pools in per-evidence sweeps.
-    try:
-        request = QueryRequest(
-            target=target,
-            k=args.k,
-            evidence=evidence,
-            # The rendered table always lists covered attributes (which live
-            # in the explain payload); the JSON wire output honours --explain.
-            explain=args.explain if args.json else True,
-            exclude_self=not args.include_self,
-            joins=args.joins,
-            workers=args.workers,
-        )
-    except (ValueError, KeyError) as error:
-        print(error, file=sys.stderr)
-        return 1
-    response = session.submit(request)
+    # pools in per-evidence sweeps.  Context-managed so `--workers > 1`
+    # worker pools and /dev/shm segments are reclaimed on every exit path.
+    with DiscoverySession(engine) as session:
+        try:
+            request = QueryRequest(
+                target=target,
+                k=args.k,
+                evidence=evidence,
+                # The rendered table always lists covered attributes (which
+                # live in the explain payload); the JSON wire output honours
+                # --explain.
+                explain=args.explain if args.json else True,
+                exclude_self=not args.include_self,
+                joins=args.joins,
+                workers=args.workers,
+            )
+        except (ValueError, KeyError) as error:
+            print(error, file=sys.stderr)
+            return 1
+        response = session.submit(request)
     if args.json:
         # Emit the requested answer, not the whole candidate ranking the
-        # response keeps for k sweeps (pool-sized on large lakes).
+        # response keeps for k sweeps (pool-sized on large lakes).  The
+        # join-paths block is bounded by the same cap as the rendered
+        # report, with its truncated flag set when paths were dropped.
         print(json.dumps(response.truncated().to_dict(), indent=2))
         return 0
     rows: List[dict] = []
@@ -222,6 +269,38 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.core.server import DiscoveryServer
+
+    if args.workers <= 0:
+        print("--workers must be positive", file=sys.stderr)
+        return 1
+    engine = _load_engine_or_fail(args.engine)
+    if engine is None:
+        return 1
+    server = DiscoveryServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        profile_cache_size=args.cache_size,
+        verbose=args.verbose,
+    )
+    tables = len(engine.indexes.table_profiles)
+    attributes = len(engine.indexes.profiles)
+    print(
+        f"Serving {tables} tables ({attributes} attributes) "
+        f"on http://{server.host}:{server.port} with {args.workers} workers "
+        "(Ctrl-C to stop)",
+        flush=True,
+    )
+    # Blocks until SIGINT/SIGTERM, then closes sessions, reaps worker
+    # pools, and unlinks shared-memory segments before returning.
+    server.run_until_interrupt()
+    print("Shut down cleanly.")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro.cli``."""
     parser = build_parser()
@@ -231,6 +310,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stats": _command_stats,
         "index": _command_index,
         "query": _command_query,
+        "serve": _command_serve,
     }
     return handlers[args.command](args)
 

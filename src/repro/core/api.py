@@ -60,6 +60,17 @@ from repro.tables.table import Table
 #: can reject payloads from a different protocol revision.
 WIRE_FORMAT = "d3l.query_response/v1"
 
+#: Wire-format identifier of serialized requests (the ``repro serve`` POST
+#: body).  Optional on inbound payloads — a request dict without the marker
+#: is accepted — but emitted by :func:`query_request_to_wire` so logs and
+#: captures are self-describing.
+REQUEST_WIRE_FORMAT = "d3l.query_request/v1"
+
+#: How many join paths a :meth:`QueryResponse.truncated` copy keeps by
+#: default — the same cap the CLI's rendered report applies, so the JSON
+#: wire output cannot dwarf the human-readable one.
+TRUNCATED_JOIN_PATH_CAP = 20
+
 #: The two execution engines a request may select.  ``batched`` is the
 #: default serving path (per-evidence sweeps, optional process fan-out);
 #: ``sequential`` is the per-attribute oracle the batched path is verified
@@ -327,14 +338,36 @@ class QueryResponse:
                 return ranking
         return None
 
-    def truncated(self, k: Optional[int] = None) -> "QueryResponse":
+    def truncated(
+        self,
+        k: Optional[int] = None,
+        max_join_paths: Optional[int] = TRUNCATED_JOIN_PATH_CAP,
+    ) -> "QueryResponse":
         """A copy keeping only the top-``k`` rankings (default: requested k).
 
         The response itself carries the full candidate ranking so k sweeps
         stay cheap; wire emitters that only want the answer (the CLI's
-        ``--json`` mode) slice it here before serialising.
+        ``--json`` mode, the ``repro serve`` endpoint) slice it here before
+        serialising.  The ``join_paths`` block is bounded too —
+        ``max_join_paths`` caps the emitted paths (default
+        :data:`TRUNCATED_JOIN_PATH_CAP`, the rendered report's cap; ``None``
+        keeps every path) and the block's ``truncated`` flag is set whenever
+        the cap drops any, so wire readers can tell a complete enumeration
+        from a bounded one.  ``joined_tables`` keeps summarising the full
+        search.
         """
         k = self.k if k is None else k
+        join_paths = self.join_paths
+        if (
+            join_paths is not None
+            and max_join_paths is not None
+            and len(join_paths.paths) > max_join_paths
+        ):
+            join_paths = JoinPathsBlock(
+                paths=list(join_paths.paths[:max_join_paths]),
+                joined_tables=list(join_paths.joined_tables),
+                truncated=True,
+            )
         return dataclasses.replace(
             self,
             results=None if self.results is None else self.top(k),
@@ -346,6 +379,7 @@ class QueryResponse:
                     for name, entries in self.attribute_results.items()
                 }
             ),
+            join_paths=join_paths,
         )
 
     # ------------------------------------------------------------------ #
@@ -556,6 +590,128 @@ def _join_paths_from_dict(payload: Mapping[str, object]) -> JoinPathsBlock:
         joined_tables=list(payload["joined_tables"]),
         truncated=bool(payload["truncated"]),
     )
+
+
+# --------------------------------------------------------------------------- #
+# request wire format
+# --------------------------------------------------------------------------- #
+
+
+def _table_to_wire(table: Table) -> Dict[str, object]:
+    """A JSON-safe description of a raw table target (name + columns)."""
+    return {
+        "name": table.name,
+        "columns": [
+            {"name": column.name, "values": list(column.values)}
+            for column in table.columns
+        ],
+    }
+
+
+def _table_from_wire(payload: Mapping[str, object]) -> Table:
+    """Rebuild a table target from its wire description."""
+    from repro.tables.column import Column
+
+    if not isinstance(payload, Mapping):
+        raise ValueError("target must be an object with 'name' and 'columns'")
+    name = payload.get("name")
+    columns = payload.get("columns")
+    if not isinstance(name, str) or not isinstance(columns, list):
+        raise ValueError("target must carry a string 'name' and a 'columns' list")
+    built = []
+    for entry in columns:
+        if (
+            not isinstance(entry, Mapping)
+            or not isinstance(entry.get("name"), str)
+            or not isinstance(entry.get("values"), list)
+        ):
+            raise ValueError(
+                "each target column must be an object with a string 'name' "
+                "and a 'values' list"
+            )
+        built.append(Column(entry["name"], list(entry["values"])))
+    return Table(name, built)
+
+
+#: Request fields carried on the wire besides the target; each is passed to
+#: the :class:`QueryRequest` constructor verbatim, so its validation (and
+#: error messages) applies to wire payloads exactly as to in-process calls.
+_REQUEST_WIRE_FIELDS = (
+    "k",
+    "evidence",
+    "attributes",
+    "weights",
+    "exclude_self",
+    "explain",
+    "joins",
+    "workers",
+    "engine",
+)
+
+
+def query_request_to_wire(request: QueryRequest) -> Dict[str, object]:
+    """Serialise a request for the ``repro serve`` ``POST /query`` body.
+
+    Only raw-table targets can travel — a :class:`TableProfile` is
+    process-local state with no wire representation.
+    """
+    if isinstance(request.target, TableProfile):
+        raise ValueError("pre-profiled targets cannot be serialised to the wire")
+    payload: Dict[str, object] = {
+        "format": REQUEST_WIRE_FORMAT,
+        "target": _table_to_wire(request.target),
+        "k": request.k,
+        "exclude_self": request.exclude_self,
+        "explain": request.explain,
+        "joins": request.joins,
+        "workers": request.workers,
+        "engine": request.engine,
+    }
+    if request.evidence is not None:
+        payload["evidence"] = [evidence.value for evidence in request.evidence]
+    if request.attributes is not None:
+        payload["attributes"] = list(request.attributes)
+    if request.weights is not None:
+        weights = _coerce_weights(request.weights)
+        payload["weights"] = {
+            evidence.value: float(value)
+            for evidence, value in weights.as_dict().items()
+        }
+    return payload
+
+
+def query_request_from_wire(payload: Mapping[str, object]) -> QueryRequest:
+    """Build a validated :class:`QueryRequest` from a wire payload.
+
+    The ``format`` marker is optional but, when present, must name
+    :data:`REQUEST_WIRE_FORMAT`.  Unknown top-level fields are rejected so a
+    misspelt option fails loudly instead of silently running with defaults.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError("request payload must be a JSON object")
+    marker = payload.get("format")
+    if marker is not None and marker != REQUEST_WIRE_FORMAT:
+        raise ValueError(
+            f"payload format {marker!r} is not {REQUEST_WIRE_FORMAT!r}"
+        )
+    if "target" not in payload:
+        raise ValueError("request payload must carry a 'target'")
+    unknown = set(payload) - set(_REQUEST_WIRE_FIELDS) - {"format", "target"}
+    if unknown:
+        raise ValueError(
+            f"unknown request fields: {', '.join(sorted(map(str, unknown)))}"
+        )
+    options = {
+        field_name: payload[field_name]
+        for field_name in _REQUEST_WIRE_FIELDS
+        if field_name in payload and payload[field_name] is not None
+    }
+    if "attributes" in options:
+        attributes = options["attributes"]
+        if not isinstance(attributes, list):
+            raise ValueError("attributes must be a list of column names")
+        options["attributes"] = tuple(attributes)
+    return QueryRequest(target=_table_from_wire(payload["target"]), **options)
 
 
 # --------------------------------------------------------------------------- #
@@ -869,6 +1025,13 @@ class DiscoverySession:
         """
         self.clear_cache()
         self.engine.close()
+
+    def __enter__(self) -> "DiscoverySession":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Release pools and segments on scope exit (exceptions included)."""
+        self.close()
 
     def save(self, path) -> "object":
         """Persist the session (engine + session settings) to ``path``."""

@@ -249,6 +249,13 @@ class D3L:
         """
         self._invalidate_query_executors()
 
+    def __enter__(self) -> "D3L":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Release pools and segments on scope exit (exceptions included)."""
+        self.close()
+
     def _fanout_executor(self, workers: int) -> "ParallelQueryExecutor":
         """The cached fan-out executor for ``workers``, created on demand.
 

@@ -1,0 +1,322 @@
+"""The ``repro serve`` discovery service: a long-lived multi-worker HTTP tier.
+
+The wire protocol (:mod:`repro.core.api`, ``d3l.query_response/v1``) and the
+caching :class:`~repro.core.api.DiscoverySession` existed before this module,
+but nothing served them.  :class:`DiscoveryServer` is that missing tier — a
+stdlib-only HTTP server (no new dependencies) over one loaded engine:
+
+* ``POST /query`` accepts a ``d3l.query_request/v1`` JSON body (target table
+  inline, plus ``k``/``evidence``/``explain``/``joins``/``workers``/…),
+  submits it through a :class:`~repro.core.api.DiscoverySession`, and returns
+  ``QueryResponse.truncated().to_dict()`` — the exact payload the CLI's
+  ``--json`` mode emits, bit-identical to an in-process session;
+* ``GET /index-status`` reports the lake size, per-index byte footprint,
+  ``D3LIndexes.version``, the snapshot backing workers would attach, and
+  aggregated session-cache statistics;
+* ``GET /healthz`` answers ``{"status": "ok"}`` for load balancers.
+
+Concurrency model: a :class:`~http.server.ThreadingHTTPServer` accepts
+connections on demand, and request handlers check a
+:class:`~repro.core.api.DiscoverySession` out of a fixed pool of ``workers``
+sessions (all sharing the one engine — and therefore one set of fan-out
+worker pools and one shared-memory index snapshot per worker count).  The
+pool bounds concurrent query execution without dropping connections;
+``workers`` request-level ``workers`` still fan individual queries across
+processes through the engine's zero-copy snapshot machinery.
+
+Lifecycle: :meth:`DiscoveryServer.close` (idempotent, also the
+``__exit__``) stops accepting, drains handler threads, closes every session
+— which reaps the engine's worker pools and unlinks its ``/dev/shm``
+segments — so a served engine shuts down leak-free.
+:meth:`run_until_interrupt` wires SIGINT/SIGTERM to that teardown for the
+CLI's foreground mode.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.core.api import (
+    DiscoverySession,
+    QueryRequest,
+    query_request_from_wire,
+)
+from repro.core.config import require_positive
+from repro.core.discovery import D3L
+
+#: Server identifier reported by ``/healthz`` and the ``Server`` header.
+SERVER_NAME = "repro-serve/1"
+
+
+def index_status(engine: D3L, sessions: List[DiscoverySession]) -> Dict[str, object]:
+    """The ``GET /index-status`` payload for one engine + its session pool."""
+    from repro.core.shared import live_segment_locators
+
+    indexes = engine.indexes
+    cache = {"hits": 0, "misses": 0, "size": 0, "capacity": 0}
+    for session in sessions:
+        info = session.cache_info()
+        for key in cache:
+            cache[key] += info[key]
+    return {
+        "status": "ok",
+        "server": SERVER_NAME,
+        "lake": {
+            "tables": len(indexes.table_profiles),
+            "attributes": len(indexes.profiles),
+        },
+        "index_bytes": indexes.index_bytes(),
+        "version": indexes.version,
+        "snapshot": {
+            "backing": "shm" if Path("/dev/shm").is_dir() else "file",
+            "live_segments": live_segment_locators(),
+        },
+        "workers": len(sessions),
+        "cache": cache,
+    }
+
+
+class _DiscoveryRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP exchange against the owning :class:`DiscoveryServer`.
+
+    The handler is intentionally thin: route, borrow a session, delegate.
+    Validation errors surface as 400s carrying the same messages the
+    :class:`~repro.core.api.QueryRequest` constructor raises in-process.
+    """
+
+    protocol_version = "HTTP/1.1"
+    server_version = SERVER_NAME
+    # Idle keep-alive connections drop after this many seconds, bounding how
+    # long a forgotten client can stall the shutdown join.
+    timeout = 5
+
+    # The ThreadingHTTPServer subclass below carries the DiscoveryServer in
+    # this attribute; annotate for readability only.
+    server: "_ServingHTTPServer"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.owner.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path
+        if path == "/healthz":
+            self._respond(200, {"status": "ok", "server": SERVER_NAME})
+        elif path == "/index-status":
+            owner = self.server.owner
+            self._respond(200, index_status(owner.engine, owner.sessions))
+        else:
+            self._respond(404, {"error": f"unknown path {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path
+        if path != "/query":
+            self._respond(404, {"error": f"unknown path {path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length <= 0:
+            self._respond(400, {"error": "request body required"})
+            return
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            self._respond(400, {"error": f"invalid JSON body: {error}"})
+            return
+        try:
+            request = query_request_from_wire(payload)
+        except (ValueError, KeyError, TypeError) as error:
+            self._respond(400, {"error": str(error)})
+            return
+        try:
+            response = self.server.owner.submit(request)
+        except Exception as error:  # noqa: BLE001 - one request must not kill the server
+            self._respond(500, {"error": f"{type(error).__name__}: {error}"})
+            return
+        self._respond(200, response)
+
+    # ------------------------------------------------------------------ #
+    # response plumbing
+    # ------------------------------------------------------------------ #
+    def _respond(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response; nothing to clean up
+
+
+class _ServingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its owning :class:`DiscoveryServer`."""
+
+    daemon_threads = True
+    # Handler threads are joined on shutdown so `close()` really is the last
+    # word — no request can outlive the sessions it borrows from.
+    block_on_close = True
+
+    def __init__(self, address: Tuple[str, int], owner: "DiscoveryServer") -> None:
+        super().__init__(address, _DiscoveryRequestHandler)
+        self.owner = owner
+
+
+class DiscoveryServer:
+    """A long-lived discovery service over one indexed engine.
+
+    Programmatic usage (tests, benchmarks)::
+
+        with DiscoveryServer(engine, port=0, workers=4) as server:
+            server.start()
+            ... HTTP traffic against server.host:server.port ...
+        # closed: sessions drained, pools reaped, segments unlinked
+
+    Foreground usage (the CLI)::
+
+        server = DiscoveryServer(engine, host=host, port=port, workers=n)
+        server.run_until_interrupt()      # SIGINT/SIGTERM → clean teardown
+    """
+
+    def __init__(
+        self,
+        engine: D3L,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        profile_cache_size: int = 64,
+        verbose: bool = False,
+    ) -> None:
+        require_positive("workers", workers)
+        self.engine = engine
+        self.verbose = verbose
+        #: One caching session per serving worker, all over the same engine.
+        self.sessions: List[DiscoverySession] = [
+            DiscoverySession(engine, profile_cache_size=profile_cache_size)
+            for _ in range(workers)
+        ]
+        self._idle: "queue.Queue[DiscoverySession]" = queue.Queue()
+        for session in self.sessions:
+            self._idle.put(session)
+        self._httpd = _ServingHTTPServer((host, port), self)
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # addressing
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` — bind to a free one)."""
+        return self._httpd.server_address[1]
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def submit(self, request: QueryRequest) -> Dict[str, object]:
+        """Answer one request through an idle session (blocks until one frees).
+
+        Returns the wire payload — ``QueryResponse.truncated().to_dict()`` —
+        so HTTP handlers and in-process callers serve byte-identical answers.
+        """
+        session = self._idle.get()
+        try:
+            response = session.submit(request)
+        finally:
+            self._idle.put(session)
+        return response.truncated().to_dict()
+
+    def start(self) -> "DiscoveryServer":
+        """Serve in a background thread (idempotent); returns ``self``."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._httpd.serve_forever,
+                    name=f"repro-serve:{self.port}",
+                    daemon=True,
+                )
+                self._thread.start()
+        return self
+
+    def run_until_interrupt(self) -> None:
+        """Serve in the foreground until SIGINT/SIGTERM, then tear down.
+
+        Must run on the main thread (signal handlers).  The previous
+        handlers are restored before :meth:`close` runs, so a second Ctrl-C
+        during a slow teardown still interrupts the process.
+        """
+        stop = threading.Event()
+
+        def _request_shutdown(signum, frame) -> None:  # noqa: ARG001
+            stop.set()
+
+        previous = {
+            sig: signal.signal(sig, _request_shutdown)
+            for sig in (signal.SIGINT, signal.SIGTERM)
+        }
+        self.start()
+        try:
+            # Polled wait rather than a bare wait(): a signal delivered to a
+            # non-main thread only sets CPython's pending-handler flag, which
+            # an indefinitely blocked main thread would never re-check.
+            while not stop.wait(0.5):
+                pass
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+            self.close()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop serving and release every resource (idempotent).
+
+        Order matters: stop accepting and join handler threads first (no
+        request may hold a session past this point), then close the sessions
+        — which reaps the engine's fan-out pools and unlinks its
+        shared-memory segments.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            self._httpd.shutdown()
+            thread.join()
+        self._httpd.server_close()
+        for session in self.sessions:
+            session.close()
+
+    def __enter__(self) -> "DiscoveryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

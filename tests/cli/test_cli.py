@@ -262,3 +262,212 @@ class TestQueryProtocolFlags:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "Join paths found" in captured
+
+
+class TestQueryErrorPaths:
+    """Missing/corrupt inputs print one-line errors, not tracebacks."""
+
+    def test_missing_engine_path(self, tmp_path, capsys):
+        target = write_csv(
+            Table.from_dict("t", {"a": ["x", "y"]}), tmp_path / "t.csv"
+        )
+        exit_code = main(
+            ["query", "--engine", str(tmp_path / "missing.pkl"), "--target", str(target)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "no persisted engine" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_corrupt_engine_file(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.pkl"
+        corrupt.write_bytes(b"this is not a pickle")
+        target = write_csv(
+            Table.from_dict("t", {"a": ["x", "y"]}), tmp_path / "t.csv"
+        )
+        exit_code = main(
+            ["query", "--engine", str(corrupt), "--target", str(target)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert captured.err.strip()
+        assert "Traceback" not in captured.err
+
+    def test_missing_target_csv(self, indexed_engine_path, tmp_path, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--engine",
+                str(indexed_engine_path),
+                "--target",
+                str(tmp_path / "missing.csv"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert captured.err.strip()
+        assert "Traceback" not in captured.err
+
+    def test_empty_target_csv(self, indexed_engine_path, tmp_path, capsys):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        exit_code = main(
+            ["query", "--engine", str(indexed_engine_path), "--target", str(empty)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "empty" in captured.err
+
+    def test_stats_missing_lake_directory(self, tmp_path, capsys):
+        exit_code = main(["stats", "--lake", str(tmp_path / "nowhere")])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert captured.err.strip()
+        assert "Traceback" not in captured.err
+
+    def test_serve_missing_engine_path(self, tmp_path, capsys):
+        exit_code = main(["serve", "--engine", str(tmp_path / "missing.pkl")])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "no persisted engine" in captured.err
+
+
+class TestQueryWorkers:
+    def test_parallel_query_is_leak_free_and_matches_serial(
+        self, indexed_engine_path, tmp_path, capsys
+    ):
+        """`query --workers 2` spins a shared-memory snapshot + process pool;
+        the session close in the CLI (and the suite-wide autouse leak
+        fixture) must leave zero segments and child processes behind."""
+        import json as json_module
+
+        target = write_csv(
+            Table.from_dict(
+                "cli_workers_target",
+                {
+                    "Practice": ["Salford Medical Centre", "Bolton Surgery"],
+                    "City": ["Salford", "Bolton"],
+                    "Postcode": ["M3 6AF", "BL3 6PY"],
+                },
+            ),
+            tmp_path / "cli_workers_target.csv",
+        )
+        args = ["--engine", str(indexed_engine_path), "--target", str(target), "-k", "3", "--json"]
+        assert main(["query", *args, "--workers", "2"]) == 0
+        parallel = json_module.loads(capsys.readouterr().out)
+        assert main(["query", *args]) == 0
+        serial = json_module.loads(capsys.readouterr().out)
+        assert parallel["results"] == serial["results"]
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--engine", "e.pkl"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.workers == 4
+
+    def test_serve_rejects_nonpositive_workers(self, indexed_engine_path, capsys):
+        exit_code = main(
+            ["serve", "--engine", str(indexed_engine_path), "--workers", "0"]
+        )
+        assert exit_code == 1
+        assert "positive" in capsys.readouterr().err
+
+    def test_serve_answers_query_and_shuts_down_cleanly(
+        self, indexed_engine_path, tmp_path, capsys
+    ):
+        """The tiny-lake serving smoke: start, one query over HTTP, SIGINT,
+        clean exit — leak-freedom enforced by the autouse fixture."""
+        import http.client
+        import json as json_module
+        import os
+        import signal
+        import socket
+        import threading
+        import time
+
+        from repro.core.api import QueryRequest, query_request_to_wire
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        target = Table.from_dict(
+            "cli_serve_target",
+            {
+                "Practice": ["Salford Medical Centre", "Bolton Surgery"],
+                "City": ["Salford", "Bolton"],
+                "Postcode": ["M3 6AF", "BL3 6PY"],
+            },
+        )
+        wire = query_request_to_wire(QueryRequest(target=target, k=3))
+        outcome = {}
+
+        def client():
+            deadline = time.monotonic() + 30.0
+            try:
+                while time.monotonic() < deadline:
+                    try:
+                        connection = http.client.HTTPConnection(
+                            "127.0.0.1", port, timeout=5
+                        )
+                        connection.request("GET", "/healthz")
+                        if connection.getresponse().status == 200:
+                            break
+                    except OSError:
+                        time.sleep(0.05)
+                    finally:
+                        connection.close()
+                else:
+                    outcome["error"] = "server never became healthy"
+                    return
+                connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+                try:
+                    connection.request(
+                        "POST",
+                        "/query",
+                        body=json_module.dumps(wire),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    outcome["status"] = response.status
+                    outcome["payload"] = json_module.loads(response.read())
+                finally:
+                    connection.close()
+            finally:
+                # Process-directed (not raise_signal, which would target this
+                # client thread): the serve loop polls for pending handlers.
+                os.kill(os.getpid(), signal.SIGINT)
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        exit_code = main(
+            [
+                "serve",
+                "--engine",
+                str(indexed_engine_path),
+                "--port",
+                str(port),
+                "--workers",
+                "2",
+            ]
+        )
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        captured = capsys.readouterr()
+        assert outcome.get("error") is None
+        assert exit_code == 0
+        assert "Serving" in captured.out
+        assert "Shut down cleanly." in captured.out
+        assert outcome["status"] == 200
+        payload = outcome["payload"]
+        assert payload["format"] == "d3l.query_response/v1"
+        assert payload["results"]
+        # oracle: the served answer equals an in-process session, bit for bit
+        from repro.core.api import DiscoverySession
+        from repro.core.persistence import load_engine
+
+        with DiscoverySession(load_engine(indexed_engine_path)) as session:
+            expected = session.submit(
+                QueryRequest(target=target, k=3)
+            ).truncated().to_dict()
+        assert payload == expected

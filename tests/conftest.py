@@ -6,6 +6,9 @@ that the many tests touching them pay the construction cost once.
 
 from __future__ import annotations
 
+import multiprocessing
+import time
+
 import pytest
 
 from repro.core.config import D3LConfig
@@ -17,6 +20,52 @@ from repro.datagen.synthetic_benchmark import (
 )
 from repro.lake.datalake import DataLake
 from repro.tables.table import Table
+
+
+def _untracked_children() -> set:
+    """PIDs of live child processes not owned by a tracked executor pool."""
+    from repro.core.parallel import live_worker_pids
+
+    tracked = live_worker_pids()
+    return {
+        process.pid
+        for process in multiprocessing.active_children()
+        if process.pid not in tracked
+    }
+
+
+@pytest.fixture(autouse=True)
+def no_fanout_leaks():
+    """Fail any test that leaks shared-memory segments or child processes.
+
+    Suite-wide leak audit over the zero-copy fan-out machinery (grown out of
+    ``tests/core`` once the CLI and the serving tier started owning the same
+    resources): leaks in the snapshot or pool lifecycle fail tier-1
+    immediately instead of accumulating in ``/dev/shm`` across runs.
+
+    Both checks diff against the state before the test, so pre-existing
+    debris (other processes' segments, module-scoped engines holding live
+    pools — whose workers are tracked via ``live_worker_pids``) never
+    produces false positives.  Child-process teardown is given a short grace
+    period: garbage-collection finalizers reap pools with ``wait=False``.
+    """
+    from repro.core.shared import stray_segments
+
+    segments_before = set(stray_segments())
+    children_before = _untracked_children()
+    yield
+    leaked_segments = set(stray_segments()) - segments_before
+    assert not leaked_segments, (
+        f"test leaked shared-memory segments: {sorted(leaked_segments)}"
+    )
+    deadline = time.monotonic() + 5.0
+    leaked_children = _untracked_children() - children_before
+    while leaked_children and time.monotonic() < deadline:
+        time.sleep(0.05)
+        leaked_children = _untracked_children() - children_before
+    assert not leaked_children, (
+        f"test leaked child processes: {sorted(leaked_children)}"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,52 +1,7 @@
-"""Core-test fixtures: leak auditing for the zero-copy fan-out machinery.
+"""Core-test fixtures.
 
-Every test in ``tests/core`` runs under an autouse fixture asserting that it
-left no stray shared-memory segments and no untracked child processes
-behind.  Leaks in the snapshot lifecycle therefore fail tier-1 immediately
-instead of accumulating in ``/dev/shm`` across runs.
+The autouse leak-audit fixture (``no_fanout_leaks``) that used to live here
+moved up to ``tests/conftest.py`` so the CLI and serving-tier suites run
+under the same shared-memory-segment and child-process auditing as the core
+suite.
 """
-
-import multiprocessing
-import time
-
-import pytest
-
-from repro.core.parallel import live_worker_pids
-from repro.core.shared import stray_segments
-
-
-def _untracked_children() -> set:
-    """PIDs of live child processes not owned by a tracked executor pool."""
-    tracked = live_worker_pids()
-    return {
-        process.pid
-        for process in multiprocessing.active_children()
-        if process.pid not in tracked
-    }
-
-
-@pytest.fixture(autouse=True)
-def no_fanout_leaks():
-    """Fail any test that leaks shared-memory segments or child processes.
-
-    Both checks diff against the state before the test, so pre-existing
-    debris (other processes' segments, module-scoped engines holding live
-    pools — whose workers are tracked via ``live_worker_pids``) never
-    produces false positives.  Child-process teardown is given a short grace
-    period: garbage-collection finalizers reap pools with ``wait=False``.
-    """
-    segments_before = set(stray_segments())
-    children_before = _untracked_children()
-    yield
-    leaked_segments = set(stray_segments()) - segments_before
-    assert not leaked_segments, (
-        f"test leaked shared-memory segments: {sorted(leaked_segments)}"
-    )
-    deadline = time.monotonic() + 5.0
-    leaked_children = _untracked_children() - children_before
-    while leaked_children and time.monotonic() < deadline:
-        time.sleep(0.05)
-        leaked_children = _untracked_children() - children_before
-    assert not leaked_children, (
-        f"test leaked child processes: {sorted(leaked_children)}"
-    )

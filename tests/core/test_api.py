@@ -14,10 +14,14 @@ import warnings
 import pytest
 
 from repro.core.api import (
+    TRUNCATED_JOIN_PATH_CAP,
     DiscoverySession,
+    JoinPathsBlock,
     QueryRequest,
     QueryResponse,
     execute,
+    query_request_from_wire,
+    query_request_to_wire,
 )
 from repro.core.config import D3LConfig
 from repro.core.discovery import D3L
@@ -520,3 +524,212 @@ class TestJoinRequests:
         assert mutable_engine.cached_join_graph is None
         session.submit(QueryRequest(target=figure1_tables["target"], k=2, joins=True))
         assert mutable_engine.cached_join_graph is not graph
+
+
+class TestTruncatedJoinPaths:
+    """``truncated()`` must bound the join-paths block, not just the rankings.
+
+    Regression: ``repro query --json --joins`` used to emit the full
+    unbounded path list while the rendered report capped at 20.
+    """
+
+    @staticmethod
+    def _response_with_paths(num_paths):
+        from repro.core.joins import JoinEdge, JoinPath
+        from repro.lake.datalake import AttributeRef
+
+        paths = [
+            JoinPath(
+                tables=["start", f"hop_{index}"],
+                edges=[
+                    JoinEdge(
+                        left=AttributeRef("start", "key"),
+                        right=AttributeRef(f"hop_{index}", "key"),
+                        overlap=0.5,
+                    )
+                ],
+            )
+            for index in range(num_paths)
+        ]
+        return QueryResponse(
+            target_name="start",
+            target_arity=2,
+            k=5,
+            mode="table",
+            engine="batched",
+            explain=False,
+            evidence=None,
+            ranking_weights={evidence: 1.0 for evidence in EvidenceType.all()},
+            results=[],
+            join_paths=JoinPathsBlock(
+                paths=paths,
+                joined_tables=sorted({f"hop_{index}" for index in range(num_paths)}),
+                truncated=False,
+            ),
+        )
+
+    def test_caps_paths_and_sets_the_flag(self):
+        response = self._response_with_paths(TRUNCATED_JOIN_PATH_CAP + 30)
+        sliced = response.truncated()
+        assert len(sliced.join_paths.paths) == TRUNCATED_JOIN_PATH_CAP
+        assert sliced.join_paths.truncated is True
+        assert sliced.join_paths.paths == response.join_paths.paths[:TRUNCATED_JOIN_PATH_CAP]
+        # the original keeps the full enumeration and its flag
+        assert len(response.join_paths.paths) == TRUNCATED_JOIN_PATH_CAP + 30
+        assert response.join_paths.truncated is False
+        # joined_tables still summarises the full search
+        assert sliced.join_paths.joined_tables == response.join_paths.joined_tables
+
+    def test_within_cap_is_untouched(self):
+        response = self._response_with_paths(TRUNCATED_JOIN_PATH_CAP)
+        sliced = response.truncated()
+        assert sliced.join_paths is response.join_paths
+        assert sliced.join_paths.truncated is False
+
+    def test_none_keeps_every_path(self):
+        response = self._response_with_paths(TRUNCATED_JOIN_PATH_CAP + 5)
+        sliced = response.truncated(max_join_paths=None)
+        assert len(sliced.join_paths.paths) == TRUNCATED_JOIN_PATH_CAP + 5
+        assert sliced.join_paths.truncated is False
+
+    def test_bounded_wire_payload_round_trips(self):
+        response = self._response_with_paths(TRUNCATED_JOIN_PATH_CAP + 10)
+        wire = json.loads(json.dumps(response.truncated().to_dict()))
+        assert len(wire["join_paths"]["paths"]) == TRUNCATED_JOIN_PATH_CAP
+        assert wire["join_paths"]["truncated"] is True
+        restored = QueryResponse.from_dict(wire)
+        assert restored.to_dict() == wire
+
+    def test_search_truncation_flag_survives_the_cap(self):
+        response = self._response_with_paths(3)
+        response.join_paths.truncated = True  # mid-walk max_join_paths stop
+        sliced = response.truncated()
+        assert sliced.join_paths.truncated is True
+
+
+class TestRequestWireFormat:
+    """``query_request_to_wire`` / ``query_request_from_wire`` round trips."""
+
+    def test_basic_round_trip(self, figure1_tables):
+        request = QueryRequest(
+            target=figure1_tables["target"],
+            k=3,
+            evidence=["N", "V"],
+            explain=True,
+            joins=True,
+            workers=2,
+        )
+        wire = json.loads(json.dumps(query_request_to_wire(request)))
+        rebuilt = query_request_from_wire(wire)
+        assert rebuilt.k == 3
+        assert rebuilt.evidence == request.evidence
+        assert rebuilt.explain and rebuilt.joins
+        assert rebuilt.workers == 2
+        assert rebuilt.engine == "batched"
+        assert rebuilt.target_name == request.target_name
+        assert [column.name for column in rebuilt.target.columns] == [
+            column.name for column in request.target.columns
+        ]
+        assert [list(column.values) for column in rebuilt.target.columns] == [
+            list(column.values) for column in request.target.columns
+        ]
+
+    def test_weights_and_attributes_travel(self, figure1_tables):
+        target = figure1_tables["target"]
+        request = QueryRequest(
+            target=target,
+            k=2,
+            weights={"N": 2.0, "V": 1.0, "F": 0.0, "E": 0.0, "D": 0.0},
+        )
+        wire = json.loads(json.dumps(query_request_to_wire(request)))
+        rebuilt = query_request_from_wire(wire)
+        assert rebuilt.weights.as_dict()[EvidenceType.NAME] == 2.0
+        attr_request = QueryRequest(
+            target=target, k=2, attributes=(target.columns[0].name,)
+        )
+        wire = json.loads(json.dumps(query_request_to_wire(attr_request)))
+        rebuilt = query_request_from_wire(wire)
+        assert rebuilt.attributes == attr_request.attributes
+
+    def test_format_marker_is_optional_but_checked(self, figure1_tables):
+        wire = query_request_to_wire(QueryRequest(target=figure1_tables["target"]))
+        assert wire["format"] == "d3l.query_request/v1"
+        del wire["format"]
+        assert query_request_from_wire(wire).k == 10
+        wire["format"] = "something/else"
+        with pytest.raises(ValueError, match="is not"):
+            query_request_from_wire(wire)
+
+    def test_unknown_fields_are_rejected(self, figure1_tables):
+        wire = query_request_to_wire(QueryRequest(target=figure1_tables["target"]))
+        wire["answer_size"] = 5
+        with pytest.raises(ValueError, match="answer_size"):
+            query_request_from_wire(wire)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {},
+            {"target": "not a table"},
+            {"target": {"name": "t"}},
+            {"target": {"name": "t", "columns": [{"name": "c"}]}},
+        ],
+    )
+    def test_malformed_payloads_are_rejected(self, payload):
+        with pytest.raises((ValueError, KeyError, TypeError)):
+            query_request_from_wire(payload)
+
+    def test_validation_matches_the_constructor(self, figure1_tables):
+        wire = query_request_to_wire(QueryRequest(target=figure1_tables["target"]))
+        wire["evidence"] = ["bogus"]
+        with pytest.raises(ValueError, match="unknown evidence type"):
+            query_request_from_wire(wire)
+        wire = query_request_to_wire(QueryRequest(target=figure1_tables["target"]))
+        wire["k"] = -1
+        with pytest.raises(ValueError, match="k"):
+            query_request_from_wire(wire)
+
+    def test_profile_targets_cannot_travel(self, figure1_engine, figure1_tables):
+        profile = figure1_engine.profile_target(figure1_tables["target"])
+        with pytest.raises(ValueError, match="cannot be serialised"):
+            query_request_to_wire(QueryRequest(target=profile))
+
+
+class TestContextManagers:
+    """``with D3L(...)`` / ``with DiscoverySession(...)`` release resources."""
+
+    def test_engine_context_manager_closes_pools(self, figure1_tables, fast_config):
+        from repro.core.shared import stray_segments
+
+        before = set(stray_segments())
+        with D3L(config=fast_config) as engine:
+            engine.index_lake(figure1_tables["lake"])
+            engine.query_batch(figure1_tables["target"], k=2, workers=2)
+            assert engine._query_executors
+        assert not engine._query_executors
+        assert set(stray_segments()) == before
+
+    def test_session_context_manager_closes_engine(
+        self, figure1_tables, fast_config
+    ):
+        engine = D3L(config=fast_config)
+        engine.index_lake(figure1_tables["lake"])
+        with DiscoverySession(engine) as session:
+            session.submit(
+                QueryRequest(target=figure1_tables["target"], k=2, workers=2)
+            )
+            assert engine._query_executors
+        assert not engine._query_executors
+        assert session.cache_info()["size"] == 0
+
+    def test_exception_path_still_closes(self, figure1_tables, fast_config):
+        engine = D3L(config=fast_config)
+        engine.index_lake(figure1_tables["lake"])
+        with pytest.raises(RuntimeError, match="boom"):
+            with DiscoverySession(engine) as session:
+                session.submit(
+                    QueryRequest(target=figure1_tables["target"], k=2, workers=2)
+                )
+                raise RuntimeError("boom")
+        assert not engine._query_executors

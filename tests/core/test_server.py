@@ -1,0 +1,247 @@
+"""Tests for the ``repro serve`` discovery service (``core/server.py``).
+
+The server must answer exactly like an in-process
+:class:`~repro.core.api.DiscoverySession` — byte-for-byte on the wire — and
+shut down leak-free (the suite-wide autouse fixture audits shared-memory
+segments and child processes around every test).
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.api import (
+    DiscoverySession,
+    QueryRequest,
+    QueryResponse,
+    query_request_to_wire,
+)
+from repro.core.server import SERVER_NAME, DiscoveryServer, index_status
+
+
+@pytest.fixture()
+def server(indexed_d3l):
+    with DiscoveryServer(indexed_d3l, port=0, workers=2) as running:
+        yield running
+
+
+def _request(server, method, path, body=None):
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        connection.request(
+            method,
+            path,
+            body=None if body is None else json.dumps(body),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def _oracle_payload(engine, request):
+    with DiscoverySession(engine) as oracle:
+        return oracle.submit(request).truncated().to_dict()
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, payload = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "server": SERVER_NAME}
+
+    def test_index_status_reports_engine_state(self, server, indexed_d3l):
+        status, payload = _request(server, "GET", "/index-status")
+        assert status == 200
+        assert payload["lake"]["tables"] == len(indexed_d3l.indexes.table_profiles)
+        assert payload["lake"]["attributes"] == len(indexed_d3l.indexes.profiles)
+        assert payload["version"] == indexed_d3l.indexes.version
+        assert payload["workers"] == 2
+        assert payload["snapshot"]["backing"] in ("shm", "file")
+        assert set(payload["cache"]) == {"hits", "misses", "size", "capacity"}
+        assert payload["index_bytes"] == {
+            key: int(value)
+            for key, value in indexed_d3l.indexes.index_bytes().items()
+        }
+
+    def test_index_status_helper_aggregates_session_caches(self, indexed_d3l):
+        sessions = [DiscoverySession(indexed_d3l) for _ in range(3)]
+        payload = index_status(indexed_d3l, sessions)
+        assert payload["cache"]["capacity"] == sum(
+            session.profile_cache_size for session in sessions
+        )
+
+
+class TestQueryEquivalence:
+    @pytest.mark.parametrize("explain", [False, True])
+    def test_served_response_is_bit_identical_to_in_process(
+        self, server, indexed_d3l, small_synthetic_benchmark, explain
+    ):
+        target = small_synthetic_benchmark.lake.tables[0]
+        request = QueryRequest(target=target, k=5, explain=explain)
+        status, payload = _request(
+            server, "POST", "/query", query_request_to_wire(request)
+        )
+        assert status == 200
+        assert payload == _oracle_payload(indexed_d3l, request)
+        restored = QueryResponse.from_dict(payload)
+        assert restored.to_dict() == payload
+
+    def test_evidence_subset_and_joins_travel(
+        self, server, indexed_d3l, small_synthetic_benchmark
+    ):
+        target = small_synthetic_benchmark.lake.tables[1]
+        request = QueryRequest(target=target, k=5, evidence=["N", "V"], joins=True)
+        status, payload = _request(
+            server, "POST", "/query", query_request_to_wire(request)
+        )
+        assert status == 200
+        assert payload["evidence"] == ["N", "V"]
+        assert payload["join_paths"] is not None
+        assert payload == _oracle_payload(indexed_d3l, request)
+
+    def test_attribute_level_requests_travel(
+        self, server, indexed_d3l, small_synthetic_benchmark
+    ):
+        target = small_synthetic_benchmark.lake.tables[2]
+        request = QueryRequest(
+            target=target, k=3, attributes=(target.columns[0].name,)
+        )
+        status, payload = _request(
+            server, "POST", "/query", query_request_to_wire(request)
+        )
+        assert status == 200
+        assert payload["mode"] == "attributes"
+        assert payload == _oracle_payload(indexed_d3l, request)
+
+    def test_process_fanout_request_is_leak_free(
+        self, server, indexed_d3l, small_synthetic_benchmark
+    ):
+        # workers=2 spins a shared-memory snapshot and a process pool inside
+        # the served engine; the autouse leak fixture asserts both are gone
+        # once the server (and with it the engine) is closed.
+        target = small_synthetic_benchmark.lake.tables[0]
+        request = QueryRequest(target=target, k=5, workers=2)
+        status, payload = _request(
+            server, "POST", "/query", query_request_to_wire(request)
+        )
+        assert status == 200
+        assert payload == _oracle_payload(indexed_d3l, request)
+
+    def test_concurrent_clients_all_get_oracle_answers(
+        self, server, indexed_d3l, small_synthetic_benchmark
+    ):
+        targets = small_synthetic_benchmark.lake.tables[:3]
+        requests = [QueryRequest(target=target, k=5) for target in targets]
+        expected = [_oracle_payload(indexed_d3l, request) for request in requests]
+        results = {}
+        errors = []
+
+        def client(worker):
+            try:
+                for index, request in enumerate(requests):
+                    status, payload = _request(
+                        server, "POST", "/query", query_request_to_wire(request)
+                    )
+                    assert status == 200
+                    results[(worker, index)] = payload
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=client, args=(worker,)) for worker in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for (worker, index), payload in results.items():
+            assert payload == expected[index], (worker, index)
+
+
+class TestErrorHandling:
+    def test_invalid_json_is_400(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            connection.request(
+                "POST", "/query", body="{not json", headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            connection.close()
+        assert response.status == 400
+        assert "invalid JSON" in payload["error"]
+
+    def test_missing_body_is_400(self, server):
+        status, payload = _request(server, "POST", "/query")
+        assert status == 400
+        assert "body" in payload["error"]
+
+    def test_validation_errors_are_400_with_the_api_message(
+        self, server, small_synthetic_benchmark
+    ):
+        target = small_synthetic_benchmark.lake.tables[0]
+        wire = query_request_to_wire(QueryRequest(target=target, k=5))
+        wire["evidence"] = ["bogus"]
+        status, payload = _request(server, "POST", "/query", wire)
+        assert status == 400
+        assert "unknown evidence type" in payload["error"]
+
+    def test_unknown_request_field_is_400(self, server, small_synthetic_benchmark):
+        target = small_synthetic_benchmark.lake.tables[0]
+        wire = query_request_to_wire(QueryRequest(target=target, k=5))
+        wire["answer_size"] = 3
+        status, payload = _request(server, "POST", "/query", wire)
+        assert status == 400
+        assert "answer_size" in payload["error"]
+
+    def test_unknown_paths_are_404(self, server):
+        assert _request(server, "GET", "/nope")[0] == 404
+        assert _request(server, "POST", "/nope", {})[0] == 404
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_final(self, indexed_d3l):
+        server = DiscoveryServer(indexed_d3l, port=0, workers=1)
+        server.start()
+        assert _request(server, "GET", "/healthz")[0] == 200
+        server.close()
+        server.close()
+        assert server.closed
+        with pytest.raises(RuntimeError):
+            server.start()
+        with pytest.raises(OSError):
+            _request(server, "GET", "/healthz")
+
+    def test_context_manager_starts_and_closes(self, indexed_d3l):
+        with DiscoveryServer(indexed_d3l, port=0, workers=1) as server:
+            assert _request(server, "GET", "/healthz")[0] == 200
+        assert server.closed
+
+    def test_close_without_start_releases_the_socket(self, indexed_d3l):
+        server = DiscoveryServer(indexed_d3l, port=0, workers=1)
+        port = server.port
+        server.close()
+        assert port > 0
+        assert server.closed
+
+    def test_submit_matches_http_payload(
+        self, server, small_synthetic_benchmark
+    ):
+        target = small_synthetic_benchmark.lake.tables[0]
+        request = QueryRequest(target=target, k=5)
+        direct = server.submit(request)
+        status, payload = _request(
+            server, "POST", "/query", query_request_to_wire(request)
+        )
+        assert status == 200
+        assert payload == direct
+
+    def test_rejects_non_positive_workers(self, indexed_d3l):
+        with pytest.raises(ValueError):
+            DiscoveryServer(indexed_d3l, port=0, workers=0)

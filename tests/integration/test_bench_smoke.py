@@ -65,3 +65,34 @@ class TestSchemaValidation:
 
     def test_floors_are_tracked(self, bench_smoke):
         assert bench_smoke._check_floors() == []
+
+
+class TestServingRecord:
+    @pytest.fixture()
+    def payload(self):
+        return json.loads(
+            (REPO_ROOT / "BENCH_hot_paths.json").read_text(encoding="utf-8")
+        )
+
+    def test_missing_serving_section_is_detected(self, bench_smoke, payload):
+        del payload["serving"]
+        problems = bench_smoke.validate_hot_paths_payload(payload)
+        assert any("serving" in problem for problem in problems)
+
+    def test_missing_latency_percentile_is_detected(self, bench_smoke, payload):
+        del payload["serving"]["closed_loop"]["latency_ms"]["p99"]
+        problems = bench_smoke.validate_serving_section(payload)
+        assert any("p99" in problem for problem in problems)
+
+    def test_recorded_run_clears_the_throughput_floor(self, bench_smoke, payload):
+        assert bench_smoke._check_recorded_serving_floor(payload) == []
+
+    def test_throughput_regression_is_detected(self, bench_smoke, payload):
+        payload["serving"]["closed_loop"]["qps"] = 0.01
+        problems = bench_smoke._check_recorded_serving_floor(payload)
+        assert any("floor" in problem for problem in problems)
+
+    def test_unverified_responses_are_detected(self, bench_smoke, payload):
+        payload["serving"]["responses_identical"] = False
+        problems = bench_smoke._check_recorded_serving_floor(payload)
+        assert any("identical" in problem for problem in problems)
