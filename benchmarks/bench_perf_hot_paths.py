@@ -48,6 +48,14 @@ per-family SA-join cliques, verifying that the two — and the
 ``workers=PARALLEL_WORKERS`` sharded verification — produce identical edge
 sets before trusting the timings (tracked floor: >= 3x at 1000 attributes).
 
+An incremental-mutation section (top-level ``incremental_mutation`` key, like
+the ``serving`` section ``bench_serving.py`` maintains) times indexing one
+table into an already-built 1000-attribute index — ``D3LIndexes.add_table``,
+the unit ``D3L.index_table`` runs — against rebuilding the whole index from
+scratch over the same tables, with the mutated index verified bit-identical
+to the rebuild before either timing is trusted (tracked floor: the single
+add is >= 10x cheaper than the rebuild).
+
 Run directly (writes ``BENCH_hot_paths.json`` at the repository root)::
 
     PYTHONPATH=src python benchmarks/bench_perf_hot_paths.py
@@ -116,6 +124,14 @@ JOIN_GRAPH_SPEEDUP_FLOOR = 3.0
 #: least this many times smaller than the pickled-index snapshot the old
 #: fan-out shipped, with the attached state verified bit-identical first.
 SNAPSHOT_SHIP_RATIO_FLOOR = 10.0
+#: Tracked floor: incremental mutation at 1000 attributes — indexing one new
+#: table into a built index (``D3LIndexes.add_table``) must be at least this
+#: many times cheaper than rebuilding the whole index from scratch, with the
+#: mutated index verified bit-identical to the rebuild before the timing is
+#: trusted.
+INCREMENTAL_ADD_SPEEDUP_FLOOR = 10.0
+#: Lake size (attribute count) of the incremental-mutation benchmark.
+MUTATION_BENCH_ATTRIBUTES = 1000
 #: Join-graph workload shape: entity rows per table and the per-family entity
 #: pool the tables sample them from (value samples near the profile cap, so
 #: exact verification has realistic per-pair cost).
@@ -747,6 +763,99 @@ def _bench_join_graph_build(count: int, seed: int) -> Dict[str, object]:
     }
 
 
+def _mutation_state_identical(expected, mutated) -> bool:
+    """The mutated index equals ``expected`` up to matrix row order.
+
+    Matrix row order is answer-neutral (every consumer goes through the
+    ref↔row registry) and legitimately differs between ``add_lake`` and a
+    sequence of per-table adds, so the rows are compared per ref; the
+    compacted forests use the canonical layout — a pure function of their
+    contents — and must match bit for bit.
+    """
+    from repro.core.evidence import EvidenceType
+
+    if sorted(expected.profiles) != sorted(mutated.profiles):
+        return False
+    if sorted(expected.table_profiles) != sorted(mutated.table_profiles):
+        return False
+    for evidence in EvidenceType.indexed():
+        def rows_by_ref(indexes):
+            refs, matrix, flags = indexes._matrices[evidence].export_state(copy=False)
+            return {
+                ref: (matrix[row].tobytes(), bool(flags[row]))
+                for row, ref in enumerate(refs)
+            }
+
+        if rows_by_ref(expected) != rows_by_ref(mutated):
+            return False
+        forest = expected._forests[evidence].export_state(copy=False)
+        mutated_forest = mutated._forests[evidence].export_state(copy=False)
+        for tree, mutated_tree in zip(forest["trees"], mutated_forest["trees"]):
+            if (
+                not np.array_equal(tree["keys"], mutated_tree["keys"])
+                or tree["items"] != mutated_tree["items"]
+            ):
+                return False
+    return True
+
+
+def bench_incremental_mutation(
+    count: int = MUTATION_BENCH_ATTRIBUTES, seed: int = 7
+) -> Dict[str, object]:
+    """Single-table mutation vs a full rebuild at ``count`` attributes.
+
+    Times what adding one table to an already-built index costs —
+    ``D3LIndexes.add_table`` profiles, signs, and inserts just that table's
+    attributes and journals the mutation — against rebuilding the whole
+    index over the lake *plus* that table, which is what every mutation used
+    to cost before the incremental path existed.  The mutated index is
+    verified identical to the from-scratch rebuild — per-ref matrix rows,
+    canonical forest layouts, profiles (:func:`_mutation_state_identical`) —
+    before either timing is trusted, and the single-table removal
+    is timed alongside for the record.  The token-hash cache is cleared
+    before every timed run so neither path rides the other's warm cache.
+    """
+    from repro.core.config import D3LConfig
+    from repro.core.indexes import D3LIndexes
+    from repro.lake.datalake import DataLake
+
+    lake = _synthetic_lake(count, seed)
+    extra = _synthetic_lake(COLUMNS_PER_TABLE, seed + 1).tables[0].with_name(
+        "mutation_extra"
+    )
+    config = D3LConfig(num_hashes=NUM_HASHES, num_trees=NUM_TREES, embedding_dimension=32)
+
+    clear_token_hash_cache()
+    full_indexes = D3LIndexes(config=config)
+    full_lake = DataLake(f"{lake.name}+1", list(lake) + [extra])
+    full_rebuild_seconds = _timed(lambda: full_indexes.add_lake(full_lake))
+
+    clear_token_hash_cache()
+    base_indexes = D3LIndexes(config=config)
+    base_indexes.add_lake(lake)
+    add_timings = []
+    remove_timings = []
+    for _ in range(3):
+        clear_token_hash_cache()
+        add_timings.append(_timed(lambda: base_indexes.add_table(extra)))
+        remove_timings.append(_timed(lambda: base_indexes.remove_table(extra.name)))
+    clear_token_hash_cache()
+    add_timings.append(_timed(lambda: base_indexes.add_table(extra)))
+    single_add_seconds = min(add_timings)
+    single_remove_seconds = min(remove_timings)
+
+    state_identical = _mutation_state_identical(full_indexes, base_indexes)
+    return {
+        "num_attributes": base_indexes.attribute_count,
+        "num_tables": len(full_lake),
+        "full_rebuild_seconds": full_rebuild_seconds,
+        "single_add_seconds": single_add_seconds,
+        "single_remove_seconds": single_remove_seconds,
+        "speedup": full_rebuild_seconds / max(single_add_seconds, 1e-12),
+        "state_identical": state_identical,
+    }
+
+
 def _bench_index_construction(count: int, seed: int) -> Dict[str, object]:
     """Signature batching plus end-to-end sharded construction on one lake."""
     from repro.core.config import D3LConfig
@@ -827,6 +936,7 @@ def run(sizes=LAKE_SIZES) -> Dict[str, object]:
         },
         "lake_sizes": list(sizes),
         "results": results,
+        "incremental_mutation": bench_incremental_mutation(),
     }
     return payload
 
@@ -865,6 +975,14 @@ def main() -> int:
             f"identical: "
             f"{entry['rankings_identical'] and batching['signatures_identical'] and batched_query['rankings_identical'] and batched_query['workers_rankings_identical'] and session_cache['rankings_identical'] and join_graph['edges_identical'] and join_graph['workers_edges_identical'] and end_to_end['snapshot_state_identical']}"
         )
+    mutation = payload["incremental_mutation"]
+    print(
+        f"mutation n={mutation['num_attributes']:>5}  "
+        f"single add: {mutation['single_add_seconds'] * 1000:.1f}ms  "
+        f"full rebuild: {mutation['full_rebuild_seconds'] * 1000:.0f}ms  "
+        f"speedup: {mutation['speedup']:.0f}x  "
+        f"identical: {mutation['state_identical']}"
+    )
     print(f"wrote {RESULT_PATH}")
     failures = [
         entry["num_attributes"]
@@ -922,6 +1040,19 @@ def main() -> int:
             f"(< {SNAPSHOT_SHIP_RATIO_FLOOR}x) at {largest['num_attributes']} attributes"
         )
         failures.append(largest["num_attributes"])
+    if not mutation["state_identical"]:
+        print(
+            "FLOOR VIOLATION: incrementally mutated index diverges from the "
+            f"from-scratch rebuild at {mutation['num_attributes']} attributes"
+        )
+        failures.append(mutation["num_attributes"])
+    if mutation["speedup"] < INCREMENTAL_ADD_SPEEDUP_FLOOR:
+        print(
+            f"FLOOR VIOLATION: single-table add only {mutation['speedup']:.1f}x "
+            f"cheaper than a full rebuild (< {INCREMENTAL_ADD_SPEEDUP_FLOOR}x) "
+            f"at {mutation['num_attributes']} attributes"
+        )
+        failures.append(mutation["num_attributes"])
     return 1 if failures else 0
 
 

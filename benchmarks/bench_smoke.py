@@ -25,6 +25,11 @@ the piece small enough to wire into tier-1 (see
   build, the committed bench run must clear the snapshot-ship floor
   (``SNAPSHOT_SHIP_RATIO_FLOOR``) at the largest lake, and closing the
   engine must leave no stray ``/dev/shm`` segments, and
+* guards the mutation path: the committed ``incremental_mutation`` section
+  must keep its schema, record a verified-identical mutated index, and clear
+  the single-table-add floor (``INCREMENTAL_ADD_SPEEDUP_FLOOR``); a tiny-lake
+  add/remove/upsert sequence must answer exactly like a from-scratch rebuild
+  over the surviving tables — rankings and SA-join edge sets — and
 * guards the serving tier: the committed ``serving`` section written by
   ``bench_serving.py`` must keep its schema, record verified-identical
   responses, and clear the warm-cache throughput floor
@@ -148,6 +153,17 @@ SERVING_KEYS = (
 SERVING_LOOP_KEYS = ("client_workers", "requests", "qps", "latency_ms")
 SERVING_OPEN_LOOP_KEYS = ("client_workers", "offered_qps", "requests", "achieved_qps", "latency_ms")
 SERVING_LATENCY_KEYS = ("p50", "p90", "p99")
+#: Required keys of the top-level ``incremental_mutation`` section: the
+#: single-table-add-vs-full-rebuild record ``bench_perf_hot_paths.py`` writes.
+INCREMENTAL_MUTATION_KEYS = (
+    "num_attributes",
+    "num_tables",
+    "full_rebuild_seconds",
+    "single_add_seconds",
+    "single_remove_seconds",
+    "speedup",
+    "state_identical",
+)
 
 
 def validate_hot_paths_payload(payload: Dict[str, object]) -> List[str]:
@@ -186,7 +202,23 @@ def validate_hot_paths_payload(payload: Dict[str, object]) -> List[str]:
             if key not in entry.get("join_graph_build", {}):
                 problems.append(f"result n={size}: join_graph_build missing {key!r}")
     problems += validate_serving_section(payload)
+    problems += validate_incremental_mutation_section(payload)
     return problems
+
+
+def validate_incremental_mutation_section(payload: Dict[str, object]) -> List[str]:
+    """Problems with the top-level ``incremental_mutation`` section."""
+    mutation = payload.get("incremental_mutation")
+    if not isinstance(mutation, dict):
+        return [
+            "missing top-level 'incremental_mutation' section "
+            "(run bench_perf_hot_paths.py)"
+        ]
+    return [
+        f"incremental_mutation: missing key {key!r}"
+        for key in INCREMENTAL_MUTATION_KEYS
+        if key not in mutation
+    ]
 
 
 def validate_serving_section(payload: Dict[str, object]) -> List[str]:
@@ -227,6 +259,7 @@ def _check_floors() -> List[str]:
         "SESSION_CACHE_SPEEDUP_FLOOR",
         "JOIN_GRAPH_SPEEDUP_FLOOR",
         "SNAPSHOT_SHIP_RATIO_FLOOR",
+        "INCREMENTAL_ADD_SPEEDUP_FLOOR",
     ):
         floor = getattr(hot_paths, name, None)
         if not isinstance(floor, (int, float)) or floor < 1.0:
@@ -254,7 +287,11 @@ def _check_recorded_payload() -> List[str]:
     problems = validate_hot_paths_payload(payload)
     if problems:
         return problems
-    return _check_recorded_ship_floor(payload) + _check_recorded_serving_floor(payload)
+    return (
+        _check_recorded_ship_floor(payload)
+        + _check_recorded_serving_floor(payload)
+        + _check_recorded_mutation_floor(payload)
+    )
 
 
 def _check_recorded_ship_floor(payload: Dict[str, object]) -> List[str]:
@@ -297,6 +334,29 @@ def _check_recorded_serving_floor(payload: Dict[str, object]) -> List[str]:
         problems.append(
             f"recorded serving run: warm closed-loop throughput {qps:.1f} qps "
             f"below the tracked floor ({bench_serving.SERVING_WARM_QPS_FLOOR} qps)"
+        )
+    return problems
+
+
+def _check_recorded_mutation_floor(payload: Dict[str, object]) -> List[str]:
+    """The committed mutation record was verified and clears its floor."""
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    import bench_perf_hot_paths as hot_paths
+
+    mutation = payload["incremental_mutation"]
+    problems: List[str] = []
+    if not mutation.get("state_identical", False):
+        problems.append(
+            f"recorded mutation run at n={mutation.get('num_attributes', '?')}: "
+            "the incrementally mutated index was not verified identical to the "
+            "from-scratch rebuild"
+        )
+    speedup = mutation.get("speedup", 0.0)
+    if speedup < hot_paths.INCREMENTAL_ADD_SPEEDUP_FLOOR:
+        problems.append(
+            f"recorded mutation run at n={mutation.get('num_attributes', '?')}: "
+            f"single-table add only {speedup:.1f}x cheaper than a full rebuild "
+            f"(floor {hot_paths.INCREMENTAL_ADD_SPEEDUP_FLOOR}x)"
         )
     return problems
 
@@ -559,6 +619,73 @@ def _check_live_serving(corpus, engine) -> List[str]:
     return problems
 
 
+def _check_mutation_equivalence(corpus) -> List[str]:
+    """Incremental mutation equals a from-scratch rebuild on a tiny lake.
+
+    Runs the incremental paths end to end on its own small engine — add a
+    new table, remove one, upsert one with replacement content and restore
+    it — and checks the result against an engine freshly built over the
+    surviving tables: identical attribute sets, identical rankings (ties
+    included), and identical SA-join edge sets.  This is the correctness
+    half of the ``INCREMENTAL_ADD_SPEEDUP_FLOOR`` contract, at tier-1 speed.
+    """
+    from repro.core.config import D3LConfig
+    from repro.core.discovery import D3L
+    from repro.lake.datalake import DataLake
+
+    config = D3LConfig(
+        num_hashes=64, num_trees=8, min_candidates=15, embedding_dimension=16
+    )
+    tables = list(corpus.lake.tables)
+    engine = D3L(config=config)
+    engine.index_lake(DataLake("mutation_base", tables[:5]))
+    extra = tables[6].with_name("smoke_mutation_extra")
+    engine.index_table(extra)
+    engine.remove_table(tables[1].name)
+    engine.index_table(tables[7].with_name(tables[2].name))  # upsert, new content
+    engine.index_table(tables[2])  # restore the original content
+    survivors = [tables[0]] + tables[2:5] + [extra]
+
+    oracle = D3L(config=config)
+    oracle.index_lake(DataLake("mutation_oracle", survivors))
+    problems: List[str] = []
+    try:
+        if set(engine.indexes.profiles) != set(oracle.indexes.profiles):
+            problems.append(
+                "mutated index holds a different attribute set than the rebuild"
+            )
+        for table in survivors[:3]:
+            mutated = [
+                (r.table_name, r.distance)
+                for r in engine.query_batch(table, k=5).results
+            ]
+            rebuilt = [
+                (r.table_name, r.distance)
+                for r in oracle.query_batch(table, k=5).results
+            ]
+            if mutated != rebuilt:
+                problems.append(
+                    f"mutated rankings diverge from the rebuild on {table.name!r}"
+                )
+
+        def edge_map(graph):
+            return {
+                tuple(sorted(pair)): (
+                    graph.edge(*pair).left,
+                    graph.edge(*pair).right,
+                    graph.edge(*pair).overlap,
+                )
+                for pair in graph.graph.edges
+            }
+
+        if edge_map(engine.join_graph) != edge_map(oracle.join_graph):
+            problems.append("mutated SA-join edge set diverges from the rebuild")
+    finally:
+        engine.close()
+        oracle.close()
+    return problems
+
+
 def run_quick() -> List[str]:
     """Every quick check; returns the list of problems found."""
     import warnings
@@ -572,6 +699,7 @@ def run_quick() -> List[str]:
         problems += _check_api_roundtrip(corpus, engine)
         problems += _check_join_serving(corpus, engine)
         problems += _check_live_serving(corpus, engine)
+        problems += _check_mutation_equivalence(corpus)
         problems += _check_shared_memory_path(corpus, engine)
     return problems
 

@@ -937,8 +937,11 @@ class DiscoverySession:
     :class:`TableProfile` *and* the per-evidence query signatures — in an LRU
     keyed by target content, so repeated queries against the same target
     (k sweeps, evidence ablations, dashboard refreshes) skip straight to
-    candidate collection.  The cache is invalidated whenever the underlying
-    lake mutates, exactly like the engine's fan-out worker pools.
+    candidate collection.  When the underlying lake mutates, only the
+    entries whose target shares a name with a mutated table are evicted
+    (resolved through the indexes' mutation journal); the cache is dropped
+    wholesale only when the mutation set is no longer reconstructible or the
+    engine's indexes were rebound to a different object.
 
     Typical usage::
 
@@ -952,7 +955,7 @@ class DiscoverySession:
         require_positive("profile_cache_size", profile_cache_size)
         self.engine = engine
         self.profile_cache_size = profile_cache_size
-        self._cache: "OrderedDict[object, Tuple[TableProfile, Dict]]" = OrderedDict()
+        self._cache: "OrderedDict[object, Tuple[str, TableProfile, Dict]]" = OrderedDict()
         self._cache_version: Optional[int] = None
         self._cache_indexes: Optional[object] = None
         self._hits = 0
@@ -1040,18 +1043,36 @@ class DiscoverySession:
         return save_session(self, path)
 
     def _check_version(self) -> None:
-        """Invalidate the cache when the underlying indexes have gone stale.
+        """Invalidate stale cache entries when the underlying lake mutated.
 
         Both the mutation counter and the indexes' identity are checked —
         an engine whose ``indexes`` was rebound (e.g. to a restored object,
         whose counter restarts) must not be served signatures derived from
-        the old object, exactly like the fan-out executor cache.
+        the old object, so a rebind still clears everything.  A version bump
+        on the *same* indexes object resolves the mutated table names
+        through the mutation journal and evicts only the entries caching a
+        target of that name; when the journal cannot cover the gap the whole
+        cache is dropped, restoring the old wholesale behaviour.
         """
         indexes = self.engine.indexes
-        if indexes is not self._cache_indexes or indexes.version != self._cache_version:
+        if indexes is self._cache_indexes and indexes.version == self._cache_version:
+            return
+        mutated = (
+            indexes.mutated_tables_since(self._cache_version)
+            if indexes is self._cache_indexes and self._cache_version is not None
+            else None
+        )
+        if mutated is None:
             self._cache.clear()
-            self._cache_indexes = indexes
-            self._cache_version = indexes.version
+        elif mutated:
+            for key in [
+                key
+                for key, (table_name, _, _) in self._cache.items()
+                if table_name in mutated
+            ]:
+                del self._cache[key]
+        self._cache_indexes = indexes
+        self._cache_version = indexes.version
 
     def _resolve_target(self, target: QueryTarget) -> Tuple[TableProfile, Dict]:
         key = self._fingerprint(target)
@@ -1059,7 +1080,7 @@ class DiscoverySession:
         if cached is not None:
             self._cache.move_to_end(key)
             self._hits += 1
-            return cached
+            return cached[1], cached[2]
         self._misses += 1
         profile = (
             target
@@ -1070,7 +1091,8 @@ class DiscoverySession:
         signature_maps = attribute_signature_maps(
             self.engine.indexes, profile.table_name, entries
         )
-        self._cache[key] = (profile, signature_maps)
+        # The table name rides along so _check_version can evict per table.
+        self._cache[key] = (profile.table_name, profile, signature_maps)
         while len(self._cache) > self.profile_cache_size:
             self._cache.popitem(last=False)
         return profile, signature_maps

@@ -199,10 +199,18 @@ class D3L:
         # against D3LIndexes.version exactly like the serving-tier caches.
         self._join_graph_version: Optional[int] = None
         # Lazily created query-fan-out executors, keyed by worker count.
-        # Each keeps a live worker pool holding a snapshot of the indexes,
-        # so repeated queries do not re-ship the index state; any lake
-        # mutation discards them (see _invalidate_query_executors).
+        # Each keeps a live worker pool holding a snapshot of the indexes, so
+        # repeated queries do not re-ship the index state; single-table
+        # mutations leave the pools alive (they refresh themselves with a
+        # delta on the next fanned-out request) while bulk re-indexing
+        # discards them (see _invalidate_query_executors).
         self._query_executors: Dict[int, "ParallelQueryExecutor"] = {}
+        # Exact value-overlap coefficients verified by previous join-graph
+        # builds, keyed by (subject ref, candidate ref).  An overlap is a pure
+        # function of the two tables' value samples, so entries stay valid
+        # until either side mutates — incremental rebuilds after a
+        # single-table mutation re-verify only the pairs touching it.
+        self._join_overlap_cache: Dict[Tuple[AttributeRef, AttributeRef], float] = {}
 
     # ------------------------------------------------------------------ #
     # indexing
@@ -216,21 +224,41 @@ class D3L:
         """
         self.indexes.add_lake(lake, workers=workers)
         self._join_graph = None
+        self._join_overlap_cache.clear()
         self._invalidate_query_executors()
 
     def index_table(self, table: Table) -> None:
-        """Profile and index a single table."""
+        """Profile and (re-)index a single table, invalidating per table.
+
+        Re-indexing an already known name replaces its previous attributes
+        (the lake's documented replace semantics).  Only state derived from
+        the mutated table is dropped: verified join overlaps touching it, and
+        the cached join graph (rebuilt incrementally from the surviving
+        overlaps on next use).  Fan-out worker pools stay alive and refresh
+        themselves with a delta on the next request.
+        """
         self.indexes.add_table(table)
-        self._join_graph = None
-        self._invalidate_query_executors()
+        self._note_mutation(table.name)
 
     def remove_table(self, table_name: str) -> bool:
         """Remove a table from the indexes (incremental lake maintenance)."""
         removed = self.indexes.remove_table(table_name)
         if removed:
-            self._join_graph = None
-            self._invalidate_query_executors()
+            self._note_mutation(table_name)
         return removed
+
+    def _note_mutation(self, table_name: str) -> None:
+        """Per-table invalidation after a single-table mutation.
+
+        Evicts only the verified overlaps involving ``table_name``; worker
+        pools are left running (delta refresh) and the join graph rebuilds
+        lazily because its cached version no longer matches the indexes.
+        """
+        self._join_overlap_cache = {
+            pair: overlap
+            for pair, overlap in self._join_overlap_cache.items()
+            if pair[0].table != table_name and pair[1].table != table_name
+        }
 
     def _invalidate_query_executors(self) -> None:
         """Discard fan-out worker pools holding a now-stale index snapshot."""
@@ -303,7 +331,11 @@ class D3L:
                 else None
             )
             self._join_graph = SAJoinGraph.build(
-                self.indexes, self.config, workers=workers, executor=executor
+                self.indexes,
+                self.config,
+                workers=workers,
+                executor=executor,
+                overlap_cache=self._join_overlap_cache,
             )
             self._join_graph_version = self.indexes.version
         return self._join_graph

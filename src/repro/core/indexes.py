@@ -44,6 +44,11 @@ from repro.text.embeddings import HashingSubwordEmbedding, WordEmbeddingModel
 #: Signature type union used internally.
 Signature = object
 
+#: How many mutations the delta journal remembers.  A consumer whose base
+#: version fell further behind than this cannot reconstruct the mutated-table
+#: set and must fall back to full invalidation.
+_MUTATION_LOG_LIMIT = 64
+
 
 class SignatureMatrix:
     """Per-evidence signature matrix with a ref↔row registry.
@@ -78,8 +83,23 @@ class SignatureMatrix:
         """Current row of ``ref`` (None when not stored)."""
         return self._row_of.get(ref)
 
+    def _ensure_writable(self) -> None:
+        """Copy-on-write guard for mutating a matrix adopted as shared views.
+
+        A worker-side index attached through
+        :class:`~repro.core.shared.SharedIndexSnapshot` holds read-only views
+        over the host's segment; the first delta mutation promotes them to a
+        private copy so the shared base stays untouched (and other attached
+        workers unaffected).
+        """
+        if not self._matrix.flags.writeable:
+            self._matrix = self._matrix.copy()
+        if not self._flags.flags.writeable:
+            self._flags = self._flags.copy()
+
     def add(self, ref: AttributeRef, values: np.ndarray, degenerate: bool) -> None:
         """Insert (or overwrite) the signature row of ``ref``."""
+        self._ensure_writable()
         existing = self._row_of.get(ref)
         if existing is not None:
             self._matrix[existing] = values
@@ -112,6 +132,7 @@ class SignatureMatrix:
         refs = list(refs)
         values = np.asarray(values)
         degenerate = np.asarray(degenerate, dtype=bool)
+        self._ensure_writable()
         fresh_positions: List[int] = []
         fresh_of: Dict[AttributeRef, int] = {}
         for position, ref in enumerate(refs):
@@ -151,6 +172,7 @@ class SignatureMatrix:
         row = self._row_of.pop(ref, None)
         if row is None:
             return
+        self._ensure_writable()
         last = len(self._refs) - 1
         if row != last:
             self._matrix[row] = self._matrix[last]
@@ -299,6 +321,12 @@ class D3LIndexes:
         #: serving-tier caches (session profile caches, fan-out worker pools)
         #: can detect that a snapshot of this object has gone stale.
         self.version: int = 0
+        #: Trailing mutation journal: ``(version after the bump, table name)``
+        #: for the last ``_MUTATION_LOG_LIMIT`` mutations.  Lets delta-aware
+        #: consumers (session caches, fan-out pools, the join-graph overlap
+        #: cache) invalidate per table via :meth:`mutated_tables_since`
+        #: instead of wholesale on every version bump.
+        self._mutation_log: List[Tuple[int, str]] = []
 
     # ------------------------------------------------------------------ #
     # profiling
@@ -431,6 +459,13 @@ class D3LIndexes:
         """
         if signatures_by_attribute is None:
             signatures_by_attribute = self.table_signatures(table_profile)
+        previous = self.table_profiles.get(table_profile.table_name)
+        if previous is not None:
+            # Re-indexing is replace semantics (matching DataLake.add_table):
+            # drop every entry of the previous profile first, so attributes
+            # that no longer exist don't linger as ghost candidates in the
+            # forests and signature matrices.
+            self._discard_table_entries(previous)
         self.table_profiles[table_profile.table_name] = table_profile
         for name, profile in table_profile.attributes.items():
             self.profiles[profile.ref] = profile
@@ -455,6 +490,7 @@ class D3LIndexes:
                     refs, np.vstack(raws), np.asarray(flags, dtype=bool)
                 )
         self.version += 1
+        self._log_mutation(table_profile.table_name)
 
     def add_lake(self, lake: DataLake, workers: Optional[int] = None) -> None:
         """Index every table of ``lake``, in sorted table-name order.
@@ -487,14 +523,47 @@ class D3LIndexes:
         table_profile = self.table_profiles.pop(table_name, None)
         if table_profile is None:
             return False
+        self._discard_table_entries(table_profile)
+        self.version += 1
+        self._log_mutation(table_name)
+        return True
+
+    def _discard_table_entries(self, table_profile: TableProfile) -> None:
+        """Drop every per-attribute entry of ``table_profile`` from the indexes.
+
+        Shared by :meth:`remove_table` and the replace path of
+        :meth:`add_profiled_table`; touches neither ``table_profiles`` nor
+        the version counter.
+        """
         for profile in table_profile.attributes.values():
             self.profiles.pop(profile.ref, None)
             for evidence in EvidenceType.indexed():
                 if self._signatures[evidence].pop(profile.ref, None) is not None:
                     self._forests[evidence].remove(profile.ref)
                     self._matrices[evidence].discard(profile.ref)
-        self.version += 1
-        return True
+
+    def _log_mutation(self, table_name: str) -> None:
+        """Journal one mutation under the just-bumped version counter."""
+        self._mutation_log.append((self.version, table_name))
+        if len(self._mutation_log) > _MUTATION_LOG_LIMIT:
+            del self._mutation_log[: len(self._mutation_log) - _MUTATION_LOG_LIMIT]
+
+    def mutated_tables_since(self, version: int) -> Optional[set]:
+        """Tables mutated after ``version``, or None when not reconstructible.
+
+        Covers the interval ``(version, self.version]`` from the journal.
+        Returns an empty set when ``version`` is current, and None when the
+        base version is unknown (e.g. a restored engine whose journal was not
+        persisted) or has fallen out of the trailing window — callers must
+        then fall back to full invalidation.
+        """
+        if version == self.version:
+            return set()
+        if version > self.version or version < 0:
+            return None
+        if self.version - version > len(self._mutation_log):
+            return None
+        return {name for logged, name in self._mutation_log if logged > version}
 
     # ------------------------------------------------------------------ #
     # basic accessors

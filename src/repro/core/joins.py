@@ -212,6 +212,7 @@ class SAJoinGraph:
         config: Optional[D3LConfig] = None,
         workers: Optional[int] = None,
         executor=None,
+        overlap_cache: Optional[Dict[Tuple[AttributeRef, AttributeRef], float]] = None,
     ) -> "SAJoinGraph":
         """Build the SA-join graph from an indexed lake, in batched sweeps.
 
@@ -246,6 +247,15 @@ class SAJoinGraph:
         Because the probe attribute is always a subject attribute, the
         SA-joinability condition (at least one side is a subject attribute)
         holds by construction.
+
+        ``overlap_cache`` maps ``(subject ref, candidate ref)`` pairs to
+        overlaps verified by a previous build.  The exact overlap is a pure
+        function of the two attributes' value samples, so cached pairs skip
+        verification entirely — the incremental path after a single-table
+        mutation, where the owning engine evicts only the pairs touching the
+        mutated tables.  Freshly verified overlaps are written back into the
+        cache.  Results are identical with or without a (correctly evicted)
+        cache.
         """
         from repro.core.parallel import verify_value_overlaps
 
@@ -298,18 +308,26 @@ class SAJoinGraph:
                 ]
             kept_per_probe.append(refs)
             if refs:
-                if executor is None:
+                fresh = [
+                    ref
+                    for ref in refs
+                    if overlap_cache is None or (subject.ref, ref) not in overlap_cache
+                ]
+                if fresh and executor is None:
                     # The executor routing resolves samples worker-side from
                     # the attached shared index; only the sample-shipping
                     # paths need the dictionary built at all.
                     samples[subject.ref] = subject.value_sample
-                    for ref in refs:
+                    for ref in fresh:
                         samples[ref] = indexes.profiles[ref].value_sample
-                pairs.extend((subject.ref, ref) for ref in refs)
+                pairs.extend((subject.ref, ref) for ref in fresh)
 
         overlaps = verify_value_overlaps(
             samples, pairs, workers=workers, executor=executor
         )
+        if overlap_cache is not None:
+            overlap_cache.update(overlaps)
+            overlaps = overlap_cache
         for (table_name, subject), refs in zip(probes, kept_per_probe):
             for ref in refs:
                 overlap = overlaps[(subject.ref, ref)]

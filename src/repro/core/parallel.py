@@ -51,6 +51,11 @@ ShardResult = List[Tuple[object, Dict[str, dict]]]
 #: vanish from the audit once their finalizer has run.
 _LIVE_EXECUTORS: "weakref.WeakSet[ParallelQueryExecutor]" = weakref.WeakSet()
 
+#: Largest mutated-table count a worker pool refreshes via a delta; beyond
+#: this, tearing the pool down and re-exporting a fresh snapshot is cheaper
+#: than shipping per-table profiles and signatures with every task.
+_DELTA_MAX_TABLES = 32
+
 
 def _pool_size(requested: int) -> int:
     """Worker-process count for a pool: the request clamped to the host CPUs.
@@ -232,16 +237,19 @@ def _verify_join_shard(payload) -> List[Tuple["AttributeRef", "AttributeRef", fl
 
 
 def _verify_join_shard_attached(
-    pairs: List[Tuple["AttributeRef", "AttributeRef"]]
+    payload,
 ) -> List[Tuple["AttributeRef", "AttributeRef", float]]:
     """Worker entry point: overlaps of one shard's pairs over the attached index.
 
     Runs in a query-worker pool (:func:`_init_query_worker`): the value
     samples are read from the worker-resident shared index's profiles, so
-    the payload is the bare pair list — no samples are shipped at all.
+    the payload is ``(delta, pairs)`` — the executor's pending index delta
+    (or None) plus the bare pair list; no samples are shipped at all.
     """
     from repro.core.profiles import sample_overlap
 
+    delta, pairs = payload
+    _refresh_worker_indexes(delta)
     profiles = _QUERY_WORKER_INDEXES.profiles
     return [
         (
@@ -329,19 +337,37 @@ def _init_query_worker(descriptor: "Descriptor") -> None:
     _QUERY_WORKER_INDEXES = SharedIndexSnapshot.attach(descriptor)
 
 
+def _refresh_worker_indexes(delta) -> None:
+    """Bring this worker's resident index up to the host's version.
+
+    ``delta`` is a :func:`~repro.core.shared.build_index_delta` result (or
+    None when the pool's snapshot is already current).  The delta rides on
+    every task payload rather than being broadcast — each worker applies it
+    on its next task, and the apply is idempotent and convergent from any
+    intermediate state, so no barrier across the pool is needed.
+    """
+    if delta is not None:
+        from repro.core.shared import apply_index_delta
+
+        apply_index_delta(_QUERY_WORKER_INDEXES, delta)
+
+
 def _collect_shard_candidate_distances(payload) -> QueryShardResult:
     """Worker entry point: batched candidate collection for one shard.
 
-    ``payload`` is ``(table_name, entries, context)``: the target's name,
-    this shard's ``(attribute name, profile)`` pairs, and the shared query
-    context (active evidence, pool, exclusions, subject-related tables).
-    The indexes are the worker-resident copy installed by
-    :func:`_init_query_worker`; the worker runs exactly the same batched
-    sweeps the single-process engine runs on its shard.
+    ``payload`` is ``(delta, table_name, entries, context)``: the executor's
+    pending index delta (or None), the target's name, this shard's
+    ``(attribute name, profile)`` pairs, and the shared query context
+    (active evidence, pool, exclusions, subject-related tables).  The
+    indexes are the worker-resident copy installed by
+    :func:`_init_query_worker`, delta-refreshed when the host mutated; the
+    worker runs exactly the same batched sweeps the single-process engine
+    runs on its shard.
     """
-    table_name, entries, context = payload
+    delta, table_name, entries, context = payload
     from repro.core.discovery import collect_attribute_candidate_distances
 
+    _refresh_worker_indexes(delta)
     return collect_attribute_candidate_distances(
         _QUERY_WORKER_INDEXES, table_name, entries, **context
     )
@@ -367,10 +393,11 @@ class ParallelQueryExecutor:
     each worker only the segment descriptor (~50 bytes); workers attach
     read-only array views over the one host-resident segment, so N workers
     no longer cost N× index memory or per-pool pickling.  The snapshot is
-    taken at pool creation: the owning engine must :meth:`close` the
-    executor when the lake changes (``D3L`` does), and ``_ensure_pool``
-    additionally self-heals by recreating pool and snapshot whenever the
-    index version has moved past the snapshotted one.
+    taken at pool creation; when the index version moves past it,
+    ``_ensure_pool`` self-heals — preferably by computing a per-table delta
+    (:func:`~repro.core.shared.build_index_delta`) that subsequent task
+    payloads carry to the workers, falling back to recreating pool and
+    snapshot when the mutation set is too large or no longer reconstructible.
     """
 
     def __init__(self, indexes: "D3LIndexes", workers: int) -> None:
@@ -381,6 +408,12 @@ class ParallelQueryExecutor:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._snapshot: Optional["SharedIndexSnapshot"] = None
         self._pool_version: Optional[int] = None
+        # Version the current snapshot was exported at (the fixed delta base:
+        # individual workers may sit at any state between it and the current
+        # version, depending on which deltas they have already applied), and
+        # the pending delta shipped with every pooled task payload.
+        self._snapshot_version: Optional[int] = None
+        self._delta = None
         self._finalizer: Optional[weakref.finalize] = None
         _LIVE_EXECUTORS.add(self)
 
@@ -403,15 +436,32 @@ class ParallelQueryExecutor:
             self._snapshot.close()
             self._snapshot = None
         self._pool_version = None
+        self._snapshot_version = None
+        self._delta = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is not None and self._pool_version != self.indexes.version:
-            # The indexes moved past the snapshot the workers attached —
-            # tear both down and re-export the current state.
-            self.close()
+            # The indexes moved past the state the workers hold.  Prefer a
+            # per-table delta refresh over tearing the pool down: the delta
+            # is always computed against the fixed snapshot version, so it is
+            # valid for a worker at any intermediate state.
+            from repro.core.shared import build_index_delta
+
+            delta = build_index_delta(
+                self.indexes, self._snapshot_version, max_tables=_DELTA_MAX_TABLES
+            )
+            if delta is None:
+                # Not reconstructible (journal window exceeded) or too many
+                # tables mutated — re-export the current state.
+                self.close()
+            else:
+                self._delta = delta
+                self._pool_version = self.indexes.version
         if self._pool is None:
             descriptor, self._snapshot = _snapshot_descriptor(self.indexes)
             self._pool_version = self.indexes.version
+            self._snapshot_version = self.indexes.version
+            self._delta = None
             self._pool = ProcessPoolExecutor(
                 max_workers=_pool_size(self.workers),
                 initializer=_init_query_worker,
@@ -456,8 +506,12 @@ class ParallelQueryExecutor:
                 )
                 for left, right in ordered
             }
+        pool = self._ensure_pool()
         shard_results = list(
-            self._ensure_pool().map(_verify_join_shard_attached, shards)
+            pool.map(
+                _verify_join_shard_attached,
+                [(self._delta, shard) for shard in shards],
+            )
         )
         return {
             (left, right): overlap
@@ -510,8 +564,10 @@ class ParallelQueryExecutor:
                 for entries_for_shard in shard_entries
             ]
         else:
+            pool = self._ensure_pool()
             payloads = [
                 (
+                    self._delta,
                     table_name,
                     entries_for_shard,
                     context
@@ -524,7 +580,7 @@ class ParallelQueryExecutor:
                 for entries_for_shard in shard_entries
             ]
             shard_results = list(
-                self._ensure_pool().map(_collect_shard_candidate_distances, payloads)
+                pool.map(_collect_shard_candidate_distances, payloads)
             )
         by_attribute = {
             name: (refs, columns)

@@ -218,6 +218,7 @@ def _engine_sections(engine: D3L) -> Dict[str, object]:
         "weights": engine.weights,
         "indexes": _indexes_sections(engine.indexes),
         "join_graph": None if join_graph is None else _join_graph_section(join_graph),
+        "join_overlap_cache": dict(engine._join_overlap_cache),
     }
 
 
@@ -235,6 +236,9 @@ def _restore_engine(sections: Dict[str, object]) -> D3L:
     join_graph = sections.get("join_graph")
     if join_graph is not None:
         engine.restore_join_graph(_restore_join_graph(join_graph))
+    # Also an optional late addition: verified join overlaps survive a
+    # round-trip so an incremental rebuild after mutation stays cheap.
+    engine._join_overlap_cache = dict(sections.get("join_overlap_cache") or {})
     return engine
 
 

@@ -441,6 +441,82 @@ class SharedIndexSnapshot:
 
 
 # --------------------------------------------------------------------------- #
+# delta refresh
+# --------------------------------------------------------------------------- #
+
+#: Net-effect delta between two index versions: ``(target_version, ops)``
+#: where each op is ``("remove", table_name, None, None)`` or
+#: ``("upsert", table_name, table_profile, signatures_by_attribute)``, one op
+#: per mutated table in sorted-name order.  Because each upsert carries the
+#: table's *current* profile and signatures, applying a delta is idempotent
+#: and convergent from any intermediate state between the base and target
+#: versions.
+IndexDelta = Tuple[int, List[Tuple[str, str, object, object]]]
+
+
+def build_index_delta(
+    indexes: "D3LIndexes", base_version: int, max_tables: Optional[int] = None
+) -> Optional[IndexDelta]:
+    """Net delta bringing an index at ``base_version`` up to ``indexes``.
+
+    Returns None when the mutated-table set is not reconstructible (the base
+    fell out of the journal window) or exceeds ``max_tables`` — consumers
+    then fall back to a full re-ship.  Each mutated table contributes one op:
+    an upsert with its current profile and per-attribute signatures, or a
+    remove when it is no longer indexed.
+    """
+    from repro.core.evidence import EvidenceType
+
+    mutated = indexes.mutated_tables_since(base_version)
+    if mutated is None:
+        return None
+    if max_tables is not None and len(mutated) > max_tables:
+        return None
+    ops: List[Tuple[str, str, object, object]] = []
+    for name in sorted(mutated):
+        profile = indexes.table_profiles.get(name)
+        if profile is None:
+            ops.append(("remove", name, None, None))
+        else:
+            # The stored signatures ARE what add_profiled_table inserted, so
+            # the op reuses them instead of re-signing the table.
+            signatures = {
+                attribute_name: {
+                    evidence: indexes.signature(evidence, attribute.ref)
+                    for evidence in EvidenceType.indexed()
+                }
+                for attribute_name, attribute in profile.attributes.items()
+            }
+            ops.append(("upsert", name, profile, signatures))
+    return (indexes.version, ops)
+
+
+def apply_index_delta(indexes: "D3LIndexes", delta: IndexDelta) -> None:
+    """Apply a :func:`build_index_delta` result to a (possibly shared) index.
+
+    No-op when ``indexes`` already reached the target version, so shipping
+    the same delta with every task payload is safe — each worker applies it
+    exactly once.  Mutating an attached snapshot copies only the touched
+    arrays (copy-on-write in :class:`~repro.core.indexes.SignatureMatrix` and
+    the forest rebuild path); the shared base segment stays untouched.
+    """
+    target_version, ops = delta
+    if indexes.version >= target_version:
+        return
+    for kind, name, profile, signatures in ops:
+        if kind == "remove":
+            indexes.remove_table(name)
+        else:
+            indexes.add_profiled_table(profile, signatures)
+    # Pin the worker's counter to the host's: the number of *net* ops can be
+    # smaller than the host's bump count, and a stale journal under a jumped
+    # counter would misreport mutated_tables_since — clear it so stale bases
+    # conservatively fall back to full invalidation.
+    indexes.version = target_version
+    indexes._mutation_log.clear()
+
+
+# --------------------------------------------------------------------------- #
 # leak auditing
 # --------------------------------------------------------------------------- #
 

@@ -145,9 +145,26 @@ class _PrefixTree:
             self._row_of = {}
             return
         ranks = self._rank_keys(keys)
-        # Stable sort: equal keys stay in insertion order (surviving rows are
-        # already ordered and precede the newly appended pending rows).
         order = np.argsort(ranks, kind="stable")
+        # Canonical tie order: rows sharing a key are ordered by their item.
+        # This makes the layout a pure function of the (key, item) set — a
+        # mutated tree compacts to exactly the state a from-scratch build of
+        # the surviving items produces, so stop-at-k candidate truncation
+        # stays identical across remove/re-add histories (the rebuild
+        # determinism the incremental-mutation oracle relies on).  Only runs
+        # of genuinely equal keys pay for a Python-level sort.
+        sorted_ranks = ranks[order]
+        if sorted_ranks.shape[0] > 1:
+            run_starts = np.flatnonzero(
+                np.concatenate(([True], sorted_ranks[1:] != sorted_ranks[:-1]))
+            )
+            if run_starts.shape[0] < sorted_ranks.shape[0]:
+                run_ends = np.concatenate((run_starts[1:], [sorted_ranks.shape[0]]))
+                for start, end in zip(run_starts.tolist(), run_ends.tolist()):
+                    if end - start > 1:
+                        order[start:end] = sorted(
+                            order[start:end].tolist(), key=items.__getitem__
+                        )
         self._keys = np.ascontiguousarray(keys[order])
         self._ranks = ranks[order]
         self._items = [items[row] for row in order]

@@ -47,7 +47,11 @@ class ScalarPrefixTree:
 
     def _ensure_sorted(self) -> None:
         if not self._sorted:
-            self._entries.sort(key=lambda pair: pair[0])
+            # Sort by (key, item): ties between equal keys resolve by item,
+            # the same canonical order the vectorized tree materialises, so
+            # both layouts are pure functions of the entry set and stay
+            # comparable across any insert/remove/re-insert history.
+            self._entries.sort()
             self._sorted = True
 
     def query_prefix(self, key: Tuple[int, ...], prefix_length: int) -> List[Hashable]:

@@ -308,9 +308,12 @@ class TestDeprecatedShims:
 
 
 class TestSessionCacheLifecycle:
-    def test_cache_invalidated_on_index_table(
+    def test_unrelated_cache_entries_survive_index_table(
         self, mutable_engine, figure1_tables, extra_table
     ):
+        # Mutating one lake table evicts per table: the cached entry of an
+        # unrelated target survives, yet answers still see the new table
+        # (the memoized profile/signatures are functions of the target only).
         target = figure1_tables["target"]
         session = DiscoverySession(mutable_engine)
         session.submit(QueryRequest(target=target, k=2))
@@ -323,21 +326,52 @@ class TestSessionCacheLifecycle:
         }
         mutable_engine.index_table(extra_table)
         response = session.submit(QueryRequest(target=target, k=5))
-        assert session.cache_info()["misses"] == 2
+        assert session.cache_info()["hits"] == 2
+        assert session.cache_info()["misses"] == 1
         oracle = mutable_engine._execute_query(target, k=5)
         assert [(r.table_name, r.distance) for r in response.results] == [
             (r.table_name, r.distance) for r in oracle.results
         ]
         assert "clinics_extra" in {r.table_name for r in response.results}
 
-    def test_cache_invalidated_on_remove_table(self, mutable_engine, figure1_tables):
+    def test_unrelated_cache_entries_survive_remove_table(
+        self, mutable_engine, figure1_tables
+    ):
         target = figure1_tables["target"]
         session = DiscoverySession(mutable_engine)
         session.submit(QueryRequest(target=target, k=2))
         assert mutable_engine.remove_table("gp_funding_s2")
         response = session.submit(QueryRequest(target=target, k=5))
-        assert session.cache_info()["misses"] == 2
+        assert session.cache_info()["hits"] == 1
+        assert session.cache_info()["misses"] == 1
         assert "gp_funding_s2" not in {r.table_name for r in response.results}
+
+    def test_mutated_table_evicts_its_own_cache_entry(
+        self, mutable_engine, figure1_tables
+    ):
+        # An entry caching a target that shares its name with the mutated
+        # lake table IS evicted — its profile may describe stale content.
+        source = figure1_tables["sources"][0]
+        session = DiscoverySession(mutable_engine)
+        session.submit(QueryRequest(target=source, k=2, exclude_self=False))
+        mutable_engine.index_table(source)
+        session.submit(QueryRequest(target=source, k=2, exclude_self=False))
+        assert session.cache_info()["hits"] == 0
+        assert session.cache_info()["misses"] == 2
+
+    def test_cache_cleared_when_journal_window_exceeded(
+        self, mutable_engine, figure1_tables, extra_table
+    ):
+        target = figure1_tables["target"]
+        session = DiscoverySession(mutable_engine)
+        session.submit(QueryRequest(target=target, k=2))
+        mutable_engine.index_table(extra_table)
+        # Simulate the journal having lost coverage of the gap: the session
+        # must fall back to clearing everything.
+        mutable_engine.indexes._mutation_log.clear()
+        session.submit(QueryRequest(target=target, k=2))
+        assert session.cache_info()["hits"] == 0
+        assert session.cache_info()["misses"] == 2
 
     def test_lru_eviction(self, mutable_engine, figure1_tables):
         session = DiscoverySession(mutable_engine, profile_cache_size=1)

@@ -56,6 +56,66 @@ class TestRemoveTable:
         assert engine.indexes.attribute_count < before
 
 
+class TestReindexUpsert:
+    """Re-indexing an existing table name replaces its previous attributes.
+
+    Regression: add_profiled_table used to overwrite table_profiles without
+    removing the previous attributes' forest and signature-matrix rows, so a
+    re-added table with a changed column set left ghost candidates in every
+    evidence index.
+    """
+
+    def test_reindex_with_changed_columns_leaves_no_ghosts(self, engine):
+        name = "gp_practices_s1"
+        old_refs = [ref for ref in engine.indexes.profiles if ref.table == name]
+        assert old_refs
+        replacement = Table.from_dict(
+            name, {"completely_new_column": ["alpha", "beta", "gamma"]}
+        )
+        engine.index_table(replacement)
+
+        new_ref = AttributeRef(name, "completely_new_column")
+        assert new_ref in engine.indexes.profiles
+        surviving = {ref for ref in engine.indexes.profiles if ref.table == name}
+        assert surviving == {new_ref}
+        for ref in old_refs:
+            for evidence in EvidenceType.indexed():
+                assert engine.indexes.signature(evidence, ref) is None
+                assert ref not in engine.indexes._matrices[evidence]
+                assert ref not in engine.indexes._forests[evidence]
+
+    def test_reindex_equals_fresh_build(self, engine, figure1_tables, fast_config):
+        # Upserting a mutated table and then restoring the original content
+        # must converge to exactly the state a from-scratch build produces.
+        name = "gp_practices_s1"
+        original = next(
+            table for table in figure1_tables["sources"] if table.name == name
+        )
+        engine.index_table(Table.from_dict(name, {"other": ["x", "y"]}))
+        engine.index_table(original)
+
+        oracle = D3L(config=fast_config)
+        oracle.index_lake(figure1_tables["lake"])
+        assert set(engine.indexes.profiles) == set(oracle.indexes.profiles)
+        answer = engine.query_batch(figure1_tables["target"], k=3)
+        expected = oracle.query_batch(figure1_tables["target"], k=3)
+        assert [(r.table_name, r.distance) for r in answer.results] == [
+            (r.table_name, r.distance) for r in expected.results
+        ]
+
+    def test_matrix_row_registry_stays_packed(self, engine):
+        name = "local_gps_s3"
+        engine.index_table(Table.from_dict(name, {"col": ["1", "2", "3"]}))
+        for evidence in EvidenceType.indexed():
+            matrix = engine.indexes._matrices[evidence]
+            refs = matrix.refs
+            assert len(refs) == len(set(refs))
+            for ref in refs:
+                row = matrix.row(ref)
+                assert row is not None and 0 <= row < len(refs)
+                assert refs[row] == ref
+
+
 class TestRelatedAttributes:
     def test_returns_ranked_attributes(self, engine, figure1_tables):
         results = engine.related_attributes(figure1_tables["target"], "Postcode", k=5)

@@ -106,9 +106,10 @@ class TestExecutorApi:
                 )
         assert list(engine._query_executors) == [2]
 
-    def test_lake_mutation_invalidates_worker_pools(self, corpus):
+    def test_lake_mutation_refreshes_worker_pools(self, corpus):
         # The worker pool snapshots the indexes; indexing or removing a table
-        # must discard it so fanned-out answers see the new lake.
+        # keeps the pool alive (the mutation ships as a per-table delta with
+        # the next fanned-out task) while answers must see the new lake.
         engine = D3L(
             config=D3LConfig(
                 num_hashes=64, num_trees=8, min_candidates=20, embedding_dimension=16
@@ -118,20 +119,30 @@ class TestExecutorApi:
         target = corpus.lake.tables[1]
         engine.query_batch(target, k=4, workers=2)
         assert engine._query_executors
+        executor = engine._query_executors[2]
+        pool_before = executor._pool
         extra = corpus.lake.tables[2].with_name("zz_brand_new_table")
         engine.index_table(extra)
-        assert not engine._query_executors
+        # Single-table mutations no longer tear down the executor cache.
+        assert engine._query_executors
         after = engine.query_batch(extra, k=4, exclude_self=False, workers=2)
-        # The fresh pool must see the new table (its byte-identical source
-        # ties with it and wins the name tie-break, so check the top two).
+        # The delta-refreshed pool must see the new table (its byte-identical
+        # source ties with it and wins the name tie-break, so check the top
+        # two) without having been recreated.
+        assert executor._pool is pool_before
         assert "zz_brand_new_table" in after.table_names(2)
         assert_identical_answers(engine.query(extra, k=4, exclude_self=False), after)
         engine.remove_table("zz_brand_new_table")
-        assert not engine._query_executors
+        assert engine._query_executors
         assert_identical_answers(
             engine.query(target, k=4),
             engine.query_batch(target, k=4, workers=2),
         )
+        after_removal = engine.query_batch(extra, k=4, exclude_self=False, workers=2)
+        assert "zz_brand_new_table" not in after_removal.table_names(4)
+        # Bulk re-indexing still invalidates wholesale.
+        engine.index_lake(corpus.lake)
+        assert not engine._query_executors
 
     def test_cli_workers_route(self, corpus, engine):
         # query_batch(workers=None) and workers=1 run the same in-process path.

@@ -245,3 +245,67 @@ class TestLifecycle:
     def test_rejects_non_positive_workers(self, indexed_d3l):
         with pytest.raises(ValueError):
             DiscoveryServer(indexed_d3l, port=0, workers=0)
+
+
+class TestMutationVisibility:
+    """A live server must reflect lake mutations on the very next request.
+
+    Regression coverage for the mutation path: ``GET /index-status`` and
+    ``POST /query`` are served off the engine's live indexes and the
+    per-session profile caches evict per mutated table, so neither endpoint
+    may answer from pre-mutation state.  Uses a private engine — the shared
+    ``indexed_d3l`` fixture is session-scoped and must stay pristine.
+    """
+
+    @pytest.fixture()
+    def mutable_server(self, small_synthetic_benchmark, fast_config):
+        from repro.core.discovery import D3L
+        from repro.lake.datalake import DataLake
+
+        engine = D3L(config=fast_config)
+        engine.index_lake(
+            DataLake("mutable", small_synthetic_benchmark.lake.tables[:8])
+        )
+        with DiscoveryServer(engine, port=0, workers=2) as running:
+            yield running
+
+    def test_index_status_tracks_mutations(
+        self, mutable_server, small_synthetic_benchmark
+    ):
+        _, before = _request(mutable_server, "GET", "/index-status")
+        extra = small_synthetic_benchmark.lake.tables[10].with_name("served_extra")
+        mutable_server.engine.index_table(extra)
+        _, after = _request(mutable_server, "GET", "/index-status")
+        assert after["version"] == before["version"] + 1
+        assert after["lake"]["tables"] == before["lake"]["tables"] + 1
+        assert after["lake"]["attributes"] > before["lake"]["attributes"]
+        mutable_server.engine.remove_table("served_extra")
+        _, final = _request(mutable_server, "GET", "/index-status")
+        assert final["version"] == before["version"] + 2
+        assert final["lake"] == before["lake"]
+
+    def test_query_sees_added_and_removed_tables(
+        self, mutable_server, small_synthetic_benchmark
+    ):
+        extra = small_synthetic_benchmark.lake.tables[10].with_name("served_extra")
+        request = QueryRequest(target=extra, k=5, exclude_self=False)
+        wire = query_request_to_wire(request)
+
+        status, payload = _request(mutable_server, "POST", "/query", wire)
+        assert status == 200
+        assert "served_extra" not in [r["table"] for r in payload["results"]]
+
+        mutable_server.engine.index_table(extra)
+        status, payload = _request(mutable_server, "POST", "/query", wire)
+        assert status == 200
+        served_tables = [r["table"] for r in payload["results"]]
+        assert "served_extra" in served_tables
+        # The served answer must equal a fresh in-process oracle over the
+        # post-mutation engine (cache staleness would diverge here).
+        assert payload == _oracle_payload(mutable_server.engine, request)
+
+        mutable_server.engine.remove_table("served_extra")
+        status, payload = _request(mutable_server, "POST", "/query", wire)
+        assert status == 200
+        assert "served_extra" not in [r["table"] for r in payload["results"]]
+        assert payload == _oracle_payload(mutable_server.engine, request)

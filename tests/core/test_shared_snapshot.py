@@ -204,7 +204,7 @@ class TestLifecycle:
             time.sleep(0.05)
         assert not (live_worker_pids() & own_pids)
 
-    def test_version_bump_recreates_the_snapshot(self, corpus):
+    def test_version_bump_delta_refreshes_the_snapshot_pool(self, corpus):
         engine = _build_engine(corpus)
         refs = sorted(engine.indexes.profiles)[:4]
         pairs = [(refs[0], refs[1]), (refs[2], refs[3])]
@@ -219,10 +219,18 @@ class TestLifecycle:
             )
             engine.indexes.add_table(extra)
             executor.verify_overlaps(pairs)
-            second = executor.snapshot
-            assert second is not first
-            assert first.closed
-            assert second.version == engine.indexes.version
+            # A single-table mutation rides to the workers as a delta: the
+            # snapshot (and pool) survive, and the pending delta targets the
+            # current version from the snapshot's fixed base.
+            assert executor.snapshot is first
+            assert not first.closed
+            assert executor._delta is not None
+            assert executor._delta[0] == engine.indexes.version
+            assert [op[:2] for op in executor._delta[1]] == [
+                ("upsert", "version_bump_extra")
+            ]
+            assert executor._pool_version == engine.indexes.version
+            assert executor._snapshot_version == first.version
         finally:
             executor.close()
 

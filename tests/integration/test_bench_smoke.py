@@ -96,3 +96,33 @@ class TestServingRecord:
         payload["serving"]["responses_identical"] = False
         problems = bench_smoke._check_recorded_serving_floor(payload)
         assert any("identical" in problem for problem in problems)
+
+class TestIncrementalMutationRecord:
+    @pytest.fixture()
+    def payload(self):
+        return json.loads(
+            (REPO_ROOT / "BENCH_hot_paths.json").read_text(encoding="utf-8")
+        )
+
+    def test_missing_mutation_section_is_detected(self, bench_smoke, payload):
+        del payload["incremental_mutation"]
+        problems = bench_smoke.validate_hot_paths_payload(payload)
+        assert any("incremental_mutation" in problem for problem in problems)
+
+    def test_missing_speedup_key_is_detected(self, bench_smoke, payload):
+        del payload["incremental_mutation"]["speedup"]
+        problems = bench_smoke.validate_incremental_mutation_section(payload)
+        assert any("speedup" in problem for problem in problems)
+
+    def test_recorded_run_clears_the_add_floor(self, bench_smoke, payload):
+        assert bench_smoke._check_recorded_mutation_floor(payload) == []
+
+    def test_speedup_regression_is_detected(self, bench_smoke, payload):
+        payload["incremental_mutation"]["speedup"] = 1.5
+        problems = bench_smoke._check_recorded_mutation_floor(payload)
+        assert any("floor" in problem for problem in problems)
+
+    def test_unverified_state_is_detected(self, bench_smoke, payload):
+        payload["incremental_mutation"]["state_identical"] = False
+        problems = bench_smoke._check_recorded_mutation_floor(payload)
+        assert any("identical" in problem for problem in problems)

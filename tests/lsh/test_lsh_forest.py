@@ -128,3 +128,102 @@ class TestTopKBehaviour:
         query = factory.from_tokens(set(list(base)[:90]) | _tokens("q", 10))
         results = forest.query(query.hashvalues, k=5)
         assert "stored" in results
+
+
+class TestTombstoneCompaction:
+    """Edge cases of the tombstone/compaction lifecycle inside the trees.
+
+    These are the mutation-path behaviours the incremental-lake oracle
+    leans on: removals must be honoured whether the row is flushed or
+    still buffered, compaction must be able to empty a tree entirely, and
+    a mutated tree must compact to exactly the layout a from-scratch
+    build of the surviving items produces.
+    """
+
+    def test_remove_from_pending_buffer(self, forest, factory):
+        # No query between insert and remove: the row only exists in the
+        # pending buffer and must be dropped from there.
+        forest.insert("buffered", factory.from_tokens(_tokens("b", 10)).hashvalues)
+        for tree in forest._trees:
+            assert tree._pending
+        forest.remove("buffered")
+        assert len(forest) == 0
+        assert "buffered" not in forest
+        for tree in forest._trees:
+            assert not tree._pending
+            assert len(tree) == 0
+        query = factory.from_tokens(_tokens("b", 10))
+        assert forest.query(query.hashvalues, k=5) == []
+
+    def test_remove_then_query_skips_tombstones(self, forest, factory):
+        base = _tokens("shared", 30)
+        for i in range(4):
+            forest.insert(f"item{i}", factory.from_tokens(base | {f"d{i}"}).hashvalues)
+        query = factory.from_tokens(base)
+        assert set(forest.query_all(query.hashvalues)) == {f"item{i}" for i in range(4)}
+        forest.remove("item2")
+        # Tombstoned, not yet compacted: queries must not surface the row.
+        assert any(tree._dead for tree in forest._trees)
+        assert set(forest.query_all(query.hashvalues)) == {"item0", "item1", "item3"}
+        assert set(forest.multi_query([query.hashvalues], k=10)[0]) == {
+            "item0",
+            "item1",
+            "item3",
+        }
+
+    def test_compact_to_empty(self, forest, factory):
+        for i in range(5):
+            forest.insert(f"item{i}", factory.from_tokens(_tokens(f"t{i}", 10)).hashvalues)
+        forest.query(factory.from_tokens(_tokens("t0", 10)).hashvalues, k=1)  # flush
+        for i in range(5):
+            forest.remove(f"item{i}")
+        assert len(forest) == 0
+        for tree in forest._trees:
+            tree.compact()
+            assert len(tree._items) == 0
+            assert tree._dead == 0
+            assert tree._keys.shape == (0, tree.key_length)
+        assert forest.query(factory.from_tokens(_tokens("t0", 10)).hashvalues, k=5) == []
+
+    def test_compaction_triggers_when_tombstones_dominate(self, forest, factory):
+        from repro.lsh.lsh_forest import _MIN_TOMBSTONES_BEFORE_COMPACTION
+
+        count = 2 * _MIN_TOMBSTONES_BEFORE_COMPACTION + 4
+        for i in range(count):
+            forest.insert(f"item{i}", factory.from_tokens(_tokens(f"t{i}", 10)).hashvalues)
+        forest.query(factory.from_tokens(_tokens("t0", 10)).hashvalues, k=1)  # flush
+        for i in range(_MIN_TOMBSTONES_BEFORE_COMPACTION + 3):
+            forest.remove(f"item{i}")
+        # More than _MIN_TOMBSTONES_BEFORE_COMPACTION dead rows and dead
+        # outnumbering live: every tree must have compacted itself.
+        for tree in forest._trees:
+            assert tree._dead == 0
+            assert len(tree._items) == count - _MIN_TOMBSTONES_BEFORE_COMPACTION - 3
+
+    def test_mutated_forest_compacts_to_fresh_build_layout(self, factory):
+        # Canonical rebuild order: after an arbitrary remove/re-add history
+        # the compacted layout must be a pure function of the surviving
+        # (key, item) set — bit-identical to a from-scratch build.
+        mutated = LSHForest(num_hashes=128, num_trees=8)
+        signatures = {
+            f"item{i}": factory.from_tokens(_tokens(f"t{i % 4}", 12)).hashvalues
+            for i in range(12)
+        }
+        for key, signature in signatures.items():
+            mutated.insert(key, signature)
+        mutated.query(signatures["item0"], k=1)  # flush
+        for key in ("item1", "item5", "item9"):
+            mutated.remove(key)
+        mutated.insert("item5", signatures["item5"])  # re-add one survivor
+
+        survivors = {k: v for k, v in signatures.items() if k not in ("item1", "item9")}
+        fresh = LSHForest(num_hashes=128, num_trees=8)
+        # Insert in a different order: the layout must not depend on history.
+        for key in sorted(survivors, reverse=True):
+            fresh.insert(key, survivors[key])
+
+        state = mutated.export_state()
+        fresh_state = fresh.export_state()
+        for tree, fresh_tree in zip(state["trees"], fresh_state["trees"]):
+            assert np.array_equal(tree["keys"], fresh_tree["keys"])
+            assert tree["items"] == fresh_tree["items"]
