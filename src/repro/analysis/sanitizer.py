@@ -1,0 +1,221 @@
+"""Opt-in runtime sanitizer (``REPRO_SANITIZE=1``) for the zero-copy stack.
+
+Three dynamic checks complement the static rules of ``repro check`` —
+cheap enough to leave on in stress tests, off by default in production:
+
+* **write barrier** — every array a worker attaches through
+  :meth:`~repro.core.shared.SharedIndexSnapshot.attach` must be read-only;
+  a writable view means the ``flags.writeable = False`` freeze was lost
+  and a worker could scribble on the host's segment.  With the barrier
+  armed, :func:`assert_read_only_views` turns that silent hazard into a
+  :class:`SanitizerError` at attach time (and NumPy itself raises on any
+  later write to a frozen view).
+* **segment ledger** — the first shared segment created under the
+  sanitizer arms an ``atexit`` audit: any segment still registered live at
+  interpreter exit is reported on stderr, reaped, and the process is
+  hard-exited with status 1 (CPython swallows exceptions raised from
+  atexit callbacks, so a plain raise would exit 0).  The
+  ``weakref.finalize`` gc backstop runs *after* this audit (atexit hooks
+  are LIFO) — deliberately: relying on the backstop instead of ``close()``
+  is exactly the leak the ledger exists to flag.
+* **lock-order tracker** — a per-thread stack of named lock/resource
+  scopes.  Re-entering a held scope (e.g. checking a second session out of
+  the server's bounded pool while holding one — a deadlock on a full
+  pool) raises immediately; acquiring two scopes in opposite orders on
+  different paths raises on the second path.  The server's session-pool
+  checkout and state-lock paths are instrumented.
+
+Everything is a no-op unless the ``REPRO_SANITIZE`` environment variable
+is set to a truthy value (anything but ``""``/``"0"``/``"false"``/``"no"``),
+so the hot paths carry a single cached boolean check.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import threading
+from contextlib import contextmanager, nullcontext
+from typing import ContextManager, Dict, Iterator, List, Tuple
+
+#: The opt-in switch. Read once per call site through :func:`sanitize_enabled`.
+ENV_VAR = "REPRO_SANITIZE"
+
+_FALSEY = ("", "0", "false", "no")
+
+
+class SanitizerError(AssertionError):
+    """An invariant the runtime sanitizer guards was violated."""
+
+
+def sanitize_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` requests the runtime sanitizer."""
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSEY
+
+
+# --------------------------------------------------------------------------- #
+# write barrier
+# --------------------------------------------------------------------------- #
+
+
+def assert_read_only_views(context: str, arrays: Dict[str, object]) -> None:
+    """Raise when any attached array view is writable (sanitizer only).
+
+    ``arrays`` maps names to NumPy arrays; non-array values are ignored so
+    callers can pass heterogeneous manifests.
+    """
+    if not sanitize_enabled():
+        return
+    for name, array in arrays.items():
+        flags = getattr(array, "flags", None)
+        if flags is not None and getattr(flags, "writeable", False):
+            raise SanitizerError(
+                f"sanitizer[write-barrier]: attached array {context}:{name} is "
+                "writable — zero-copy views over a shared segment must be "
+                "frozen with flags.writeable = False"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# segment ledger
+# --------------------------------------------------------------------------- #
+
+_ledger_lock = threading.Lock()
+_ledger_armed = False
+
+
+def arm_segment_ledger() -> None:
+    """Install the exit-time leak audit (idempotent; sanitizer only).
+
+    Called by the shared-snapshot layer whenever it creates a segment, so
+    merely running under ``REPRO_SANITIZE=1`` arms the audit the moment the
+    first segment exists.
+    """
+    global _ledger_armed
+    if not sanitize_enabled():
+        return
+    with _ledger_lock:
+        if not _ledger_armed:
+            _ledger_armed = True
+            atexit.register(_audit_segments_at_exit)
+
+
+def _audit_segments_at_exit() -> None:
+    if not sanitize_enabled():
+        # Armed under a monkeypatched env (tests): the sanitizer was turned
+        # back off before interpreter exit, so the audit stands down.
+        return
+    leaked = _live_segments()
+    if not leaked:
+        return
+    preview = ", ".join(leaked[:5])
+    print(
+        f"sanitizer[segment-ledger]: {len(leaked)} shared segment(s) still "
+        f"live at exit (close() every snapshot): {preview}",
+        file=sys.stderr,
+    )
+    # CPython swallows exceptions raised from atexit callbacks ("Exception
+    # ignored in atexit callback"), so failing loudly means hard-exiting.
+    # os._exit skips the remaining atexit callbacks — including the
+    # weakref.finalize gc backstops that would have unlinked the segments —
+    # so reap the leaked backings here first; nothing may outlive the audit.
+    _reap_segments(leaked)
+    sys.stderr.flush()
+    sys.stdout.flush()
+    os._exit(1)
+
+
+def _live_segments() -> List[str]:
+    try:
+        from repro.core.shared import live_segment_locators
+    except ImportError:  # pragma: no cover - shared layer gone mid-shutdown
+        return []
+    return live_segment_locators()
+
+
+def _reap_segments(locators: List[str]) -> None:
+    try:
+        from repro.core.shared import _LIVE_SEGMENTS
+    except ImportError:  # pragma: no cover - shared layer gone mid-shutdown
+        return
+    for locator in locators:
+        kind = _LIVE_SEGMENTS.get(locator)
+        path = f"/dev/shm/{locator}" if kind == "shm" else locator
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - already gone / exotic backing
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# lock-order / held-lock tracker
+# --------------------------------------------------------------------------- #
+
+
+class LockTracker:
+    """Named-scope tracker detecting re-entrant and inverted acquisitions.
+
+    Scopes are identified by name (``"discovery-server.session-pool"``).
+    The tracker records every (outer, inner) nesting it observes; seeing
+    the reversed pair later is a lock-order inversion — the classic
+    two-path deadlock — and raises even if the schedule that would
+    actually deadlock never happens in this run.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._order: Dict[Tuple[str, str], str] = {}
+        self._order_lock = threading.Lock()
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def held(self) -> Tuple[str, ...]:
+        """The scopes held by the calling thread, outermost first."""
+        return tuple(self._stack())
+
+    @contextmanager
+    def holding(self, name: str) -> Iterator[None]:
+        """Track one named acquisition for the duration of the block."""
+        stack = self._stack()
+        if name in stack:
+            raise SanitizerError(
+                f"sanitizer[lock-order]: re-entrant acquisition of {name!r} "
+                f"(already held: {stack}) — on a bounded pool this deadlocks "
+                "when the pool is exhausted"
+            )
+        with self._order_lock:
+            for outer in stack:
+                if (name, outer) in self._order:
+                    raise SanitizerError(
+                        f"sanitizer[lock-order]: {outer!r} -> {name!r} inverts "
+                        f"the order seen at {self._order[(name, outer)]}"
+                    )
+                self._order.setdefault((outer, name), name)
+        stack.append(name)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def reset(self) -> None:
+        """Forget recorded orders (test isolation)."""
+        with self._order_lock:
+            self._order.clear()
+        self._local = threading.local()
+
+
+#: Process-wide tracker instrumenting the serving tier.
+TRACKER = LockTracker()
+
+
+def tracked_scope(name: str) -> ContextManager[None]:
+    """``TRACKER.holding(name)`` under the sanitizer, a no-op otherwise."""
+    if sanitize_enabled():
+        return TRACKER.holding(name)
+    return nullcontext()

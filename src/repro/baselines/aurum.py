@@ -23,7 +23,7 @@ evaluates Aurum's join-path coverage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 import networkx as nx
 

@@ -15,7 +15,7 @@ every value — matches what makes TUS slow in the paper.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Sequence, Set
 
 from repro.text.tokenizer import tokenize
 

@@ -25,7 +25,7 @@ that efficiency comparisons reflect algorithmic differences.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 

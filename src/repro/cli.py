@@ -9,7 +9,9 @@ Five subcommands cover the library's deployment workflow:
 * ``query``    — load a persisted engine and answer a discovery query for a
   target CSV, optionally following join paths;
 * ``serve``    — load a persisted engine and answer ``POST /query`` HTTP
-  traffic over the ``d3l.query_response/v1`` wire format until interrupted.
+  traffic over the ``d3l.query_response/v1`` wire format until interrupted;
+* ``check``    — run the AST-based invariant checker (and optionally the
+  lint pass) over the source tree; ``--strict`` is the tier-1 CI mode.
 
 Example session::
 
@@ -107,6 +109,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
+    check = subparsers.add_parser(
+        "check", help="run the static invariant checker over the source tree"
+    )
+    check.add_argument("paths", nargs="*", default=["src"],
+                       help="files or directories to check (default: src)")
+    check.add_argument("--strict", action="store_true",
+                       help="exit 1 when any violation is found (tier-1 mode)")
+    check.add_argument("--select", default=None,
+                       help="comma-separated rule codes to run, e.g. R1,R3")
+    check.add_argument("--lint", action="store_true",
+                       help="also run the pyflakes-or-fallback lint pass")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print the rule table and exit")
+
     return parser
 
 
@@ -198,38 +214,44 @@ def _command_query(args: argparse.Namespace) -> int:
     engine = _load_engine_or_fail(args.engine)
     if engine is None:
         return 1
+    # try/finally from the moment the engine exists: the error returns below
+    # (bad target CSV, bad request arguments) must not strand its worker
+    # pools or /dev/shm segments.  close() is idempotent, so the session's
+    # own engine teardown composes with it.
     try:
-        target = read_csv(args.target)
-    except (FileNotFoundError, ValueError, OSError) as error:
-        print(error, file=sys.stderr)
-        return 1
-    evidence = (
-        [code.strip() for code in args.evidence.split(",") if code.strip()]
-        if args.evidence
-        else None
-    )
-    # The session dispatches to the batched engine, whose rankings are
-    # identical to the sequential path (its oracle) while scoring candidate
-    # pools in per-evidence sweeps.  Context-managed so `--workers > 1`
-    # worker pools and /dev/shm segments are reclaimed on every exit path.
-    with DiscoverySession(engine) as session:
         try:
-            request = QueryRequest(
-                target=target,
-                k=args.k,
-                evidence=evidence,
-                # The rendered table always lists covered attributes (which
-                # live in the explain payload); the JSON wire output honours
-                # --explain.
-                explain=args.explain if args.json else True,
-                exclude_self=not args.include_self,
-                joins=args.joins,
-                workers=args.workers,
-            )
-        except (ValueError, KeyError) as error:
+            target = read_csv(args.target)
+        except (FileNotFoundError, ValueError, OSError) as error:
             print(error, file=sys.stderr)
             return 1
-        response = session.submit(request)
+        evidence = (
+            [code.strip() for code in args.evidence.split(",") if code.strip()]
+            if args.evidence
+            else None
+        )
+        # The session dispatches to the batched engine, whose rankings are
+        # identical to the sequential path (its oracle) while scoring
+        # candidate pools in per-evidence sweeps.
+        with DiscoverySession(engine) as session:
+            try:
+                request = QueryRequest(
+                    target=target,
+                    k=args.k,
+                    evidence=evidence,
+                    # The rendered table always lists covered attributes
+                    # (which live in the explain payload); the JSON wire
+                    # output honours --explain.
+                    explain=args.explain if args.json else True,
+                    exclude_self=not args.include_self,
+                    joins=args.joins,
+                    workers=args.workers,
+                )
+            except (ValueError, KeyError) as error:
+                print(error, file=sys.stderr)
+                return 1
+            response = session.submit(request)
+    finally:
+        engine.close()
     if args.json:
         # Emit the requested answer, not the whole candidate ranking the
         # response keeps for k sweeps (pool-sized on large lakes).  The
@@ -278,27 +300,44 @@ def _command_serve(args: argparse.Namespace) -> int:
     engine = _load_engine_or_fail(args.engine)
     if engine is None:
         return 1
-    server = DiscoveryServer(
-        engine,
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        profile_cache_size=args.cache_size,
-        verbose=args.verbose,
-    )
-    tables = len(engine.indexes.table_profiles)
-    attributes = len(engine.indexes.profiles)
-    print(
-        f"Serving {tables} tables ({attributes} attributes) "
-        f"on http://{server.host}:{server.port} with {args.workers} workers "
-        "(Ctrl-C to stop)",
-        flush=True,
-    )
-    # Blocks until SIGINT/SIGTERM, then closes sessions, reaps worker
-    # pools, and unlinks shared-memory segments before returning.
-    server.run_until_interrupt()
+    # try/finally from the moment the engine exists: a DiscoveryServer
+    # constructor failure (e.g. the port is already bound) must not strand
+    # the loaded engine's pools or segments.  Both close() calls are
+    # idempotent, so the normal teardown inside run_until_interrupt
+    # composes with them.
+    try:
+        server = DiscoveryServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            profile_cache_size=args.cache_size,
+            verbose=args.verbose,
+        )
+        try:
+            tables = len(engine.indexes.table_profiles)
+            attributes = len(engine.indexes.profiles)
+            print(
+                f"Serving {tables} tables ({attributes} attributes) "
+                f"on http://{server.host}:{server.port} with {args.workers} "
+                "workers (Ctrl-C to stop)",
+                flush=True,
+            )
+            # Blocks until SIGINT/SIGTERM, then closes sessions, reaps
+            # worker pools, and unlinks shared-memory segments.
+            server.run_until_interrupt()
+        finally:
+            server.close()
+    finally:
+        engine.close()
     print("Shut down cleanly.")
     return 0
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    from repro.analysis.checker import run_cli
+
+    return run_cli(args)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -311,6 +350,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "index": _command_index,
         "query": _command_query,
         "serve": _command_serve,
+        "check": _command_check,
     }
     return handlers[args.command](args)
 

@@ -8,8 +8,7 @@ with a configurable dimension).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 
 def require_positive(name: str, value: float) -> None:

@@ -19,8 +19,8 @@ Querying proceeds exactly as the paper describes:
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 

@@ -15,7 +15,7 @@ kept in the attribute profiles for the KS-based D evidence (Algorithm 2).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -182,6 +182,38 @@ class SignatureMatrix:
             self._row_of[moved] = row
         self._refs.pop()
         self._ref_ranks = None
+
+    def discard_batch(self, refs: Sequence[AttributeRef]) -> int:
+        """Remove many rows in one stable compaction; returns rows dropped.
+
+        Equivalent to calling :meth:`discard` once per ref except for the
+        physical row order of the survivors: the sequential path swap-packs
+        (order depends on removal order), this path compacts stably (order
+        is the surviving subsequence).  No consumer observes the
+        difference — lookups go through the ref→row registry and tie order
+        through :meth:`ref_ranks`, both row-order independent — and the
+        batched path costs one fancy-index copy instead of up to
+        ``len(refs)`` per-row swap chains.
+        """
+        dropped = [
+            row for row in (self._row_of.pop(ref, None) for ref in refs)
+            if row is not None
+        ]
+        if not dropped:
+            return 0
+        self._ensure_writable()
+        count = len(self._refs)
+        keep = np.ones(count, dtype=bool)
+        keep[dropped] = False
+        keep_rows = np.flatnonzero(keep)
+        # Fancy indexing copies, so writing the compacted block back into
+        # the prefix of the live arrays cannot alias itself.
+        self._matrix[: keep_rows.size] = self._matrix[:count][keep_rows]
+        self._flags[: keep_rows.size] = self._flags[:count][keep_rows]
+        self._refs = [self._refs[row] for row in keep_rows]
+        self._row_of = {ref: row for row, ref in enumerate(self._refs)}
+        self._ref_ranks = None
+        return len(dropped)
 
     def gather(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Signature rows and degeneracy flags for ``rows``."""
@@ -527,6 +559,41 @@ class D3LIndexes:
         self.version += 1
         self._log_mutation(table_name)
         return True
+
+    def remove_tables(self, table_names: Sequence[str]) -> int:
+        """Remove many tables in one batched pass; returns how many were indexed.
+
+        Equivalent to calling :meth:`remove_table` per name (same registry
+        state, same per-table version bumps and journal entries, same query
+        answers) but collects every doomed ref first and then discards per
+        evidence type with one forest tombstone pass
+        (:meth:`~repro.lsh.lsh_forest.LSHForest.remove_batch`) and one
+        stable matrix compaction (:meth:`SignatureMatrix.discard_batch`)
+        instead of per-table swap chains — the batched half of the worker
+        delta replay path.
+        """
+        refs_by_evidence: Dict[EvidenceType, List[AttributeRef]] = {
+            evidence: [] for evidence in EvidenceType.indexed()
+        }
+        removed: List[str] = []
+        for table_name in table_names:
+            table_profile = self.table_profiles.pop(table_name, None)
+            if table_profile is None:
+                continue
+            removed.append(table_name)
+            for profile in table_profile.attributes.values():
+                self.profiles.pop(profile.ref, None)
+                for evidence in EvidenceType.indexed():
+                    if self._signatures[evidence].pop(profile.ref, None) is not None:
+                        refs_by_evidence[evidence].append(profile.ref)
+        for evidence, refs in refs_by_evidence.items():
+            if refs:
+                self._forests[evidence].remove_batch(refs)
+                self._matrices[evidence].discard_batch(refs)
+        for table_name in removed:
+            self.version += 1
+            self._log_mutation(table_name)
+        return len(removed)
 
     def _discard_table_entries(self, table_profile: TableProfile) -> None:
         """Drop every per-attribute entry of ``table_profile`` from the indexes.

@@ -24,7 +24,6 @@ from repro.core.config import D3LConfig
 from repro.core.evidence import EvidenceType
 from repro.lake.datalake import AttributeRef
 from repro.tables.column import Column
-from repro.tables.table import Table
 from repro.text.embeddings import WordEmbeddingModel, aggregate_vectors
 from repro.text.qgrams import name_qgrams
 from repro.text.regex_format import format_set

@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
+from repro.analysis.sanitizer import tracked_scope
 from repro.core.api import (
     DiscoverySession,
     QueryRequest,
@@ -238,16 +239,21 @@ class DiscoveryServer:
         Returns the wire payload — ``QueryResponse.truncated().to_dict()`` —
         so HTTP handlers and in-process callers serve byte-identical answers.
         """
-        session = self._idle.get()
-        try:
-            response = session.submit(request)
-        finally:
-            self._idle.put(session)
+        # Under REPRO_SANITIZE=1 the tracker flags a handler that tries to
+        # check out a second session while holding one (a deadlock once the
+        # bounded pool is exhausted) and any inverted nesting against the
+        # server state lock; otherwise this is a no-op context.
+        with tracked_scope("discovery-server.session-pool"):
+            session = self._idle.get()
+            try:
+                response = session.submit(request)
+            finally:
+                self._idle.put(session)
         return response.truncated().to_dict()
 
     def start(self) -> "DiscoveryServer":
         """Serve in a background thread (idempotent); returns ``self``."""
-        with self._lock:
+        with tracked_scope("discovery-server.state-lock"), self._lock:
             if self._closed:
                 raise RuntimeError("server is closed")
             if self._thread is None:
@@ -302,7 +308,7 @@ class DiscoveryServer:
         — which reaps the engine's fan-out pools and unlinks its
         shared-memory segments.
         """
-        with self._lock:
+        with tracked_scope("discovery-server.state-lock"), self._lock:
             if self._closed:
                 return
             self._closed = True

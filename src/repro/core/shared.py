@@ -49,6 +49,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis import sanitizer
+
 if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
     from repro.core.indexes import D3LIndexes
 
@@ -326,6 +328,9 @@ class SharedIndexSnapshot:
                 )
                 with _LIVE_LOCK:
                     _LIVE_SEGMENTS[segment.name] = "shm"
+                # Under REPRO_SANITIZE=1, segments still live at interpreter
+                # exit fail the process (the gc backstop doesn't count).
+                sanitizer.arm_segment_ledger()
                 return segment.name, segment, segment.buf
             except (ImportError, OSError, ValueError):
                 if backing == "shm":
@@ -340,6 +345,7 @@ class SharedIndexSnapshot:
             mapped = mmap.mmap(file_handle.fileno(), total)
             with _LIVE_LOCK:
                 _LIVE_SEGMENTS[str(path)] = "file"
+            sanitizer.arm_segment_ledger()
             return str(path), (mapped, file_handle), memoryview(mapped)
         except OSError as error:
             raise SharedSnapshotError(
@@ -427,6 +433,10 @@ class SharedIndexSnapshot:
             if view.flags.writeable:
                 view.flags.writeable = False
             arrays[name] = view
+        # Write barrier: under REPRO_SANITIZE=1 a writable view here (a
+        # regression of the freeze above) fails the attach outright instead
+        # of letting a worker scribble on the host's segment.
+        sanitizer.assert_read_only_views(f"{kind}:{locator}", arrays)
 
         from repro.core.persistence import restore_indexes_from_sections
 
@@ -503,10 +513,15 @@ def apply_index_delta(indexes: "D3LIndexes", delta: IndexDelta) -> None:
     target_version, ops = delta
     if indexes.version >= target_version:
         return
+    # Ops touch distinct tables (one net op per table), so all removals can
+    # run first as one batch — one forest tombstone pass and one matrix
+    # compaction per evidence type instead of per-table replay (the PR-8
+    # known ceiling on the worker delta path).
+    removals = [name for kind, name, _, _ in ops if kind == "remove"]
+    if removals:
+        indexes.remove_tables(removals)
     for kind, name, profile, signatures in ops:
-        if kind == "remove":
-            indexes.remove_table(name)
-        else:
+        if kind != "remove":
             indexes.add_profiled_table(profile, signatures)
     # Pin the worker's counter to the host's: the number of *net* ops can be
     # smaller than the host's bump count, and a stale journal under a jumped

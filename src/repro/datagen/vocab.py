@@ -15,8 +15,8 @@ measures (payments, counts, ratings, percentages).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 

@@ -7,7 +7,7 @@ attributes aligned with at least one attribute of the table(s).
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Set
+from typing import Mapping, Set
 
 from repro.tables.table import Table
 

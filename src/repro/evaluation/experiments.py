@@ -10,7 +10,7 @@ randomly selected targets, mirroring the paper's protocol of averaging over
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np

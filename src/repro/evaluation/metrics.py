@@ -14,7 +14,7 @@ Definitions follow section V-A of the paper:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.datagen.ground_truth import GroundTruth
 from repro.lake.datalake import AttributeRef

@@ -6,7 +6,7 @@ figures report; these helpers keep that printing consistent and readable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 
 def render_rows(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:

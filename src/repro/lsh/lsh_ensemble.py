@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
-from repro.lsh.lsh_index import LSHIndex, optimal_bands
+from repro.lsh.lsh_index import LSHIndex
 from repro.lsh.minhash import MinHash
 
 

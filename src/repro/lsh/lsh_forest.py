@@ -37,7 +37,7 @@ row at most once instead of once per level.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -121,6 +121,30 @@ class _PrefixTree:
             if pending_item == item:
                 del self._pending[index]
                 return
+
+    def remove_batch(self, items: Sequence[Hashable]) -> None:
+        """Tombstone many items with one compaction check at the end.
+
+        Same final state as calling :meth:`remove` per item — the rebuild
+        is a pure function of the surviving ``(key, item)`` set — but a
+        burst of removals can no longer trigger a cascade of mid-burst
+        compaction rebuilds.
+        """
+        for item in items:
+            row = self._row_of.pop(item, None)
+            if row is not None:
+                self._alive[row] = False
+                self._dead += 1
+                continue
+            for index, (_, pending_item) in enumerate(self._pending):
+                if pending_item == item:
+                    del self._pending[index]
+                    break
+        if (
+            self._dead > _MIN_TOMBSTONES_BEFORE_COMPACTION
+            and self._dead * 2 > len(self._items)
+        ):
+            self._rebuild()
 
     def _rank_keys(self, keys: np.ndarray) -> np.ndarray:
         """Big-endian byte views of key rows; compare lexicographically."""
@@ -327,6 +351,21 @@ class LSHForest:
         del self._signatures[key]
         for tree in self._trees:
             tree.remove(key)
+
+    def remove_batch(self, keys: Sequence[Hashable]) -> None:
+        """Remove many keys with one tombstone pass per tree (absent: no-op).
+
+        State-equivalent to per-key :meth:`remove` calls; each tree checks
+        its compaction threshold once after the whole batch instead of
+        after every removal.
+        """
+        present = [key for key in keys if key in self._signatures]
+        if not present:
+            return
+        for key in present:
+            del self._signatures[key]
+        for tree in self._trees:
+            tree.remove_batch(present)
 
     def signature(self, key: Hashable) -> np.ndarray:
         """Stored signature for ``key``."""

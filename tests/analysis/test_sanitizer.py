@@ -1,0 +1,251 @@
+"""Runtime sanitizer (``REPRO_SANITIZE=1``): barrier, ledger, lock tracker.
+
+The write barrier and lock tracker are unit-tested in-process (the env
+switch is monkeypatched); the segment ledger must flip the *process* exit
+status, so it is exercised through real subprocesses.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import sanitizer
+from repro.analysis.sanitizer import (
+    LockTracker,
+    SanitizerError,
+    assert_read_only_views,
+    sanitize_enabled,
+    tracked_scope,
+)
+from repro.core.config import D3LConfig
+from repro.core.discovery import D3L
+from repro.core.evidence import EvidenceType
+from repro.core.shared import SharedIndexSnapshot
+from repro.datagen.synthetic_benchmark import (
+    SyntheticBenchmarkConfig,
+    generate_synthetic_benchmark,
+)
+from repro.lake.datalake import DataLake
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def sanitize_on(monkeypatch):
+    monkeypatch.setenv(sanitizer.ENV_VAR, "1")
+
+
+class TestSwitch:
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "FALSE", " 0 "])
+    def test_falsey_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv(sanitizer.ENV_VAR, value)
+        assert sanitize_enabled() is False
+
+    def test_unset_disables(self, monkeypatch):
+        monkeypatch.delenv(sanitizer.ENV_VAR, raising=False)
+        assert sanitize_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes"])
+    def test_truthy_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv(sanitizer.ENV_VAR, value)
+        assert sanitize_enabled() is True
+
+
+class TestWriteBarrier:
+    def test_writable_array_raises(self, sanitize_on):
+        with pytest.raises(SanitizerError, match="write-barrier"):
+            assert_read_only_views("shm:test", {"matrix": np.zeros(4)})
+
+    def test_frozen_array_passes(self, sanitize_on):
+        array = np.zeros(4)
+        array.flags.writeable = False
+        assert_read_only_views("shm:test", {"matrix": array})
+
+    def test_non_arrays_are_ignored(self, sanitize_on):
+        assert_read_only_views("shm:test", {"meta": {"refs": [1, 2]}})
+
+    def test_disabled_is_a_no_op(self, monkeypatch):
+        monkeypatch.delenv(sanitizer.ENV_VAR, raising=False)
+        assert_read_only_views("shm:test", {"matrix": np.zeros(4)})
+
+
+class TestAttachedViews:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        corpus = generate_synthetic_benchmark(
+            SyntheticBenchmarkConfig(
+                num_base_tables=2,
+                tables_per_base=2,
+                base_rows=30,
+                min_rows=12,
+                max_rows=20,
+                seed=77,
+            )
+        )
+        engine = D3L(
+            config=D3LConfig(
+                num_hashes=32, num_trees=4, min_candidates=8, embedding_dimension=8
+            )
+        )
+        engine.index_lake(DataLake("sanitized", list(corpus.lake.tables)))
+        yield engine
+        engine.close()
+
+    def test_mutating_an_attached_view_raises(self, sanitize_on, engine):
+        snapshot = SharedIndexSnapshot.create(engine.indexes)
+        try:
+            attached = SharedIndexSnapshot.attach(snapshot.descriptor)
+            evidence = EvidenceType.indexed()[0]
+            matrix = attached._matrices[evidence]._matrix
+            assert matrix.flags.writeable is False
+            with pytest.raises((ValueError, SanitizerError)):
+                matrix[0, 0] = 1
+        finally:
+            snapshot.close()
+
+    def test_barrier_rejects_a_writable_manifest(self, sanitize_on):
+        # Simulates the regression the attach-path barrier exists for: a
+        # view that escaped the freeze loop.
+        with pytest.raises(SanitizerError, match="write-barrier"):
+            assert_read_only_views("shm:regression", {"lsh/matrix": np.ones((2, 2))})
+
+
+def _run_ledger_script(tmp_path, body, enabled=True):
+    script = tmp_path / "scenario.py"
+    script.write_text(body)
+    env = {
+        "PYTHONPATH": str(REPO_ROOT / "src"),
+        "PATH": "/usr/bin:/bin",
+        sanitizer.ENV_VAR: "1" if enabled else "0",
+    }
+    return subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+
+
+class TestSegmentLedger:
+    def test_leaked_segment_fails_the_process(self, tmp_path):
+        result = _run_ledger_script(
+            tmp_path,
+            "from repro.core import shared\n"
+            "shared._LIVE_SEGMENTS['ghost-segment'] = 'shm'\n"
+            "from repro.analysis import sanitizer\n"
+            "sanitizer.arm_segment_ledger()\n",
+        )
+        assert result.returncode == 1
+        assert "segment-ledger" in result.stderr
+        assert "ghost-segment" in result.stderr
+
+    def test_leaked_file_backing_is_reaped(self, tmp_path):
+        backing = tmp_path / "leaked.bin"
+        backing.write_bytes(b"x" * 16)
+        result = _run_ledger_script(
+            tmp_path,
+            "from repro.core import shared\n"
+            f"shared._LIVE_SEGMENTS[{str(backing)!r}] = 'file'\n"
+            "from repro.analysis import sanitizer\n"
+            "sanitizer.arm_segment_ledger()\n",
+        )
+        assert result.returncode == 1
+        assert not backing.exists()
+
+    def test_closed_segments_exit_clean(self, tmp_path):
+        result = _run_ledger_script(
+            tmp_path,
+            "from repro.core import shared\n"
+            "shared._LIVE_SEGMENTS['transient'] = 'shm'\n"
+            "from repro.analysis import sanitizer\n"
+            "sanitizer.arm_segment_ledger()\n"
+            "del shared._LIVE_SEGMENTS['transient']\n",
+        )
+        assert result.returncode == 0
+        assert "segment-ledger" not in result.stderr
+
+    def test_ledger_never_arms_when_disabled(self, tmp_path):
+        result = _run_ledger_script(
+            tmp_path,
+            "from repro.core import shared\n"
+            "shared._LIVE_SEGMENTS['ghost-segment'] = 'shm'\n"
+            "from repro.analysis import sanitizer\n"
+            "sanitizer.arm_segment_ledger()\n",
+            enabled=False,
+        )
+        assert result.returncode == 0
+        assert result.stderr == ""
+
+
+class TestLockTracker:
+    def test_nested_distinct_scopes_are_fine(self):
+        tracker = LockTracker()
+        with tracker.holding("outer"):
+            with tracker.holding("inner"):
+                assert tracker.held() == ("outer", "inner")
+        assert tracker.held() == ()
+
+    def test_reentrant_acquisition_raises(self):
+        tracker = LockTracker()
+        with tracker.holding("pool"):
+            with pytest.raises(SanitizerError, match="re-entrant"):
+                with tracker.holding("pool"):
+                    pass
+
+    def test_lock_order_inversion_raises(self):
+        tracker = LockTracker()
+        with tracker.holding("a"):
+            with tracker.holding("b"):
+                pass
+        with tracker.holding("b"):
+            with pytest.raises(SanitizerError, match="inverts"):
+                with tracker.holding("a"):
+                    pass
+
+    def test_consistent_order_never_raises(self):
+        tracker = LockTracker()
+        for _ in range(3):
+            with tracker.holding("a"):
+                with tracker.holding("b"):
+                    pass
+
+    def test_exception_inside_scope_still_releases(self):
+        tracker = LockTracker()
+        with pytest.raises(RuntimeError):
+            with tracker.holding("pool"):
+                raise RuntimeError("boom")
+        assert tracker.held() == ()
+        with tracker.holding("pool"):
+            pass
+
+    def test_reset_forgets_recorded_orders(self):
+        tracker = LockTracker()
+        with tracker.holding("a"):
+            with tracker.holding("b"):
+                pass
+        tracker.reset()
+        with tracker.holding("b"):
+            with tracker.holding("a"):
+                pass
+
+
+class TestTrackedScope:
+    def test_disabled_scope_is_untracked(self, monkeypatch):
+        monkeypatch.delenv(sanitizer.ENV_VAR, raising=False)
+        with tracked_scope("pool"):
+            with tracked_scope("pool"):
+                pass  # no tracking, no re-entrancy error
+
+    def test_enabled_scope_uses_the_global_tracker(self, sanitize_on):
+        try:
+            with tracked_scope("scope-test.pool"):
+                assert "scope-test.pool" in sanitizer.TRACKER.held()
+                with pytest.raises(SanitizerError, match="re-entrant"):
+                    with tracked_scope("scope-test.pool"):
+                        pass
+        finally:
+            sanitizer.TRACKER.reset()

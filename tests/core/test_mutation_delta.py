@@ -222,6 +222,136 @@ class TestIndexDelta:
                 )
 
 
+class TestBatchedRemoval:
+    """The batched removal path must be observationally equal to per-op removal.
+
+    ``remove_tables`` compacts matrices stably while sequential ``remove_table``
+    swap-packs, so physical row order may differ — every assertion here goes
+    through row-order-independent views (per-ref content maps, compacted
+    forest exports, rankings) plus the order-sensitive journal and version.
+    """
+
+    def test_remove_tables_matches_sequential_removals(self, corpus):
+        engine = _build_engine(corpus.lake.tables[:6])
+        try:
+            base = engine.indexes.version
+            victims = sorted(engine.indexes.table_names)[1:4]
+            sequential = pickle.loads(pickle.dumps(engine.indexes))
+            for name in victims:
+                assert sequential.remove_table(name) is True
+            batched = pickle.loads(pickle.dumps(engine.indexes))
+            assert batched.remove_tables(victims) == len(victims)
+            assert batched.version == sequential.version
+            assert set(batched.table_names) == set(sequential.table_names)
+            assert set(batched.profiles) == set(sequential.profiles)
+            assert _forest_states(batched) == _forest_states(sequential)
+            assert _matrix_maps(batched) == _matrix_maps(sequential)
+            assert batched.mutated_tables_since(base) == sequential.mutated_tables_since(base)
+            assert batched._mutation_log == sequential._mutation_log
+        finally:
+            engine.close()
+
+    def test_remove_tables_ignores_unknown_names(self, corpus):
+        engine = _build_engine(corpus.lake.tables[:4])
+        try:
+            base = engine.indexes.version
+            victim = sorted(engine.indexes.table_names)[0]
+            removed = engine.indexes.remove_tables(["no_such_table", victim, "ghost"])
+            assert removed == 1
+            assert engine.indexes.version == base + 1
+            assert engine.indexes.mutated_tables_since(base) == {victim}
+        finally:
+            engine.close()
+
+    def test_batched_engine_answers_like_a_rebuild(self, corpus):
+        engine = _build_engine(corpus.lake.tables[:6])
+        try:
+            victims = sorted(engine.indexes.table_names)[:2]
+            assert engine.indexes.remove_tables(victims) == 2
+            survivors = [
+                table
+                for table in corpus.lake.tables[:6]
+                if table.name not in victims
+            ]
+            assert_equals_rebuilt_oracle(engine, survivors, survivors[:3])
+        finally:
+            engine.close()
+
+    def test_discard_batch_matches_sequential_discards(self, corpus):
+        engine = _build_engine(corpus.lake.tables[:5])
+        try:
+            evidence = EvidenceType.indexed()[0]
+            host = engine.indexes._matrices[evidence]
+            refs, _, _ = host.export_state(copy=False)
+            doomed = list(refs)[::2] + ["not-a-ref"]
+            sequential = pickle.loads(pickle.dumps(host))
+            # Reversed order on the sequential side: swap-pack row placement
+            # depends on removal order, the per-ref contents must not.
+            for ref in reversed(doomed):
+                sequential.discard(ref)
+            batched = pickle.loads(pickle.dumps(host))
+            assert batched.discard_batch(doomed) == len(doomed) - 1
+            s_refs, s_matrix, s_flags = sequential.export_state(copy=False)
+            b_refs, b_matrix, b_flags = batched.export_state(copy=False)
+            assert set(b_refs) == set(s_refs) == set(refs) - set(doomed)
+            sequential_map = {
+                ref: (s_matrix[row].tobytes(), bool(s_flags[row]))
+                for row, ref in enumerate(s_refs)
+            }
+            batched_map = {
+                ref: (b_matrix[row].tobytes(), bool(b_flags[row]))
+                for row, ref in enumerate(b_refs)
+            }
+            assert batched_map == sequential_map
+            # Tie-breaking ranks are a pure function of the ref set.
+            assert sorted(b_refs) == sorted(s_refs)
+            assert [b_refs[row] for row in np.argsort(batched.ref_ranks())] == sorted(b_refs)
+        finally:
+            engine.close()
+
+    def test_forest_remove_batch_matches_sequential_removes(self, corpus):
+        engine = _build_engine(corpus.lake.tables[:5])
+        try:
+            evidence = EvidenceType.indexed()[0]
+            host = engine.indexes._forests[evidence]
+            keys = sorted(engine.indexes._signatures[evidence])
+            doomed = keys[::3] + ["not-a-key"]
+            sequential = pickle.loads(pickle.dumps(host))
+            for key in reversed(doomed):
+                sequential.remove(key)
+            batched = pickle.loads(pickle.dumps(host))
+            batched.remove_batch(doomed)
+            assert len(batched) == len(sequential)
+            s_state = sequential.export_state()
+            b_state = batched.export_state()
+            assert len(b_state["trees"]) == len(s_state["trees"])
+            for b_tree, s_tree in zip(b_state["trees"], s_state["trees"]):
+                assert b_tree["keys"].tobytes() == s_tree["keys"].tobytes()
+                assert b_tree["items"] == s_tree["items"]
+        finally:
+            engine.close()
+
+    def test_delta_replay_batches_multi_table_removals(self, corpus):
+        engine = _build_engine(corpus.lake.tables[:6])
+        try:
+            stale = pickle.loads(pickle.dumps(engine.indexes))
+            base = engine.indexes.version
+            victims = sorted(engine.indexes.table_names)[:3]
+            for name in victims:
+                engine.remove_table(name)
+            engine.index_table(corpus.lake.tables[7].with_name("batch_extra"))
+            delta = build_index_delta(engine.indexes, base)
+            assert delta is not None
+            assert sum(1 for op in delta[1] if op[0] == "remove") == len(victims)
+            apply_index_delta(stale, delta)
+            assert stale.version == engine.indexes.version
+            assert set(stale.profiles) == set(engine.indexes.profiles)
+            assert _forest_states(stale) == _forest_states(engine.indexes)
+            assert _matrix_maps(stale) == _matrix_maps(engine.indexes)
+        finally:
+            engine.close()
+
+
 class TestRandomizedMutationOracle:
     """Hypothesis-style randomized add/remove/re-add sequences.
 

@@ -97,6 +97,33 @@ class TestServingRecord:
         problems = bench_smoke._check_recorded_serving_floor(payload)
         assert any("identical" in problem for problem in problems)
 
+class TestStaticAnalysisGate:
+    def test_shipped_tree_is_clean(self, bench_smoke):
+        assert bench_smoke._check_static_analysis() == []
+
+    def test_seeded_rule_violation_fails_the_smoke(
+        self, bench_smoke, tmp_path, monkeypatch
+    ):
+        bad = tmp_path / "src" / "core" / "parallel.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "def shard(tables):\n    return [name for name in set(tables)]\n"
+        )
+        monkeypatch.setattr(bench_smoke, "REPO_ROOT", tmp_path)
+        problems = bench_smoke._check_static_analysis()
+        assert any("R2" in problem for problem in problems)
+
+    def test_seeded_lint_problem_fails_the_smoke(
+        self, bench_smoke, tmp_path, monkeypatch
+    ):
+        bad = tmp_path / "src" / "mod.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import os\n\nVALUE = 1\n")
+        monkeypatch.setattr(bench_smoke, "REPO_ROOT", tmp_path)
+        problems = bench_smoke._check_static_analysis()
+        assert any("imported but unused" in problem for problem in problems)
+
+
 class TestIncrementalMutationRecord:
     @pytest.fixture()
     def payload(self):
