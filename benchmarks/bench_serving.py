@@ -22,6 +22,17 @@ throughput belongs to a server that provably answers correctly
 priming: the timed sweeps run against warm session profile caches, which is
 the steady state a serving tier lives in.
 
+Both serving backends are measured side by side over the same engine: the
+thread backend (session pool, GIL-bound) remains the top-level record, and a
+``"process_backend"`` sub-section records the same sweeps against ``repro
+serve --backend process`` — worker processes attached read-only to the
+shared index snapshot.  ``"process_speedup"`` is the closed-loop throughput
+ratio; on a host with at least ``SERVER_WORKERS`` CPUs it must clear
+``SERVING_PROCESS_SPEEDUP_FLOOR``, while on smaller hosts (where there is
+nothing to parallelise) the ``SERVING_PROCESS_SINGLE_CORE_RATIO`` degradation
+guard applies instead — ``"available_cpus"`` in the payload records which
+regime the numbers were taken in.
+
 Results land in a top-level ``"serving"`` section of the repository's
 ``BENCH_hot_paths.json`` — the rest of the payload is preserved, and
 ``bench_perf_hot_paths.py`` preserves this section symmetrically — with
@@ -39,6 +50,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import sys
 import threading
 import time
@@ -92,6 +104,18 @@ TOP_K = 10
 #: so the ceiling is single-core query throughput, ~10 qps on the recording
 #: machine.
 SERVING_WARM_QPS_FLOOR = 5.0
+#: Tracked floor for ``--backend process``: with a worker process per session
+#: the GIL ceiling is lifted, so on a host with at least ``SERVER_WORKERS``
+#: CPUs the process backend must beat the thread backend's closed-loop
+#: throughput by this factor.  The floor only binds when the recording host
+#: actually has the CPUs (``available_cpus >= SERVER_WORKERS``); on smaller
+#: hosts process serving cannot parallelise and the guard below applies
+#: instead.
+SERVING_PROCESS_SPEEDUP_FLOOR = 3.0
+#: Single-core degradation guard: even with nothing to parallelise, process
+#: serving (descriptor attach + pipe round-trips) must retain at least this
+#: fraction of the thread backend's closed-loop throughput.
+SERVING_PROCESS_SINGLE_CORE_RATIO = 0.4
 
 
 def _percentiles_ms(latencies: List[float]) -> Dict[str, float]:
@@ -136,9 +160,10 @@ def _verify_served_responses(server, requests) -> Tuple[bool, List[str]]:
         ]
     connection = http.client.HTTPConnection(server.host, server.port, timeout=60)
     try:
-        # len(sessions) passes per target: round-robin checkout lands every
-        # target in every session's cache, whatever the interleaving.
-        for _ in range(len(server.sessions)):
+        # One pass per serving worker (session or worker process): round-robin
+        # checkout lands every target in every worker's cache, whatever the
+        # interleaving.
+        for _ in range(server.worker_count):
             for index, request in enumerate(requests):
                 body = json.dumps(query_request_to_wire(request)).encode("utf-8")
                 payload = _post_query(connection, body)
@@ -291,6 +316,19 @@ def run(seed: int = 11) -> Dict[str, object]:
         closed = _closed_loop(server, bodies)
         open_ = _open_loop(server, bodies)
 
+    # Same engine, same requests, process-backed serving: N worker processes
+    # each attach the shared snapshot read-only, so CPU-bound query work runs
+    # outside the GIL.  Recorded side by side with the thread backend (which
+    # stays the top-level record, for continuity with older payloads).
+    with DiscoveryServer(
+        engine, port=0, workers=SERVER_WORKERS, backend="process"
+    ) as server:
+        process_identical, process_problems = _verify_served_responses(
+            server, requests
+        )
+        process_closed = _closed_loop(server, bodies)
+        process_open = _open_loop(server, bodies)
+
     return {
         "generated_by": "benchmarks/bench_serving.py",
         "num_attributes": engine.indexes.attribute_count,
@@ -299,10 +337,18 @@ def run(seed: int = 11) -> Dict[str, object]:
         "num_targets": NUM_TARGETS,
         "top_k": TOP_K,
         "server_workers": SERVER_WORKERS,
+        "available_cpus": os.cpu_count() or 1,
         "responses_identical": identical,
         "verification_problems": problems,
         "closed_loop": closed,
         "open_loop": open_,
+        "process_backend": {
+            "responses_identical": process_identical,
+            "verification_problems": process_problems,
+            "closed_loop": process_closed,
+            "open_loop": process_open,
+        },
+        "process_speedup": process_closed["qps"] / max(closed["qps"], 1e-12),
     }
 
 
@@ -345,10 +391,19 @@ def main() -> int:
         f"p90={open_['latency_ms']['p90']:.1f}ms "
         f"p99={open_['latency_ms']['p99']:.1f}ms"
     )
+    process = serving["process_backend"]
+    process_closed = process["closed_loop"]
+    print(
+        f"process backend: {process_closed['qps']:.1f} qps closed loop "
+        f"({serving['process_speedup']:.2f}x thread, "
+        f"{serving['available_cpus']} CPUs available)"
+    )
     print(f"responses identical to in-process session: {serving['responses_identical']}")
     print(f"wrote {RESULT_PATH}")
     failures = list(serving["verification_problems"])
+    failures += list(process["verification_problems"])
     failures += closed["errors"] + open_["errors"]
+    failures += process_closed["errors"] + process["open_loop"]["errors"]
     if closed["qps"] < SERVING_WARM_QPS_FLOOR:
         message = (
             f"FLOOR VIOLATION: warm closed-loop throughput {closed['qps']:.1f} qps "
@@ -356,8 +411,29 @@ def main() -> int:
         )
         print(message)
         failures.append(message)
+    if serving["available_cpus"] >= SERVER_WORKERS:
+        if serving["process_speedup"] < SERVING_PROCESS_SPEEDUP_FLOOR:
+            message = (
+                f"FLOOR VIOLATION: process-backend speedup "
+                f"{serving['process_speedup']:.2f}x < "
+                f"{SERVING_PROCESS_SPEEDUP_FLOOR}x with "
+                f"{serving['available_cpus']} CPUs"
+            )
+            print(message)
+            failures.append(message)
+    elif serving["process_speedup"] < SERVING_PROCESS_SINGLE_CORE_RATIO:
+        message = (
+            f"FLOOR VIOLATION: process backend retains only "
+            f"{serving['process_speedup']:.2f}x of thread throughput "
+            f"(guard: {SERVING_PROCESS_SINGLE_CORE_RATIO}x on a "
+            f"{serving['available_cpus']}-CPU host)"
+        )
+        print(message)
+        failures.append(message)
     for problem in serving["verification_problems"]:
         print(f"VERIFICATION FAILURE: {problem}")
+    for problem in process["verification_problems"]:
+        print(f"VERIFICATION FAILURE (process backend): {problem}")
     return 1 if failures else 0
 
 

@@ -149,7 +149,18 @@ SERVING_KEYS = (
     "num_targets",
     "top_k",
     "server_workers",
+    "available_cpus",
     "responses_identical",
+    "closed_loop",
+    "open_loop",
+    "process_backend",
+    "process_speedup",
+)
+#: Required keys of the ``serving.process_backend`` sub-section: the same
+#: sweeps as the thread backend, recorded against ``--backend process``.
+SERVING_PROCESS_KEYS = (
+    "responses_identical",
+    "verification_problems",
     "closed_loop",
     "open_loop",
 )
@@ -244,6 +255,20 @@ def validate_serving_section(payload: Dict[str, object]) -> List[str]:
         for key in SERVING_LATENCY_KEYS:
             if key not in block.get("latency_ms", {}):
                 problems.append(f"serving: {section} latency_ms missing {key!r}")
+    process = serving.get("process_backend")
+    if not isinstance(process, dict):
+        return problems
+    for key in SERVING_PROCESS_KEYS:
+        if key not in process:
+            problems.append(f"serving: process_backend missing {key!r}")
+    for section, keys in (
+        ("closed_loop", SERVING_LOOP_KEYS),
+        ("open_loop", SERVING_OPEN_LOOP_KEYS),
+    ):
+        block = process.get(section, {})
+        for key in keys:
+            if key not in block:
+                problems.append(f"serving: process_backend {section} missing {key!r}")
     return problems
 
 
@@ -275,6 +300,18 @@ def _check_floors() -> List[str]:
     if not isinstance(qps_floor, (int, float)) or qps_floor <= 0:
         problems.append(
             f"SERVING_WARM_QPS_FLOOR should be a positive rate, found {qps_floor!r}"
+        )
+    speedup_floor = getattr(bench_serving, "SERVING_PROCESS_SPEEDUP_FLOOR", None)
+    if not isinstance(speedup_floor, (int, float)) or speedup_floor < 1.0:
+        problems.append(
+            "SERVING_PROCESS_SPEEDUP_FLOOR should be a ratio >= 1.0, "
+            f"found {speedup_floor!r}"
+        )
+    ratio_guard = getattr(bench_serving, "SERVING_PROCESS_SINGLE_CORE_RATIO", None)
+    if not isinstance(ratio_guard, (int, float)) or not 0 < ratio_guard <= 1.0:
+        problems.append(
+            "SERVING_PROCESS_SINGLE_CORE_RATIO should be a fraction in (0, 1], "
+            f"found {ratio_guard!r}"
         )
     return problems
 
@@ -337,6 +374,30 @@ def _check_recorded_serving_floor(payload: Dict[str, object]) -> List[str]:
         problems.append(
             f"recorded serving run: warm closed-loop throughput {qps:.1f} qps "
             f"below the tracked floor ({bench_serving.SERVING_WARM_QPS_FLOOR} qps)"
+        )
+    process = serving.get("process_backend", {})
+    if not process.get("responses_identical", False):
+        problems.append(
+            "recorded serving run: process-backend responses were not verified "
+            "identical to the in-process session"
+        )
+    speedup = serving.get("process_speedup", 0.0)
+    cpus = serving.get("available_cpus", 1)
+    workers = serving.get("server_workers", 1)
+    if cpus >= workers:
+        # The recording host had the CPUs — the GIL-lifting speedup must show.
+        if speedup < bench_serving.SERVING_PROCESS_SPEEDUP_FLOOR:
+            problems.append(
+                f"recorded serving run: process-backend speedup {speedup:.2f}x "
+                f"below the tracked floor "
+                f"({bench_serving.SERVING_PROCESS_SPEEDUP_FLOOR}x with "
+                f"{cpus} CPUs)"
+            )
+    elif speedup < bench_serving.SERVING_PROCESS_SINGLE_CORE_RATIO:
+        problems.append(
+            f"recorded serving run: process backend retains only {speedup:.2f}x "
+            f"of thread throughput on a {cpus}-CPU host (guard "
+            f"{bench_serving.SERVING_PROCESS_SINGLE_CORE_RATIO}x)"
         )
     return problems
 
@@ -633,6 +694,35 @@ def _check_live_serving(corpus, engine) -> List[str]:
             connection.close()
     if not server.closed:
         problems.append("DiscoveryServer did not report closed after __exit__")
+    # Same single query against a process-backend server: worker processes
+    # attach the shared snapshot read-only and must produce the identical
+    # payload the thread backend (and the in-process session) did.
+    with DiscoveryServer(engine, port=0, workers=2, backend="process") as server:
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=60)
+        try:
+            connection.request(
+                "POST",
+                "/query",
+                body=json.dumps(query_request_to_wire(request)),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            if response.status != 200:
+                problems.append(
+                    f"process-served /query answered {response.status}: {payload}"
+                )
+            elif payload != expected:
+                problems.append(
+                    "process-served /query payload diverges from the in-process "
+                    "session"
+                )
+        finally:
+            connection.close()
+    if not server.closed:
+        problems.append(
+            "process-backend DiscoveryServer did not report closed after __exit__"
+        )
     leaked = set(stray_segments()) - before
     if leaked:
         problems.append(f"serving smoke leaked shared-memory segments: {sorted(leaked)}")

@@ -352,6 +352,18 @@ def _is_set_expr(node: ast.expr, set_vars: Set[str]) -> bool:
 #: Call tails that allocate an OS-backed resource wherever they appear.
 _POOL_TAILS = {"ProcessPoolExecutor", "ThreadPoolExecutor", "Pool", "ThreadPool"}
 
+#: Execution-backend factories and process-serving worker spawn sites.  A
+#: backend owns pools and shared-memory snapshots; a serving worker owns a
+#: live child process — both must be scoped exactly like a raw pool.
+_BACKEND_FACTORY_TAILS = {
+    "create_backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "_ServingWorker",
+    "Process",
+}
+
 #: Engine/session/server factories whose handles the CLI must scope.
 _CLI_FACTORY_TAILS = {
     "D3L",
@@ -378,8 +390,9 @@ _CLOSER_ATTRS = {
 @register(
     "R3",
     "resource-lifecycle",
-    "SharedMemory(create=True), pools, and CLI engine/session handles must "
-    "be released via with/try-finally/close/finalize in the same scope or class",
+    "SharedMemory(create=True), pools, execution backends, serving worker "
+    "processes, and CLI engine/session handles must be released via "
+    "with/try-finally/close/finalize in the same scope or class",
     patterns=("cli.py", "core/*.py"),
 )
 def check_lifecycle(module: ModuleUnderCheck) -> Iterable[Violation]:
@@ -417,6 +430,8 @@ def _resource_kind(call: ast.Call, is_cli: bool) -> Optional[str]:
         return None
     if tail in _POOL_TAILS and not dotted.startswith("self."):
         return f"worker pool {tail}(...)"
+    if tail in _BACKEND_FACTORY_TAILS and not dotted.startswith("self."):
+        return f"execution backend/worker {tail}(...)"
     if is_cli and tail in _CLI_FACTORY_TAILS:
         return f"engine/session handle {tail}(...)"
     return None

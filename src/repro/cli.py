@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.core.api import DiscoverySession, QueryRequest
-from repro.core.config import D3LConfig
+from repro.core.config import D3LConfig, require_positive
 from repro.core.discovery import D3L
 from repro.core.persistence import PersistenceError, load_engine, save_engine
 from repro.datagen.real_benchmark import RealBenchmarkConfig, generate_real_benchmark
@@ -85,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--workers", type=int, default=1,
                        help="worker processes for the batched query fan-out "
                             "across target attributes (1 = in-process)")
+    query.add_argument("--backend", choices=["serial", "thread", "process"],
+                       default="process",
+                       help="execution backend for the query fan-out "
+                            "(rankings are backend-independent)")
     query.add_argument("--evidence", default=None,
                        help="comma-separated evidence subset (codes N,V,F,E,D "
                             "or names like name,value); default: all five")
@@ -106,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serving sessions answering requests concurrently")
     serve.add_argument("--cache-size", type=int, default=64,
                        help="per-session target-profile cache capacity")
+    serve.add_argument("--backend", choices=["thread", "process"], default="thread",
+                       help="serving concurrency model: an in-process session "
+                            "pool (thread) or snapshot-attached worker "
+                            "processes that lift the GIL ceiling (process)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
@@ -245,6 +253,7 @@ def _command_query(args: argparse.Namespace) -> int:
                     exclude_self=not args.include_self,
                     joins=args.joins,
                     workers=args.workers,
+                    backend=args.backend,
                 )
             except (ValueError, KeyError) as error:
                 print(error, file=sys.stderr)
@@ -294,8 +303,18 @@ def _command_query(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.core.server import DiscoveryServer
 
-    if args.workers <= 0:
-        print("--workers must be positive", file=sys.stderr)
+    # Validate every numeric flag up front with the library's own
+    # require_positive semantics: bad values exit 1 with a one-line error
+    # instead of a traceback deep in session or worker-pool construction.
+    try:
+        require_positive("--workers", args.workers)
+        require_positive("--cache-size", args.cache_size)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 1
+    if not 0 <= args.port <= 65535:
+        print("--port must be between 0 and 65535 (0 picks a free one)",
+              file=sys.stderr)
         return 1
     engine = _load_engine_or_fail(args.engine)
     if engine is None:
@@ -313,6 +332,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             profile_cache_size=args.cache_size,
             verbose=args.verbose,
+            backend=args.backend,
         )
         try:
             tables = len(engine.indexes.table_profiles)
@@ -320,7 +340,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             print(
                 f"Serving {tables} tables ({attributes} attributes) "
                 f"on http://{server.host}:{server.port} with {args.workers} "
-                "workers (Ctrl-C to stop)",
+                f"{args.backend} workers (Ctrl-C to stop)",
                 flush=True,
             )
             # Blocks until SIGINT/SIGTERM, then closes sessions, reaps

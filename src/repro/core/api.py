@@ -50,6 +50,7 @@ from repro.core.discovery import (
     attribute_signature_maps,
 )
 from repro.core.evidence import EvidenceType
+from repro.core.execution import BACKENDS
 from repro.core.joins import JoinEdge, JoinPath
 from repro.core.profiles import AttributeMatch, TableProfile
 from repro.core.weights import EvidenceWeights
@@ -169,6 +170,7 @@ class QueryRequest:
     joins: bool = False
     workers: int = 1
     engine: str = "batched"
+    backend: str = "process"
 
     def __post_init__(self) -> None:
         # Duck-typed table targets (anything exposing name/columns, as the
@@ -195,6 +197,11 @@ class QueryRequest:
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; valid engines: {', '.join(ENGINES)}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"valid backends: {', '.join(BACKENDS)}"
             )
         if self.evidence is not None:
             object.__setattr__(self, "evidence", _coerce_evidence(self.evidence))
@@ -646,6 +653,7 @@ _REQUEST_WIRE_FIELDS = (
     "joins",
     "workers",
     "engine",
+    "backend",
 )
 
 
@@ -666,6 +674,7 @@ def query_request_to_wire(request: QueryRequest) -> Dict[str, object]:
         "joins": request.joins,
         "workers": request.workers,
         "engine": request.engine,
+        "backend": request.backend,
     }
     if request.evidence is not None:
         payload["evidence"] = [evidence.value for evidence in request.evidence]
@@ -795,7 +804,22 @@ def execute(
     same execution.  ``profile``/``signature_maps`` let a session substitute
     its memoized target state for table-level requests; both are
     deterministic functions of the target, so answers are unchanged.
+
+    Runs on the read side of the engine's index lock: any number of
+    requests execute concurrently, while lake mutations (the write side)
+    wait for in-flight requests to drain — the thread-serving tier answers
+    off the live indexes from many handler threads at once.
     """
+    with engine.index_lock.read():
+        return _execute_locked(engine, request, profile, signature_maps)
+
+
+def _execute_locked(
+    engine: D3L,
+    request: QueryRequest,
+    profile: Optional[TableProfile] = None,
+    signature_maps: Optional[Dict[str, Dict[EvidenceType, object]]] = None,
+) -> QueryExecution:
     weights_used = _ranking_weights(engine, request)
     if request.attributes is not None:
         if request.engine == "sequential":
@@ -837,6 +861,7 @@ def execute(
             weights=request.weights,
             workers=request.workers,
             signature_maps=signature_maps,
+            backend=request.backend,
         )
     if request.joins:
         # D3L+J (section IV): walk the engine's cached SA-join graph from
@@ -970,14 +995,20 @@ class DiscoverySession:
         Table-level requests resolve the target through the profile cache;
         attribute-level requests re-profile the named columns (their legacy
         path profiles per column subset, which the cache cannot reuse).
+
+        The whole submission — cache versioning, target resolution (which
+        reads the live signature matrices), and execution — runs on the
+        read side of the engine's index lock, so a concurrent lake mutation
+        can never hand this session half-swapped index state.
         """
-        self._check_version()
-        if request.attributes is not None:
-            return execute(self.engine, request).response
-        profile, signature_maps = self._resolve_target(request.target)
-        return execute(
-            self.engine, request, profile=profile, signature_maps=signature_maps
-        ).response
+        with self.engine.index_lock.read():
+            self._check_version()
+            if request.attributes is not None:
+                return _execute_locked(self.engine, request).response
+            profile, signature_maps = self._resolve_target(request.target)
+            return _execute_locked(
+                self.engine, request, profile=profile, signature_maps=signature_maps
+            ).response
 
     def query(self, target: QueryTarget, k: int = 10, **options) -> QueryResponse:
         """Convenience: build and submit a table-level request."""

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.aggregation import combined_distance, evidence_vector
 from repro.core.config import D3LConfig
 from repro.core.evidence import EvidenceType
+from repro.core.execution import IndexReadWriteLock
 from repro.core.indexes import D3LIndexes
 from repro.core.joins import JoinPath, SAJoinGraph, find_join_paths, tables_reached
 from repro.core.profiles import AttributeMatch, AttributeProfile, TableProfile
@@ -193,6 +194,10 @@ class D3L:
             embedding_model=embedding_model,
             subject_classifier=subject_classifier,
         )
+        # Readers (query execution) vs writer (lake mutation) coordination:
+        # the serving tier answers off these live indexes from many threads,
+        # so mutations must wait for in-flight queries to drain.
+        self.index_lock = IndexReadWriteLock()
         self._join_graph: Optional[SAJoinGraph] = None
         # Indexes version the cached join graph was built against; a stale
         # version (or a restored graph riding a persisted engine) is detected
@@ -215,17 +220,24 @@ class D3L:
     # ------------------------------------------------------------------ #
     # indexing
     # ------------------------------------------------------------------ #
-    def index_lake(self, lake: DataLake, workers: Optional[int] = None) -> None:
+    def index_lake(
+        self,
+        lake: DataLake,
+        workers: Optional[int] = None,
+        backend: str = "process",
+    ) -> None:
         """Profile and index every table of ``lake`` (Algorithm 1).
 
-        ``workers > 1`` shards the lake across that many worker processes
-        (:class:`~repro.core.parallel.ParallelIndexBuilder`); the resulting
-        indexes are identical to a single-process build.
+        ``workers > 1`` shards the lake across that many workers
+        (:class:`~repro.core.parallel.ParallelIndexBuilder`, dispatching
+        through the named execution ``backend``); the resulting indexes are
+        identical to a single-process build.
         """
-        self.indexes.add_lake(lake, workers=workers)
-        self._join_graph = None
-        self._join_overlap_cache.clear()
-        self._invalidate_query_executors()
+        with self.index_lock.write():
+            self.indexes.add_lake(lake, workers=workers, backend=backend)
+            self._join_graph = None
+            self._join_overlap_cache.clear()
+            self._invalidate_query_executors()
 
     def index_table(self, table: Table) -> None:
         """Profile and (re-)index a single table, invalidating per table.
@@ -237,14 +249,16 @@ class D3L:
         overlaps on next use).  Fan-out worker pools stay alive and refresh
         themselves with a delta on the next request.
         """
-        self.indexes.add_table(table)
-        self._note_mutation(table.name)
+        with self.index_lock.write():
+            self.indexes.add_table(table)
+            self._note_mutation(table.name)
 
     def remove_table(self, table_name: str) -> bool:
         """Remove a table from the indexes (incremental lake maintenance)."""
-        removed = self.indexes.remove_table(table_name)
-        if removed:
-            self._note_mutation(table_name)
+        with self.index_lock.write():
+            removed = self.indexes.remove_table(table_name)
+            if removed:
+                self._note_mutation(table_name)
         return removed
 
     def _note_mutation(self, table_name: str) -> None:
@@ -284,24 +298,29 @@ class D3L:
         """Release pools and segments on scope exit (exceptions included)."""
         self.close()
 
-    def _fanout_executor(self, workers: int) -> "ParallelQueryExecutor":
+    def _fanout_executor(
+        self, workers: int, backend: str = "process"
+    ) -> "ParallelQueryExecutor":
         """The cached fan-out executor for ``workers``, created on demand.
 
-        One executor (and thus one worker pool attached to one shared index
-        snapshot) exists per requested worker count; any lake mutation
+        One executor (and thus one execution backend holding at most one
+        worker pool over one shared index snapshot) exists per requested
+        worker count — keyed by the bare count for the default ``process``
+        backend and by ``(backend, workers)`` otherwise; any lake mutation
         discards the cache (see :meth:`_invalidate_query_executors`).
         """
         from repro.core.parallel import ParallelQueryExecutor
 
-        executor = self._query_executors.get(workers)
+        key = workers if backend == "process" else (backend, workers)
+        executor = self._query_executors.get(key)
         if executor is None or executor.indexes is not self.indexes:
             # The indexes object is only rebound on engine restore (when
             # the cache is empty), but close any displaced executor so a
             # rebind can never strand a live worker pool.
             if executor is not None:
                 executor.close()
-            executor = ParallelQueryExecutor(self.indexes, workers)
-            self._query_executors[workers] = executor
+            executor = ParallelQueryExecutor(self.indexes, workers, backend=backend)
+            self._query_executors[key] = executor
         return executor
 
     @property
@@ -315,18 +334,21 @@ class D3L:
         """
         return self.build_join_graph()
 
-    def build_join_graph(self, workers: Optional[int] = None) -> SAJoinGraph:
+    def build_join_graph(
+        self, workers: Optional[int] = None, backend: str = "process"
+    ) -> SAJoinGraph:
         """Build (or return the cached) SA-join graph for the current lake.
 
         ``workers > 1`` shards the exact value-overlap verification across
-        the engine's persistent fan-out pool for that worker count (the same
-        shared-memory-attached pool the batched query engine uses, created
-        on demand); the resulting edge set is identical to a single-process
-        build, so the cache does not key on the worker count.
+        the engine's persistent fan-out executor for that worker count and
+        ``backend`` (the same executor the batched query engine uses,
+        created on demand); the resulting edge set is identical to a
+        single-process build, so the cache keys on neither the worker count
+        nor the backend.
         """
         if self._join_graph is None or self._join_graph_version != self.indexes.version:
             executor = (
-                self._fanout_executor(workers)
+                self._fanout_executor(workers, backend)
                 if workers is not None and workers > 1
                 else None
             )
@@ -336,6 +358,7 @@ class D3L:
                 workers=workers,
                 executor=executor,
                 overlap_cache=self._join_overlap_cache,
+                backend=backend,
             )
             self._join_graph_version = self.indexes.version
         return self._join_graph
@@ -484,6 +507,7 @@ class D3L:
         weights: Optional[EvidenceWeights] = None,
         workers: Optional[int] = None,
         signature_maps: Optional[Dict[str, Dict[EvidenceType, object]]] = None,
+        backend: str = "process",
     ) -> QueryResult:
         """The batched counterpart of :meth:`_execute_query`, in sweeps.
 
@@ -516,6 +540,7 @@ class D3L:
             exclude_table,
             workers=workers,
             signature_maps=signature_maps,
+            backend=backend,
         )
         return QueryResult(
             target_name=target_profile.table_name,
@@ -970,6 +995,7 @@ class D3L:
         exclude_table: Optional[str],
         workers: Optional[int] = None,
         signature_maps: Optional[Dict[str, Dict[EvidenceType, object]]] = None,
+        backend: str = "process",
     ) -> Dict[str, List[AttributeMatch]]:
         """Batched counterpart of :meth:`_collect_matches`.
 
@@ -992,7 +1018,7 @@ class D3L:
         )
         entries = list(target_profile.attributes.items())
         if workers is not None and workers > 1:
-            executor = self._fanout_executor(workers)
+            executor = self._fanout_executor(workers, backend)
             attribute_distances = executor.collect(
                 target_profile.table_name,
                 entries,

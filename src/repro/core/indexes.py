@@ -524,18 +524,24 @@ class D3LIndexes:
         self.version += 1
         self._log_mutation(table_profile.table_name)
 
-    def add_lake(self, lake: DataLake, workers: Optional[int] = None) -> None:
+    def add_lake(
+        self,
+        lake: DataLake,
+        workers: Optional[int] = None,
+        backend: str = "process",
+    ) -> None:
         """Index every table of ``lake``, in sorted table-name order.
 
         The sorted order makes index construction independent of lake
         insertion order, so serial and sharded builds (``workers > 1``, via
-        :class:`~repro.core.parallel.ParallelIndexBuilder`) produce identical
-        index contents.
+        :class:`~repro.core.parallel.ParallelIndexBuilder`, over any
+        ``backend`` from :data:`~repro.core.execution.BACKENDS`) produce
+        identical index contents.
         """
         if workers is not None and workers > 1:
             from repro.core.parallel import ParallelIndexBuilder
 
-            ParallelIndexBuilder(self, workers=workers).build(lake)
+            ParallelIndexBuilder(self, workers=workers, backend=backend).build(lake)
             return
         table_profiles = [
             self.profile_table(lake.table(name)) for name in sorted(lake.table_names)

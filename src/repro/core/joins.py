@@ -213,6 +213,7 @@ class SAJoinGraph:
         workers: Optional[int] = None,
         executor=None,
         overlap_cache: Optional[Dict[Tuple[AttributeRef, AttributeRef], float]] = None,
+        backend: str = "process",
     ) -> "SAJoinGraph":
         """Build the SA-join graph from an indexed lake, in batched sweeps.
 
@@ -224,15 +225,15 @@ class SAJoinGraph:
         pairs that cannot clear ``config.overlap_threshold`` before any
         Python-level set intersection happens.  Surviving pairs are verified
         with the exact value-sample overlap coefficient, sharded across
-        ``workers`` processes when requested
+        ``workers`` of a transient execution ``backend`` when requested
         (:func:`~repro.core.parallel.verify_value_overlaps`) — or, when the
         owning engine passes a live
         :class:`~repro.core.parallel.ParallelQueryExecutor` as ``executor``,
-        over that executor's persistent shared-memory worker pool with no
-        sample shipping at all; verification is a pure per-pair function and
-        edges are applied in sorted probe order, so every routing
-        (``workers=1``, ``workers=N``, executor pool) produces the identical
-        edge set.
+        over that executor's persistent backend (for the process backend: a
+        shared-memory worker pool with no sample shipping at all);
+        verification is a pure per-pair function and edges are applied in
+        sorted probe order, so every routing (``workers=1``, ``workers=N``,
+        executor pool, any backend) produces the identical edge set.
 
         The pre-filter estimates overlap from the *token sets* the value
         index is built from, while verification compares distinct-value
@@ -323,7 +324,7 @@ class SAJoinGraph:
                 pairs.extend((subject.ref, ref) for ref in fresh)
 
         overlaps = verify_value_overlaps(
-            samples, pairs, workers=workers, executor=executor
+            samples, pairs, workers=workers, executor=executor, backend=backend
         )
         if overlap_cache is not None:
             overlap_cache.update(overlaps)

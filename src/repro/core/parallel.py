@@ -1,19 +1,28 @@
-"""Sharded, multi-process index construction and query fan-out.
+"""Sharded index construction and query fan-out over execution backends.
 
 Figure 6a of the paper shows index construction dominating end-to-end cost:
 a deployment indexes the lake once and answers many queries afterwards.
-:class:`ParallelIndexBuilder` splits that one expensive pass across worker
-processes; :class:`ParallelQueryExecutor` applies the same shard/merge
-discipline to the query side, fanning one target's attributes out across
-workers for the batched query engine
-(:meth:`~repro.core.discovery.D3L.query_batch`).
+:class:`ParallelIndexBuilder` splits that one expensive pass across workers;
+:class:`ParallelQueryExecutor` applies the same shard/merge discipline to
+the query side, fanning one target's attributes out across workers for the
+batched query engine (:meth:`~repro.core.discovery.D3L.query_batch`).
+
+Neither class constructs pools itself any more: both dispatch through an
+:class:`~repro.core.execution.ExecutionBackend` (serial / thread / process,
+``process`` by default), which owns pool lifecycle, the shared index
+snapshot, and journal-driven delta refresh.  Sharding stays here — it is a
+pure function of the requested worker count, so a given ``workers=N``
+produces identical shards under every backend, and the keyed merges make
+the final result backend-independent (locked down by
+``tests/core/test_execution.py`` on top of the original
+``tests/core/test_parallel_build.py`` / ``test_parallel_query.py`` oracles).
 
 :class:`ParallelIndexBuilder` works as follows:
 
 1. the lake's table names are sorted and dealt round-robin into one shard
    per worker (deterministic for a given lake and worker count);
-2. each worker process profiles its shard's tables and computes their
-   signatures with the table-level batched passes
+2. each worker profiles its shard's tables and computes their signatures
+   with the table-level batched passes
    (:meth:`~repro.core.indexes.D3LIndexes.table_signatures`);
 3. the main process merges the shard results **in globally sorted table
    order** through :meth:`~repro.core.indexes.D3LIndexes.add_profiled_table`,
@@ -23,86 +32,36 @@ workers for the batched query engine
 Because signature computation is deterministic and the merge order is the
 same sorted order a serial ``add_lake`` uses, a sharded build produces
 signature matrices, forest contents, and therefore query rankings identical
-to a single-process build — which is what ``tests/core/test_parallel_build.py``
-locks down.
+to a single-process build.
 """
 
 from __future__ import annotations
 
-import os
-import weakref
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.execution import ExecutionBackend, create_backend, live_worker_pids
 from repro.lake.datalake import DataLake
 from repro.tables.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.indexes import D3LIndexes
-    from repro.core.shared import Descriptor, SharedIndexSnapshot
+    from repro.core.shared import SharedIndexSnapshot
     from repro.lake.datalake import AttributeRef
+
+#: ``live_worker_pids`` is re-exported: the suite-wide leak audit imports it
+#: from here (the historical home of worker-process bookkeeping).
+__all__ = [
+    "ParallelIndexBuilder",
+    "ParallelQueryExecutor",
+    "live_worker_pids",
+    "partition_tables",
+    "verify_value_overlaps",
+]
 
 #: One shard worker's result: per table, the profile plus the per-attribute
 #: signatures (``{attribute name: {evidence: signature or None}}``).
 ShardResult = List[Tuple[object, Dict[str, dict]]]
-
-#: Every live :class:`ParallelQueryExecutor` of this process, for the
-#: leak-audit helpers (:func:`live_worker_pids`).  Weak so dropped executors
-#: vanish from the audit once their finalizer has run.
-_LIVE_EXECUTORS: "weakref.WeakSet[ParallelQueryExecutor]" = weakref.WeakSet()
-
-#: Largest mutated-table count a worker pool refreshes via a delta; beyond
-#: this, tearing the pool down and re-exporting a fresh snapshot is cheaper
-#: than shipping per-table profiles and signatures with every task.
-_DELTA_MAX_TABLES = 32
-
-
-def _pool_size(requested: int) -> int:
-    """Worker-process count for a pool: the request clamped to the host CPUs.
-
-    Only the *pool* is clamped — shard partitioning stays a pure function of
-    the requested worker count, so ``workers=N`` produces identical shards
-    (and therefore identical merged results) on any host size.
-    """
-    return max(1, min(requested, os.cpu_count() or 1))
-
-
-def live_worker_pids() -> Set[int]:
-    """PIDs of worker processes owned by live query-executor pools."""
-    pids: Set[int] = set()
-    for executor in list(_LIVE_EXECUTORS):
-        pool = executor._pool
-        processes = getattr(pool, "_processes", None) if pool is not None else None
-        if processes:
-            pids.update(processes.keys())
-    return pids
-
-
-def _snapshot_descriptor(
-    indexes: "D3LIndexes",
-) -> Tuple["Descriptor", Optional["SharedIndexSnapshot"]]:
-    """A shared snapshot of ``indexes`` plus the descriptor workers attach.
-
-    Falls back to the degraded ``("pickle", indexes)`` descriptor — the old
-    ship-a-copy-per-worker behavior — when no shared backing can be created,
-    so fan-out keeps working (at the old cost) on hosts without ``/dev/shm``
-    or a writable temp directory.
-    """
-    from repro.core.shared import SharedIndexSnapshot, SharedSnapshotError
-
-    try:
-        snapshot = SharedIndexSnapshot.create(indexes)
-    except SharedSnapshotError:
-        return ("pickle", indexes), None
-    return snapshot.descriptor, snapshot
-
-
-def _finalize_fanout(pool: ProcessPoolExecutor, snapshot) -> None:
-    """Backstop for executors dropped without ``close()``: reap pool, unlink
-    segment (worker mappings stay valid through their own exit)."""
-    pool.shutdown(wait=False)
-    if snapshot is not None:
-        snapshot.close()
 
 
 def partition_tables(table_names: Sequence[str], shards: int) -> List[List[str]]:
@@ -118,34 +77,18 @@ def partition_tables(table_names: Sequence[str], shards: int) -> List[List[str]]
     return [ordered[index::shards] for index in range(shards)]
 
 
-#: The build-worker process's profiling clone (an empty ``D3LIndexes``
-#: carrying the configuration, embedding model, and subject classifier),
-#: installed once by the pool initializer so per-shard payloads are bare
-#: table lists instead of re-shipping the models per shard.
-_BUILD_WORKER_INDEXES: Optional["D3LIndexes"] = None
-
-
-def _init_build_worker(indexes: "D3LIndexes") -> None:
-    """Pool initializer: pin this build worker's profiling clone."""
-    global _BUILD_WORKER_INDEXES
-    _BUILD_WORKER_INDEXES = indexes
-
-
 def _profile_and_sign_shard(
-    tables: List[Table], indexes: Optional["D3LIndexes"] = None
+    indexes: "D3LIndexes", tables: List[Table]
 ) -> ShardResult:
-    """Worker entry point: profile and sign every table of one shard.
+    """Shard fn: profile and sign every table of one shard.
 
-    The profiling clone — a fresh (empty) ``D3LIndexes`` with exactly the
-    same configuration, embedding model, and subject classifier as the
-    merging process — is the worker-resident one installed by
-    :func:`_init_build_worker` unless passed explicitly (the inline
-    single-shard path); nothing is inserted into it.  Signatures are batched
-    across the whole shard, so every worker exploits the same cross-table
-    vocabulary sharing a serial ``add_lake`` does.
+    ``indexes`` is the profiling clone — a fresh (empty) ``D3LIndexes`` with
+    exactly the same configuration, embedding model, and subject classifier
+    as the merging process, shipped once per worker by the backend; nothing
+    is inserted into it.  Signatures are batched across the whole shard, so
+    every worker exploits the same cross-table vocabulary sharing a serial
+    ``add_lake`` does.
     """
-    if indexes is None:
-        indexes = _BUILD_WORKER_INDEXES
     table_profiles = [indexes.profile_table(table) for table in tables]
     signatures = indexes.batch_signatures(table_profiles)
     return [
@@ -155,20 +98,23 @@ def _profile_and_sign_shard(
 
 
 class ParallelIndexBuilder:
-    """Builds a :class:`~repro.core.indexes.D3LIndexes` over process shards.
+    """Builds a :class:`~repro.core.indexes.D3LIndexes` over worker shards.
 
     The target indexes (and through them the configuration, embedding model,
-    and subject classifier) must be picklable, since an empty clone is
-    shipped to every worker.  ``workers=1`` degenerates to profiling in the
-    main process through the identical code path, which is how the
-    determinism tests compare the two.
+    and subject classifier) must be picklable under the process backend,
+    since an empty clone is shipped to every worker.  ``workers=1``
+    degenerates to profiling in the main process through the identical code
+    path, which is how the determinism tests compare the two.
     """
 
-    def __init__(self, indexes: "D3LIndexes", workers: int) -> None:
+    def __init__(
+        self, indexes: "D3LIndexes", workers: int, backend: str = "process"
+    ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
         self.indexes = indexes
         self.workers = workers
+        self.backend = backend
 
     def _worker_clone(self) -> "D3LIndexes":
         """A fresh, empty indexes object sharing the target's configuration."""
@@ -183,11 +129,12 @@ class ParallelIndexBuilder:
     def build(self, lake: DataLake) -> "D3LIndexes":
         """Profile and sign ``lake`` across the shards, then merge in order.
 
-        The profiling clone is shipped once per worker process through the
-        pool initializer; per-shard payloads carry only the shard's tables.
-        The pool itself is clamped to the host CPU count — sharding is not,
-        so the merged result is a function of the requested worker count
-        alone.
+        The profiling clone is shipped once per worker through the backend
+        (``share_index=False`` — builds need the configuration, not the
+        still-empty index contents); per-shard payloads carry only the
+        shard's tables.  Pool sizing is the backend's concern — sharding is
+        a pure function of the requested worker count alone, so the merged
+        result is too.
         """
         shards = [
             names for names in partition_tables(lake.table_names, self.workers) if names
@@ -196,15 +143,13 @@ class ParallelIndexBuilder:
         if len(payloads) <= 1:
             clone = self._worker_clone()
             shard_results = [
-                _profile_and_sign_shard(payload, clone) for payload in payloads
+                _profile_and_sign_shard(clone, payload) for payload in payloads
             ]
         else:
-            with ProcessPoolExecutor(
-                max_workers=_pool_size(len(payloads)),
-                initializer=_init_build_worker,
-                initargs=(self._worker_clone(),),
-            ) as pool:
-                shard_results = list(pool.map(_profile_and_sign_shard, payloads))
+            with create_backend(
+                self.backend, self._worker_clone(), self.workers, share_index=False
+            ) as backend:
+                shard_results = backend.map_shards(_profile_and_sign_shard, payloads)
 
         by_table: Dict[str, Tuple[object, Dict[str, dict]]] = {}
         for result in shard_results:
@@ -221,11 +166,15 @@ class ParallelIndexBuilder:
 # --------------------------------------------------------------------------- #
 
 
-def _verify_join_shard(payload) -> List[Tuple["AttributeRef", "AttributeRef", float]]:
-    """Worker entry point: exact value-overlap of one shard's candidate pairs.
+def _verify_join_shard(
+    indexes: Optional["D3LIndexes"], payload
+) -> List[Tuple["AttributeRef", "AttributeRef", float]]:
+    """Shard fn: exact value-overlap of one shard's candidate pairs.
 
     ``payload`` is ``(samples, pairs)``: the value samples of exactly the
     refs this shard touches, plus the ``(left, right)`` ref pairs to verify.
+    The backend view is unused — this is the sample-shipping routing for
+    callers without an attached index.
     """
     from repro.core.profiles import sample_overlap
 
@@ -236,38 +185,12 @@ def _verify_join_shard(payload) -> List[Tuple["AttributeRef", "AttributeRef", fl
     ]
 
 
-def _verify_join_shard_attached(
-    payload,
-) -> List[Tuple["AttributeRef", "AttributeRef", float]]:
-    """Worker entry point: overlaps of one shard's pairs over the attached index.
-
-    Runs in a query-worker pool (:func:`_init_query_worker`): the value
-    samples are read from the worker-resident shared index's profiles, so
-    the payload is ``(delta, pairs)`` — the executor's pending index delta
-    (or None) plus the bare pair list; no samples are shipped at all.
-    """
-    from repro.core.profiles import sample_overlap
-
-    delta, pairs = payload
-    _refresh_worker_indexes(delta)
-    profiles = _QUERY_WORKER_INDEXES.profiles
-    return [
-        (
-            left,
-            right,
-            sample_overlap(
-                profiles[left].value_sample, profiles[right].value_sample
-            ),
-        )
-        for left, right in pairs
-    ]
-
-
 def verify_value_overlaps(
     samples: Dict["AttributeRef", frozenset],
     pairs: Sequence[Tuple["AttributeRef", "AttributeRef"]],
     workers: Optional[int] = None,
     executor: Optional["ParallelQueryExecutor"] = None,
+    backend: str = "process",
 ) -> Dict[Tuple["AttributeRef", "AttributeRef"], float]:
     """Exact overlap coefficients of many candidate pairs, optionally sharded.
 
@@ -277,14 +200,13 @@ def verify_value_overlaps(
     as :meth:`~repro.core.profiles.AttributeProfile.value_overlap`.
 
     With ``executor`` (a live :class:`ParallelQueryExecutor` over the same
-    indexes), the pairs are verified on the executor's persistent worker
-    pool against the shared attached index — no per-call pool spin-up and no
-    sample shipping; ``samples`` may then be empty.  Otherwise ``workers >
-    1`` deals the deduplicated pairs round-robin across a transient pool
-    (clamped to the host CPU count), shipping each shard only the value
-    samples its pairs touch.  Because the overlap of a pair is a pure
-    function of the two samples and the merge is keyed by pair, every
-    routing returns the identical mapping.
+    indexes), the pairs are verified on the executor's persistent backend
+    against its attached view — no per-call pool spin-up and no sample
+    shipping; ``samples`` may then be empty.  Otherwise ``workers > 1``
+    deals the deduplicated pairs round-robin across a transient ``backend``
+    scope, shipping each shard only the value samples its pairs touch.
+    Because the overlap of a pair is a pure function of the two samples and
+    the merge is keyed by pair, every routing returns the identical mapping.
     """
     from repro.core.profiles import sample_overlap
 
@@ -305,10 +227,10 @@ def verify_value_overlaps(
         for shard in shards
     ]
     if len(payloads) <= 1:
-        shard_results = [_verify_join_shard(payload) for payload in payloads]
+        shard_results = [_verify_join_shard(None, payload) for payload in payloads]
     else:
-        with ProcessPoolExecutor(max_workers=_pool_size(len(payloads))) as pool:
-            shard_results = list(pool.map(_verify_join_shard, payloads))
+        with create_backend(backend, None, workers, share_index=False) as scope:
+            shard_results = scope.map_shards(_verify_join_shard, payloads)
     return {
         (left, right): overlap
         for result in shard_results
@@ -322,59 +244,28 @@ def verify_value_overlaps(
 QueryShardResult = List[Tuple[str, List, Dict]]
 
 
-#: The query-worker process's resident view of the indexes, attached once by
-#: the pool initializer.  Over the shared-memory path this is a read-only
-#: reconstruction whose arrays are views into the host's one segment; only
-#: under the degraded ``("pickle", ...)`` descriptor is it a private copy.
-_QUERY_WORKER_INDEXES: Optional["D3LIndexes"] = None
+def _collect_shard_candidate_distances(
+    indexes: "D3LIndexes", payload
+) -> QueryShardResult:
+    """Shard fn: batched candidate collection for one shard.
 
-
-def _init_query_worker(descriptor: "Descriptor") -> None:
-    """Pool initializer: attach this worker process to the shared snapshot."""
-    global _QUERY_WORKER_INDEXES
-    from repro.core.shared import SharedIndexSnapshot
-
-    _QUERY_WORKER_INDEXES = SharedIndexSnapshot.attach(descriptor)
-
-
-def _refresh_worker_indexes(delta) -> None:
-    """Bring this worker's resident index up to the host's version.
-
-    ``delta`` is a :func:`~repro.core.shared.build_index_delta` result (or
-    None when the pool's snapshot is already current).  The delta rides on
-    every task payload rather than being broadcast — each worker applies it
-    on its next task, and the apply is idempotent and convergent from any
-    intermediate state, so no barrier across the pool is needed.
+    ``payload`` is ``(table_name, entries, context)``: the target's name,
+    this shard's ``(attribute name, profile)`` pairs, and the shared query
+    context (active evidence, pool, exclusions, subject-related tables).
+    ``indexes`` is the backend's view — over the process backend a
+    delta-refreshed worker-resident attachment; the worker runs exactly the
+    same batched sweeps the single-process engine runs on its shard.
     """
-    if delta is not None:
-        from repro.core.shared import apply_index_delta
-
-        apply_index_delta(_QUERY_WORKER_INDEXES, delta)
-
-
-def _collect_shard_candidate_distances(payload) -> QueryShardResult:
-    """Worker entry point: batched candidate collection for one shard.
-
-    ``payload`` is ``(delta, table_name, entries, context)``: the executor's
-    pending index delta (or None), the target's name, this shard's
-    ``(attribute name, profile)`` pairs, and the shared query context
-    (active evidence, pool, exclusions, subject-related tables).  The
-    indexes are the worker-resident copy installed by
-    :func:`_init_query_worker`, delta-refreshed when the host mutated; the
-    worker runs exactly the same batched sweeps the single-process engine
-    runs on its shard.
-    """
-    delta, table_name, entries, context = payload
+    table_name, entries, context = payload
     from repro.core.discovery import collect_attribute_candidate_distances
 
-    _refresh_worker_indexes(delta)
     return collect_attribute_candidate_distances(
-        _QUERY_WORKER_INDEXES, table_name, entries, **context
+        indexes, table_name, entries, **context
     )
 
 
 class ParallelQueryExecutor:
-    """Fans one query's target attributes out across worker processes.
+    """Fans one query's target attributes out across backend workers.
 
     The sorted attribute names are dealt round-robin into one shard per
     worker (:func:`partition_tables` — the partition is a pure function of
@@ -385,139 +276,71 @@ class ParallelQueryExecutor:
     attribute order — the order the sequential engine iterates.  Because
     every per-attribute result is a pure function of the (read-only) indexes
     and the shared query context, ``workers=1`` and ``workers=N`` answers
-    are identical, which ``tests/core/test_parallel_query.py`` locks down.
+    are identical under every backend, which
+    ``tests/core/test_parallel_query.py`` and ``test_execution.py`` lock
+    down.
 
-    The worker pool is created lazily on the first fanned-out query and kept
-    alive for the executor's lifetime.  Pool spin-up exports one
-    :class:`~repro.core.shared.SharedIndexSnapshot` of the indexes and ships
-    each worker only the segment descriptor (~50 bytes); workers attach
-    read-only array views over the one host-resident segment, so N workers
-    no longer cost N× index memory or per-pool pickling.  The snapshot is
-    taken at pool creation; when the index version moves past it,
-    ``_ensure_pool`` self-heals — preferably by computing a per-table delta
-    (:func:`~repro.core.shared.build_index_delta`) that subsequent task
-    payloads carry to the workers, falling back to recreating pool and
-    snapshot when the mutation set is too large or no longer reconstructible.
+    Pool lifecycle, snapshot export, and journal-driven delta refresh are
+    the owned :class:`~repro.core.execution.ExecutionBackend`'s concern
+    (:class:`~repro.core.execution.ProcessBackend` by default); the
+    executor's legacy introspection surface (``_pool``, ``_pool_version``,
+    ``_snapshot_version``, ``_delta``, :attr:`snapshot`) delegates to it.
     """
 
-    def __init__(self, indexes: "D3LIndexes", workers: int) -> None:
-        if workers <= 0:
-            raise ValueError("workers must be positive")
+    def __init__(
+        self, indexes: "D3LIndexes", workers: int, backend: str = "process"
+    ) -> None:
         self.indexes = indexes
         self.workers = workers
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._snapshot: Optional["SharedIndexSnapshot"] = None
-        self._pool_version: Optional[int] = None
-        # Version the current snapshot was exported at (the fixed delta base:
-        # individual workers may sit at any state between it and the current
-        # version, depending on which deltas they have already applied), and
-        # the pending delta shipped with every pooled task payload.
-        self._snapshot_version: Optional[int] = None
-        self._delta = None
-        self._finalizer: Optional[weakref.finalize] = None
-        _LIVE_EXECUTORS.add(self)
+        self._backend = create_backend(backend, indexes, workers)
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The owned execution backend shards dispatch through."""
+        return self._backend
 
     @property
     def snapshot(self) -> Optional["SharedIndexSnapshot"]:
-        """The live shared snapshot backing the pool (None before spin-up or
-        under the degraded pickle descriptor)."""
-        return self._snapshot
+        """The live shared snapshot backing the pool (None before spin-up,
+        for in-process backends, or under the degraded pickle descriptor)."""
+        return self._backend.snapshot
+
+    # Legacy introspection surface: the pool/version/delta state now lives
+    # on the owned backend, but the names remain the executor's documented
+    # internals (the snapshot/delta tests assert against them).
+    @property
+    def _pool(self) -> Optional[ProcessPoolExecutor]:
+        return getattr(self._backend, "_pool", None)
+
+    @property
+    def _pool_version(self) -> Optional[int]:
+        return getattr(self._backend, "_pool_version", None)
+
+    @property
+    def _snapshot_version(self) -> Optional[int]:
+        return getattr(self._backend, "_snapshot_version", None)
+
+    @property
+    def _delta(self):
+        return getattr(self._backend, "_delta", None)
 
     def close(self) -> None:
-        """Shut the pool down and unlink its snapshot (the executor can be
-        reused afterwards — the next fan-out re-creates both)."""
-        if self._finalizer is not None:
-            self._finalizer.detach()
-            self._finalizer = None
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-        if self._snapshot is not None:
-            self._snapshot.close()
-            self._snapshot = None
-        self._pool_version = None
-        self._snapshot_version = None
-        self._delta = None
-
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is not None and self._pool_version != self.indexes.version:
-            # The indexes moved past the state the workers hold.  Prefer a
-            # per-table delta refresh over tearing the pool down: the delta
-            # is always computed against the fixed snapshot version, so it is
-            # valid for a worker at any intermediate state.
-            from repro.core.shared import build_index_delta
-
-            delta = build_index_delta(
-                self.indexes, self._snapshot_version, max_tables=_DELTA_MAX_TABLES
-            )
-            if delta is None:
-                # Not reconstructible (journal window exceeded) or too many
-                # tables mutated — re-export the current state.
-                self.close()
-            else:
-                self._delta = delta
-                self._pool_version = self.indexes.version
-        if self._pool is None:
-            descriptor, self._snapshot = _snapshot_descriptor(self.indexes)
-            self._pool_version = self.indexes.version
-            self._snapshot_version = self.indexes.version
-            self._delta = None
-            self._pool = ProcessPoolExecutor(
-                max_workers=_pool_size(self.workers),
-                initializer=_init_query_worker,
-                initargs=(descriptor,),
-            )
-            # Reap the pool and unlink the segment when the executor is
-            # dropped without an explicit close(), so abandoned engines leak
-            # neither worker processes nor /dev/shm segments (and do not
-            # trip the interpreter-exit wakeup of concurrent.futures on an
-            # already-collected pipe).
-            self._finalizer = weakref.finalize(
-                self, _finalize_fanout, self._pool, self._snapshot
-            )
-        return self._pool
+        """Shut the backend's pool down and unlink its snapshot (the executor
+        can be reused afterwards — the next fan-out re-creates both)."""
+        self._backend.close()
 
     def verify_overlaps(
         self, pairs: Sequence[Tuple["AttributeRef", "AttributeRef"]]
     ) -> Dict[Tuple["AttributeRef", "AttributeRef"], float]:
-        """Exact value overlaps of candidate pairs over the attached index.
+        """Exact value overlaps of candidate pairs over the backend's view.
 
-        Shards the deduplicated pairs round-robin across this executor's
-        persistent worker pool; each worker resolves value samples from its
-        attached shared index, so payloads are bare pair lists.  Single-pair
-        (or single-worker) calls short-circuit in-process over the same
-        profiles — the result is routing-independent either way.
+        Shards the deduplicated pairs round-robin across the persistent
+        backend; process workers resolve value samples from their attached
+        shared index, so payloads are bare pair lists.  Single-pair (or
+        single-worker) calls short-circuit in-process over the same profiles
+        — the result is routing-independent either way.
         """
-        from repro.core.profiles import sample_overlap
-
-        ordered = list(dict.fromkeys(pairs))
-        if not ordered:
-            return {}
-        shards = [
-            shard
-            for shard in (ordered[index :: self.workers] for index in range(self.workers))
-            if shard
-        ]
-        if self.workers <= 1 or len(shards) <= 1 or len(ordered) <= 1:
-            profiles = self.indexes.profiles
-            return {
-                (left, right): sample_overlap(
-                    profiles[left].value_sample, profiles[right].value_sample
-                )
-                for left, right in ordered
-            }
-        pool = self._ensure_pool()
-        shard_results = list(
-            pool.map(
-                _verify_join_shard_attached,
-                [(self._delta, shard) for shard in shards],
-            )
-        )
-        return {
-            (left, right): overlap
-            for result in shard_results
-            for left, right, overlap in result
-        }
+        return self._backend.verify_overlaps(pairs)
 
     def collect(
         self,
@@ -550,38 +373,22 @@ class ParallelQueryExecutor:
                 return None
             return {name: signature_maps[name] for name in names}
 
-        if len(shard_entries) <= 1:
-            from repro.core.discovery import collect_attribute_candidate_distances
-
-            shard_results = [
-                collect_attribute_candidate_distances(
-                    self.indexes,
-                    table_name,
-                    entries_for_shard,
-                    signature_maps=shard_signatures([name for name, _ in entries_for_shard]),
-                    **context,
-                )
-                for entries_for_shard in shard_entries
-            ]
-        else:
-            pool = self._ensure_pool()
-            payloads = [
-                (
-                    self._delta,
-                    table_name,
-                    entries_for_shard,
-                    context
-                    | {
-                        "signature_maps": shard_signatures(
-                            [name for name, _ in entries_for_shard]
-                        )
-                    },
-                )
-                for entries_for_shard in shard_entries
-            ]
-            shard_results = list(
-                pool.map(_collect_shard_candidate_distances, payloads)
+        payloads = [
+            (
+                table_name,
+                entries_for_shard,
+                context
+                | {
+                    "signature_maps": shard_signatures(
+                        [name for name, _ in entries_for_shard]
+                    )
+                },
             )
+            for entries_for_shard in shard_entries
+        ]
+        shard_results = self._backend.map_shards(
+            _collect_shard_candidate_distances, payloads
+        )
         by_attribute = {
             name: (refs, columns)
             for result in shard_results

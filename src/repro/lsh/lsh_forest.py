@@ -36,10 +36,20 @@ row at most once instead of once per level.
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
+
+#: Serialises deferred merges (:meth:`_PrefixTree._ensure_flushed` /
+#: :meth:`_PrefixTree.compact`): the first *query* after a buffered insert
+#: performs the merge, and the serving tier runs many queries concurrently —
+#: without this, two readers could rebuild one tree at the same time.  The
+#: lock is module-level (no per-tree pickling concerns) and only ever
+#: contended in the instant after a mutation; the no-pending fast path never
+#: takes it.
+_FLUSH_LOCK = threading.Lock()
 
 #: Fill value for the upper bound of a prefix range.  Signature values are at
 #: most 32 bits, so the all-ones 64-bit pattern is strictly larger than any
@@ -198,12 +208,16 @@ class _PrefixTree:
 
     def _ensure_flushed(self) -> None:
         if self._pending:
-            self._rebuild()
+            with _FLUSH_LOCK:
+                if self._pending:
+                    self._rebuild()
 
     def compact(self) -> None:
         """Merge pending inserts and drop tombstones (sorted state, no dead rows)."""
         if self._pending or self._dead:
-            self._rebuild()
+            with _FLUSH_LOCK:
+                if self._pending or self._dead:
+                    self._rebuild()
 
     def export_state(self, copy: bool = True) -> Tuple[np.ndarray, List[Hashable]]:
         """``(keys, items)`` of the compacted tree, in sorted key order.

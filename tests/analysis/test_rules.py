@@ -393,6 +393,95 @@ class TestR3Lifecycle:
         )
         assert "R3" not in codes_of(violations)
 
+    def test_unscoped_backend_factory_fires(self, tmp_path):
+        violations = check_tree(
+            tmp_path,
+            {
+                "core/discovery.py": """
+                from repro.core.execution import create_backend
+
+                def fanout(indexes, payloads):
+                    backend = create_backend("process", indexes, 4)
+                    results = backend.map_shards(len, payloads)
+                    return results
+                """
+            },
+        )
+        assert codes_of(violations) == ["R3"]
+        assert violations[0].message.startswith("execution backend/worker")
+
+    def test_scoped_backend_factory_is_clean(self, tmp_path):
+        # Near-misses of the violation above: the same factory call, scoped
+        # by each of the three accepted disciplines (with, ownership
+        # transfer, self-attribute paired with a class-level closer).
+        violations = check_tree(
+            tmp_path,
+            {
+                "core/discovery.py": """
+                from repro.core.execution import ProcessBackend, create_backend
+
+                def with_scoped(indexes, payloads):
+                    with create_backend("process", indexes, 4) as backend:
+                        return backend.map_shards(len, payloads)
+
+                def transferred(indexes):
+                    return ProcessBackend(indexes, 4)
+
+                class Executor:
+                    def __init__(self, indexes):
+                        self._backend = create_backend("process", indexes, 4)
+
+                    def close(self):
+                        self._backend.close()
+                """
+            },
+        )
+        assert violations == []
+
+    def test_unscoped_serving_worker_spawn_fires(self, tmp_path):
+        violations = check_tree(
+            tmp_path,
+            {
+                "core/server.py": """
+                import multiprocessing
+
+                def spawn(descriptor):
+                    worker = multiprocessing.Process(target=print, args=(descriptor,))
+                    worker.start()
+                    print(worker.pid)
+                """
+            },
+        )
+        assert codes_of(violations) == ["R3"]
+        assert "Process(...)" in violations[0].message
+
+    def test_joined_serving_worker_spawn_is_clean(self, tmp_path):
+        violations = check_tree(
+            tmp_path,
+            {
+                "core/server.py": """
+                import multiprocessing
+
+                def run_one(descriptor):
+                    worker = multiprocessing.Process(target=print, args=(descriptor,))
+                    worker.start()
+                    try:
+                        print(worker.pid)
+                    finally:
+                        worker.join()
+
+                class ServingWorker:
+                    def __init__(self, descriptor):
+                        self._process = multiprocessing.Process(target=print)
+                        self._process.start()
+
+                    def close(self):
+                        self._process.join()
+                """
+            },
+        )
+        assert violations == []
+
 
 class TestR4WireParity:
     _MODULE = """

@@ -374,6 +374,32 @@ class TestServeCommand:
         assert exit_code == 1
         assert "positive" in capsys.readouterr().err
 
+    def test_serve_rejects_nonpositive_cache_size(self, indexed_engine_path, capsys):
+        exit_code = main(
+            ["serve", "--engine", str(indexed_engine_path), "--cache-size", "-3"]
+        )
+        assert exit_code == 1
+        assert "positive" in capsys.readouterr().err
+
+    def test_serve_rejects_out_of_range_port(self, indexed_engine_path, capsys):
+        exit_code = main(
+            ["serve", "--engine", str(indexed_engine_path), "--port", "70000"]
+        )
+        assert exit_code == 1
+        assert "--port" in capsys.readouterr().err
+
+    def test_serve_backend_flag(self):
+        args = build_parser().parse_args(["serve", "--engine", "e.pkl"])
+        assert args.backend == "thread"
+        args = build_parser().parse_args(
+            ["serve", "--engine", "e.pkl", "--backend", "process"]
+        )
+        assert args.backend == "process"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--engine", "e.pkl", "--backend", "quantum"]
+            )
+
     def test_serve_answers_query_and_shuts_down_cleanly(
         self, indexed_engine_path, tmp_path, capsys
     ):

@@ -247,6 +247,211 @@ class TestLifecycle:
             DiscoveryServer(indexed_d3l, port=0, workers=0)
 
 
+@pytest.fixture()
+def process_server(small_synthetic_benchmark, fast_config):
+    from repro.core.discovery import D3L
+    from repro.lake.datalake import DataLake
+
+    engine = D3L(config=fast_config)
+    engine.index_lake(
+        DataLake("process-served", small_synthetic_benchmark.lake.tables[:8])
+    )
+    # close() owns the engine on the process backend (mirrors session.close()
+    # reaping it on the thread backend), so no teardown close here.
+    with DiscoveryServer(
+        engine, port=0, workers=2, backend="process"
+    ) as running:
+        yield running
+
+
+class TestProcessBackendEquivalence:
+    """``--backend process`` must be indistinguishable on the wire.
+
+    Worker processes each hold a read-only attachment of the shared snapshot
+    plus a mirror engine/session; every payload they produce must be
+    byte-identical to an in-process :class:`DiscoverySession` over the live
+    engine, including explain traces, evidence subsets, join paths,
+    attribute mode, and nested ``workers>1`` fan-out inside the worker.
+    """
+
+    def test_rejects_unknown_backend(self, indexed_d3l):
+        with pytest.raises(ValueError):
+            DiscoveryServer(indexed_d3l, port=0, workers=2, backend="quantum")
+
+    def test_index_status_reports_process_backend(self, process_server):
+        status, payload = _request(process_server, "GET", "/index-status")
+        assert status == 200
+        assert payload["backend"] == "process"
+        assert payload["workers"] == 2
+        assert payload["version"] == process_server.engine.indexes.version
+        assert set(payload["cache"]) == {"hits", "misses", "size", "capacity"}
+
+    @pytest.mark.parametrize("explain", [False, True])
+    def test_served_response_is_bit_identical_to_in_process(
+        self, process_server, small_synthetic_benchmark, explain
+    ):
+        target = small_synthetic_benchmark.lake.tables[0]
+        request = QueryRequest(target=target, k=5, explain=explain)
+        status, payload = _request(
+            process_server, "POST", "/query", query_request_to_wire(request)
+        )
+        assert status == 200
+        assert payload == _oracle_payload(process_server.engine, request)
+        restored = QueryResponse.from_dict(payload)
+        assert restored.to_dict() == payload
+
+    def test_evidence_joins_attributes_and_nested_fanout_travel(
+        self, process_server, small_synthetic_benchmark
+    ):
+        tables = small_synthetic_benchmark.lake.tables[:8]
+        requests = [
+            QueryRequest(target=tables[1], k=5, evidence=["N", "V"], joins=True),
+            QueryRequest(target=tables[2], k=3, attributes=(tables[2].columns[0].name,)),
+            # Nested fan-out: the serving worker process spawns its own
+            # process pool (workers must be non-daemonic for this).
+            QueryRequest(target=tables[0], k=5, workers=2),
+        ]
+        for request in requests:
+            status, payload = _request(
+                process_server, "POST", "/query", query_request_to_wire(request)
+            )
+            assert status == 200
+            assert payload == _oracle_payload(process_server.engine, request)
+
+    def test_submit_matches_http_payload(self, process_server, small_synthetic_benchmark):
+        target = small_synthetic_benchmark.lake.tables[0]
+        request = QueryRequest(target=target, k=5)
+        direct = process_server.submit(request)
+        status, payload = _request(
+            process_server, "POST", "/query", query_request_to_wire(request)
+        )
+        assert status == 200
+        assert payload == direct
+
+    def test_validation_errors_travel_back_as_400(
+        self, process_server, small_synthetic_benchmark
+    ):
+        target = small_synthetic_benchmark.lake.tables[0]
+        wire = query_request_to_wire(QueryRequest(target=target, k=5))
+        wire["evidence"] = ["bogus"]
+        status, payload = _request(process_server, "POST", "/query", wire)
+        assert status == 400
+        assert "unknown evidence type" in payload["error"]
+
+    def test_mutations_ship_to_workers_as_deltas(
+        self, process_server, small_synthetic_benchmark
+    ):
+        extra = small_synthetic_benchmark.lake.tables[10].with_name("served_extra")
+        request = QueryRequest(target=extra, k=5, exclude_self=False)
+        wire = query_request_to_wire(request)
+
+        status, payload = _request(process_server, "POST", "/query", wire)
+        assert status == 200
+        assert "served_extra" not in [r["table"] for r in payload["results"]]
+        pids_before = sorted(process_server.worker_pids())
+
+        process_server.engine.index_table(extra)
+        status, payload = _request(process_server, "POST", "/query", wire)
+        assert status == 200
+        assert "served_extra" in [r["table"] for r in payload["results"]]
+        assert payload == _oracle_payload(process_server.engine, request)
+
+        process_server.engine.remove_table("served_extra")
+        status, payload = _request(process_server, "POST", "/query", wire)
+        assert status == 200
+        assert "served_extra" not in [r["table"] for r in payload["results"]]
+        assert payload == _oracle_payload(process_server.engine, request)
+        # Small mutations refresh live workers via journal deltas — the
+        # worker fleet must not have been respawned.
+        assert sorted(process_server.worker_pids()) == pids_before
+
+
+class TestChurnUnderLoad:
+    """Interleaved mutations and concurrent query traffic, both backends.
+
+    Extends :class:`TestMutationVisibility`: while client threads hammer
+    ``/query`` with a steady request, the main thread adds and removes
+    tables and asserts — between each mutation — that ``/index-status``
+    tracks the version and that a fresh query reflects the post-mutation
+    lake exactly (oracle-equal).  The mutation count stays far below the
+    journal window so the delta path, not a respawn, is what's exercised.
+    """
+
+    @pytest.fixture(params=["thread", "process"])
+    def churn_server(self, request, small_synthetic_benchmark, fast_config):
+        from repro.core.discovery import D3L
+        from repro.lake.datalake import DataLake
+
+        engine = D3L(config=fast_config)
+        engine.index_lake(
+            DataLake("churn", small_synthetic_benchmark.lake.tables[:8])
+        )
+        with DiscoveryServer(
+            engine, port=0, workers=2, backend=request.param
+        ) as running:
+            yield running
+        if request.param == "thread":
+            engine.close()
+
+    def test_mutations_stay_fresh_under_concurrent_traffic(
+        self, churn_server, small_synthetic_benchmark
+    ):
+        steady_target = small_synthetic_benchmark.lake.tables[0]
+        steady_wire = query_request_to_wire(QueryRequest(target=steady_target, k=3))
+        stop = threading.Event()
+        errors = []
+
+        def client():
+            while not stop.is_set():
+                try:
+                    status, payload = _request(
+                        churn_server, "POST", "/query", steady_wire
+                    )
+                    assert status == 200, payload
+                    assert payload["results"]
+                except Exception as error:  # noqa: BLE001 - surfaced below
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=client) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            _, before = _request(churn_server, "GET", "/index-status")
+            base_version = before["version"]
+            donor = small_synthetic_benchmark.lake.tables[10]
+            for round_number in range(3):
+                name = f"churn_table_{round_number}"
+                extra = donor.with_name(name)
+                probe = QueryRequest(target=extra, k=5, exclude_self=False)
+                probe_wire = query_request_to_wire(probe)
+
+                churn_server.engine.index_table(extra)
+                status, payload = _request(
+                    churn_server, "POST", "/query", probe_wire
+                )
+                assert status == 200
+                assert name in [r["table"] for r in payload["results"]]
+                assert payload == _oracle_payload(churn_server.engine, probe)
+                _, tracked = _request(churn_server, "GET", "/index-status")
+                assert tracked["version"] == base_version + 2 * round_number + 1
+
+                churn_server.engine.remove_table(name)
+                status, payload = _request(
+                    churn_server, "POST", "/query", probe_wire
+                )
+                assert status == 200
+                assert name not in [r["table"] for r in payload["results"]]
+                assert payload == _oracle_payload(churn_server.engine, probe)
+                _, tracked = _request(churn_server, "GET", "/index-status")
+                assert tracked["version"] == base_version + 2 * round_number + 2
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors
+
+
 class TestMutationVisibility:
     """A live server must reflect lake mutations on the very next request.
 
